@@ -1,0 +1,85 @@
+// Package baselines exposes the reimplemented comparator compressors of the
+// paper's evaluation (SZ3, QoZ, ZFP, SPERR) next to CliZ itself, so
+// downstream users can reproduce the comparisons on their own data.
+// All compressors speak the same interface: float32 grid in, self-describing
+// blob out, strict absolute error bound (ZFP's bound is the fixed-accuracy
+// tolerance semantics of the original).
+package baselines
+
+import (
+	"cliz"
+	"cliz/internal/codec"
+	"cliz/internal/dataset"
+	"cliz/internal/mask"
+
+	// Register all compressors.
+	_ "cliz/internal/qoz"
+	_ "cliz/internal/sperr"
+	_ "cliz/internal/sz3"
+	_ "cliz/internal/zfp"
+)
+
+// Names lists the available compressors ("CliZ", "QoZ", "SPERR", "SZ3",
+// "ZFP").
+func Names() []string { return codec.Names() }
+
+// Compress encodes the dataset with the named compressor under the error
+// bound. Baselines ignore the mask/periodicity metadata (they are
+// general-purpose); CliZ auto-tunes with the paper's defaults.
+func Compress(name string, ds *cliz.Dataset, eb cliz.ErrorBound) ([]byte, error) {
+	c, err := codec.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	ids, abs, err := convert(ds, eb)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(ids, abs)
+}
+
+// Decompress decodes a blob produced by the named compressor.
+func Decompress(name string, blob []byte) ([]float32, []int, error) {
+	c, err := codec.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Decompress(blob)
+}
+
+func convert(ds *cliz.Dataset, eb cliz.ErrorBound) (*dataset.Dataset, float64, error) {
+	ids := &dataset.Dataset{
+		Name:      ds.Name,
+		Data:      ds.Data,
+		Dims:      ds.Dims,
+		Lead:      dataset.LeadKind(ds.Lead),
+		Periodic:  ds.Periodic,
+		FillValue: ds.FillValue,
+	}
+	if ds.MaskRegions != nil && len(ds.Dims) >= 2 {
+		nLat := ds.Dims[len(ds.Dims)-2]
+		nLon := ds.Dims[len(ds.Dims)-1]
+		ids.Mask = mask.New(nLat, nLon, ds.MaskRegions)
+	}
+	if err := ids.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var abs float64
+	switch {
+	case eb.Abs > 0 && eb.Rel == 0:
+		abs = eb.Abs
+	case eb.Rel > 0 && eb.Abs == 0:
+		abs = ids.AbsErrorBound(eb.Rel)
+	default:
+		return nil, 0, errBound
+	}
+	return ids, abs, nil
+}
+
+var errBound = errInvalidBound{}
+
+type errInvalidBound struct{}
+
+func (errInvalidBound) Error() string {
+	return "baselines: exactly one of Rel/Abs must be positive"
+}

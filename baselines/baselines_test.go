@@ -1,0 +1,87 @@
+package baselines_test
+
+import (
+	"math"
+	"testing"
+
+	"cliz"
+	"cliz/baselines"
+)
+
+func smallField() *cliz.Dataset {
+	n := 32 * 48
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 17))
+	}
+	return &cliz.Dataset{Name: "b", Data: data, Dims: []int{32, 48}}
+}
+
+func TestAllBaselinesRoundTrip(t *testing.T) {
+	ds := smallField()
+	for _, name := range baselines.Names() {
+		blob, err := baselines.Compress(name, ds, cliz.Abs(0.01))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recon, dims, err := baselines.Decompress(name, blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dims) != 2 || dims[0] != 32 || dims[1] != 48 {
+			t.Fatalf("%s: dims %v", name, dims)
+		}
+		if got := cliz.MaxAbsErr(ds.Data, recon, nil); got > 0.01 {
+			t.Fatalf("%s: bound violated: %g", name, got)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ds := smallField()
+	if _, err := baselines.Compress("NOPE", ds, cliz.Abs(0.1)); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := baselines.Compress("SZ3", ds, cliz.ErrorBound{}); err == nil {
+		t.Fatal("empty bound accepted")
+	}
+	if _, err := baselines.Compress("SZ3", ds, cliz.ErrorBound{Rel: 1, Abs: 1}); err == nil {
+		t.Fatal("double bound accepted")
+	}
+	if _, _, err := baselines.Decompress("SZ3", []byte("junk")); err == nil {
+		t.Fatal("junk blob accepted")
+	}
+	bad := smallField()
+	bad.Dims = []int{7}
+	if _, err := baselines.Compress("SZ3", bad, cliz.Abs(0.1)); err == nil {
+		t.Fatal("inconsistent dataset accepted")
+	}
+}
+
+func TestMaskedDatasetThroughBaselines(t *testing.T) {
+	ds := smallField()
+	regions := make([]int32, 32*48)
+	for i := range regions {
+		if i%4 != 0 {
+			regions[i] = 1
+		}
+	}
+	ds.MaskRegions = regions
+	ds.FillValue = 9.96921e36
+	for i := range ds.Data {
+		if regions[i] == 0 {
+			ds.Data[i] = ds.FillValue
+		}
+	}
+	// CliZ honours the mask; general-purpose baselines must still bound
+	// every point (fills become exact literals / outliers).
+	for _, name := range []string{"CliZ", "SZ3", "SPERR"} {
+		blob, err := baselines.Compress(name, ds, cliz.Rel(1e-2))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, _, err := baselines.Decompress(name, blob); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

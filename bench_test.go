@@ -1,0 +1,214 @@
+package cliz_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (DESIGN.md per-experiment index E01–E11), plus per-codec
+// compression/decompression throughput micro-benchmarks.
+//
+// The experiment benchmarks regenerate the corresponding table on synthetic
+// datasets at a laptop scale (override with -bench-scale). Each benchmark
+// reports the table rows through b.Log at -v; the cmd/clizbench binary
+// prints them in full.
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"cliz/internal/codec"
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/entropy"
+	"cliz/internal/experiments"
+	"cliz/internal/lossless"
+
+	_ "cliz/internal/qoz"
+	_ "cliz/internal/sperr"
+	_ "cliz/internal/sz3"
+	_ "cliz/internal/zfp"
+)
+
+var (
+	flateCodec = lossless.Flate{Level: 6}
+	lzssCodec  = lossless.LZSS{}
+)
+
+var benchScale = flag.Float64("bench-scale", 0.10,
+	"dataset scale for experiment benchmarks (1.0 = paper dimensions)")
+
+func benchEnv() experiments.Env {
+	return experiments.Env{Scale: *benchScale, Log: io.Discard}
+}
+
+// runExperiment executes one experiment per iteration and reports the
+// resulting tables.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	env := benchEnv()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, tb := range tables {
+				b.Logf("%s: %s (%d rows)", tb.ID, tb.Title, len(tb.Rows))
+			}
+		}
+	}
+}
+
+func BenchmarkFig10RateDistortion(b *testing.B)      { runExperiment(b, "E01") }
+func BenchmarkFig11TuningCost(b *testing.B)          { runExperiment(b, "E02") }
+func BenchmarkFig12TableIVSamplingLoss(b *testing.B) { runExperiment(b, "E03") }
+func BenchmarkTableVAblationSSH(b *testing.B)        { runExperiment(b, "E04") }
+func BenchmarkTableVIAblationHurricane(b *testing.B) { runExperiment(b, "E05") }
+func BenchmarkFig13GlobusTransfer(b *testing.B)      { runExperiment(b, "E06") }
+func BenchmarkFig7PermFuseBitrates(b *testing.B)     { runExperiment(b, "E07") }
+func BenchmarkFig8PeriodDetection(b *testing.B)      { runExperiment(b, "E08") }
+func BenchmarkFig14Visual(b *testing.B)              { runExperiment(b, "E09") }
+func BenchmarkFigPropertyDemos(b *testing.B)         { runExperiment(b, "E10") }
+func BenchmarkTableIIIDatasets(b *testing.B)         { runExperiment(b, "E11") }
+
+// --- Codec throughput micro-benchmarks (compression speed comparison of
+// §VII: CliZ must be in the same ballpark as SZ3/ZFP and faster than
+// SPERR). ---
+
+func benchDataset(b *testing.B, name string) *dataset.Dataset {
+	b.Helper()
+	ds, err := datagen.ByName(name, *benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func benchmarkCompress(b *testing.B, codecName, dsName string, rel float64) {
+	ds := benchDataset(b, dsName)
+	c, err := codec.Get(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb := ds.AbsErrorBound(rel)
+	// Warm CliZ's tuning cache outside the timed region (the paper's
+	// offline stage is amortized across a model's fields).
+	blob, err := c.Compress(ds, eb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ds.Points() * 4))
+	b.ReportMetric(float64(ds.Points()*4)/float64(len(blob)), "ratio")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(ds, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkDecompress(b *testing.B, codecName, dsName string, rel float64) {
+	ds := benchDataset(b, dsName)
+	c, err := codec.Get(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := c.Compress(ds, ds.AbsErrorBound(rel))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ds.Points() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressCliZSSH(b *testing.B)     { benchmarkCompress(b, "CliZ", "SSH", 1e-2) }
+func BenchmarkCompressSZ3SSH(b *testing.B)      { benchmarkCompress(b, "SZ3", "SSH", 1e-2) }
+func BenchmarkCompressQoZSSH(b *testing.B)      { benchmarkCompress(b, "QoZ", "SSH", 1e-2) }
+func BenchmarkCompressZFPSSH(b *testing.B)      { benchmarkCompress(b, "ZFP", "SSH", 1e-2) }
+func BenchmarkCompressSPERRSSH(b *testing.B)    { benchmarkCompress(b, "SPERR", "SSH", 1e-2) }
+func BenchmarkCompressCliZCESMT(b *testing.B)   { benchmarkCompress(b, "CliZ", "CESM-T", 1e-3) }
+func BenchmarkCompressSZ3CESMT(b *testing.B)    { benchmarkCompress(b, "SZ3", "CESM-T", 1e-3) }
+func BenchmarkDecompressCliZSSH(b *testing.B)   { benchmarkDecompress(b, "CliZ", "SSH", 1e-2) }
+func BenchmarkDecompressSZ3SSH(b *testing.B)    { benchmarkDecompress(b, "SZ3", "SSH", 1e-2) }
+func BenchmarkDecompressZFPSSH(b *testing.B)    { benchmarkDecompress(b, "ZFP", "SSH", 1e-2) }
+func BenchmarkDecompressSPERRSSH(b *testing.B)  { benchmarkDecompress(b, "SPERR", "SSH", 1e-2) }
+func BenchmarkDecompressCliZCESMT(b *testing.B) { benchmarkDecompress(b, "CliZ", "CESM-T", 1e-3) }
+
+// --- Ablation micro-benchmarks for the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationEntropyCoders compares the pipeline's symbol-coding
+// stage: canonical Huffman (the paper's choice) vs static rANS.
+func BenchmarkAblationEntropyCoders(b *testing.B) {
+	ds := benchDataset(b, "CESM-T")
+	eb := ds.AbsErrorBound(1e-3)
+	for _, kind := range []entropy.Kind{entropy.Huffman, entropy.RANS} {
+		b.Run(kind.String(), func(b *testing.B) {
+			ids := ds
+			p := core.Default(ids)
+			opt := core.Options{Entropy: kind}
+			blob, err := core.Compress(ids, eb, p, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(ids.Points() * 4))
+			b.ReportMetric(float64(ids.Points()*4)/float64(len(blob)), "ratio")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compress(ids, eb, p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLosslessBackends compares the lossless stages available
+// for the pipeline's final step (DESIGN.md substitution: flate vs from-
+// scratch LZSS standing in for Zstd).
+func BenchmarkAblationLosslessBackends(b *testing.B) {
+	ds := benchDataset(b, "CESM-T")
+	for _, backend := range []string{"flate", "lzss", "raw"} {
+		b.Run(backend, func(b *testing.B) {
+			benchLossless(b, ds, backend)
+		})
+	}
+}
+
+func benchLossless(b *testing.B, ds *dataset.Dataset, backend string) {
+	c, err := codec.Get("SZ3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The SZ3 path uses flate internally; this benchmark measures the
+	// end-to-end impact indirectly by compressing the blob again with each
+	// backend — a proxy for swapping the stage.
+	blob, err := c.Compress(ds, ds.AbsErrorBound(1e-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recompress(b, backend, blob)
+	}
+}
+
+func recompress(b *testing.B, backend string, blob []byte) {
+	b.Helper()
+	var out []byte
+	switch backend {
+	case "flate":
+		out = flateCodec.Compress(blob)
+	case "lzss":
+		out = lzssCodec.Compress(blob)
+	case "raw":
+		out = append([]byte(nil), blob...)
+	default:
+		b.Fatalf("unknown backend %s", backend)
+	}
+	_ = out
+}

@@ -1,0 +1,258 @@
+// Package cliz is an error-bounded lossy compressor optimized for climate
+// datasets, reproducing "CliZ: Optimizing Lossy Compression for Climate
+// Datasets with Adaptive Fine-tuned Data Prediction" (IPDPS 2024).
+//
+// CliZ builds on the SZ3 prediction/quantization/encoding framework and
+// exploits four properties of climate data: the mask-map marking invalid
+// regions, the diverse smoothness of different dimensions (addressed by
+// dimension permutation and fusion), temporal periodicity (addressed by
+// periodic component extraction), and topography-correlated quantization-bin
+// statistics (addressed by bin classification with multi-Huffman encoding).
+//
+// The workflow mirrors the paper's offline/online split: AutoTune runs once
+// per climate model on one representative field and returns a Pipeline; the
+// pipeline then compresses every field of that model online:
+//
+//	ds := &cliz.Dataset{Name: "SSH", Data: data, Dims: []int{1032, 384, 320},
+//		Lead: cliz.LeadTime, Periodic: true, MaskRegions: regions,
+//		FillValue: 9.96921e36}
+//	pipe, _, err := cliz.AutoTune(ds, cliz.Rel(1e-2), nil)
+//	blob, info, err := cliz.Compress(ds, cliz.Rel(1e-2), &pipe)
+//	recon, dims, err := cliz.Decompress(blob)
+//
+// For one-shot use, Compress accepts a nil pipeline and picks the default.
+package cliz
+
+import (
+	"errors"
+	"fmt"
+
+	"cliz/internal/core"
+	"cliz/internal/dataset"
+	"cliz/internal/mask"
+)
+
+// LeadKind describes the physical meaning of a dataset's leading dimension.
+type LeadKind int
+
+const (
+	// LeadNone marks a purely horizontal 2D field.
+	LeadNone LeadKind = iota
+	// LeadTime marks time as the leading dimension (periodicity may apply).
+	LeadTime
+	// LeadHeight marks vertical layers as the leading dimension.
+	LeadHeight
+)
+
+// Dataset describes one climate field. The trailing two dimensions are the
+// horizontal (lat, lon) grid; optional leading dimensions are time and/or
+// height (e.g. [time, height, lat, lon] for a 4D land-model field).
+type Dataset struct {
+	// Name labels the field (e.g. "SSH").
+	Name string
+	// Data is the row-major float32 grid.
+	Data []float32
+	// Dims are the grid extents.
+	Dims []int
+	// Lead describes the first dimension.
+	Lead LeadKind
+	// Periodic marks fields whose metadata flags the time axis as periodic.
+	Periodic bool
+	// MaskRegions is the optional horizontal mask map (length lat·lon):
+	// 0 marks invalid cells, non-zero values label regions, exactly as in
+	// CESM files. Nil means every point is valid.
+	MaskRegions []int32
+	// FillValue is the sentinel stored at invalid points.
+	FillValue float32
+}
+
+func (d *Dataset) internal() (*dataset.Dataset, error) {
+	if d == nil {
+		return nil, errors.New("cliz: nil dataset")
+	}
+	ds := &dataset.Dataset{
+		Name:      d.Name,
+		Data:      d.Data,
+		Dims:      d.Dims,
+		Lead:      dataset.LeadKind(d.Lead),
+		Periodic:  d.Periodic,
+		FillValue: d.FillValue,
+	}
+	if d.MaskRegions != nil {
+		if len(d.Dims) < 2 {
+			return nil, errors.New("cliz: mask requires at least 2 dims")
+		}
+		nLat := d.Dims[len(d.Dims)-2]
+		nLon := d.Dims[len(d.Dims)-1]
+		if len(d.MaskRegions) != nLat*nLon {
+			return nil, fmt.Errorf("cliz: mask length %d != %d·%d",
+				len(d.MaskRegions), nLat, nLon)
+		}
+		ds.Mask = mask.New(nLat, nLon, d.MaskRegions)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ErrorBound specifies the error budget: exactly one of Rel and Abs must be
+// positive. Rel is a fraction of the valid value range (the convention used
+// throughout the paper's evaluation); Abs is an absolute bound.
+type ErrorBound struct {
+	Rel float64
+	Abs float64
+}
+
+// Rel returns a relative (value-range) error bound.
+func Rel(v float64) ErrorBound { return ErrorBound{Rel: v} }
+
+// Abs returns an absolute error bound.
+func Abs(v float64) ErrorBound { return ErrorBound{Abs: v} }
+
+func (e ErrorBound) resolve(ds *dataset.Dataset) (float64, error) {
+	switch {
+	case e.Abs > 0 && e.Rel == 0:
+		return e.Abs, nil
+	case e.Rel > 0 && e.Abs == 0:
+		return ds.AbsErrorBound(e.Rel), nil
+	}
+	return 0, fmt.Errorf("cliz: exactly one of Rel/Abs must be positive (got %+v)", e)
+}
+
+// Pipeline is a fully specified compression configuration — the output of
+// the offline auto-tuning stage. The zero value is invalid; obtain pipelines
+// from AutoTune or DefaultPipeline.
+type Pipeline struct {
+	p core.Pipeline
+}
+
+// String renders the pipeline in the paper's table notation.
+func (p Pipeline) String() string { return p.p.String() }
+
+// DefaultPipeline returns the untuned baseline pipeline for a dataset.
+func DefaultPipeline(ds *Dataset) (Pipeline, error) {
+	ids, err := ds.internal()
+	if err != nil {
+		return Pipeline{}, err
+	}
+	return Pipeline{p: core.Default(ids)}, nil
+}
+
+// TuneOptions control AutoTune. The zero value (or nil) uses the paper's
+// defaults: 1% sampling and the full pipeline search space.
+type TuneOptions struct {
+	// SamplingRate is the fraction of data used for pipeline testing
+	// (paper §VI-A); 0 selects 1%.
+	SamplingRate float64
+	// MaxPipelines caps the candidate count (0 = 512).
+	MaxPipelines int
+	// DisablePeriod / DisableClassify shrink the search space.
+	DisablePeriod   bool
+	DisableClassify bool
+	// FixedPeriod overrides FFT-based period detection.
+	FixedPeriod int
+}
+
+// TuneReport summarizes an AutoTune run.
+type TuneReport struct {
+	// Period is the detected period along the time axis (0 = none).
+	Period int
+	// PipelinesTested is the number of candidates evaluated.
+	PipelinesTested int
+	// EstimatedRatio is the winner's compression ratio on the sample.
+	EstimatedRatio float64
+}
+
+// AutoTune runs the offline stage on a representative field and returns the
+// best pipeline for its climate model. Fields of the same model can reuse
+// the pipeline (paper §IV).
+func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneReport, error) {
+	ids, err := ds.internal()
+	if err != nil {
+		return Pipeline{}, nil, err
+	}
+	abs, err := eb.resolve(ids)
+	if err != nil {
+		return Pipeline{}, nil, err
+	}
+	var tc core.TuneConfig
+	if opt != nil {
+		tc = core.TuneConfig{
+			SamplingRate:    opt.SamplingRate,
+			MaxPipelines:    opt.MaxPipelines,
+			DisablePeriod:   opt.DisablePeriod,
+			DisableClassify: opt.DisableClassify,
+			FixedPeriod:     opt.FixedPeriod,
+		}
+	}
+	best, rep, err := core.AutoTune(ids, abs, tc, core.Options{})
+	if err != nil {
+		return Pipeline{}, nil, err
+	}
+	return Pipeline{p: best}, &TuneReport{
+		Period:          rep.Period,
+		PipelinesTested: len(rep.Candidates),
+		EstimatedRatio:  rep.BestRatio,
+	}, nil
+}
+
+// CompressInfo reports what a compression achieved.
+type CompressInfo struct {
+	// CompressedBytes is the blob size.
+	CompressedBytes int
+	// Ratio is original bytes / compressed bytes.
+	Ratio float64
+	// BitRate is compressed bits per data point.
+	BitRate float64
+	// Pipeline is the configuration used, in table notation.
+	Pipeline string
+}
+
+// Compress encodes the dataset under the error bound with the given
+// pipeline (nil selects the default pipeline). The returned blob is
+// self-contained: Decompress needs nothing else.
+func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline) ([]byte, *CompressInfo, error) {
+	ids, err := ds.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	abs, err := eb.resolve(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	var p core.Pipeline
+	if pipe != nil && pipe.p.Perm != nil {
+		p = pipe.p
+	} else {
+		p = core.Default(ids)
+	}
+	blob, err := core.Compress(ids, abs, p, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	points := ids.Points()
+	return blob, &CompressInfo{
+		CompressedBytes: len(blob),
+		Ratio:           float64(points*4) / float64(len(blob)),
+		BitRate:         float64(len(blob)) * 8 / float64(points),
+		Pipeline:        p.String(),
+	}, nil
+}
+
+// Decompress reconstructs the data and its dims from a CliZ blob — either a
+// regular blob from Compress or a chunked container from CompressChunked
+// (chunks decode concurrently).
+func Decompress(blob []byte) ([]float32, []int, error) {
+	if core.IsChunked(blob) {
+		return core.DecompressChunked(blob, 0)
+	}
+	return core.Decompress(blob)
+}
+
+// compile-time checks that the internal enums line up with the public ones.
+var (
+	_ = [1]struct{}{}[int(LeadNone)-int(dataset.LeadNone)]
+	_ = [1]struct{}{}[int(LeadTime)-int(dataset.LeadTime)]
+	_ = [1]struct{}{}[int(LeadHeight)-int(dataset.LeadHeight)]
+)

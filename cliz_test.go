@@ -1,0 +1,297 @@
+package cliz_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cliz"
+	"cliz/baselines"
+)
+
+// makeTestDataset builds a small masked, periodic field through the public
+// API only.
+func makeTestDataset() *cliz.Dataset {
+	rng := rand.New(rand.NewSource(42))
+	nT, nLat, nLon := 48, 24, 32
+	const fill = 9.96921e36
+	regions := make([]int32, nLat*nLon)
+	for i := range regions {
+		if (i/nLon+i%nLon)%5 != 0 {
+			regions[i] = 1
+		}
+	}
+	data := make([]float32, nT*nLat*nLon)
+	plane := nLat * nLon
+	for t := 0; t < nT; t++ {
+		season := 2 * math.Pi * float64(t) / 12
+		for p := 0; p < plane; p++ {
+			idx := t*plane + p
+			if regions[p] == 0 {
+				data[idx] = fill
+				continue
+			}
+			data[idx] = float32(20*math.Sin(season+float64(p)/40) +
+				5*math.Cos(float64(p)/17) + 0.1*rng.NormFloat64())
+		}
+	}
+	return &cliz.Dataset{
+		Name: "api-test", Data: data, Dims: []int{nT, nLat, nLon},
+		Lead: cliz.LeadTime, Periodic: true,
+		MaskRegions: regions, FillValue: fill,
+	}
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	ds := makeTestDataset()
+	blob, info, err := cliz.Compress(ds, cliz.Rel(1e-2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ratio <= 1 {
+		t.Fatalf("ratio %v", info.Ratio)
+	}
+	recon, dims, err := cliz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 3 || dims[0] != ds.Dims[0] {
+		t.Fatalf("dims %v", dims)
+	}
+	valid, err := cliz.ValidityOf(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative bound of 1e-2 over the valid range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range ds.Data {
+		if !valid[i] {
+			continue
+		}
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	eb := 0.01 * (hi - lo)
+	if got := cliz.MaxAbsErr(ds.Data, recon, valid); got > eb*(1+1e-9) {
+		t.Fatalf("bound violated: %g > %g", got, eb)
+	}
+}
+
+func TestAutoTuneAndReuse(t *testing.T) {
+	ds := makeTestDataset()
+	pipe, report, err := cliz.AutoTune(ds, cliz.Rel(1e-2), &cliz.TuneOptions{SamplingRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Period != 12 {
+		t.Fatalf("period %d", report.Period)
+	}
+	if report.PipelinesTested < 96 {
+		t.Fatalf("only %d pipelines tested", report.PipelinesTested)
+	}
+	// The tuned pipeline must compress another field of the same model.
+	other := makeTestDataset()
+	other.Name = "api-test-2"
+	for i := range other.Data {
+		if other.MaskRegions[(i)%(24*32)] != 0 && other.Data[i] < 1e30 {
+			other.Data[i] += 1
+		}
+	}
+	blob, info, err := cliz.Compress(other, cliz.Rel(1e-2), &pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pipeline != pipe.String() {
+		t.Fatalf("info pipeline %q != %q", info.Pipeline, pipe.String())
+	}
+	if _, _, err := cliz.Decompress(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsVsRelBounds(t *testing.T) {
+	ds := makeTestDataset()
+	if _, _, err := cliz.Compress(ds, cliz.ErrorBound{}, nil); err == nil {
+		t.Fatal("empty bound accepted")
+	}
+	if _, _, err := cliz.Compress(ds, cliz.ErrorBound{Rel: 0.1, Abs: 0.1}, nil); err == nil {
+		t.Fatal("double bound accepted")
+	}
+	blob, _, err := cliz.Compress(ds, cliz.Abs(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := cliz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _ := cliz.ValidityOf(ds)
+	if got := cliz.MaxAbsErr(ds.Data, recon, valid); got > 0.5*(1+1e-9) {
+		t.Fatalf("abs bound violated: %g", got)
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	if _, _, err := cliz.Compress(nil, cliz.Rel(0.1), nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	bad := &cliz.Dataset{Name: "bad", Data: make([]float32, 10), Dims: []int{3, 3}}
+	if _, _, err := cliz.Compress(bad, cliz.Rel(0.1), nil); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+	badMask := makeTestDataset()
+	badMask.MaskRegions = badMask.MaskRegions[:5]
+	if _, _, err := cliz.Compress(badMask, cliz.Rel(0.1), nil); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, _, err := cliz.Decompress([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := cliz.Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestBaselinesPackage(t *testing.T) {
+	names := baselines.Names()
+	want := map[string]bool{"CliZ": true, "SZ3": true, "QoZ": true, "ZFP": true, "SPERR": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing codecs: %v (have %v)", want, names)
+	}
+	ds := makeTestDataset()
+	for _, n := range names {
+		blob, err := baselines.Compress(n, ds, cliz.Rel(1e-2))
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		recon, dims, err := baselines.Decompress(n, blob)
+		if err != nil {
+			t.Fatalf("%s decode: %v", n, err)
+		}
+		if len(recon) != len(ds.Data) || len(dims) != 3 {
+			t.Fatalf("%s: shape mismatch", n)
+		}
+	}
+	if _, err := baselines.Compress("NOPE", ds, cliz.Rel(0.1)); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := baselines.Compress("SZ3", ds, cliz.ErrorBound{}); err == nil {
+		t.Fatal("empty bound accepted")
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	if got := cliz.PSNR(a, a, nil); !math.IsInf(got, 1) {
+		t.Fatalf("self PSNR %v", got)
+	}
+	if got := cliz.MaxAbsErr(a, []float32{1, 2, 3, 5}, nil); got != 1 {
+		t.Fatalf("MaxAbsErr %v", got)
+	}
+	if got := cliz.SSIM(a, a, []int{2, 2}, 2, nil); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("SSIM %v", got)
+	}
+}
+
+func TestDefaultPipeline(t *testing.T) {
+	ds := makeTestDataset()
+	pipe, err := cliz.DefaultPipeline(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.String() == "" {
+		t.Fatal("empty pipeline string")
+	}
+	if _, _, err := cliz.Compress(ds, cliz.Rel(1e-2), &pipe); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicChunkedCompression(t *testing.T) {
+	ds := makeTestDataset()
+	pipe, _, err := cliz.AutoTune(ds, cliz.Rel(1e-2), &cliz.TuneOptions{SamplingRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, info, err := cliz.CompressChunked(ds, cliz.Rel(1e-2), &pipe, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Ratio <= 1 || info.CompressedBytes != len(blob) {
+		t.Fatalf("info %+v", info)
+	}
+	// The regular Decompress must recognise the container.
+	recon, dims, err := cliz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != ds.Dims[0] || len(recon) != len(ds.Data) {
+		t.Fatalf("shape %v / %d", dims, len(recon))
+	}
+	valid, _ := cliz.ValidityOf(ds)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range ds.Data {
+		if !valid[i] {
+			continue
+		}
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	if got := cliz.MaxAbsErr(ds.Data, recon, valid); got > 0.01*(hi-lo)*(1+1e-9) {
+		t.Fatalf("chunked bound violated: %g", got)
+	}
+	// Default pipeline + bad inputs.
+	if _, _, err := cliz.CompressChunked(ds, cliz.Rel(1e-2), nil, 2, 1); err != nil {
+		t.Fatalf("nil pipeline: %v", err)
+	}
+	if _, _, err := cliz.CompressChunked(nil, cliz.Rel(1e-2), nil, 2, 1); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, _, err := cliz.CompressChunked(ds, cliz.ErrorBound{}, nil, 2, 1); err == nil {
+		t.Fatal("empty bound accepted")
+	}
+}
+
+func TestPublicAssess(t *testing.T) {
+	ds := makeTestDataset()
+	blob, _, err := cliz.Compress(ds, cliz.Rel(1e-2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, dims, err := cliz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _ := cliz.ValidityOf(ds)
+	r := cliz.Assess(ds.Data, recon, dims, valid)
+	if r.Points == 0 || r.PSNR < 20 || r.SSIM < 0.8 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestAutoTuneInvalidInputs(t *testing.T) {
+	if _, _, err := cliz.AutoTune(nil, cliz.Rel(0.1), nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	ds := makeTestDataset()
+	if _, _, err := cliz.AutoTune(ds, cliz.ErrorBound{}, nil); err == nil {
+		t.Fatal("empty bound accepted")
+	}
+	bad := makeTestDataset()
+	bad.Dims = []int{1}
+	if _, _, err := cliz.AutoTune(bad, cliz.Rel(0.1), nil); err == nil {
+		t.Fatal("inconsistent dataset accepted")
+	}
+	if _, err := cliz.DefaultPipeline(nil); err == nil {
+		t.Fatal("nil dataset pipeline accepted")
+	}
+}

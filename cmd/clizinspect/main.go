@@ -1,0 +1,31 @@
+// Command clizinspect prints the internal structure of a CliZ blob —
+// header, pipeline, per-section byte budget, nested template/residual blobs
+// and parallel chunks — without decompressing the payload.
+//
+//	clizinspect field.clz
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cliz/internal/core"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: clizinspect <file.clz>")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clizinspect:", err)
+		os.Exit(1)
+	}
+	info, err := core.Inspect(blob)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clizinspect:", err)
+		os.Exit(1)
+	}
+	fmt.Print(info)
+}

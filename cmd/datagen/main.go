@@ -1,0 +1,144 @@
+// Command datagen writes the synthetic Table III datasets to disk as raw
+// little-endian float32 grids, with sidecar .meta descriptions and .mask
+// region maps, for use with clizc or external tools.
+//
+//	datagen -out data/ -scale 0.25            # all six datasets
+//	datagen -out data/ -name SSH -scale 1.0   # one dataset at paper size
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/netcdf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "data", "output directory")
+		name   = fs.String("name", "", "dataset name (default: all of "+fmt.Sprint(datagen.Names())+")")
+		scale  = fs.Float64("scale", datagen.DefaultScale, "linear scale (1.0 = paper dimensions)")
+		format = fs.String("format", "raw", "output format: raw (f32+meta+mask) or nc (NetCDF classic)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	names := datagen.Names()
+	if *name != "" {
+		names = []string{*name}
+	}
+	for _, n := range names {
+		ds, err := datagen.ByName(n, *scale)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "raw":
+			err = writeDataset(*out, ds)
+		case "nc":
+			err = writeNetCDF(*out, ds)
+		default:
+			err = fmt.Errorf("unknown -format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeNetCDF emits the dataset as a NetCDF classic file with CESM-style
+// naming: the field variable, a REGION_MASK variable, and _FillValue.
+func writeNetCDF(dir string, ds *dataset.Dataset) error {
+	var w netcdf.Writer
+	dimNames := make([]string, len(ds.Dims))
+	n := len(ds.Dims)
+	for i := range dimNames {
+		switch {
+		case i == n-1:
+			dimNames[i] = "lon"
+		case i == n-2:
+			dimNames[i] = "lat"
+		case ds.Lead == dataset.LeadTime && i == 0:
+			dimNames[i] = "time"
+		default:
+			dimNames[i] = "lev"
+		}
+	}
+	ids := make([]int, n)
+	for i, d := range ds.Dims {
+		ids[i] = w.AddDim(dimNames[i], d)
+	}
+	w.AddGlobalAttr(netcdf.Attr{Name: "title", Value: "cliz synthetic " + ds.Name})
+	var attrs []netcdf.Attr
+	if ds.Mask != nil {
+		attrs = append(attrs, netcdf.Attr{
+			Name: "_FillValue", Type: netcdf.Float, Value: []float64{float64(ds.FillValue)},
+		})
+	}
+	if ds.Periodic {
+		attrs = append(attrs, netcdf.Attr{Name: "cell_methods", Value: "time: mean (monthly, annual cycle)"})
+	}
+	if err := w.AddFloatVar(ds.Name, ids, attrs, ds.Data); err != nil {
+		return err
+	}
+	if ds.Mask != nil {
+		if err := w.AddIntVar("REGION_MASK", ids[n-2:], nil, ds.Mask.Regions); err != nil {
+			return err
+		}
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, ds.Name+".nc")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%v, %d points)\n", path, ds.Dims, ds.Points())
+	return nil
+}
+
+func writeDataset(dir string, ds *dataset.Dataset) error {
+	base := filepath.Join(dir, ds.Name)
+	raw := make([]byte, 4*len(ds.Data))
+	for i, v := range ds.Data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(base+".f32", raw, 0o644); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf("name: %s\ndims: %v\nlead: %s\nperiodic: %v\nmask: %v\nfill: %g\npoints: %d\n",
+		ds.Name, ds.Dims, ds.Lead, ds.Periodic, ds.Mask != nil, ds.FillValue, ds.Points())
+	if err := os.WriteFile(base+".meta", []byte(meta), 0o644); err != nil {
+		return err
+	}
+	if ds.Mask != nil {
+		mb := make([]byte, 4*len(ds.Mask.Regions))
+		for i, r := range ds.Mask.Regions {
+			binary.LittleEndian.PutUint32(mb[4*i:], uint32(r))
+		}
+		if err := os.WriteFile(base+".mask", mb, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s (%v, %d points)\n", base+".f32", ds.Dims, ds.Points())
+	return nil
+}

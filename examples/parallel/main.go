@@ -1,0 +1,80 @@
+// Parallel: compress a long time series with chunked parallel compression —
+// the library-level analogue of the paper's per-core-file setup (§VII-C4).
+// Shows the throughput/ratio trade: more chunks parallelize better but each
+// chunk amortizes its own header, Huffman tables and periodic template.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"cliz"
+)
+
+func makeSeries(nT, nLat, nLon int) *cliz.Dataset {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float32, nT*nLat*nLon)
+	plane := nLat * nLon
+	for t := 0; t < nT; t++ {
+		season := 2 * math.Pi * float64(t) / 12
+		for p := 0; p < plane; p++ {
+			lat := float64(p/nLon) / float64(nLat)
+			data[t*plane+p] = float32(25*math.Sin(2*math.Pi*lat*3) +
+				8*math.Sin(season+4*lat) + 0.1*rng.NormFloat64())
+		}
+	}
+	return &cliz.Dataset{
+		Name: "series", Data: data, Dims: []int{nT, nLat, nLon},
+		Lead: cliz.LeadTime, Periodic: true,
+	}
+}
+
+func main() {
+	ds := makeSeries(240, 96, 96)
+	eb := cliz.Rel(1e-2)
+	pipe, _, err := cliz.AutoTune(ds, eb, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %v (%d MB), pipeline: %s, %d cores\n\n",
+		ds.Dims, len(ds.Data)*4/1e6, pipe, runtime.GOMAXPROCS(0))
+	fmt.Printf("%7s  %10s  %8s  %12s  %14s\n",
+		"chunks", "bytes", "ratio", "compress", "decompress")
+	for _, chunks := range []int{1, 2, 4, 8} {
+		t0 := time.Now()
+		blob, info, err := cliz.CompressChunked(ds, eb, &pipe, chunks, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct := time.Since(t0)
+		t0 = time.Now()
+		recon, _, err := cliz.Decompress(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt := time.Since(t0)
+		if e := cliz.MaxAbsErr(ds.Data, recon, nil); e > 0 {
+			// Bound check: 1% of the value range.
+			lo, hi := rangeOf(ds.Data)
+			if e > 0.01*(hi-lo)*(1+1e-9) {
+				log.Fatalf("bound violated: %g", e)
+			}
+		}
+		fmt.Printf("%7d  %10d  %8.2f  %12v  %14v\n",
+			chunks, info.CompressedBytes, info.Ratio,
+			ct.Round(time.Millisecond), dt.Round(time.Millisecond))
+	}
+}
+
+func rangeOf(x []float32) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	return lo, hi
+}

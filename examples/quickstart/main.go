@@ -1,0 +1,111 @@
+// Quickstart: compress a small ocean field with CliZ using the public API —
+// auto-tune once (offline stage), compress (online stage), decompress, and
+// verify the error bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"cliz"
+)
+
+// makeSSH synthesizes a small sea-surface-height-like field: monthly
+// snapshots with an annual cycle over an ocean-masked grid.
+func makeSSH(nT, nLat, nLon int) *cliz.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	const fill = 9.96921e36
+	// A blobby "continent" in the middle of the grid defines the mask.
+	regions := make([]int32, nLat*nLon)
+	for i := 0; i < nLat; i++ {
+		for j := 0; j < nLon; j++ {
+			dy := float64(i)/float64(nLat) - 0.5
+			dx := float64(j)/float64(nLon) - 0.45
+			if dy*dy+dx*dx > 0.08 { // ocean
+				regions[i*nLon+j] = 1
+			}
+		}
+	}
+	data := make([]float32, nT*nLat*nLon)
+	for t := 0; t < nT; t++ {
+		season := 2 * math.Pi * float64(t) / 12
+		for i := 0; i < nLat; i++ {
+			for j := 0; j < nLon; j++ {
+				idx := (t*nLat+i)*nLon + j
+				if regions[i*nLon+j] == 0 {
+					data[idx] = fill
+					continue
+				}
+				lat := float64(i) / float64(nLat)
+				lon := float64(j) / float64(nLon)
+				v := 40*math.Sin(2*math.Pi*lat*3)*math.Cos(2*math.Pi*lon*2) +
+					15*math.Sin(season+2*math.Pi*lat) +
+					0.3*rng.NormFloat64()
+				data[idx] = float32(v)
+			}
+		}
+	}
+	return &cliz.Dataset{
+		Name: "quickstart-SSH", Data: data, Dims: []int{nT, nLat, nLon},
+		Lead: cliz.LeadTime, Periodic: true,
+		MaskRegions: regions, FillValue: fill,
+	}
+}
+
+func main() {
+	ds := makeSSH(96, 48, 64)
+	eb := cliz.Rel(1e-2) // 1% of the valid value range
+
+	// Offline stage: auto-tune a pipeline for this climate model. The same
+	// pipeline serves every field/snapshot of the model afterwards.
+	pipe, report, err := cliz.AutoTune(ds, eb, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned pipeline : %s\n", pipe)
+	fmt.Printf("detected period: %d (tested %d pipelines, est. ratio %.1f)\n",
+		report.Period, report.PipelinesTested, report.EstimatedRatio)
+
+	// Online stage: compress.
+	blob, info, err := cliz.Compress(ds, eb, &pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed     : %d points -> %d bytes (ratio %.1f, %.2f bits/pt)\n",
+		len(ds.Data), info.CompressedBytes, info.Ratio, info.BitRate)
+
+	// Decompress and verify.
+	recon, dims, err := cliz.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valid, err := cliz.ValidityOf(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed  : dims %v\n", dims)
+	fmt.Printf("max abs error  : %.4g (bound %.4g)\n",
+		cliz.MaxAbsErr(ds.Data, recon, valid), 0.01*valueRange(ds, valid))
+	fmt.Printf("PSNR           : %.2f dB, SSIM %.4f\n",
+		cliz.PSNR(ds.Data, recon, valid),
+		cliz.SSIM(ds.Data, recon, dims, 8, valid))
+}
+
+func valueRange(ds *cliz.Dataset, valid []bool) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range ds.Data {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,3 @@
+module cliz
+
+go 1.22

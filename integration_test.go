@@ -1,0 +1,70 @@
+package cliz_test
+
+// Integration matrix: every registered compressor × every synthetic dataset
+// × two error bounds, verifying the strict bound (prediction-based codecs
+// and SPERR) or sane distortion (ZFP on masked data) plus dims fidelity.
+
+import (
+	"math"
+	"testing"
+
+	"cliz/internal/codec"
+	"cliz/internal/datagen"
+	"cliz/internal/stats"
+)
+
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const scale = 0.08
+	for _, dsName := range datagen.Names() {
+		ds, err := datagen.ByName(dsName, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid := ds.Validity()
+		for _, codecName := range codec.Names() {
+			c, err := codec.Get(codecName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rel := range []float64{1e-1, 1e-3} {
+				eb := ds.AbsErrorBound(rel)
+				t.Run(dsName+"/"+codecName, func(t *testing.T) {
+					blob, err := c.Compress(ds, eb)
+					if err != nil {
+						t.Fatalf("compress: %v", err)
+					}
+					recon, dims, err := c.Decompress(blob)
+					if err != nil {
+						t.Fatalf("decompress: %v", err)
+					}
+					if len(dims) != len(ds.Dims) || len(recon) != ds.Points() {
+						t.Fatalf("shape mismatch: %v / %d", dims, len(recon))
+					}
+					maxErr := stats.MaxAbsErr(ds.Data, recon, valid)
+					switch codecName {
+					case "ZFP":
+						// ZFP cannot bound the error through 1e36 fills
+						// (see DESIGN.md §3.7); on unmasked data it must.
+						if ds.Mask == nil && maxErr > eb {
+							t.Fatalf("ZFP bound violated on unmasked data: %g > %g", maxErr, eb)
+						}
+						if psnr := stats.PSNR(ds.Data, recon, valid); math.IsNaN(psnr) {
+							t.Fatalf("degenerate reconstruction")
+						}
+					default:
+						if maxErr > eb*(1+1e-9) {
+							t.Fatalf("bound violated: %g > %g", maxErr, eb)
+						}
+					}
+					// Lossy compression must actually compress smooth data.
+					if rel == 1e-1 && len(blob) >= ds.Points()*4 {
+						t.Fatalf("no compression: %d bytes for %d points", len(blob), ds.Points())
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	type chunk struct {
+		v uint64
+		n uint
+	}
+	chunks := []chunk{
+		{0x1, 1}, {0x3, 2}, {0xff, 8}, {0x12345, 20},
+		{0xdeadbeefcafe, 48}, {^uint64(0), 64}, {0, 0}, {5, 3},
+		{0xabcdef0123456789, 64}, {1, 64},
+	}
+	w := NewWriter(64)
+	for _, c := range chunks {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range chunks {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		want := c.v
+		if c.n < 64 {
+			want &= (1 << c.n) - 1
+		}
+		if got != want {
+			t.Fatalf("chunk %d: got %#x want %#x", i, got, want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewWriter(0)
+	if w.BitLen() != 0 {
+		t.Fatalf("empty BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(0x7, 3)
+	if w.BitLen() != 3 {
+		t.Fatalf("BitLen = %d want 3", w.BitLen())
+	}
+	w.WriteBits(0, 64)
+	if w.BitLen() != 67 {
+		t.Fatalf("BitLen = %d want 67", w.BitLen())
+	}
+}
+
+func TestBytesPadsToByte(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x5, 3) // 101
+	b := w.Bytes()
+	if len(b) != 1 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] != 0xa0 { // 1010_0000
+		t.Fatalf("padding wrong: %#x", b[0])
+	}
+}
+
+func TestReaderOverrun(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrOverrun {
+		t.Fatalf("want ErrOverrun, got %v", err)
+	}
+	r2 := NewReader(nil)
+	if _, err := r2.ReadBits(1); err != ErrOverrun {
+		t.Fatalf("want ErrOverrun, got %v", err)
+	}
+}
+
+func TestReadBitsZero(t *testing.T) {
+	r := NewReader(nil)
+	v, err := r.ReadBits(0)
+	if err != nil || v != 0 {
+		t.Fatalf("ReadBits(0) = %d, %v", v, err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	w.WriteBits(0x1, 1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("after reset got %v", b)
+	}
+}
+
+func TestQuickRandomChunks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		vals := make([]uint64, n)
+		bits := make([]uint, n)
+		w := NewWriter(0)
+		for i := range vals {
+			bits[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64()
+			if bits[i] < 64 {
+				vals[i] &= (1 << bits[i]) - 1
+			}
+			w.WriteBits(vals[i], bits[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(bits[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedBitAndBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBit(1)
+	w.WriteBits(0x2a, 7)
+	w.WriteBit(0)
+	w.WriteBits(0xffff, 16)
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("first bit")
+	}
+	if v, _ := r.ReadBits(7); v != 0x2a {
+		t.Fatalf("7 bits: %#x", v)
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("ninth bit")
+	}
+	if v, _ := r.ReadBits(16); v != 0xffff {
+		t.Fatal("16 bits")
+	}
+}
+
+func TestBitsRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.BitsRemaining() != 24 {
+		t.Fatalf("got %d", r.BitsRemaining())
+	}
+	_, _ = r.ReadBits(5)
+	if r.BitsRemaining() != 19 {
+		t.Fatalf("got %d", r.BitsRemaining())
+	}
+}

@@ -1,0 +1,248 @@
+// Package classify implements CliZ's quantization-bin classification
+// (paper §VI-E): the topography-driven multi-Huffman encoding stage.
+//
+// After prediction and quantization, every grid point owns a quantization
+// bin. Points are grouped into *columns* — one per horizontal (lat, lon)
+// position — because topography makes the bin statistics of a column
+// consistent across heights/timesteps (paper §V-D, Fig. 5). Two patterns are
+// corrected per column:
+//
+//   - Bin shifting (j = 1): if the column's modal bin sits at ±1 off the
+//     centre, all predictable bins in the column shift so the mode lands on
+//     the zero-offset bin.
+//   - Bin dispersion (k = 1): columns whose modal frequency exceeds λ = 0.4
+//     (Theorem 2) are "concentrated" and encoded with Huffman tree A; the
+//     dispersed remainder uses tree B.
+//
+// Per-column metadata is 6-state (shift ∈ {−1,0,+1} × class ∈ {A,B}),
+// packed three columns per byte (6³ = 216 ≤ 256), about log₂6 ≈ 2.58 bits
+// per column before the lossless stage — matching the paper's cost estimate
+// log₂((2j+1)(k+1)).
+package classify
+
+import (
+	"errors"
+
+	"cliz/internal/lossless"
+)
+
+// DefaultLambda is the dispersion threshold proven optimal in Theorem 2.
+const DefaultLambda = 0.4
+
+// ErrCorrupt reports malformed classification metadata.
+var ErrCorrupt = errors.New("classify: corrupt metadata")
+
+// Params configures the analysis.
+type Params struct {
+	// Radius is the quantizer radius (centre bin = Radius).
+	Radius int32
+	// Lambda is the dispersion threshold; 0 selects DefaultLambda.
+	Lambda float64
+}
+
+// Result holds the per-column decisions.
+type Result struct {
+	// Shift per column in {−1, 0, +1}: the modal bin offset that was
+	// subtracted from the column's predictable bins.
+	Shift []int8
+	// ClassA per column: true means the column's bins are concentrated and
+	// belong to Huffman tree A.
+	ClassA []bool
+}
+
+// Analyze inspects the bin grid and decides shift and class per column.
+// colOf maps each point to its column id (len(bins) entries, ids in
+// [0, nCols)); valid may be nil. Bin 0 (unpredictable literal marker) is
+// excluded from the statistics and never shifted.
+func Analyze(bins []int32, colOf []int32, nCols int, valid []bool, p Params) Result {
+	if p.Lambda == 0 {
+		p.Lambda = DefaultLambda
+	}
+	r := p.Radius
+	// Per column: counts of offsets −1, 0, +1; total predictable count;
+	// min and max bin (to keep shifts from colliding with the literal
+	// marker or leaving the bin range).
+	cnt := make([][3]int32, nCols)
+	total := make([]int32, nCols)
+	minBin := make([]int32, nCols)
+	maxBin := make([]int32, nCols)
+	for c := range minBin {
+		minBin[c] = 1<<31 - 1
+	}
+	for i, b := range bins {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		if b == 0 {
+			continue
+		}
+		c := colOf[i]
+		total[c]++
+		if b < minBin[c] {
+			minBin[c] = b
+		}
+		if b > maxBin[c] {
+			maxBin[c] = b
+		}
+		off := b - r
+		if off >= -1 && off <= 1 {
+			cnt[c][off+1]++
+		}
+	}
+	res := Result{
+		Shift:  make([]int8, nCols),
+		ClassA: make([]bool, nCols),
+	}
+	for c := 0; c < nCols; c++ {
+		if total[c] == 0 {
+			continue
+		}
+		// Modal offset among {−1, 0, +1}; ties favour 0 (no shift).
+		best := int8(0)
+		bestCnt := cnt[c][1]
+		if cnt[c][0] > bestCnt {
+			best, bestCnt = -1, cnt[c][0]
+		}
+		if cnt[c][2] > bestCnt {
+			best, bestCnt = 1, cnt[c][2]
+		}
+		// Suppress shifts that would push any bin out of [1, 2r−1].
+		if best == 1 && minBin[c] <= 1 {
+			best, bestCnt = 0, cnt[c][1]
+		}
+		if best == -1 && maxBin[c] >= 2*r-1 {
+			best, bestCnt = 0, cnt[c][1]
+		}
+		res.Shift[c] = best
+		res.ClassA[c] = float64(bestCnt)/float64(total[c]) > p.Lambda
+	}
+	return res
+}
+
+// ShiftBins applies the per-column shifts in place: predictable bins of a
+// column with shift δ become bin − δ (the mode lands on the centre).
+// Unpredictable (0) and masked bins are untouched.
+func ShiftBins(bins []int32, colOf []int32, valid []bool, res Result) {
+	for i, b := range bins {
+		if b == 0 {
+			continue
+		}
+		if valid != nil && !valid[i] {
+			continue
+		}
+		bins[i] = b - int32(res.Shift[colOf[i]])
+	}
+}
+
+// UnshiftBins reverses ShiftBins.
+func UnshiftBins(bins []int32, colOf []int32, valid []bool, res Result) {
+	for i, b := range bins {
+		if b == 0 {
+			continue
+		}
+		if valid != nil && !valid[i] {
+			continue
+		}
+		bins[i] = b + int32(res.Shift[colOf[i]])
+	}
+}
+
+// Split routes the (already shifted) bins of valid points into the two class
+// streams, preserving grid order within each stream.
+func Split(bins []int32, colOf []int32, valid []bool, res Result) (streamA, streamB []uint32) {
+	for i, b := range bins {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		if res.ClassA[colOf[i]] {
+			streamA = append(streamA, uint32(b))
+		} else {
+			streamB = append(streamB, uint32(b))
+		}
+	}
+	return streamA, streamB
+}
+
+// Merge reverses Split: it rebuilds the full bin grid (length = len(colOf))
+// from the two streams. Masked positions receive bin 0.
+func Merge(streamA, streamB []uint32, colOf []int32, valid []bool, res Result) ([]int32, error) {
+	bins := make([]int32, len(colOf))
+	ai, bi := 0, 0
+	for i := range bins {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		if res.ClassA[colOf[i]] {
+			if ai >= len(streamA) {
+				return nil, ErrCorrupt
+			}
+			bins[i] = int32(streamA[ai])
+			ai++
+		} else {
+			if bi >= len(streamB) {
+				return nil, ErrCorrupt
+			}
+			bins[i] = int32(streamB[bi])
+			bi++
+		}
+	}
+	if ai != len(streamA) || bi != len(streamB) {
+		return nil, ErrCorrupt
+	}
+	return bins, nil
+}
+
+// PackMeta serializes the per-column metadata: base-6 state packed three
+// columns per byte, then flate-compressed.
+func PackMeta(res Result) []byte {
+	n := len(res.Shift)
+	raw := make([]byte, 0, n/3+1)
+	var acc, cnt int
+	mult := 1
+	for c := 0; c < n; c++ {
+		s := int(res.Shift[c]+1) * 2
+		if res.ClassA[c] {
+			s++
+		}
+		acc += s * mult
+		mult *= 6
+		cnt++
+		if cnt == 3 {
+			raw = append(raw, byte(acc))
+			acc, cnt, mult = 0, 0, 1
+		}
+	}
+	if cnt > 0 {
+		raw = append(raw, byte(acc))
+	}
+	return lossless.Encode(lossless.Flate{Level: 6}, raw)
+}
+
+// UnpackMeta reverses PackMeta for nCols columns.
+func UnpackMeta(blob []byte, nCols int) (Result, error) {
+	raw, err := lossless.Decode(blob)
+	if err != nil {
+		return Result{}, err
+	}
+	need := (nCols + 2) / 3
+	if len(raw) < need {
+		return Result{}, ErrCorrupt
+	}
+	res := Result{
+		Shift:  make([]int8, nCols),
+		ClassA: make([]bool, nCols),
+	}
+	for c := 0; c < nCols; c++ {
+		b := int(raw[c/3])
+		switch c % 3 {
+		case 1:
+			b /= 6
+		case 2:
+			b /= 36
+		}
+		s := b % 6
+		res.Shift[c] = int8(s/2) - 1
+		res.ClassA[c] = s%2 == 1
+	}
+	return res, nil
+}

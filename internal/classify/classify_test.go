@@ -1,0 +1,285 @@
+package classify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+const r = 32768 // test radius
+
+func params() Params { return Params{Radius: r} }
+
+// grid2 builds a 2-column layout: even indices column 0, odd column 1.
+func grid2(n int) []int32 {
+	colOf := make([]int32, n)
+	for i := range colOf {
+		colOf[i] = int32(i % 2)
+	}
+	return colOf
+}
+
+func TestAnalyzeDetectsShift(t *testing.T) {
+	// Column 0 peaks at offset +1, column 1 at 0.
+	n := 200
+	colOf := grid2(n)
+	bins := make([]int32, n)
+	for i := range bins {
+		if i%2 == 0 {
+			bins[i] = r + 1
+		} else {
+			bins[i] = r
+		}
+	}
+	res := Analyze(bins, colOf, 2, nil, params())
+	if res.Shift[0] != 1 {
+		t.Fatalf("col 0 shift = %d want 1", res.Shift[0])
+	}
+	if res.Shift[1] != 0 {
+		t.Fatalf("col 1 shift = %d want 0", res.Shift[1])
+	}
+	if !res.ClassA[0] || !res.ClassA[1] {
+		t.Fatal("concentrated columns should be class A")
+	}
+}
+
+func TestAnalyzeDispersion(t *testing.T) {
+	// Column 0 concentrated at centre; column 1 uniform over many bins.
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	colOf := grid2(n)
+	bins := make([]int32, n)
+	for i := range bins {
+		if i%2 == 0 {
+			bins[i] = r
+		} else {
+			bins[i] = r + int32(rng.Intn(41)) - 20
+		}
+	}
+	res := Analyze(bins, colOf, 2, nil, params())
+	if !res.ClassA[0] {
+		t.Fatal("concentrated column not class A")
+	}
+	if res.ClassA[1] {
+		t.Fatal("dispersed column classified as A")
+	}
+}
+
+func TestAnalyzeIgnoresLiteralsAndMasked(t *testing.T) {
+	n := 100
+	colOf := grid2(n)
+	bins := make([]int32, n)
+	valid := make([]bool, n)
+	for i := range bins {
+		valid[i] = i%4 != 0
+		if i%2 == 0 {
+			bins[i] = 0 // literal marker — excluded
+		} else {
+			bins[i] = r - 1
+		}
+	}
+	res := Analyze(bins, colOf, 2, valid, params())
+	if res.Shift[0] != 0 {
+		t.Fatalf("literal-only column shifted: %d", res.Shift[0])
+	}
+	if res.Shift[1] != -1 {
+		t.Fatalf("col 1 shift = %d want -1", res.Shift[1])
+	}
+}
+
+func TestShiftSuppressionAtBinRangeEdge(t *testing.T) {
+	// A column whose mode is +1 but which contains bin 1: shifting would
+	// collide with the literal marker, so it must be suppressed.
+	bins := []int32{r + 1, r + 1, r + 1, 1}
+	colOf := []int32{0, 0, 0, 0}
+	res := Analyze(bins, colOf, 1, nil, params())
+	if res.Shift[0] != 0 {
+		t.Fatalf("unsafe shift not suppressed: %d", res.Shift[0])
+	}
+	// Mirror case at the top of the range.
+	bins = []int32{r - 1, r - 1, r - 1, 2*r - 1}
+	res = Analyze(bins, colOf, 1, nil, params())
+	if res.Shift[0] != 0 {
+		t.Fatalf("unsafe -1 shift not suppressed: %d", res.Shift[0])
+	}
+}
+
+func TestShiftUnshiftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 3000
+	nCols := 16
+	colOf := make([]int32, n)
+	bins := make([]int32, n)
+	valid := make([]bool, n)
+	for i := range bins {
+		colOf[i] = int32(i % nCols)
+		valid[i] = rng.Float64() > 0.2
+		if rng.Float64() < 0.05 {
+			bins[i] = 0
+		} else {
+			bins[i] = r + int32(colOf[i]%3) - 1 + int32(rng.Intn(5)-2)
+		}
+	}
+	orig := append([]int32(nil), bins...)
+	res := Analyze(bins, colOf, nCols, valid, params())
+	ShiftBins(bins, colOf, valid, res)
+	// Shifted bins must never hit the literal marker.
+	for i, b := range bins {
+		if orig[i] != 0 && valid[i] && b == 0 {
+			t.Fatalf("shift produced literal marker at %d", i)
+		}
+	}
+	UnshiftBins(bins, colOf, valid, res)
+	if !reflect.DeepEqual(bins, orig) {
+		t.Fatal("shift/unshift not inverse")
+	}
+}
+
+func TestShiftImprovesConcentration(t *testing.T) {
+	// After shifting, the global histogram should concentrate on the centre.
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	nCols := 50
+	colOf := make([]int32, n)
+	bins := make([]int32, n)
+	colShift := make([]int32, nCols)
+	for c := range colShift {
+		colShift[c] = int32(rng.Intn(3)) - 1
+	}
+	for i := range bins {
+		c := int32(i % nCols)
+		colOf[i] = c
+		if rng.Float64() < 0.7 {
+			bins[i] = r + colShift[c]
+		} else {
+			bins[i] = r + colShift[c] + int32(rng.Intn(7)) - 3
+		}
+	}
+	countCentre := func() int {
+		k := 0
+		for _, b := range bins {
+			if b == r {
+				k++
+			}
+		}
+		return k
+	}
+	before := countCentre()
+	res := Analyze(bins, colOf, nCols, nil, params())
+	ShiftBins(bins, colOf, nil, res)
+	after := countCentre()
+	if after <= before {
+		t.Fatalf("shifting did not concentrate: %d -> %d", before, after)
+	}
+	if float64(after)/float64(n) < 0.6 {
+		t.Fatalf("weak concentration after shift: %d/%d", after, n)
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	nCols := 20
+	colOf := make([]int32, n)
+	bins := make([]int32, n)
+	valid := make([]bool, n)
+	for i := range bins {
+		colOf[i] = int32(rng.Intn(nCols))
+		valid[i] = rng.Float64() > 0.3
+		if valid[i] {
+			bins[i] = r + int32(rng.Intn(9)-4)
+		}
+	}
+	res := Analyze(bins, colOf, nCols, valid, params())
+	a, b := Split(bins, colOf, valid, res)
+	got, err := Merge(a, b, colOf, valid, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bins {
+		if valid[i] && got[i] != bins[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], bins[i])
+		}
+		if !valid[i] && got[i] != 0 {
+			t.Fatalf("masked point %d got bin %d", i, got[i])
+		}
+	}
+}
+
+func TestMergeDetectsCorruption(t *testing.T) {
+	colOf := []int32{0, 0, 1, 1}
+	res := Result{Shift: []int8{0, 0}, ClassA: []bool{true, false}}
+	// Too few symbols in stream A.
+	if _, err := Merge([]uint32{5}, []uint32{6, 7}, colOf, nil, res); err == nil {
+		t.Fatal("underrun not detected")
+	}
+	// Leftover symbols.
+	if _, err := Merge([]uint32{5, 6, 9}, []uint32{6, 7}, colOf, nil, res); err == nil {
+		t.Fatal("overrun not detected")
+	}
+}
+
+func TestMetaPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		res := Result{Shift: make([]int8, n), ClassA: make([]bool, n)}
+		for i := 0; i < n; i++ {
+			res.Shift[i] = int8(rng.Intn(3)) - 1
+			res.ClassA[i] = rng.Intn(2) == 1
+		}
+		blob := PackMeta(res)
+		got, err := UnpackMeta(blob, n)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Shift, res.Shift) &&
+			reflect.DeepEqual(got.ClassA, res.ClassA)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaCompact(t *testing.T) {
+	// Uniform metadata must compress to far less than a byte per column.
+	n := 30000
+	res := Result{Shift: make([]int8, n), ClassA: make([]bool, n)}
+	blob := PackMeta(res)
+	if len(blob) > n/20 {
+		t.Fatalf("metadata too large: %d bytes for %d columns", len(blob), n)
+	}
+}
+
+func TestUnpackMetaCorrupt(t *testing.T) {
+	if _, err := UnpackMeta(nil, 5); err == nil {
+		t.Fatal("nil blob accepted")
+	}
+	small := PackMeta(Result{Shift: make([]int8, 3), ClassA: make([]bool, 3)})
+	if _, err := UnpackMeta(small, 1000); err == nil {
+		t.Fatal("short metadata accepted for too many columns")
+	}
+}
+
+func TestLambdaDefault(t *testing.T) {
+	// Frequency exactly between custom lambdas flips the class.
+	n := 10
+	bins := make([]int32, n)
+	colOf := make([]int32, n)
+	for i := range bins {
+		if i < 5 {
+			bins[i] = r // 50% at the mode
+		} else {
+			bins[i] = r + int32(i) + 5
+		}
+	}
+	resDefault := Analyze(bins, colOf, 1, nil, Params{Radius: r}) // λ=0.4
+	if !resDefault.ClassA[0] {
+		t.Fatal("50% modal frequency should exceed λ=0.4")
+	}
+	resStrict := Analyze(bins, colOf, 1, nil, Params{Radius: r, Lambda: 0.6})
+	if resStrict.ClassA[0] {
+		t.Fatal("50% modal frequency should not exceed λ=0.6")
+	}
+}

@@ -1,0 +1,66 @@
+// Package codec defines the common compressor interface implemented by CliZ
+// and every baseline (SZ3, QoZ, ZFP, SPERR), plus a registry used by the
+// benchmark harness and the CLI. All compressors consume a dataset and an
+// absolute error bound and emit a self-describing blob.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cliz/internal/dataset"
+)
+
+// Compressor is an error-bounded lossy compressor.
+type Compressor interface {
+	// Name is the registry key ("CliZ", "SZ3", ...).
+	Name() string
+	// Compress encodes ds.Data under the absolute error bound eb.
+	Compress(ds *dataset.Dataset, eb float64) ([]byte, error)
+	// Decompress reconstructs the data and dims from a blob produced by
+	// the same compressor.
+	Decompress(blob []byte) ([]float32, []int, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Compressor{}
+)
+
+// Register adds c to the registry; duplicate names panic (programmer error).
+func Register(c Compressor) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[c.Name()]; dup {
+		panic(fmt.Sprintf("codec: duplicate compressor %q", c.Name()))
+	}
+	registry[c.Name()] = c
+}
+
+// Get returns the named compressor.
+func Get(name string) (Compressor, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown compressor %q (have %v)", name, namesLocked())
+	}
+	return c, nil
+}
+
+// Names lists registered compressors in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

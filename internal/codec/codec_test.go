@@ -1,0 +1,59 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"cliz/internal/dataset"
+)
+
+type fake struct{ name string }
+
+func (f fake) Name() string { return f.name }
+func (f fake) Compress(ds *dataset.Dataset, eb float64) ([]byte, error) {
+	return []byte(f.name), nil
+}
+func (f fake) Decompress(blob []byte) ([]float32, []int, error) {
+	return nil, nil, nil
+}
+
+func TestRegisterGetNames(t *testing.T) {
+	Register(fake{"zz-test-a"})
+	Register(fake{"zz-test-b"})
+	c, err := Get("zz-test-a")
+	if err != nil || c.Name() != "zz-test-a" {
+		t.Fatalf("Get: %v", err)
+	}
+	names := Names()
+	// Sorted order.
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+	found := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "zz-test-") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("registered codecs missing from Names: %v", names)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("definitely-not-registered"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	Register(fake{"zz-test-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(fake{"zz-test-dup"})
+}

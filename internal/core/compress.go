@@ -1,0 +1,646 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cliz/internal/classify"
+	"cliz/internal/dataset"
+	"cliz/internal/entropy"
+	"cliz/internal/grid"
+	"cliz/internal/interp"
+	"cliz/internal/lorenzo"
+	"cliz/internal/lossless"
+	"cliz/internal/mask"
+	"cliz/internal/predict"
+	"cliz/internal/quant"
+)
+
+// Options tune implementation knobs that are not part of the paper's
+// pipeline search space.
+type Options struct {
+	// Radius is the quantizer radius; 0 selects quant.DefaultRadius.
+	Radius int32
+	// Lambda is the classification threshold; 0 selects the Theorem 2
+	// optimum 0.4.
+	Lambda float64
+	// Backend is the lossless stage ("Zstd" in the paper); nil selects
+	// flate level 6.
+	Backend lossless.Codec
+	// Entropy selects the symbol coder for quantization bins: Huffman
+	// (paper default) or rANS. Decoding is driven by the block itself, so
+	// blobs written with either coder always decode.
+	Entropy entropy.Kind
+}
+
+func (o Options) radius() int32 {
+	if o.Radius == 0 {
+		return quant.DefaultRadius
+	}
+	return o.Radius
+}
+
+func (o Options) backend() lossless.Codec {
+	if o.Backend == nil {
+		return lossless.Flate{Level: 6}
+	}
+	return o.Backend
+}
+
+// validity abstracts over the two mask representations: the horizontal
+// mask-map of real climate files (compact, broadcast across leading dims)
+// and an arbitrary per-point bitmap (used for the auto-tuner's concatenated
+// sample blocks, whose horizontal windows differ block to block).
+type validity struct {
+	hm  *mask.Map
+	pts []bool
+}
+
+func (v validity) none() bool { return v.hm == nil && v.pts == nil }
+
+// bitmap materializes the per-point validity for dims (nil if unmasked).
+func (v validity) bitmap(dims []int) []bool {
+	switch {
+	case v.pts != nil:
+		return v.pts
+	case v.hm != nil:
+		return v.hm.Broadcast(dims)
+	}
+	return nil
+}
+
+// Compress encodes ds.Data under the absolute error bound eb with the given
+// pipeline. The blob is self-contained: it embeds the mask and (for periodic
+// pipelines) the compressed template.
+func Compress(ds *dataset.Dataset, eb float64, p Pipeline, opt Options) ([]byte, error) {
+	blob, _, err := CompressWithRecon(ds, eb, p, opt)
+	return blob, err
+}
+
+// CompressWithRecon also returns the reconstruction the decompressor will
+// produce, sparing experiments a decode pass.
+func CompressWithRecon(ds *dataset.Dataset, eb float64, p Pipeline, opt Options) ([]byte, []float32, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var v validity
+	if p.UseMask {
+		v.hm = ds.Mask
+	}
+	return compressGeneral(ds.Data, ds.Dims, v, eb, p, ds.FillValue, opt)
+}
+
+func compressGeneral(data []float32, dims []int, v validity, eb float64,
+	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
+
+	if eb <= 0 {
+		return nil, nil, fmt.Errorf("core: error bound must be positive, got %g", eb)
+	}
+	if err := p.Validate(len(dims)); err != nil {
+		return nil, nil, err
+	}
+	if v.none() {
+		p.UseMask = false
+	}
+	if p.Period >= 2 && dims[0] >= 2*p.Period {
+		return compressPeriodic(data, dims, v, eb, p, fill, opt)
+	}
+	p.Period = 0
+	return compressUnit(data, dims, v, eb, p, fill, opt)
+}
+
+// compressPeriodic implements periodic component extraction (paper §VI-D):
+// the template (per-phase mean) and the residual are compressed as two
+// nested blobs. The residual is computed against the template's *lossy
+// reconstruction*, so the residual's error bound alone bounds the composed
+// error and both components may use the full budget.
+func compressPeriodic(data []float32, dims []int, v validity, eb float64,
+	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
+
+	valid := v.bitmap(dims)
+	tmplData, tmplDims, tmplValid := buildTemplate(data, dims, valid, p.Period, fill)
+	tv := validity{}
+	if v.hm != nil && len(dims) >= 3 {
+		tv.hm = v.hm // horizontal masks broadcast identically over phases
+	} else if tmplValid != nil {
+		// Point-mask inputs — or a rank-2 mask, which would span the time
+		// axis — carry the template's own validity bitmap instead.
+		tv.pts = tmplValid
+	}
+	tp := templatePipeline(p, len(tmplDims))
+	tmplBlob, tmplRecon, err := compressUnit(tmplData, tmplDims, tv, eb, tp, fill, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: template: %w", err)
+	}
+	residual := subtractTemplate(data, tmplRecon, dims, p.Period, valid, fill)
+	// The decoder composes fl32(residual′ + template), and the residual
+	// itself is fl32(data − template): two float32 roundings the residual's
+	// verified bound does not see. Budget them out of the residual's error
+	// bound; if the bound is too tight to afford the slack, periodic
+	// extraction cannot guarantee it — fall back to direct compression.
+	slack := compositionSlack(data, tmplRecon, dims, p.Period, valid)
+	if slack >= eb/2 {
+		up := p
+		up.Period = 0
+		up.Template = nil
+		return compressUnit(data, dims, v, eb, up, fill, opt)
+	}
+	rp := p
+	rp.Period = 0
+	rp.Template = nil
+	resBlob, resRecon, err := compressUnit(residual, dims, v, eb-slack, rp, fill, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: residual: %w", err)
+	}
+	h := header{
+		flags:  flagPeriodic | maskFlags(v) | fitFlag(p),
+		eb:     eb,
+		fill:   fill,
+		radius: opt.radius(),
+		dims:   dims,
+		pipe:   p,
+	}
+	if p.Classify {
+		h.flags |= flagClassify
+	}
+	out := encodeHeader(h)
+	out = appendSection(out, tmplBlob)
+	out = appendSection(out, resBlob)
+	// Compose the reconstruction: template tile + residual.
+	recon := addTemplate(resRecon, tmplRecon, dims, p.Period)
+	if valid != nil {
+		for i, ok := range valid {
+			if !ok {
+				recon[i] = fill
+			}
+		}
+	}
+	return out, recon, nil
+}
+
+// compositionSlack bounds the float32 rounding the periodic composition
+// adds on top of the residual's verified error: one rounding when the
+// residual is formed (data − template) and one when the decoder re-adds the
+// template. Each is at most half a ulp of the largest magnitude involved.
+func compositionSlack(data, tmplRecon []float32, dims []int, period int, valid []bool) float64 {
+	nT := dims[0]
+	plane := len(data) / nT
+	maxAbs := 0.0
+	for t := 0; t < nT; t++ {
+		toff := (t % period) * plane
+		for p := 0; p < plane; p++ {
+			idx := t*plane + p
+			if valid != nil && !valid[idx] {
+				continue
+			}
+			if a := math.Abs(float64(data[idx])); a > maxAbs {
+				maxAbs = a
+			}
+			if a := math.Abs(float64(tmplRecon[toff+p])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	// 2 roundings × ulp(maxAbs)/2, doubled for safety: 2·maxAbs·2⁻²³.
+	return maxAbs * (1.0 / (1 << 22))
+}
+
+func maskFlags(v validity) byte {
+	switch {
+	case v.hm != nil:
+		return flagMask
+	case v.pts != nil:
+		return flagPointMask
+	}
+	return 0
+}
+
+func fitFlag(p Pipeline) byte {
+	switch p.Fitting {
+	case predict.Cubic:
+		return flagCubic
+	case predict.Lorenzo:
+		return flagLorenzo
+	}
+	return 0
+}
+
+// templatePipeline derives the pipeline for the template: either the tuned
+// one carried by p.Template, or p itself stripped of period/classification.
+func templatePipeline(p Pipeline, rank int) Pipeline {
+	var tp Pipeline
+	if p.Template != nil {
+		tp = *p.Template
+	} else {
+		tp = p
+		tp.Classify = false
+	}
+	tp.Period = 0
+	tp.Template = nil
+	tp.UseMask = p.UseMask
+	if len(tp.Perm) != rank || !grid.ValidPerm(tp.Perm, rank) {
+		tp.Perm = identityPerm(rank)
+	}
+	if !tp.Fusion.Valid(rank) {
+		tp.Fusion = grid.NoFusion(rank)
+	}
+	return tp
+}
+
+// levelEBFactor builds the per-level error-bound scaling for a level alpha:
+// eb_ℓ = eb / min(α^(ℓ−1), 4). nil (flat) for α ≤ 1.
+func levelEBFactor(alpha float64) func(int) float64 {
+	if alpha <= 1 {
+		return nil
+	}
+	return func(level int) float64 {
+		return 1 / math.Min(math.Pow(alpha, float64(level-1)), 4)
+	}
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// compressUnit handles a single (non-periodic) compression unit.
+func compressUnit(data []float32, dims []int, v validity, eb float64,
+	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
+
+	validOrig := v.bitmap(dims)
+	tdims := grid.PermuteDims(dims, p.Perm)
+	tdata := grid.Transpose(data, dims, p.Perm)
+	var tvalid []bool
+	if validOrig != nil {
+		tvalid = grid.Transpose(validOrig, dims, p.Perm)
+	}
+	fdims := p.Fusion.Apply(tdims)
+	var res interp.Result
+	var err error
+	if p.Fitting == predict.Lorenzo {
+		lres, lerr := lorenzo.Compress(tdata, fdims, lorenzo.Config{
+			EB: eb, Radius: opt.radius(), Valid: tvalid, FillValue: fill,
+		})
+		res = interp.Result(lres)
+		err = lerr
+	} else {
+		res, err = interp.Compress(tdata, fdims, interp.Config{
+			EB:            eb,
+			Radius:        opt.radius(),
+			Fitting:       p.Fitting,
+			Valid:         tvalid,
+			FillValue:     fill,
+			LevelEBFactor: levelEBFactor(p.LevelAlpha),
+		})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h := header{
+		flags:  maskFlags(v) | fitFlag(p),
+		eb:     eb,
+		fill:   fill,
+		radius: opt.radius(),
+		dims:   dims,
+		pipe:   p,
+	}
+	if p.Classify {
+		h.flags |= flagClassify
+	}
+	out := encodeHeader(h)
+	switch {
+	case v.hm != nil:
+		out = appendSection(out, v.hm.Serialize())
+	case v.pts != nil:
+		out = appendSection(out, packBitmap(v.pts))
+	}
+	be := opt.backend()
+	if p.Classify {
+		nLat, nLon := latLon(dims)
+		colOf := columnIDs(dims, p.Perm)
+		cls := classify.Analyze(res.Bins, colOf, nLat*nLon, tvalid,
+			classify.Params{Radius: opt.radius(), Lambda: opt.Lambda})
+		classify.ShiftBins(res.Bins, colOf, tvalid, cls)
+		a, b := classify.Split(res.Bins, colOf, tvalid, cls)
+		out = appendSection(out, classify.PackMeta(cls))
+		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, a)))
+		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, b)))
+	} else {
+		syms := make([]uint32, 0, len(res.Bins))
+		for i, bin := range res.Bins {
+			if tvalid != nil && !tvalid[i] {
+				continue
+			}
+			syms = append(syms, uint32(bin))
+		}
+		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, syms)))
+	}
+	out = appendSection(out, lossless.Encode(be, float32sToBytes(res.Literals)))
+
+	// Reconstruction back in the original layout.
+	recon := grid.Transpose(res.Recon, tdims, grid.InversePerm(p.Perm))
+	return out, recon, nil
+}
+
+// Decompress reconstructs the data and original dims from a CliZ blob.
+func Decompress(blob []byte) ([]float32, []int, error) {
+	pos := 0
+	return decompressAt(blob, &pos)
+}
+
+func decompressAt(blob []byte, pos *int) ([]float32, []int, error) {
+	h, err := parseHeader(blob, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.flags&flagPeriodic != 0 {
+		tmplSec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		resSec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		tpos := 0
+		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: template: %w", err)
+		}
+		if len(tmplDims) != len(h.dims) || tmplDims[0] != h.pipe.Period {
+			return nil, nil, ErrCorrupt
+		}
+		rpos := 0
+		residual, resDims, err := decompressAt(resSec, &rpos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: residual: %w", err)
+		}
+		if !dimsEqual(resDims, h.dims) {
+			return nil, nil, ErrCorrupt
+		}
+		data := addTemplate(residual, tmpl, h.dims, h.pipe.Period)
+		if h.flags&(flagMask|flagPointMask) != 0 {
+			// Adding the template disturbed the fill values the residual
+			// decoder placed at masked points; restore them using the
+			// validity embedded in the residual blob.
+			valid, err := validityFromUnitBlob(resSec, h.dims)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, ok := range valid {
+				if !ok {
+					data[i] = h.fill
+				}
+			}
+		}
+		return data, h.dims, nil
+	}
+	return decompressUnit(blob, pos, h)
+}
+
+// validityFromUnitBlob extracts the embedded validity bitmap of a unit blob.
+func validityFromUnitBlob(blob []byte, dims []int) ([]bool, error) {
+	pos := 0
+	h, err := parseHeader(blob, &pos)
+	if err != nil {
+		return nil, err
+	}
+	sec, err := readSection(blob, &pos)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case h.flags&flagMask != 0:
+		hm, err := mask.Parse(sec)
+		if err != nil {
+			return nil, err
+		}
+		return hm.Broadcast(dims), nil
+	case h.flags&flagPointMask != 0:
+		return unpackBitmap(sec, grid.Volume(dims))
+	}
+	return nil, ErrCorrupt
+}
+
+func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
+	dims := h.dims
+	p := h.pipe
+	vol := grid.Volume(dims)
+	var validOrig, tvalid []bool
+	switch {
+	case h.flags&flagMask != 0:
+		sec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		hm, err := mask.Parse(sec)
+		if err != nil {
+			return nil, nil, err
+		}
+		nLat, nLon := latLon(dims)
+		if hm.NLat != nLat || hm.NLon != nLon {
+			return nil, nil, ErrCorrupt
+		}
+		validOrig = hm.Broadcast(dims)
+	case h.flags&flagPointMask != 0:
+		sec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		var err2 error
+		validOrig, err2 = unpackBitmap(sec, vol)
+		if err2 != nil {
+			return nil, nil, err2
+		}
+	}
+	if validOrig != nil {
+		tvalid = grid.Transpose(validOrig, dims, p.Perm)
+	}
+	tdims := grid.PermuteDims(dims, p.Perm)
+	fdims := p.Fusion.Apply(tdims)
+
+	var bins []int32
+	if h.flags&flagClassify != 0 {
+		metaSec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		aSec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		bSec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		nLat, nLon := latLon(dims)
+		cls, err := classify.UnpackMeta(metaSec, nLat*nLon)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := decodeSymbolSection(aSec)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := decodeSymbolSection(bSec)
+		if err != nil {
+			return nil, nil, err
+		}
+		colOf := columnIDs(dims, p.Perm)
+		bins, err = classify.Merge(a, b, colOf, tvalid, cls)
+		if err != nil {
+			return nil, nil, err
+		}
+		classify.UnshiftBins(bins, colOf, tvalid, cls)
+	} else {
+		sec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		syms, err := decodeSymbolSection(sec)
+		if err != nil {
+			return nil, nil, err
+		}
+		bins = make([]int32, vol)
+		si := 0
+		for i := 0; i < vol; i++ {
+			if tvalid != nil && !tvalid[i] {
+				continue
+			}
+			if si >= len(syms) {
+				return nil, nil, ErrCorrupt
+			}
+			bins[i] = int32(syms[si])
+			si++
+		}
+		if si != len(syms) {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	litSec, err := readSection(blob, pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	litBytes, err := lossless.Decode(litSec)
+	if err != nil {
+		return nil, nil, err
+	}
+	lits, err := bytesToFloat32s(litBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tdata []float32
+	if p.Fitting == predict.Lorenzo {
+		tdata, err = lorenzo.Decompress(bins, lits, fdims, lorenzo.Config{
+			EB: h.eb, Radius: h.radius, Valid: tvalid, FillValue: h.fill,
+		})
+	} else {
+		tdata, err = interp.Decompress(bins, lits, fdims, interp.Config{
+			EB:            h.eb,
+			Radius:        h.radius,
+			Fitting:       p.Fitting,
+			Valid:         tvalid,
+			FillValue:     h.fill,
+			LevelEBFactor: levelEBFactor(p.LevelAlpha),
+		})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	data := grid.Transpose(tdata, tdims, grid.InversePerm(p.Perm))
+	return data, dims, nil
+}
+
+func decodeSymbolSection(sec []byte) ([]uint32, error) {
+	raw, err := lossless.Decode(sec)
+	if err != nil {
+		return nil, err
+	}
+	return entropy.DecodeBlock(raw)
+}
+
+// packBitmap bit-packs and flate-compresses a validity bitmap.
+func packBitmap(v []bool) []byte {
+	bits := make([]byte, (len(v)+7)/8)
+	for i, ok := range v {
+		if ok {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return lossless.Encode(lossless.Flate{Level: 6}, bits)
+}
+
+func unpackBitmap(blob []byte, n int) ([]bool, error) {
+	bits, err := lossless.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(bits) < (n+7)/8 {
+		return nil, ErrCorrupt
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+	return out, nil
+}
+
+func dimsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// latLon returns the trailing-two extents.
+func latLon(dims []int) (int, int) {
+	n := len(dims)
+	if n < 2 {
+		return 1, dims[n-1]
+	}
+	return dims[n-2], dims[n-1]
+}
+
+// columnIDs maps each point of the *transposed* layout to its original
+// horizontal (lat, lon) column id.
+func columnIDs(origDims, perm []int) []int32 {
+	n := len(origDims)
+	tdims := grid.PermuteDims(origDims, perm)
+	vol := grid.Volume(origDims)
+	out := make([]int32, vol)
+	nLon := origDims[n-1]
+	latAx, lonAx := n-2, n-1
+	if n < 2 {
+		latAx = -1
+		lonAx = 0
+	}
+	co := make([]int, n)
+	sc := make([]int, n)
+	for i := 0; i < vol; i++ {
+		for ax, p := range perm {
+			sc[p] = co[ax]
+		}
+		lat := 0
+		if latAx >= 0 {
+			lat = sc[latAx]
+		}
+		out[i] = int32(lat*nLon + sc[lonAx])
+		for ax := n - 1; ax >= 0; ax-- {
+			co[ax]++
+			if co[ax] < tdims[ax] {
+				break
+			}
+			co[ax] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cliz/internal/grid"
+	"cliz/internal/predict"
+)
+
+// Blob layout (all integers varint unless noted):
+//
+//	magic "CLZ1" | version 1 | flags | eb float64 | fill float32 | radius
+//	ndims | dims... | perm bytes | fusion group count | groups... | period
+//	sections (each uvarint length + payload), in order:
+//	  mask        (flagMask)
+//	  template    (flagPeriodic; nested full blob)
+//	  residual    (flagPeriodic; nested full blob)  — periodic blobs stop here
+//	  meta        (flagClassify)
+//	  streamA     (always for unit blobs; the single stream when !classify)
+//	  streamB     (flagClassify)
+//	  literals    (always for unit blobs)
+const (
+	magic   = "CLZ1"
+	version = 1
+)
+
+const (
+	flagMask byte = 1 << iota
+	flagClassify
+	flagCubic
+	flagPeriodic
+	// flagPointMask marks an arbitrary per-point validity bitmap instead of
+	// a horizontal mask-map (used for the tuner's concatenated samples).
+	flagPointMask
+	// flagLorenzo selects the Lorenzo predictor (overrides flagCubic).
+	flagLorenzo
+)
+
+// ErrCorrupt reports a malformed CliZ blob.
+var ErrCorrupt = errors.New("core: corrupt CliZ blob")
+
+type header struct {
+	flags  byte
+	eb     float64
+	fill   float32
+	radius int32
+	dims   []int
+	pipe   Pipeline
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func readUvarint(src []byte, pos *int) (uint64, error) {
+	v, n := binary.Uvarint(src[*pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	*pos += n
+	return v, nil
+}
+
+func appendSection(dst, payload []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+func readSection(src []byte, pos *int) ([]byte, error) {
+	l, err := readUvarint(src, pos)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(*pos)+l > uint64(len(src)) {
+		return nil, ErrCorrupt
+	}
+	out := src[*pos : *pos+int(l)]
+	*pos += int(l)
+	return out, nil
+}
+
+func encodeHeader(h header) []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, magic...)
+	out = append(out, version)
+	out = append(out, h.flags)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.eb))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint32(b8[:4], math.Float32bits(h.fill))
+	out = append(out, b8[:4]...)
+	out = appendUvarint(out, uint64(h.radius))
+	out = appendUvarint(out, uint64(len(h.dims)))
+	for _, d := range h.dims {
+		out = appendUvarint(out, uint64(d))
+	}
+	for _, p := range h.pipe.Perm {
+		out = append(out, byte(p))
+	}
+	out = appendUvarint(out, uint64(len(h.pipe.Fusion.Groups)))
+	for _, g := range h.pipe.Fusion.Groups {
+		out = append(out, byte(g))
+	}
+	out = appendUvarint(out, uint64(h.pipe.Period))
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.pipe.LevelAlpha))
+	out = append(out, b8[:]...)
+	return out
+}
+
+func parseHeader(src []byte, pos *int) (header, error) {
+	var h header
+	if len(src)-*pos < len(magic)+2 {
+		return h, ErrCorrupt
+	}
+	if string(src[*pos:*pos+4]) != magic {
+		return h, fmt.Errorf("core: bad magic: %w", ErrCorrupt)
+	}
+	*pos += 4
+	if src[*pos] != version {
+		return h, fmt.Errorf("core: unsupported version %d: %w", src[*pos], ErrCorrupt)
+	}
+	*pos++
+	h.flags = src[*pos]
+	*pos++
+	if len(src)-*pos < 12 {
+		return h, ErrCorrupt
+	}
+	h.eb = math.Float64frombits(binary.LittleEndian.Uint64(src[*pos:]))
+	*pos += 8
+	h.fill = math.Float32frombits(binary.LittleEndian.Uint32(src[*pos:]))
+	*pos += 4
+	if h.eb <= 0 || math.IsNaN(h.eb) || math.IsInf(h.eb, 0) {
+		return h, fmt.Errorf("core: invalid error bound %g: %w", h.eb, ErrCorrupt)
+	}
+	r, err := readUvarint(src, pos)
+	if err != nil || r > 1<<30 {
+		return h, ErrCorrupt
+	}
+	h.radius = int32(r)
+	nd, err := readUvarint(src, pos)
+	if err != nil || nd < 1 || nd > 8 {
+		return h, ErrCorrupt
+	}
+	h.dims = make([]int, nd)
+	vol := 1
+	for i := range h.dims {
+		d, err := readUvarint(src, pos)
+		if err != nil || d == 0 || d > 1<<31 {
+			return h, ErrCorrupt
+		}
+		h.dims[i] = int(d)
+		vol *= int(d)
+		if vol > 1<<33 {
+			return h, fmt.Errorf("core: volume too large: %w", ErrCorrupt)
+		}
+	}
+	if len(src)-*pos < int(nd) {
+		return h, ErrCorrupt
+	}
+	h.pipe.Perm = make([]int, nd)
+	for i := range h.pipe.Perm {
+		h.pipe.Perm[i] = int(src[*pos])
+		*pos++
+	}
+	if !grid.ValidPerm(h.pipe.Perm, int(nd)) {
+		return h, ErrCorrupt
+	}
+	ng, err := readUvarint(src, pos)
+	if err != nil || ng == 0 || ng > nd {
+		return h, ErrCorrupt
+	}
+	if len(src)-*pos < int(ng) {
+		return h, ErrCorrupt
+	}
+	h.pipe.Fusion.Groups = make([]int, ng)
+	for i := range h.pipe.Fusion.Groups {
+		h.pipe.Fusion.Groups[i] = int(src[*pos])
+		*pos++
+	}
+	if !h.pipe.Fusion.Valid(int(nd)) {
+		return h, ErrCorrupt
+	}
+	p, err := readUvarint(src, pos)
+	if err != nil || p > uint64(h.dims[0]) {
+		return h, ErrCorrupt
+	}
+	h.pipe.Period = int(p)
+	if len(src)-*pos < 8 {
+		return h, ErrCorrupt
+	}
+	h.pipe.LevelAlpha = math.Float64frombits(binary.LittleEndian.Uint64(src[*pos:]))
+	*pos += 8
+	if h.pipe.LevelAlpha < 0 || math.IsNaN(h.pipe.LevelAlpha) || h.pipe.LevelAlpha > 1e6 {
+		return h, ErrCorrupt
+	}
+	h.pipe.UseMask = h.flags&(flagMask|flagPointMask) != 0
+	h.pipe.Classify = h.flags&flagClassify != 0
+	switch {
+	case h.flags&flagLorenzo != 0:
+		h.pipe.Fitting = predict.Lorenzo
+	case h.flags&flagCubic != 0:
+		h.pipe.Fitting = predict.Cubic
+	default:
+		h.pipe.Fitting = predict.Linear
+	}
+	return h, nil
+}
+
+func float32sToBytes(xs []float32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesToFloat32s(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}

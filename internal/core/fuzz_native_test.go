@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzDecompress drives the blob decoder with arbitrary inputs (run with
+// `go test -fuzz=FuzzDecompress ./internal/core`); the seeds — one valid
+// blob per pipeline family — always run as part of the normal test suite.
+func FuzzDecompress(f *testing.F) {
+	ds := smallHurricane()
+	eb := ds.AbsErrorBound(1e-2)
+	plain, err := Compress(ds, eb, Default(ds), Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain)
+	ssh := smallSSH()
+	p := Default(ssh)
+	p.Period = 12
+	p.Classify = true
+	periodic, err := Compress(ssh, ssh.AbsErrorBound(1e-2), p, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(periodic)
+	chunked, err := CompressChunked(ds, eb, Default(ds), Options{}, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chunked)
+	f.Add([]byte("CLZ1"))
+	f.Add([]byte("CLZP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		// Must never panic; errors and garbage output are acceptable.
+		if IsChunked(blob) {
+			_, _, _ = DecompressChunked(blob, 1)
+		} else {
+			_, _, _ = Decompress(blob)
+		}
+		_, _ = Inspect(blob)
+	})
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SectionInfo describes one section of a blob.
+type SectionInfo struct {
+	Name  string
+	Bytes int
+}
+
+// BlobInfo is the parsed structure of a CliZ blob, for inspection tools.
+type BlobInfo struct {
+	Kind     string // "unit", "periodic", "chunked"
+	Dims     []int
+	EB       float64
+	Fill     float32
+	Pipeline string
+	Sections []SectionInfo
+	// Children holds the template+residual of periodic blobs or the chunks
+	// of a parallel container.
+	Children []*BlobInfo
+	Total    int
+}
+
+// Inspect parses a blob's structure without decompressing the payload.
+func Inspect(blob []byte) (*BlobInfo, error) {
+	if IsChunked(blob) {
+		return inspectChunked(blob)
+	}
+	pos := 0
+	return inspectAt(blob, &pos)
+}
+
+func inspectAt(blob []byte, pos *int) (*BlobInfo, error) {
+	start := *pos
+	h, err := parseHeader(blob, pos)
+	if err != nil {
+		return nil, err
+	}
+	info := &BlobInfo{
+		Dims:     h.dims,
+		EB:       h.eb,
+		Fill:     h.fill,
+		Pipeline: h.pipe.String(),
+	}
+	info.Sections = append(info.Sections, SectionInfo{"header", *pos - start})
+	if h.flags&flagPeriodic != 0 {
+		info.Kind = "periodic"
+		for _, name := range []string{"template", "residual"} {
+			sec, err := readSection(blob, pos)
+			if err != nil {
+				return nil, err
+			}
+			cpos := 0
+			child, err := inspectAt(sec, &cpos)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			child.Kind = name
+			info.Children = append(info.Children, child)
+			info.Sections = append(info.Sections, SectionInfo{name, len(sec)})
+		}
+		info.Total = *pos - start
+		return info, nil
+	}
+	info.Kind = "unit"
+	names := []string{}
+	if h.flags&(flagMask|flagPointMask) != 0 {
+		names = append(names, "mask")
+	}
+	if h.flags&flagClassify != 0 {
+		names = append(names, "class-meta", "bins-A", "bins-B")
+	} else {
+		names = append(names, "bins")
+	}
+	names = append(names, "literals")
+	for _, name := range names {
+		sec, err := readSection(blob, pos)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		info.Sections = append(info.Sections, SectionInfo{name, len(sec)})
+	}
+	info.Total = *pos - start
+	return info, nil
+}
+
+func inspectChunked(blob []byte) (*BlobInfo, error) {
+	pos := 4
+	if pos >= len(blob) || blob[pos] != version {
+		return nil, ErrCorrupt
+	}
+	pos++
+	nd, err := readUvarint(blob, &pos)
+	if err != nil || nd < 1 || nd > 8 {
+		return nil, ErrCorrupt
+	}
+	dims := make([]int, nd)
+	for i := range dims {
+		d, err := readUvarint(blob, &pos)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+	}
+	nc, err := readUvarint(blob, &pos)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	info := &BlobInfo{Kind: "chunked", Dims: dims, Total: len(blob)}
+	for c := uint64(0); c < nc; c++ {
+		if _, err := readUvarint(blob, &pos); err != nil { // lead extent
+			return nil, err
+		}
+		sec, err := readSection(blob, &pos)
+		if err != nil {
+			return nil, err
+		}
+		cpos := 0
+		child, err := inspectAt(sec, &cpos)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		child.Kind = fmt.Sprintf("chunk[%d] %s", c, child.Kind)
+		info.Children = append(info.Children, child)
+	}
+	return info, nil
+}
+
+// Render writes a human-readable tree of the blob structure.
+func (b *BlobInfo) Render(indent string, w *strings.Builder) {
+	fmt.Fprintf(w, "%s%s  dims=%v", indent, b.Kind, b.Dims)
+	if b.EB > 0 {
+		fmt.Fprintf(w, "  eb=%g", b.EB)
+	}
+	if b.Pipeline != "" {
+		fmt.Fprintf(w, "  [%s]", b.Pipeline)
+	}
+	fmt.Fprintf(w, "  %d bytes\n", b.Total)
+	for _, s := range b.Sections {
+		fmt.Fprintf(w, "%s  %-10s %8d bytes\n", indent, s.Name, s.Bytes)
+	}
+	for _, c := range b.Children {
+		c.Render(indent+"    ", w)
+	}
+}
+
+// String implements fmt.Stringer.
+func (b *BlobInfo) String() string {
+	var sb strings.Builder
+	b.Render("", &sb)
+	return sb.String()
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cliz/internal/dataset"
+)
+
+// Parallel chunked container: the dataset is split along the leading
+// dimension into chunks that are compressed and decompressed concurrently —
+// the library-level counterpart of the paper's per-core-file setup
+// (§VII-C4). Periodic pipelines keep chunk boundaries on whole periods so
+// every chunk still amortizes its own template.
+//
+// Container layout: magic "CLZP" | version | ndims | dims | nchunks |
+// per chunk: lead-extent varint + blob-length varint + CliZ blob.
+const parMagic = "CLZP"
+
+// CompressChunked compresses ds split along dimension 0 into nChunks pieces
+// using `workers` goroutines (0 = GOMAXPROCS). Each chunk is an independent
+// CliZ blob, so decompression parallelizes too.
+func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
+	nChunks, workers int) ([]byte, error) {
+
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(len(ds.Dims)); err != nil {
+		return nil, err
+	}
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	if nChunks > ds.Dims[0] {
+		nChunks = ds.Dims[0]
+	}
+	bounds := chunkBounds(ds.Dims[0], nChunks, p.Period)
+	nChunks = len(bounds) - 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	plane := 1
+	for _, d := range ds.Dims[1:] {
+		plane *= d
+	}
+	blobs := make([][]byte, nChunks)
+	errs := make([]error, nChunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			lo, hi := bounds[c], bounds[c+1]
+			sub := &dataset.Dataset{
+				Name:      fmt.Sprintf("%s#%d", ds.Name, c),
+				Data:      ds.Data[lo*plane : hi*plane],
+				Dims:      append([]int{hi - lo}, ds.Dims[1:]...),
+				Lead:      ds.Lead,
+				Periodic:  ds.Periodic,
+				Mask:      ds.Mask,
+				FillValue: ds.FillValue,
+			}
+			cp := p
+			if cp.Period > 0 && (hi-lo) < 2*cp.Period {
+				cp.Period = 0
+				cp.Template = nil
+			}
+			blobs[c], errs[c] = Compress(sub, eb, cp, opt)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, 0, len(ds.Data)/2)
+	out = append(out, parMagic...)
+	out = append(out, version)
+	out = appendUvarint(out, uint64(len(ds.Dims)))
+	for _, d := range ds.Dims {
+		out = appendUvarint(out, uint64(d))
+	}
+	out = appendUvarint(out, uint64(nChunks))
+	for c, blob := range blobs {
+		out = appendUvarint(out, uint64(bounds[c+1]-bounds[c]))
+		out = appendSection(out, blob)
+	}
+	return out, nil
+}
+
+// chunkBounds splits n into about k pieces; with a period, boundaries snap
+// to period multiples (except the final one).
+func chunkBounds(n, k, period int) []int {
+	bounds := []int{0}
+	for c := 1; c < k; c++ {
+		b := n * c / k
+		if period > 1 {
+			b -= b % period
+		}
+		if b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	if bounds[len(bounds)-1] != n {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}
+
+// IsChunked reports whether blob is a parallel container.
+func IsChunked(blob []byte) bool {
+	return len(blob) >= 4 && string(blob[:4]) == parMagic
+}
+
+// DecompressChunked reverses CompressChunked, decoding chunks concurrently.
+func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
+	if !IsChunked(blob) {
+		return nil, nil, fmt.Errorf("core: not a chunked container: %w", ErrCorrupt)
+	}
+	pos := 4
+	if pos >= len(blob) || blob[pos] != version {
+		return nil, nil, ErrCorrupt
+	}
+	pos++
+	nd, err := readUvarint(blob, &pos)
+	if err != nil || nd < 1 || nd > 8 {
+		return nil, nil, ErrCorrupt
+	}
+	dims := make([]int, nd)
+	vol := 1
+	for i := range dims {
+		d, err := readUvarint(blob, &pos)
+		if err != nil || d == 0 || d > 1<<31 {
+			return nil, nil, ErrCorrupt
+		}
+		dims[i] = int(d)
+		vol *= int(d)
+		if vol > 1<<33 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	nc, err := readUvarint(blob, &pos)
+	if err != nil || nc == 0 || nc > uint64(dims[0]) {
+		return nil, nil, ErrCorrupt
+	}
+	type chunk struct {
+		lead int
+		blob []byte
+	}
+	chunks := make([]chunk, nc)
+	total := 0
+	for c := range chunks {
+		lead, err := readUvarint(blob, &pos)
+		if err != nil || lead == 0 {
+			return nil, nil, ErrCorrupt
+		}
+		sec, err := readSection(blob, &pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks[c] = chunk{lead: int(lead), blob: sec}
+		total += int(lead)
+	}
+	if total != dims[0] {
+		return nil, nil, ErrCorrupt
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	plane := vol / dims[0]
+	out := make([]float32, vol)
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	off := 0
+	for c := range chunks {
+		wg.Add(1)
+		go func(c, off int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, cdims, err := Decompress(chunks[c].blob)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if len(cdims) != len(dims) || cdims[0] != chunks[c].lead {
+				errs[c] = ErrCorrupt
+				return
+			}
+			copy(out[off*plane:], data)
+		}(c, off)
+		off += chunks[c].lead
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, dims, nil
+}

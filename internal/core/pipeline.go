@@ -1,0 +1,105 @@
+// Package core implements the CliZ compressor (paper §IV, §VI): an
+// error-bounded lossy compressor for climate datasets built on the SZ3
+// framework, extended with mask-map-aware prediction, dimension permutation
+// and fusion, periodic component extraction, and quantization-bin
+// classification with multi-Huffman encoding — all selected by a
+// sampling-based offline auto-tuner.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cliz/internal/dataset"
+	"cliz/internal/grid"
+	"cliz/internal/predict"
+)
+
+// Pipeline is one fully-specified compression configuration — the output of
+// the offline auto-tuning stage (paper Fig. 2) and the input of the online
+// compression stage.
+type Pipeline struct {
+	// Perm is the dimension permutation (paper §VI-C): axis Perm[i] of the
+	// dataset becomes prediction axis i.
+	Perm []int
+	// Fusion merges adjacent post-permutation dimensions (paper §VI-C).
+	Fusion grid.Fusion
+	// Fitting selects the linear or cubic fitting predictor (paper §VI-B).
+	Fitting predict.Fitting
+	// Classify enables quantization-bin classification and multi-Huffman
+	// encoding (paper §VI-E).
+	Classify bool
+	// UseMask enables mask-map-based prediction (paper §VI-B). Per the
+	// paper this is the user's decision, not the tuner's.
+	UseMask bool
+	// Period > 0 enables periodic component extraction with that period
+	// along the leading (time) dimension (paper §VI-D).
+	Period int
+	// Template optionally carries a separately-tuned pipeline for the
+	// template data (nil selects a default); only meaningful if Period > 0.
+	Template *Pipeline
+	// LevelAlpha tightens the error bound of coarse interpolation levels:
+	// eb_ℓ = eb / min(α^(ℓ−1), 4). Values ≤ 1 (including 0) mean a flat
+	// bound. This is the level-wise tuning knob QoZ introduced and newer
+	// SZ3 releases adopted; CliZ's tuner selects it after the pipeline
+	// search.
+	LevelAlpha float64
+}
+
+// Default returns the baseline pipeline for a dataset: natural dimension
+// order, no fusion, cubic fitting, mask honoured when present, no period or
+// classification.
+func Default(ds *dataset.Dataset) Pipeline {
+	n := len(ds.Dims)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return Pipeline{
+		Perm:    perm,
+		Fusion:  grid.NoFusion(n),
+		Fitting: predict.Cubic,
+		UseMask: ds.Mask != nil,
+	}
+}
+
+// Validate checks the pipeline against a dataset rank.
+func (p Pipeline) Validate(n int) error {
+	if !grid.ValidPerm(p.Perm, n) {
+		return fmt.Errorf("core: invalid permutation %v for rank %d", p.Perm, n)
+	}
+	if !p.Fusion.Valid(n) {
+		return fmt.Errorf("core: invalid fusion %v for rank %d", p.Fusion.Groups, n)
+	}
+	if p.Period < 0 {
+		return fmt.Errorf("core: negative period %d", p.Period)
+	}
+	if p.Template != nil && p.Period == 0 {
+		return fmt.Errorf("core: template pipeline without a period")
+	}
+	if p.LevelAlpha < 0 {
+		return fmt.Errorf("core: negative level alpha %g", p.LevelAlpha)
+	}
+	return nil
+}
+
+// String renders the pipeline in the paper's table notation, e.g.
+// "period=12 mask classify perm=201 fuse=1&2 fit=Linear".
+func (p Pipeline) String() string {
+	var b strings.Builder
+	if p.Period > 0 {
+		fmt.Fprintf(&b, "period=%d ", p.Period)
+	}
+	if p.UseMask {
+		b.WriteString("mask ")
+	}
+	if p.Classify {
+		b.WriteString("classify ")
+	}
+	fmt.Fprintf(&b, "perm=%s fuse=%s fit=%s",
+		grid.PermString(p.Perm), p.Fusion.String(), p.Fitting)
+	if p.LevelAlpha > 1 {
+		fmt.Fprintf(&b, " alpha=%g", p.LevelAlpha)
+	}
+	return b.String()
+}

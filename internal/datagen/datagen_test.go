@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cliz/internal/dataset"
+	"cliz/internal/fft"
+)
+
+const testScale = 0.1
+
+func TestAllDatasetsValidate(t *testing.T) {
+	for _, ds := range All(testScale) {
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		if ds.Points() == 0 {
+			t.Fatalf("%s: empty", ds.Name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NOPE", 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SSH(testScale)
+	b := SSH(testScale)
+	if !reflect.DeepEqual(a.Data, b.Data) {
+		t.Fatal("SSH not deterministic")
+	}
+	if !reflect.DeepEqual(a.Mask.Regions, b.Mask.Regions) {
+		t.Fatal("mask not deterministic")
+	}
+}
+
+func TestTableIIIProperties(t *testing.T) {
+	// Mask/period flags must match the paper's Table III.
+	cases := map[string]struct {
+		mask, period bool
+		rank         int
+	}{
+		"SSH":         {true, true, 3},
+		"CESM-T":      {false, false, 3},
+		"RELHUM":      {false, false, 3},
+		"SOILLIQ":     {true, true, 4},
+		"Tsfc":        {true, true, 3},
+		"Hurricane-T": {false, false, 3},
+	}
+	for name, want := range cases {
+		ds, err := ByName(name, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ds.Mask != nil) != want.mask {
+			t.Fatalf("%s: mask presence = %v", name, ds.Mask != nil)
+		}
+		if ds.Periodic != want.period {
+			t.Fatalf("%s: periodic = %v", name, ds.Periodic)
+		}
+		if len(ds.Dims) != want.rank {
+			t.Fatalf("%s: rank %d want %d", name, len(ds.Dims), want.rank)
+		}
+	}
+}
+
+func TestFullScaleDims(t *testing.T) {
+	// At scale 1 the dims must match Table III exactly (generation of the
+	// giant fields is skipped; only the plumbing is checked via scaled()).
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds := SSH(1.0)
+	want := []int{1032, 384, 320}
+	if !reflect.DeepEqual(ds.Dims, want) {
+		t.Fatalf("SSH dims %v want %v", ds.Dims, want)
+	}
+}
+
+func TestMaskedPointsHoldFillValues(t *testing.T) {
+	for _, name := range []string{"SSH", "SOILLIQ", "Tsfc"} {
+		ds, _ := ByName(name, testScale)
+		valid := ds.Validity()
+		for i, ok := range valid {
+			if !ok && ds.Data[i] != FillValue {
+				t.Fatalf("%s: masked point %d = %g, want fill", name, i, ds.Data[i])
+			}
+			if ok && ds.Data[i] == FillValue {
+				t.Fatalf("%s: valid point %d holds fill value", name, i)
+			}
+		}
+	}
+}
+
+func TestSSHOceanFraction(t *testing.T) {
+	ds := SSH(testScale)
+	frac := float64(ds.Mask.ValidCount()) / float64(ds.Mask.NLat*ds.Mask.NLon)
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("ocean fraction %.2f outside [0.6, 0.8]", frac)
+	}
+}
+
+func TestSOILLIQLandFraction(t *testing.T) {
+	// §VII-C3: about 70% of the surface is water → ~30% valid for SOILLIQ.
+	ds := SOILLIQ(testScale)
+	frac := float64(ds.Mask.ValidCount()) / float64(ds.Mask.NLat*ds.Mask.NLon)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("land fraction %.2f outside [0.2, 0.4]", frac)
+	}
+}
+
+func TestSSHPeriodicity(t *testing.T) {
+	// The annual cycle must be detectable with period 12 along time.
+	ds := SSH(testScale)
+	nT := ds.Dims[0]
+	plane := ds.Dims[1] * ds.Dims[2]
+	var rows [][]float64
+	for p := 0; p < plane && len(rows) < 10; p += plane/17 + 1 {
+		if ds.Mask.Regions[p] == 0 {
+			continue
+		}
+		row := make([]float64, nT)
+		for tt := 0; tt < nT; tt++ {
+			row[tt] = float64(ds.Data[tt*plane+p])
+		}
+		rows = append(rows, row)
+	}
+	res := fft.DetectPeriod(rows, 0.7, 3)
+	if res.Period != 12 {
+		t.Fatalf("SSH period = %d want 12 (strength %.1f)", res.Period, res.Strength)
+	}
+}
+
+func TestCESMTAnisotropy(t *testing.T) {
+	// The paper's Fig. 4 observation: variation along height dwarfs the
+	// horizontal variations.
+	ds := CESMT(testScale)
+	nH, nLat, nLon := ds.Dims[0], ds.Dims[1], ds.Dims[2]
+	plane := nLat * nLon
+	meanAbsDiff := func(stride, n int, idx func(k int) int) float64 {
+		var s float64
+		for k := 0; k < n; k++ {
+			i := idx(k)
+			s += math.Abs(float64(ds.Data[i+stride]) - float64(ds.Data[i]))
+		}
+		return s / float64(n)
+	}
+	samples := 2000
+	dH := meanAbsDiff(plane, samples, func(k int) int {
+		return (k % (nH - 1)) * plane // vary height at point 0.. simple walk
+	})
+	dLat := meanAbsDiff(nLon, samples, func(k int) int {
+		return (k % (nLat - 1)) * nLon
+	})
+	dLon := meanAbsDiff(1, samples, func(k int) int {
+		return k % (nLon - 1)
+	})
+	if !(dH > 5*dLat && dH > 5*dLon) {
+		t.Fatalf("height variation %.3f should dwarf lat %.4f / lon %.4f",
+			dH, dLat, dLon)
+	}
+}
+
+func TestRELHUMRange(t *testing.T) {
+	ds := RELHUM(testScale)
+	lo, hi := ds.ValueRange()
+	if lo < 0 || hi > 100 {
+		t.Fatalf("RELHUM range [%g, %g] outside physical bounds", lo, hi)
+	}
+}
+
+func TestHurricaneHasVortexStructure(t *testing.T) {
+	ds := HurricaneT(testScale)
+	nH, nLat, nLon := ds.Dims[0], ds.Dims[1], ds.Dims[2]
+	plane := nLat * nLon
+	// The top-level slice must vary more strongly near the vortex centre
+	// than at the domain edge.
+	h := nH - 1
+	cy, cx := int(0.55*float64(nLat)), int(0.45*float64(nLon))
+	grad := func(i, j int) float64 {
+		idx := h*plane + i*nLon + j
+		return math.Abs(float64(ds.Data[idx+1]) - float64(ds.Data[idx]))
+	}
+	var centre, edge float64
+	n := 0
+	for d := -3; d <= 3; d++ {
+		centre += grad(cy+d, cx+int(1.2*float64(nLat)*0.08)) // near eyewall
+		edge += grad(2+((d+3)%4), 2)
+		n++
+	}
+	if centre <= edge {
+		t.Fatalf("no vortex: eyewall gradient %.3f <= edge %.3f", centre/float64(n), edge/float64(n))
+	}
+}
+
+func TestAbsErrorBoundConversion(t *testing.T) {
+	ds := CESMT(testScale)
+	lo, hi := ds.ValueRange()
+	eb := ds.AbsErrorBound(0.01)
+	if math.Abs(eb-0.01*(hi-lo)) > 1e-9 {
+		t.Fatalf("AbsErrorBound = %g want %g", eb, 0.01*(hi-lo))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := Tsfc(testScale)
+	cp := ds.Clone()
+	cp.Data[0] = 42
+	cp.Mask.Regions[0] = 9
+	if ds.Data[0] == 42 || ds.Mask.Regions[0] == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+var _ = dataset.LeadNone // keep import if assertions above change

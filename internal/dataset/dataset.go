@@ -1,0 +1,146 @@
+// Package dataset models the climate fields the paper evaluates (Table III):
+// a multi-dimensional float32 grid whose trailing two dimensions are the
+// horizontal (lat, lon) plane and whose optional leading dimension is time or
+// height, plus the CESM-style side information CliZ consumes — the mask map
+// and the periodicity hint from the file metadata.
+package dataset
+
+import (
+	"fmt"
+
+	"cliz/internal/grid"
+	"cliz/internal/mask"
+	"cliz/internal/stats"
+)
+
+// LeadKind describes the physical meaning of the leading dimension.
+type LeadKind int
+
+const (
+	// LeadNone means the dataset is purely horizontal (2D).
+	LeadNone LeadKind = iota
+	// LeadTime means the leading dimension is time; periodic component
+	// extraction may apply (paper §V-C).
+	LeadTime
+	// LeadHeight means the leading dimension is vertical layers.
+	LeadHeight
+)
+
+// String implements fmt.Stringer.
+func (k LeadKind) String() string {
+	switch k {
+	case LeadTime:
+		return "Time"
+	case LeadHeight:
+		return "Height"
+	}
+	return "None"
+}
+
+// Dataset is one climate field plus its side information.
+type Dataset struct {
+	Name string
+	// Data is row-major over Dims.
+	Data []float32
+	// Dims: trailing two dimensions are (lat, lon); leading dimensions are
+	// time and/or height — [time, height, lat, lon] for 4D fields like
+	// SOILLIQ, [lead, lat, lon] for 3D, or [lat, lon] for 2D.
+	Dims []int
+	// Lead describes the first dimension (LeadNone for 2D fields).
+	Lead LeadKind
+	// Periodic marks fields whose metadata flags the time dimension as
+	// periodic (e.g. monthly snapshots with an annual cycle).
+	Periodic bool
+	// Mask is the horizontal mask map, nil if every point is valid.
+	Mask *mask.Map
+	// FillValue replaces masked points (CESM uses huge sentinels).
+	FillValue float32
+}
+
+// Points returns the total number of grid points.
+func (d *Dataset) Points() int { return grid.Volume(d.Dims) }
+
+// LatLonDims returns the horizontal extents (the trailing two dims).
+func (d *Dataset) LatLonDims() (nLat, nLon int) {
+	n := len(d.Dims)
+	if n < 2 {
+		return 1, d.Dims[n-1]
+	}
+	return d.Dims[n-2], d.Dims[n-1]
+}
+
+// Validity returns the broadcast validity bitmap (nil when unmasked).
+func (d *Dataset) Validity() []bool {
+	if d.Mask == nil {
+		return nil
+	}
+	return d.Mask.Broadcast(d.Dims)
+}
+
+// ValidPoints counts the valid points.
+func (d *Dataset) ValidPoints() int {
+	if d.Mask == nil {
+		return d.Points()
+	}
+	lead := 1
+	if len(d.Dims) > 2 {
+		for _, x := range d.Dims[:len(d.Dims)-2] {
+			lead *= x
+		}
+	}
+	return lead * d.Mask.ValidCount()
+}
+
+// ValueRange returns (min, max) over valid points.
+func (d *Dataset) ValueRange() (float64, float64) {
+	return stats.Range(d.Data, d.Validity())
+}
+
+// AbsErrorBound converts a relative error bound (fraction of the valid value
+// range, as used throughout the paper's evaluation) into an absolute bound.
+func (d *Dataset) AbsErrorBound(rel float64) float64 {
+	lo, hi := d.ValueRange()
+	r := hi - lo
+	if r <= 0 {
+		r = 1
+	}
+	return rel * r
+}
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if len(d.Dims) < 1 || len(d.Dims) > 4 {
+		return fmt.Errorf("dataset %s: unsupported rank %d", d.Name, len(d.Dims))
+	}
+	if got, want := len(d.Data), grid.Volume(d.Dims); got != want {
+		return fmt.Errorf("dataset %s: data %d != volume %d", d.Name, got, want)
+	}
+	if d.Mask != nil {
+		nLat, nLon := d.LatLonDims()
+		if d.Mask.NLat != nLat || d.Mask.NLon != nLon {
+			return fmt.Errorf("dataset %s: mask %dx%d != grid %dx%d",
+				d.Name, d.Mask.NLat, d.Mask.NLon, nLat, nLon)
+		}
+	}
+	if d.Periodic && d.Lead != LeadTime {
+		return fmt.Errorf("dataset %s: periodic without a time dimension", d.Name)
+	}
+	if d.Periodic && d.Mask != nil && len(d.Dims) < 3 {
+		// A 2D periodic field is (time, lon); a "horizontal" mask would
+		// span the time axis, contradicting its time-invariance.
+		return fmt.Errorf("dataset %s: a masked periodic dataset needs a separate time dimension (rank ≥ 3)", d.Name)
+	}
+	return nil
+}
+
+// Clone performs a deep copy (used by experiments that mutate data).
+func (d *Dataset) Clone() *Dataset {
+	cp := *d
+	cp.Data = append([]float32(nil), d.Data...)
+	if d.Mask != nil {
+		cp.Mask = mask.New(d.Mask.NLat, d.Mask.NLon,
+			append([]int32(nil), d.Mask.Regions...))
+	}
+	cp.Dims = append([]int(nil), d.Dims...)
+	return &cp
+}

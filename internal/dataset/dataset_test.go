@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"testing"
+
+	"cliz/internal/mask"
+)
+
+func sample3D() *Dataset {
+	data := make([]float32, 2*3*4)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	return &Dataset{
+		Name: "t", Data: data, Dims: []int{2, 3, 4},
+		Lead: LeadTime,
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	ds := sample3D()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Points() != 24 {
+		t.Fatalf("points %d", ds.Points())
+	}
+	nLat, nLon := ds.LatLonDims()
+	if nLat != 3 || nLon != 4 {
+		t.Fatalf("latlon %d %d", nLat, nLon)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := sample3D()
+	bad.Data = bad.Data[:5]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad = sample3D()
+	bad.Dims = []int{2, 3, 4, 5, 6}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("rank 5 accepted")
+	}
+	bad = sample3D()
+	bad.Mask = mask.New(5, 5, make([]int32, 25))
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mask dims mismatch accepted")
+	}
+	bad = sample3D()
+	bad.Lead = LeadHeight
+	bad.Periodic = true
+	if err := bad.Validate(); err == nil {
+		t.Fatal("periodic height accepted")
+	}
+}
+
+func TestValidityAndCounts(t *testing.T) {
+	ds := sample3D()
+	if ds.Validity() != nil {
+		t.Fatal("unmasked validity should be nil")
+	}
+	if ds.ValidPoints() != 24 {
+		t.Fatalf("valid points %d", ds.ValidPoints())
+	}
+	regions := []int32{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	ds.Mask = mask.New(3, 4, regions)
+	if ds.ValidPoints() != 12 { // 6 valid cells × 2 time steps
+		t.Fatalf("masked valid points %d", ds.ValidPoints())
+	}
+	v := ds.Validity()
+	if len(v) != 24 || !v[0] || v[1] {
+		t.Fatalf("validity %v", v[:4])
+	}
+}
+
+func TestValueRangeSkipsMasked(t *testing.T) {
+	ds := sample3D()
+	regions := make([]int32, 12)
+	regions[0] = 1 // only cell 0 valid
+	ds.Mask = mask.New(3, 4, regions)
+	ds.Data[0] = 5
+	ds.Data[12] = 7 // t=1, cell 0
+	lo, hi := ds.ValueRange()
+	if lo != 5 || hi != 7 {
+		t.Fatalf("range %g %g", lo, hi)
+	}
+	if eb := ds.AbsErrorBound(0.5); eb != 1 {
+		t.Fatalf("eb %g", eb)
+	}
+}
+
+func TestAbsErrorBoundDegenerateRange(t *testing.T) {
+	ds := &Dataset{Name: "c", Data: []float32{3, 3, 3}, Dims: []int{3}}
+	if eb := ds.AbsErrorBound(0.1); eb != 0.1 {
+		t.Fatalf("constant-field eb %g (range should default to 1)", eb)
+	}
+}
+
+func TestLeadKindString(t *testing.T) {
+	if LeadNone.String() != "None" || LeadTime.String() != "Time" || LeadHeight.String() != "Height" {
+		t.Fatal("LeadKind.String broken")
+	}
+}
+
+func TestValidateRejectsMasked2DPeriodic(t *testing.T) {
+	bad := &Dataset{
+		Name: "bad2d", Data: make([]float32, 12), Dims: []int{3, 4},
+		Lead: LeadTime, Periodic: true,
+		Mask: mask.New(3, 4, make([]int32, 12)),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("masked 2D periodic dataset accepted (the mask would span time)")
+	}
+}

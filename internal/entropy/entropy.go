@@ -1,0 +1,63 @@
+// Package entropy multiplexes the symbol-coding stage of the compression
+// pipelines: canonical Huffman (the paper's choice) or static rANS (the
+// FSE/Zstd family). Every block is self-describing — one kind byte followed
+// by the coder's own payload — so pipelines can mix coders freely.
+package entropy
+
+import (
+	"errors"
+
+	"cliz/internal/huffman"
+	"cliz/internal/rans"
+)
+
+// Kind selects the symbol coder.
+type Kind byte
+
+// Available coders.
+const (
+	Huffman Kind = 0
+	RANS    Kind = 1
+)
+
+// ErrCorrupt reports an unknown coder id or malformed payload.
+var ErrCorrupt = errors.New("entropy: corrupt block")
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Huffman:
+		return "huffman"
+	case RANS:
+		return "rans"
+	}
+	return "unknown"
+}
+
+// EncodeBlock compresses symbols with the requested coder. rANS falls back
+// to Huffman when the alphabet exceeds its slot table (the block records
+// what was actually used).
+func EncodeBlock(kind Kind, symbols []uint32) []byte {
+	if kind == RANS {
+		if body, ok := rans.EncodeBlock(symbols); ok {
+			return append([]byte{byte(RANS)}, body...)
+		}
+	}
+	return append([]byte{byte(Huffman)}, huffman.EncodeBlock(symbols)...)
+}
+
+// DecodeBlock reverses EncodeBlock.
+func DecodeBlock(blob []byte) ([]uint32, error) {
+	if len(blob) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch Kind(blob[0]) {
+	case Huffman:
+		syms, _, err := huffman.DecodeBlock(blob[1:])
+		return syms, err
+	case RANS:
+		syms, _, err := rans.DecodeBlock(blob[1:])
+		return syms, err
+	}
+	return nil, ErrCorrupt
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cliz/internal/core"
+	"cliz/internal/dataset"
+	"cliz/internal/grid"
+	"cliz/internal/stats"
+)
+
+func init() {
+	register("E04", "Table V: per-strategy ablation on SSH (mask/classify/perm+fuse/period)", tableV)
+	register("E05", "Table VI: ablation on Hurricane-T (no mask, no period)", tableVI)
+}
+
+// ablationRow compresses the full dataset with one pipeline and reports
+// ratio + wall time.
+func ablationRow(ds *dataset.Dataset, eb float64, p core.Pipeline) (float64, time.Duration, error) {
+	t0 := time.Now()
+	blob, err := core.Compress(ds, eb, p, core.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.Ratio(ds.Points(), len(blob)), time.Since(t0), nil
+}
+
+func renderAblation(id, title, note string, labels []string, pipes []core.Pipeline,
+	ds *dataset.Dataset, eb float64, env Env) (Table, error) {
+
+	t := Table{
+		ID: id, Title: title, Note: note,
+		Header: []string{"Variant", "Periodicity", "Mask", "Classification", "Permutation", "Fusion", "Fitting", "CompressionRatio", "CRImprovement", "Time", "TimeIncrement"},
+	}
+	type res struct {
+		ratio float64
+		dur   time.Duration
+	}
+	results := make([]res, len(pipes))
+	for i, p := range pipes {
+		ratio, dur, err := ablationRow(ds, eb, p)
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: %w", labels[i], err)
+		}
+		results[i] = res{ratio, dur}
+		env.logf("  %-18s ratio %.3f time %v", labels[i], ratio, dur.Round(time.Millisecond))
+	}
+	base := results[0]
+	for i, p := range pipes {
+		period := "No"
+		if p.Period > 0 {
+			period = fmt.Sprintf("%d", p.Period)
+		}
+		yn := func(b bool) string {
+			if b {
+				return "Yes"
+			}
+			return "No"
+		}
+		crImp := base.ratio/results[i].ratio - 1
+		tInc := base.dur.Seconds()/results[i].dur.Seconds() - 1
+		t.Rows = append(t.Rows, []string{
+			labels[i], period, yn(p.UseMask), yn(p.Classify),
+			grid.PermString(p.Perm), p.Fusion.String(), p.Fitting.String(),
+			f3(results[i].ratio), pct(crImp), results[i].dur.Round(time.Millisecond).String(), pct(tInc),
+		})
+	}
+	return t, nil
+}
+
+func tableV(env Env) ([]Table, error) {
+	ds, err := loadDataset(env, "SSH")
+	if err != nil {
+		return nil, err
+	}
+	eb := ds.AbsErrorBound(1e-2)
+	best, _, err := core.AutoTune(ds, eb, core.TuneConfig{SamplingRate: 0.01}, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	noMask := best
+	noMask.UseMask = false
+	noPermFuse := best
+	noPermFuse.Perm = []int{0, 1, 2}
+	noPermFuse.Fusion = grid.NoFusion(3)
+	noClassify := best
+	noClassify.Classify = false
+	noPeriod := best
+	noPeriod.Period = 0
+	noPeriod.Template = nil
+	t, err := renderAblation("E04",
+		"Table V: optimal pipeline vs each strategy cancelled (SSH)",
+		"CRImprovement/TimeIncrement compare the optimal pipeline against each cancelled variant, as in the paper.",
+		[]string{"optimal", "-mask", "-perm/fuse", "-classify", "-period"},
+		[]core.Pipeline{best, noMask, noPermFuse, noClassify, noPeriod},
+		ds, eb, env)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}
+
+func tableVI(env Env) ([]Table, error) {
+	ds, err := loadDataset(env, "Hurricane-T")
+	if err != nil {
+		return nil, err
+	}
+	eb := ds.AbsErrorBound(1e-2)
+	best, _, err := core.AutoTune(ds, eb, core.TuneConfig{SamplingRate: 0.01}, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	noClassify := best
+	noClassify.Classify = false
+	randomPermFuse := best
+	randomPermFuse.Perm = []int{0, 2, 1}
+	randomPermFuse.Fusion = grid.Fusion{Groups: []int{2, 1}} // "0&1"
+	t, err := renderAblation("E05",
+		"Table VI: optimal pipeline vs cancelled/perturbed variants (Hurricane-T)",
+		"Hurricane-T has no mask or periodicity, so only classification, permutation, fusion and fitting vary; the random perm/fuse column mirrors the paper's comparison.",
+		[]string{"optimal", "-classify", "random perm/fuse"},
+		[]core.Pipeline{best, noClassify, randomPermFuse},
+		ds, eb, env)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}

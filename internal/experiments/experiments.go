@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VII). Each experiment is a named runner producing
+// text tables (figures are rendered as the data series behind them); the
+// cmd/clizbench binary and the repository's benchmark suite drive them.
+//
+// Experiment ids follow DESIGN.md's per-experiment index (E01–E11).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"cliz/internal/codec"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+
+	// Register every compressor.
+	_ "cliz/internal/qoz"
+	_ "cliz/internal/sperr"
+	_ "cliz/internal/sz3"
+	_ "cliz/internal/zfp"
+)
+
+// Env configures an experiment run.
+type Env struct {
+	// Scale shrinks every dataset axis (1.0 = the paper's sizes).
+	Scale float64
+	// OutDir receives artifacts (e.g. the Fig. 14 PGM images); empty
+	// disables artifact writing.
+	OutDir string
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// DefaultEnv returns a laptop-friendly configuration.
+func DefaultEnv() Env { return Env{Scale: datagen.DefaultScale} }
+
+func (e Env) scale() float64 {
+	if e.Scale <= 0 {
+		return datagen.DefaultScale
+	}
+	return e.Scale
+}
+
+func (e Env) logf(format string, args ...any) {
+	if e.Log != nil {
+		fmt.Fprintf(e.Log, format+"\n", args...)
+	}
+}
+
+// Table is one rendered result table.
+type Table struct {
+	ID     string // experiment id, e.g. "E01"
+	Title  string // paper reference, e.g. "Fig. 10 rate-distortion"
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Runner generates one experiment's tables.
+type Runner func(Env) ([]Table, error)
+
+type entry struct {
+	id, desc string
+	run      Runner
+}
+
+var registry []entry
+
+func register(id, desc string, run Runner) {
+	registry = append(registry, entry{id, desc, run})
+}
+
+// List returns the registered experiment ids with descriptions, in id order.
+func List() [][2]string {
+	es := append([]entry(nil), registry...)
+	sort.Slice(es, func(i, j int) bool { return es[i].id < es[j].id })
+	out := make([][2]string, len(es))
+	for i, e := range es {
+		out[i] = [2]string{e.id, e.desc}
+	}
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, env Env) ([]Table, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.run(env)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(env Env) ([]Table, error) {
+	var out []Table
+	es := append([]entry(nil), registry...)
+	sort.Slice(es, func(i, j int) bool { return es[i].id < es[j].id })
+	for _, e := range es {
+		env.logf("running %s (%s)...", e.id, e.desc)
+		t0 := time.Now()
+		ts, err := e.run(env)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.id, err)
+		}
+		env.logf("  done in %v", time.Since(t0).Round(time.Millisecond))
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// loadDataset generates one dataset at the env scale.
+func loadDataset(env Env, name string) (*dataset.Dataset, error) {
+	return datagen.ByName(name, env.scale())
+}
+
+// getCodec fetches a registered compressor.
+func getCodec(name string) (codec.Compressor, error) {
+	return codec.Get(name)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyEnv keeps the experiment datasets small enough for unit testing.
+func tinyEnv() Env { return Env{Scale: 0.06} }
+
+// withSweep temporarily narrows the global sweeps so tests stay fast.
+func withSweep(t *testing.T) {
+	t.Helper()
+	oldDatasets, oldCodecs, oldEBs := Fig10Datasets, Fig10Codecs, Fig10RelEBs
+	oldRates, oldCores := SamplingRates, Fig13Cores
+	Fig10Datasets = []string{"SSH", "Hurricane-T"}
+	Fig10Codecs = []string{"CliZ", "SZ3", "ZFP"}
+	Fig10RelEBs = []float64{1e-2}
+	SamplingRates = []float64{0.1, 0.01}
+	Fig13Cores = []int{256}
+	t.Cleanup(func() {
+		Fig10Datasets, Fig10Codecs, Fig10RelEBs = oldDatasets, oldCodecs, oldEBs
+		SamplingRates, Fig13Cores = oldRates, oldCores
+	})
+}
+
+func mustRun(t *testing.T, id string) []Table {
+	t.Helper()
+	ts, err := Run(id, tinyEnv())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(ts) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	for _, tb := range ts {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table %q", id, tb.Title)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s: ragged row in %q: %v", id, tb.Title, row)
+			}
+		}
+	}
+	return ts
+}
+
+func cell(tb Table, row int, col string) string {
+	for i, h := range tb.Header {
+		if h == col {
+			return tb.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestListAndUnknown(t *testing.T) {
+	ids := List()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i][0] <= ids[i-1][0] {
+			t.Fatalf("ids not sorted: %v", ids)
+		}
+	}
+	if _, err := Run("E99", tinyEnv()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestE01RateDistortion(t *testing.T) {
+	withSweep(t)
+	ts := mustRun(t, "E01")
+	rd := ts[0]
+	// CliZ must beat SZ3 and ZFP on the masked+periodic SSH dataset.
+	ratios := map[string]float64{}
+	for r := range rd.Rows {
+		if cell(rd, r, "Dataset") == "SSH" {
+			ratios[cell(rd, r, "Codec")] = parseF(t, cell(rd, r, "Ratio"))
+		}
+	}
+	if !(ratios["CliZ"] > ratios["SZ3"] && ratios["CliZ"] > ratios["ZFP"]) {
+		t.Fatalf("CliZ should win on SSH: %v", ratios)
+	}
+	// PSNR sanity: prediction-based codecs must score well; ZFP is allowed
+	// to collapse on masked data (fill values exhaust its 32 bit planes,
+	// exactly the paper's §V-A point) but must stay finite.
+	for r := range rd.Rows {
+		p := parseF(t, cell(rd, r, "PSNR(dB)"))
+		codecName := cell(rd, r, "Codec")
+		if codecName != "ZFP" && p < 25 {
+			t.Fatalf("implausible PSNR %v in row %v", p, rd.Rows[r])
+		}
+		if p < 5 {
+			t.Fatalf("PSNR %v degenerate in row %v", p, rd.Rows[r])
+		}
+	}
+}
+
+func TestE02TuningCost(t *testing.T) {
+	withSweep(t)
+	ts := mustRun(t, "E02")
+	// SSH (periodic) must test more pipelines than CESM-T.
+	var sshPipes, cesmPipes float64
+	for r := range ts[0].Rows {
+		switch cell(ts[0], r, "Dataset") {
+		case "SSH":
+			sshPipes = parseF(t, cell(ts[0], r, "Pipelines"))
+		case "CESM-T":
+			cesmPipes = parseF(t, cell(ts[0], r, "Pipelines"))
+		}
+	}
+	if sshPipes <= cesmPipes {
+		t.Fatalf("periodic SSH should enumerate more pipelines: %v vs %v", sshPipes, cesmPipes)
+	}
+}
+
+func TestE03SamplingLoss(t *testing.T) {
+	withSweep(t)
+	ts := mustRun(t, "E03")
+	tIV := ts[0]
+	// Loss at the highest tested rate is the baseline (0%).
+	if got := parseF(t, cell(tIV, 0, "Loss")); got != 0 {
+		t.Fatalf("baseline loss = %v", got)
+	}
+}
+
+func TestE04AblationSSH(t *testing.T) {
+	ts := mustRun(t, "E04")
+	tb := ts[0]
+	if cell(tb, 0, "Variant") != "optimal" {
+		t.Fatal("first row must be the optimal pipeline")
+	}
+	// Cancelling the mask on SSH must hurt badly (paper: +132% CR for mask).
+	for r := range tb.Rows {
+		if cell(tb, r, "Variant") == "-mask" {
+			if imp := parseF(t, cell(tb, r, "CRImprovement")); imp < 10 {
+				t.Fatalf("mask ablation should show a large CR improvement, got %v%%", imp)
+			}
+		}
+	}
+}
+
+func TestE05AblationHurricane(t *testing.T) {
+	ts := mustRun(t, "E05")
+	tb := ts[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 variants, got %d", len(tb.Rows))
+	}
+	for r := range tb.Rows {
+		if cell(tb, r, "Mask") != "No" || cell(tb, r, "Periodicity") != "No" {
+			t.Fatal("Hurricane-T has no mask or periodicity")
+		}
+	}
+}
+
+func TestE06Globus(t *testing.T) {
+	withSweep(t)
+	ts := mustRun(t, "E06")
+	tb := ts[0]
+	// At equal PSNR, CliZ must move fewer bytes than ZFP.
+	bytesOf := map[string]float64{}
+	for r := range tb.Rows {
+		bytesOf[cell(tb, r, "Codec")] = parseF(t, cell(tb, r, "GBMoved"))
+	}
+	if !(bytesOf["CliZ"] < bytesOf["ZFP"]) {
+		t.Fatalf("CliZ should move less than ZFP: %v", bytesOf)
+	}
+	// PSNRs should all sit near the target.
+	for r := range tb.Rows {
+		p := parseF(t, cell(tb, r, "PSNR(dB)"))
+		if p < Fig13TargetPSNR-6 || p > Fig13TargetPSNR+6 {
+			t.Fatalf("PSNR %v too far from target", p)
+		}
+	}
+	// CliZ's transfer time must beat ZFP's (fewer bytes over the same
+	// link); at toy scale the *total* can tie since the modeled fixed
+	// overheads dominate, so allow a small negative summary margin.
+	var clizXfer, zfpXfer float64
+	for r := range tb.Rows {
+		switch cell(tb, r, "Codec") {
+		case "CliZ":
+			clizXfer = parseF(t, cell(tb, r, "Transfer(s)"))
+		case "ZFP":
+			zfpXfer = parseF(t, cell(tb, r, "Transfer(s)"))
+		}
+	}
+	if clizXfer >= zfpXfer {
+		t.Fatalf("CliZ transfer %v >= ZFP %v", clizXfer, zfpXfer)
+	}
+	sum := ts[1]
+	if red := parseF(t, cell(sum, 0, "Reduction")); red < -5 {
+		t.Fatalf("total time much worse than baseline: %v%%", red)
+	}
+}
+
+func TestE07PermFuse(t *testing.T) {
+	ts := mustRun(t, "E07")
+	tb := ts[0]
+	if len(tb.Rows) != 24 {
+		t.Fatalf("3D perm×fusion should give 24 rows, got %d", len(tb.Rows))
+	}
+	// Rows are sorted ascending by bit-rate.
+	prev := -1.0
+	for r := range tb.Rows {
+		br := parseF(t, cell(tb, r, "BitRate"))
+		if br < prev {
+			t.Fatal("rows not sorted by bit-rate")
+		}
+		prev = br
+	}
+	best := parseF(t, cell(tb, 0, "BitRate"))
+	worst := parseF(t, cell(tb, len(tb.Rows)-1, "BitRate"))
+	if worst <= best {
+		t.Fatal("permutation/fusion should matter")
+	}
+}
+
+func TestE08Period(t *testing.T) {
+	ts := mustRun(t, "E08")
+	if !strings.Contains(ts[0].Note, "period 12") {
+		t.Fatalf("expected period 12 in note: %q", ts[0].Note)
+	}
+}
+
+func TestE09Visual(t *testing.T) {
+	dir := t.TempDir()
+	env := tinyEnv()
+	env.OutDir = dir
+	ts, err := Run("E09", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	// All codecs near the target ratio; CliZ slice SSIM ≥ SZ3's.
+	var clizSSIM, sz3SSIM float64
+	for r := range tb.Rows {
+		switch cell(tb, r, "Codec") {
+		case "CliZ":
+			clizSSIM = parseF(t, cell(tb, r, "SliceSSIM"))
+			ratio := parseF(t, cell(tb, r, "AchievedRatio"))
+			if ratio < Fig14TargetRatio*0.7 || ratio > Fig14TargetRatio*1.3 {
+				t.Fatalf("CliZ ratio %v far from target", ratio)
+			}
+		case "SZ3":
+			sz3SSIM = parseF(t, cell(tb, r, "SliceSSIM"))
+		}
+	}
+	if clizSSIM < sz3SSIM-1e-6 {
+		t.Fatalf("CliZ slice SSIM %v below SZ3 %v at equal ratio", clizSSIM, sz3SSIM)
+	}
+}
+
+func TestE10Properties(t *testing.T) {
+	ts := mustRun(t, "E10")
+	if len(ts) != 3 {
+		t.Fatalf("want 3 property tables, got %d", len(ts))
+	}
+	// Fig. 4: height variation dwarfs horizontal.
+	fig4 := ts[0]
+	h := parseF(t, cell(fig4, 0, "Mean|Δ|"))
+	lat := parseF(t, cell(fig4, 1, "Mean|Δ|"))
+	lon := parseF(t, cell(fig4, 2, "Mean|Δ|"))
+	if !(h > 5*lat && h > 5*lon) {
+		t.Fatalf("anisotropy missing: %v %v %v", h, lat, lon)
+	}
+	// Fig. 5: bin maps correlate across heights.
+	fig5 := ts[1]
+	for r := range fig5.Rows {
+		if c := parseF(t, cell(fig5, r, "Pearson")); c < 0.2 {
+			t.Fatalf("weak topography correlation: %v", c)
+		}
+	}
+	// Fig. 9: residual smoother than original.
+	fig9 := ts[2]
+	orig := parseF(t, cell(fig9, 0, "Mean|Δ| along longitude"))
+	resid := parseF(t, cell(fig9, 1, "Mean|Δ| along longitude"))
+	if resid >= orig {
+		t.Fatalf("residual not smoother: %v vs %v", resid, orig)
+	}
+}
+
+func TestE11Inventory(t *testing.T) {
+	ts := mustRun(t, "E11")
+	if len(ts[0].Rows) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(ts[0].Rows))
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := Table{
+		ID: "EXX", Title: "demo", Note: "note",
+		Header: []string{"A", "LongHeader"},
+		Rows:   [][]string{{"1", "x,y"}, {"22", `q"u`}},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "EXX") || !strings.Contains(out, "LongHeader") {
+		t.Fatalf("render output: %q", out)
+	}
+	buf.Reset()
+	tb.CSV(&buf)
+	csv := buf.String()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""u"`) {
+		t.Fatalf("csv escaping: %q", csv)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cliz/internal/codec"
+	"cliz/internal/dataset"
+	"cliz/internal/netsim"
+	"cliz/internal/stats"
+)
+
+// Fig13Cores are the process counts of the scaled-performance experiment.
+var Fig13Cores = []int{256, 512, 1024}
+
+// Fig13TargetPSNR is the equal-distortion operating point (paper: ~117 dB).
+const Fig13TargetPSNR = 117.0
+
+func init() {
+	register("E06", "Fig. 13: Globus WAN transfer at equal PSNR (CliZ vs SZ3 vs ZFP, 256–1024 cores)", fig13)
+}
+
+// tuneToPSNR binary-searches the relative error bound until the codec's
+// reconstruction hits the target PSNR (±tol dB). Smaller eb → higher PSNR.
+func tuneToPSNR(c codec.Compressor, ds *dataset.Dataset, target, tolDB float64) (blob []byte, psnr float64, cmpSec float64, err error) {
+	valid := ds.Validity()
+	lo, hi := -8.0, -0.5 // log10(relEB) bracket
+	var best []byte
+	bestPSNR := math.Inf(-1)
+	bestEB := 0.0
+	for iter := 0; iter < 24; iter++ {
+		mid := (lo + hi) / 2
+		eb := ds.AbsErrorBound(math.Pow(10, mid))
+		b, cerr := c.Compress(ds, eb)
+		if cerr != nil {
+			return nil, 0, 0, cerr
+		}
+		recon, _, derr := c.Decompress(b)
+		if derr != nil {
+			return nil, 0, 0, derr
+		}
+		p := stats.PSNR(ds.Data, recon, valid)
+		if math.Abs(p-target) < math.Abs(bestPSNR-target) {
+			best, bestPSNR, bestEB = b, p, eb
+		}
+		if math.Abs(p-target) <= tolDB {
+			break
+		}
+		if p < target {
+			hi = mid // need smaller eb
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		return nil, 0, 0, fmt.Errorf("PSNR tuning failed")
+	}
+	// Measure the online compression time with the tuned configuration warm
+	// (CliZ's pipeline cache is populated by now) — the paper's offline
+	// tuning is amortized across a model's fields and not part of Fig. 13's
+	// per-file compression cost.
+	t0 := time.Now()
+	if _, err := c.Compress(ds, bestEB); err != nil {
+		return nil, 0, 0, err
+	}
+	return best, bestPSNR, time.Since(t0).Seconds(), nil
+}
+
+func fig13(env Env) ([]Table, error) {
+	// CESM-T carries no fill values: ZFP's 32 bit planes cannot reach high
+	// PSNR through 1e36 sentinels (true of the original codec as well), so
+	// the equal-PSNR comparison uses the atmosphere field.
+	ds, err := loadDataset(env, "CESM-T")
+	if err != nil {
+		return nil, err
+	}
+	wan := netsim.DefaultWAN()
+	t := Table{
+		ID:    "E06",
+		Title: "Fig. 13: compression + Globus transmission time at equal PSNR (~117 dB)",
+		Note: fmt.Sprintf("Dataset CESM-T %v per core; WAN model: %.0f Gbit/s shared, "+
+			"measured compression times, actual compressed sizes. The paper reports a "+
+			"32%%–38%% total-time reduction for CliZ over SZ3/ZFP.",
+			ds.Dims, wan.BandwidthBytesPerSec*8/1e9),
+		Header: []string{"Codec", "PSNR(dB)", "Ratio", "Cores", "Compress(s)", "Transfer(s)", "Total(s)", "GBMoved"},
+	}
+	type tuned struct {
+		name string
+		blob []byte
+		psnr float64
+		sec  float64
+	}
+	var runs []tuned
+	for _, name := range []string{"CliZ", "SZ3", "ZFP"} {
+		c, err := getCodec(name)
+		if err != nil {
+			return nil, err
+		}
+		blob, psnr, sec, err := tuneToPSNR(c, ds, Fig13TargetPSNR, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		env.logf("  %s: PSNR %.1f dB, %d bytes, %.2fs", name, psnr, len(blob), sec)
+		runs = append(runs, tuned{name, blob, psnr, sec})
+	}
+	var clizTotal, worstTotal map[int]float64
+	clizTotal = map[int]float64{}
+	worstTotal = map[int]float64{}
+	for _, r := range runs {
+		for _, cores := range Fig13Cores {
+			res, err := netsim.Simulate(wan, netsim.Job{
+				Cores: cores, FileBytes: len(r.blob), CompressSec: r.sec,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				r.name, f2(r.psnr), f2(stats.Ratio(ds.Points(), len(r.blob))),
+				fmt.Sprintf("%d", cores),
+				f2(res.CompressTime.Seconds()), f2(res.TransferTime.Seconds()),
+				f2(res.Total.Seconds()),
+				f3(float64(res.TotalBytes) / 1e9),
+			})
+			if r.name == "CliZ" {
+				clizTotal[cores] = res.Total.Seconds()
+			} else if res.Total.Seconds() > worstTotal[cores] {
+				worstTotal[cores] = res.Total.Seconds()
+			}
+		}
+	}
+	sum := Table{
+		ID:     "E06",
+		Title:  "Fig. 13 summary: CliZ total-time reduction vs the slower baseline",
+		Header: []string{"Cores", "CliZ total(s)", "Baseline worst(s)", "Reduction"},
+	}
+	for _, cores := range Fig13Cores {
+		red := 1 - clizTotal[cores]/worstTotal[cores]
+		sum.Rows = append(sum.Rows, []string{
+			fmt.Sprintf("%d", cores), f2(clizTotal[cores]), f2(worstTotal[cores]), pct(red),
+		})
+	}
+	return []Table{t, sum}, nil
+}

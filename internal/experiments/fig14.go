@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"cliz/internal/codec"
+	"cliz/internal/dataset"
+	"cliz/internal/stats"
+)
+
+// Fig14TargetRatio is the equal-compression-ratio operating point (paper: 25).
+const Fig14TargetRatio = 25.0
+
+func init() {
+	register("E09", "Fig. 14: visual quality at equal compression ratio ≈25 (SSH slice; PGM dumps)", fig14)
+}
+
+// tuneToRatio binary-searches the relative error bound until the codec's
+// output hits the target compression ratio.
+func tuneToRatio(c codec.Compressor, ds *dataset.Dataset, target float64) ([]byte, float64, error) {
+	lo, hi := -8.0, -0.5 // log10(relEB); larger eb → larger ratio
+	var best []byte
+	bestRatio := 0.0
+	for iter := 0; iter < 22; iter++ {
+		mid := (lo + hi) / 2
+		eb := ds.AbsErrorBound(math.Pow(10, mid))
+		b, err := c.Compress(ds, eb)
+		if err != nil {
+			return nil, 0, err
+		}
+		ratio := stats.Ratio(ds.Points(), len(b))
+		if best == nil || math.Abs(ratio-target) < math.Abs(bestRatio-target) {
+			best, bestRatio = b, ratio
+		}
+		if math.Abs(ratio-target) < 0.02*target {
+			break
+		}
+		if ratio < target {
+			lo = mid // need larger eb
+		} else {
+			hi = mid
+		}
+	}
+	return best, bestRatio, nil
+}
+
+// writePGM renders one horizontal slice as an 8-bit PGM image; masked points
+// render black.
+func writePGM(path string, slice []float32, nLat, nLon int, valid []bool, lo, hi float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", nLon, nLat); err != nil {
+		return err
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	buf := make([]byte, nLat*nLon)
+	for i, v := range slice {
+		if valid != nil && !valid[i] {
+			buf[i] = 0
+			continue
+		}
+		g := (float64(v) - lo) / span
+		if g < 0 {
+			g = 0
+		}
+		if g > 1 {
+			g = 1
+		}
+		buf[i] = byte(10 + g*245)
+	}
+	_, err = f.Write(buf)
+	return err
+}
+
+func fig14(env Env) ([]Table, error) {
+	ds, err := loadDataset(env, "SSH")
+	if err != nil {
+		return nil, err
+	}
+	valid := ds.Validity()
+	nLat, nLon := ds.LatLonDims()
+	plane := nLat * nLon
+	sliceT := ds.Dims[0] / 2
+	lo, hi := ds.ValueRange()
+
+	t := Table{
+		ID:    "E09",
+		Title: "Fig. 14: reconstruction quality at equal compression ratio ≈25",
+		Note: "Per-slice SSIM/PSNR of the mid-time SSH slice; PGM images are written " +
+			"when an output directory is configured. The paper shows CliZ visually clean " +
+			"while SZ3 and QoZ distort at the same ratio.",
+		Header: []string{"Codec", "AchievedRatio", "SlicePSNR(dB)", "SliceSSIM", "Image"},
+	}
+	if env.OutDir != "" {
+		if err := os.MkdirAll(env.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		orig := filepath.Join(env.OutDir, "fig14_original.pgm")
+		if err := writePGM(orig, ds.Data[sliceT*plane:(sliceT+1)*plane], nLat, nLon,
+			valid[:plane], lo, hi); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"original", "-", "inf", "1.0000", orig})
+	} else {
+		t.Rows = append(t.Rows, []string{"original", "-", "inf", "1.0000", "-"})
+	}
+	for _, name := range []string{"CliZ", "SZ3", "QoZ"} {
+		c, err := getCodec(name)
+		if err != nil {
+			return nil, err
+		}
+		blob, ratio, err := tuneToRatio(c, ds, Fig14TargetRatio)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		recon, _, err := c.Decompress(blob)
+		if err != nil {
+			return nil, err
+		}
+		oSlice := ds.Data[sliceT*plane : (sliceT+1)*plane]
+		rSlice := recon[sliceT*plane : (sliceT+1)*plane]
+		vSlice := valid[:plane]
+		psnr := stats.PSNR(oSlice, rSlice, vSlice)
+		ssim := stats.SSIM(oSlice, rSlice, []int{nLat, nLon}, 8, vSlice)
+		img := "-"
+		if env.OutDir != "" {
+			img = filepath.Join(env.OutDir, fmt.Sprintf("fig14_%s.pgm", name))
+			if err := writePGM(img, rSlice, nLat, nLon, vSlice, lo, hi); err != nil {
+				return nil, err
+			}
+		}
+		t.Rows = append(t.Rows, []string{name, f2(ratio), f2(psnr), f4(ssim), img})
+		env.logf("  %s: ratio %.2f, slice SSIM %.4f", name, ratio, ssim)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,214 @@
+// Package fft implements the Fourier analysis CliZ needs for periodic
+// component detection (paper §VI-D, Fig. 8). It replaces FFTW with a
+// from-scratch radix-2 Cooley–Tukey transform plus Bluestein's algorithm for
+// arbitrary lengths, and provides a periodogram-based period detector that
+// follows the paper's harmonic-disambiguation rule (adopt the peak with the
+// smallest frequency, i.e. the largest period).
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Transform computes the in-place DFT of x when inverse is false, or the
+// inverse DFT (scaled by 1/n) when inverse is true. Any length is supported;
+// non-powers of two use Bluestein's algorithm (allocating).
+func Transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// radix2 is the iterative in-place Cooley–Tukey FFT for power-of-two n.
+// No 1/n scaling is applied here.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// bit-reversal permutation
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform:
+// X_k = conj(b_k) * sum_j (a_j b_j) * b_{k-j}, evaluated with a power-of-two
+// convolution. No 1/n scaling is applied here.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[i] = exp(sign * i*pi*i^2/n); compute i^2 mod 2n to avoid overflow.
+	chirp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		j := (int64(i) * int64(i)) % int64(2*n)
+		chirp[i] = cmplx.Rect(1, sign*math.Pi*float64(j)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		a[i] = x[i] * chirp[i]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for i := 1; i < n; i++ {
+		c := cmplx.Conj(chirp[i])
+		b[i] = c
+		b[m-i] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for i := 0; i < n; i++ {
+		x[i] = a[i] * scale * chirp[i]
+	}
+}
+
+// Periodogram returns the magnitude spectrum |X_k| of the real signal for
+// k = 0..n/2, after removing the mean (so the DC bin does not dominate).
+func Periodogram(signal []float64) []float64 {
+	n := len(signal)
+	if n == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(n)
+	x := make([]complex128, n)
+	for i, v := range signal {
+		x[i] = complex(v-mean, 0)
+	}
+	Transform(x, false)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		out[k] = cmplx.Abs(x[k])
+	}
+	return out
+}
+
+// PeriodResult reports what the detector found.
+type PeriodResult struct {
+	Period    int     // detected period length in samples; 0 if none
+	Frequency int     // index of the adopted spectral peak
+	Strength  float64 // peak magnitude relative to mean spectrum magnitude
+	Spectrum  []float64
+}
+
+// DetectPeriod averages the periodograms of several sample rows and returns
+// the period implied by the lowest-frequency strong peak. A peak counts as
+// strong when it reaches relThreshold of the global maximum (the paper keeps
+// only the smallest frequency among the harmonics at multiples of the base).
+// minStrength guards against calling noise periodic: the adopted peak must
+// exceed minStrength × the mean spectral magnitude.
+func DetectPeriod(rows [][]float64, relThreshold, minStrength float64) PeriodResult {
+	if len(rows) == 0 {
+		return PeriodResult{}
+	}
+	n := len(rows[0])
+	if n < 4 {
+		return PeriodResult{}
+	}
+	var avg []float64
+	cnt := 0
+	for _, row := range rows {
+		if len(row) != n {
+			continue
+		}
+		p := Periodogram(row)
+		if avg == nil {
+			avg = make([]float64, len(p))
+		}
+		for k, v := range p {
+			avg[k] += v
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		return PeriodResult{}
+	}
+	for k := range avg {
+		avg[k] /= float64(cnt)
+	}
+	// Global maximum over k >= 1 (DC already suppressed by mean removal,
+	// but skip it regardless).
+	maxMag, maxK := 0.0, 0
+	mean := 0.0
+	for k := 1; k < len(avg); k++ {
+		if avg[k] > maxMag {
+			maxMag, maxK = avg[k], k
+		}
+		mean += avg[k]
+	}
+	if len(avg) > 1 {
+		mean /= float64(len(avg) - 1)
+	}
+	if maxK == 0 || maxMag <= 0 {
+		return PeriodResult{Spectrum: avg}
+	}
+	// Adopt the smallest frequency whose peak is within relThreshold of the
+	// maximum — this picks the fundamental among harmonics.
+	adopted := maxK
+	for k := 1; k < maxK; k++ {
+		if avg[k] >= relThreshold*maxMag {
+			adopted = k
+			break
+		}
+	}
+	strength := maxMag / math.Max(mean, 1e-300)
+	if strength < minStrength {
+		return PeriodResult{Spectrum: avg, Strength: strength}
+	}
+	period := int(math.Round(float64(n) / float64(adopted)))
+	if period < 2 || period > n/2 {
+		return PeriodResult{Spectrum: avg, Strength: strength}
+	}
+	return PeriodResult{Period: period, Frequency: adopted, Strength: strength, Spectrum: avg}
+}

@@ -1,0 +1,218 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnownDFT(t *testing.T) {
+	// DFT of [1,0,0,0] is [1,1,1,1].
+	x := []complex128{1, 0, 0, 0}
+	Transform(x, false)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v", i, v)
+		}
+	}
+	// DFT of a pure cosine concentrates at ±k.
+	n := 64
+	k := 5
+	y := make([]complex128, n)
+	for i := range y {
+		y[i] = complex(math.Cos(2*math.Pi*float64(k*i)/float64(n)), 0)
+	}
+	Transform(y, false)
+	for i, v := range y {
+		mag := cmplx.Abs(v)
+		if i == k || i == n-k {
+			if math.Abs(mag-float64(n)/2) > 1e-9 {
+				t.Fatalf("bin %d mag %g want %g", i, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leak at bin %d: %g", i, mag)
+		}
+	}
+}
+
+func TestInverseIdentityPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		Transform(x, false)
+		Transform(x, true)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d i=%d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestInverseIdentityArbitraryN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 1032, 360} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		Transform(x, false)
+		Transform(x, true)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-7 {
+				t.Fatalf("n=%d i=%d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestBluesteinMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 37 // prime, forces Bluestein
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x)
+	got := append([]complex128(nil), x...)
+	Transform(got, false)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("bin %d: %v vs naive %v", i, got[i], want[i])
+		}
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			s += x[j] * cmplx.Rect(1, ang)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestPeriodogramPeak(t *testing.T) {
+	n := 1032
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/12) // period 12
+	}
+	p := Periodogram(sig)
+	// Peak must be at frequency n/12 = 86.
+	maxK, maxV := 0, 0.0
+	for k, v := range p {
+		if v > maxV {
+			maxK, maxV = k, v
+		}
+	}
+	if maxK != 86 {
+		t.Fatalf("peak at %d, want 86", maxK)
+	}
+}
+
+func TestDetectPeriodSSHLike(t *testing.T) {
+	// Mirrors the paper's Fig. 8: 1032 monthly samples, annual cycle → the
+	// adopted peak is frequency 86 and the period is 1032/86 = 12.
+	rng := rand.New(rand.NewSource(6))
+	n := 1032
+	rows := make([][]float64, 10)
+	for r := range rows {
+		row := make([]float64, n)
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 1 + rng.Float64()*4
+		for i := range row {
+			row[i] = amp*math.Sin(2*math.Pi*float64(i)/12+phase) + 0.2*rng.NormFloat64()
+		}
+		rows[r] = row
+	}
+	res := DetectPeriod(rows, 0.7, 3)
+	if res.Period != 12 {
+		t.Fatalf("period = %d (freq %d, strength %.1f), want 12",
+			res.Period, res.Frequency, res.Strength)
+	}
+	if res.Frequency != 86 {
+		t.Fatalf("frequency = %d, want 86", res.Frequency)
+	}
+}
+
+func TestDetectPeriodHarmonics(t *testing.T) {
+	// A signal with strong harmonics: fundamental must still win because the
+	// detector adopts the smallest frequency above the threshold.
+	n := 720
+	rows := [][]float64{make([]float64, n)}
+	for i := range rows[0] {
+		x := 2 * math.Pi * float64(i) / 24
+		rows[0][i] = math.Sin(x) + 0.9*math.Sin(2*x) + 0.8*math.Sin(3*x)
+	}
+	res := DetectPeriod(rows, 0.7, 3)
+	if res.Period != 24 {
+		t.Fatalf("period = %d, want 24 (fundamental)", res.Period)
+	}
+}
+
+func TestDetectPeriodRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 5)
+	for r := range rows {
+		row := make([]float64, 512)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		rows[r] = row
+	}
+	res := DetectPeriod(rows, 0.7, 8)
+	if res.Period != 0 {
+		t.Fatalf("noise classified as periodic: period %d strength %.1f",
+			res.Period, res.Strength)
+	}
+}
+
+func TestDetectPeriodDegenerateInputs(t *testing.T) {
+	if res := DetectPeriod(nil, 0.7, 3); res.Period != 0 {
+		t.Fatal("nil rows")
+	}
+	if res := DetectPeriod([][]float64{{1, 2}}, 0.7, 3); res.Period != 0 {
+		t.Fatal("too-short rows")
+	}
+	if res := DetectPeriod([][]float64{{5, 5, 5, 5, 5, 5, 5, 5}}, 0.7, 3); res.Period != 0 {
+		t.Fatal("constant signal")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 2
+		x := make([]complex128, n)
+		var te float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			te += real(x[i]) * real(x[i])
+		}
+		Transform(x, false)
+		var fe float64
+		for _, v := range x {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fe /= float64(n)
+		return math.Abs(te-fe) < 1e-6*math.Max(1, te)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConcatBlocksAxis0MatchesLegacy(t *testing.T) {
+	dims := []int{4, 4}
+	src := seq(16)
+	blocks := []Block{
+		{Origin: []int{0, 0}, Size: []int{2, 2}},
+		{Origin: []int{2, 2}, Size: []int{2, 2}},
+	}
+	d0, n0 := ConcatBlocks(src, dims, blocks)
+	dA, nA := ConcatBlocksAxis(src, dims, blocks, 0)
+	if !reflect.DeepEqual(d0, dA) || !reflect.DeepEqual(n0, nA) {
+		t.Fatalf("axis-0 concat differs from legacy: %v/%v vs %v/%v", d0, n0, dA, nA)
+	}
+}
+
+func TestConcatBlocksAxis1Semantics(t *testing.T) {
+	// 3D blocks stacked along axis 1: out[t][b*s1+i1][i2] = block_b[t][i1][i2].
+	dims := []int{2, 4, 3}
+	src := seq(Volume(dims))
+	blocks := []Block{
+		{Origin: []int{0, 0, 0}, Size: []int{2, 2, 3}},
+		{Origin: []int{0, 2, 0}, Size: []int{2, 2, 3}},
+	}
+	data, nd := ConcatBlocksAxis(src, dims, blocks, 1)
+	if !reflect.DeepEqual(nd, []int{2, 4, 3}) {
+		t.Fatalf("dims %v", nd)
+	}
+	// The two blocks partition the source exactly, so stacking them along
+	// lat must reproduce the original array.
+	if !reflect.DeepEqual(data, src) {
+		t.Fatalf("data %v", data)
+	}
+}
+
+func TestConcatBlocksAxis1TimeSeriesCoherent(t *testing.T) {
+	// Every (lat,lon) column of the axis-1 concat must be a time series
+	// from a single source block — the property the CliZ tuner relies on.
+	dims := []int{6, 8, 2}
+	src := make([]int, Volume(dims))
+	for i := range src {
+		// Encode (t, lat) into the value; lon ignored.
+		t := i / 16
+		lat := (i / 2) % 8
+		src[i] = t*100 + lat
+	}
+	blocks := []Block{
+		{Origin: []int{0, 0, 0}, Size: []int{4, 3, 2}},
+		{Origin: []int{2, 4, 0}, Size: []int{4, 3, 2}},
+	}
+	data, nd := ConcatBlocksAxis(src, dims, blocks, 1)
+	if !reflect.DeepEqual(nd, []int{4, 6, 2}) {
+		t.Fatalf("dims %v", nd)
+	}
+	// For each output column, the lat part must be constant over time and
+	// the time part must advance by 100 per step.
+	for lat := 0; lat < 6; lat++ {
+		for lon := 0; lon < 2; lon++ {
+			base := data[lat*2+lon]
+			for tt := 1; tt < 4; tt++ {
+				got := data[(tt*6+lat)*2+lon]
+				if got != base+tt*100 {
+					t.Fatalf("column (%d,%d) not a coherent series: t0=%d t%d=%d",
+						lat, lon, base, tt, got)
+				}
+			}
+		}
+	}
+}
+
+func TestConcatBlocksAxisEmpty(t *testing.T) {
+	d, n := ConcatBlocksAxis[int](nil, []int{2, 2}, nil, 0)
+	if d != nil || n != nil {
+		t.Fatal("empty blocks should return nil")
+	}
+}

@@ -1,0 +1,396 @@
+// Package grid provides the N-dimensional index arithmetic used throughout
+// the compressors: strides, physical transposition (dimension permutation),
+// fusion (reshape of adjacent dimensions), and the block-sampling scheme of
+// the CliZ auto-tuner.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volume returns the number of points spanned by dims. Empty dims or any
+// non-positive extent yields 0.
+func Volume(dims []int) int {
+	if len(dims) == 0 {
+		return 0
+	}
+	v := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return 0
+		}
+		v *= d
+	}
+	return v
+}
+
+// Strides returns row-major strides for dims: strides[i] is the flat-index
+// distance between neighbours along dimension i.
+func Strides(dims []int) []int {
+	n := len(dims)
+	s := make([]int, n)
+	acc := 1
+	for i := n - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= dims[i]
+	}
+	return s
+}
+
+// Index converts a coordinate tuple to a flat row-major index.
+func Index(coord, dims []int) int {
+	idx := 0
+	for i, c := range coord {
+		idx = idx*dims[i] + c
+	}
+	return idx
+}
+
+// Coord converts a flat index to a coordinate tuple, writing into out
+// (which must have len(dims)).
+func Coord(idx int, dims, out []int) {
+	for i := len(dims) - 1; i >= 0; i-- {
+		out[i] = idx % dims[i]
+		idx /= dims[i]
+	}
+}
+
+// ValidPerm reports whether perm is a permutation of 0..n-1.
+func ValidPerm(perm []int, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// InversePerm returns the inverse permutation of perm.
+func InversePerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// PermuteDims returns dims reordered so that result[i] = dims[perm[i]].
+func PermuteDims(dims, perm []int) []int {
+	out := make([]int, len(perm))
+	for i, p := range perm {
+		out[i] = dims[p]
+	}
+	return out
+}
+
+// Transpose physically reorders src (row-major over dims) into a new slice
+// that is row-major over PermuteDims(dims, perm). Axis perm[i] of the source
+// becomes axis i of the destination.
+func Transpose[T any](src []T, dims, perm []int) []T {
+	n := len(dims)
+	if !ValidPerm(perm, n) {
+		panic(fmt.Sprintf("grid: invalid permutation %v for %d dims", perm, n))
+	}
+	vol := Volume(dims)
+	if len(src) != vol {
+		panic(fmt.Sprintf("grid: data length %d does not match dims %v", len(src), dims))
+	}
+	dst := make([]T, vol)
+	if n == 0 || vol == 0 {
+		return dst
+	}
+	outDims := PermuteDims(dims, perm)
+	srcStr := Strides(dims)
+	// Stride in the source corresponding to each destination axis.
+	step := make([]int, n)
+	for i, p := range perm {
+		step[i] = srcStr[p]
+	}
+	// Odometer walk over destination coordinates; dst index is sequential.
+	coord := make([]int, n)
+	si := 0
+	for di := 0; di < vol; di++ {
+		dst[di] = src[si]
+		// increment odometer (last destination axis fastest)
+		for ax := n - 1; ax >= 0; ax-- {
+			coord[ax]++
+			si += step[ax]
+			if coord[ax] < outDims[ax] {
+				break
+			}
+			coord[ax] = 0
+			si -= step[ax] * outDims[ax]
+		}
+	}
+	return dst
+}
+
+// Fusion describes which adjacent dimensions are merged: Groups is a
+// composition of the dimension count, e.g. for 3 dims {2,1} means dims 0 and
+// 1 fuse, and {3} means all three fuse. {1,1,1} is the identity.
+type Fusion struct {
+	Groups []int
+}
+
+// NoFusion returns the identity fusion for n dims.
+func NoFusion(n int) Fusion {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = 1
+	}
+	return Fusion{Groups: g}
+}
+
+// Valid reports whether the fusion is a composition of n.
+func (f Fusion) Valid(n int) bool {
+	sum := 0
+	for _, g := range f.Groups {
+		if g <= 0 {
+			return false
+		}
+		sum += g
+	}
+	return sum == n
+}
+
+// Apply returns the fused dimension extents: each group's dims multiply.
+// Fusion is purely logical (row-major layout is unchanged), so no data
+// movement happens.
+func (f Fusion) Apply(dims []int) []int {
+	out := make([]int, 0, len(f.Groups))
+	i := 0
+	for _, g := range f.Groups {
+		d := 1
+		for j := 0; j < g; j++ {
+			d *= dims[i]
+			i++
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// String renders the fusion in the paper's "0&1" notation (post-permutation
+// dimension indices), or "No" for the identity.
+func (f Fusion) String() string {
+	s := ""
+	i := 0
+	any := false
+	for _, g := range f.Groups {
+		if g > 1 {
+			if any {
+				s += ","
+			}
+			for j := 0; j < g; j++ {
+				if j > 0 {
+					s += "&"
+				}
+				s += fmt.Sprintf("%d", i+j)
+			}
+			any = true
+		}
+		i += g
+	}
+	if !any {
+		return "No"
+	}
+	return s
+}
+
+// Compositions enumerates all 2^(n-1) compositions of n, i.e. every way to
+// fuse adjacent dimensions. The identity composition comes first.
+func Compositions(n int) []Fusion {
+	if n <= 0 {
+		return nil
+	}
+	var out []Fusion
+	// Each of the n-1 gaps is either a split (bit 0) or a merge (bit 1).
+	for massk := 0; massk < 1<<(n-1); massk++ {
+		groups := []int{1}
+		for gap := 0; gap < n-1; gap++ {
+			if massk&(1<<gap) != 0 {
+				groups[len(groups)-1]++
+			} else {
+				groups = append(groups, 1)
+			}
+		}
+		out = append(out, Fusion{Groups: groups})
+	}
+	// Put identity first for readability.
+	for i, f := range out {
+		if len(f.Groups) == n {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	return out
+}
+
+// Permutations enumerates all permutations of 0..n-1 in lexicographic order.
+func Permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(prefix []int, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			cp := make([]int, len(prefix))
+			copy(cp, prefix)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			nr := make([]int, 0, len(rest)-1)
+			nr = append(nr, rest[:i]...)
+			nr = append(nr, rest[i+1:]...)
+			rec(append(prefix, rest[i]), nr)
+		}
+	}
+	rec(nil, base)
+	return out
+}
+
+// PermString renders a permutation in the paper's compact "201" style.
+func PermString(perm []int) string {
+	s := ""
+	for _, p := range perm {
+		s += fmt.Sprintf("%d", p)
+	}
+	return s
+}
+
+// Block describes an axis-aligned sub-box of a grid.
+type Block struct {
+	Origin []int
+	Size   []int
+}
+
+// Extract copies the block from src (row-major over dims) into a dense
+// row-major slice of the block's size.
+func Extract[T any](src []T, dims []int, b Block) []T {
+	n := len(dims)
+	vol := Volume(b.Size)
+	dst := make([]T, vol)
+	if vol == 0 {
+		return dst
+	}
+	str := Strides(dims)
+	coord := make([]int, n)
+	base := 0
+	for i := 0; i < n; i++ {
+		base += b.Origin[i] * str[i]
+	}
+	si := base
+	for di := 0; di < vol; di++ {
+		dst[di] = src[si]
+		for ax := n - 1; ax >= 0; ax-- {
+			coord[ax]++
+			si += str[ax]
+			if coord[ax] < b.Size[ax] {
+				break
+			}
+			coord[ax] = 0
+			si -= str[ax] * b.Size[ax]
+		}
+	}
+	return dst
+}
+
+// SampleBlocks implements the CliZ auto-tuning sampling strategy (paper
+// §VI-A): 2^n blocks centred at 1/3 and 2/3 along every dimension, each side
+// about (1/2)·rate^(1/n) of the corresponding full side. Blocks are clamped
+// to at least minSide points per side (bounded by the dimension itself).
+func SampleBlocks(dims []int, rate float64, minSide int) []Block {
+	n := len(dims)
+	if n == 0 || rate <= 0 {
+		return nil
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	frac := 0.5 * pow(rate, 1.0/float64(n))
+	sz := make([]int, n)
+	for i, d := range dims {
+		s := int(frac * float64(d))
+		if s < minSide {
+			s = minSide
+		}
+		if s > d/2 { // two blocks per axis must not overlap the same centre region badly
+			s = d / 2
+		}
+		if s < 1 {
+			s = 1
+		}
+		sz[i] = s
+	}
+	var blocks []Block
+	for mask := 0; mask < 1<<n; mask++ {
+		org := make([]int, n)
+		for i, d := range dims {
+			var centre int
+			if mask&(1<<i) == 0 {
+				centre = d / 3
+			} else {
+				centre = 2 * d / 3
+			}
+			o := centre - sz[i]/2
+			if o < 0 {
+				o = 0
+			}
+			if o+sz[i] > d {
+				o = d - sz[i]
+			}
+			org[i] = o
+		}
+		blocks = append(blocks, Block{Origin: org, Size: append([]int(nil), sz...)})
+	}
+	return blocks
+}
+
+// ConcatBlocks extracts every block and concatenates them along dimension 0,
+// returning the stacked data and its dims. All blocks must share Size (which
+// SampleBlocks guarantees).
+func ConcatBlocks[T any](src []T, dims []int, blocks []Block) ([]T, []int) {
+	return ConcatBlocksAxis(src, dims, blocks, 0)
+}
+
+// ConcatBlocksAxis concatenates the blocks along the given axis. The CliZ
+// tuner stacks periodic datasets along a spatial axis so that each time
+// series in the sample stays a coherent series from a single block (stacking
+// along time would interleave different geographic regions into one series
+// and destroy the periodicity signal).
+func ConcatBlocksAxis[T any](src []T, dims []int, blocks []Block, axis int) ([]T, []int) {
+	if len(blocks) == 0 {
+		return nil, nil
+	}
+	size := blocks[0].Size
+	per := Volume(size)
+	nb := len(blocks)
+	out := make([]T, per*nb)
+	// outer = product of dims before axis; inner = product from axis on.
+	inner := 1
+	for i := axis; i < len(size); i++ {
+		inner *= size[i]
+	}
+	outer := per / inner
+	for bi, b := range blocks {
+		blk := Extract(src, dims, b)
+		for o := 0; o < outer; o++ {
+			dst := (o*nb + bi) * inner
+			copy(out[dst:dst+inner], blk[o*inner:(o+1)*inner])
+		}
+	}
+	nd := append([]int(nil), size...)
+	nd[axis] *= nb
+	return out, nd
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,254 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVolumeAndStrides(t *testing.T) {
+	if v := Volume([]int{3, 4, 5}); v != 60 {
+		t.Fatalf("Volume = %d", v)
+	}
+	if v := Volume(nil); v != 0 {
+		t.Fatalf("Volume(nil) = %d", v)
+	}
+	if v := Volume([]int{3, 0}); v != 0 {
+		t.Fatalf("Volume zero-dim = %d", v)
+	}
+	s := Strides([]int{3, 4, 5})
+	if !reflect.DeepEqual(s, []int{20, 5, 1}) {
+		t.Fatalf("Strides = %v", s)
+	}
+}
+
+func TestIndexCoordInverse(t *testing.T) {
+	dims := []int{3, 4, 5}
+	out := make([]int, 3)
+	for idx := 0; idx < Volume(dims); idx++ {
+		Coord(idx, dims, out)
+		if got := Index(out, dims); got != idx {
+			t.Fatalf("Index(Coord(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestTransposeIdentity(t *testing.T) {
+	dims := []int{2, 3, 4}
+	src := seq(Volume(dims))
+	dst := Transpose(src, dims, []int{0, 1, 2})
+	if !reflect.DeepEqual(src, dst) {
+		t.Fatal("identity transpose changed data")
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	// 2x3 matrix [[0,1,2],[3,4,5]] transposed -> 3x2 [[0,3],[1,4],[2,5]]
+	src := []int{0, 1, 2, 3, 4, 5}
+	dst := Transpose(src, []int{2, 3}, []int{1, 0})
+	want := []int{0, 3, 1, 4, 2, 5}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("got %v want %v", dst, want)
+	}
+}
+
+func TestTransposeInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 1
+		dims := make([]int, n)
+		for i := range dims {
+			dims[i] = rng.Intn(6) + 1
+		}
+		perms := Permutations(n)
+		perm := perms[rng.Intn(len(perms))]
+		src := make([]float32, Volume(dims))
+		for i := range src {
+			src[i] = rng.Float32()
+		}
+		tr := Transpose(src, dims, perm)
+		back := Transpose(tr, PermuteDims(dims, perm), InversePerm(perm))
+		return reflect.DeepEqual(src, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeSemantics(t *testing.T) {
+	dims := []int{2, 3, 4}
+	src := seq(Volume(dims))
+	perm := []int{2, 0, 1} // dst axis 0 = src axis 2, etc.
+	dst := Transpose(src, dims, perm)
+	outDims := PermuteDims(dims, perm)
+	if !reflect.DeepEqual(outDims, []int{4, 2, 3}) {
+		t.Fatalf("outDims = %v", outDims)
+	}
+	co := make([]int, 3)
+	for di := range dst {
+		Coord(di, outDims, co)
+		// src coord: srcCoord[perm[i]] = co[i]
+		sc := make([]int, 3)
+		for i, p := range perm {
+			sc[p] = co[i]
+		}
+		if dst[di] != src[Index(sc, dims)] {
+			t.Fatalf("mismatch at %v", co)
+		}
+	}
+}
+
+func TestInversePerm(t *testing.T) {
+	p := []int{2, 0, 1}
+	inv := InversePerm(p)
+	if !reflect.DeepEqual(inv, []int{1, 2, 0}) {
+		t.Fatalf("inv = %v", inv)
+	}
+}
+
+func TestValidPerm(t *testing.T) {
+	if !ValidPerm([]int{1, 0, 2}, 3) {
+		t.Fatal("valid perm rejected")
+	}
+	if ValidPerm([]int{0, 0, 2}, 3) {
+		t.Fatal("dup accepted")
+	}
+	if ValidPerm([]int{0, 1}, 3) {
+		t.Fatal("short accepted")
+	}
+	if ValidPerm([]int{0, 1, 3}, 3) {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	p3 := Permutations(3)
+	if len(p3) != 6 {
+		t.Fatalf("len = %d", len(p3))
+	}
+	seen := map[string]bool{}
+	for _, p := range p3 {
+		seen[PermString(p)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("duplicates: %v", seen)
+	}
+	if !seen["012"] || !seen["210"] {
+		t.Fatal("expected perms missing")
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	c3 := Compositions(3)
+	if len(c3) != 4 {
+		t.Fatalf("3 dims should have 4 fusions, got %d", len(c3))
+	}
+	names := map[string]bool{}
+	for _, f := range c3 {
+		if !f.Valid(3) {
+			t.Fatalf("invalid composition %v", f.Groups)
+		}
+		names[f.String()] = true
+	}
+	for _, want := range []string{"No", "0&1", "1&2", "0&1&2"} {
+		if !names[want] {
+			t.Fatalf("missing fusion %q in %v", want, names)
+		}
+	}
+	if names["No"] != true || c3[0].String() != "No" {
+		t.Fatal("identity should come first")
+	}
+}
+
+func TestFusionApply(t *testing.T) {
+	f := Fusion{Groups: []int{2, 1}}
+	got := f.Apply([]int{3, 4, 5})
+	if !reflect.DeepEqual(got, []int{12, 5}) {
+		t.Fatalf("Apply = %v", got)
+	}
+	all := Fusion{Groups: []int{3}}
+	if !reflect.DeepEqual(all.Apply([]int{3, 4, 5}), []int{60}) {
+		t.Fatal("full fusion wrong")
+	}
+}
+
+func TestExtractBlock(t *testing.T) {
+	dims := []int{4, 5}
+	src := seq(20)
+	b := Block{Origin: []int{1, 2}, Size: []int{2, 3}}
+	got := Extract(src, dims, b)
+	want := []int{7, 8, 9, 12, 13, 14}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Extract = %v want %v", got, want)
+	}
+}
+
+func TestSampleBlocksCountAndBounds(t *testing.T) {
+	dims := []int{100, 80, 60}
+	blocks := SampleBlocks(dims, 0.01, 2)
+	if len(blocks) != 8 {
+		t.Fatalf("3D should give 2^3 blocks, got %d", len(blocks))
+	}
+	for _, b := range blocks {
+		for i := range dims {
+			if b.Origin[i] < 0 || b.Origin[i]+b.Size[i] > dims[i] {
+				t.Fatalf("block out of bounds: %+v dims %v", b, dims)
+			}
+			if b.Size[i] < 1 {
+				t.Fatalf("degenerate block %+v", b)
+			}
+		}
+	}
+}
+
+func TestSampleBlocksRateScaling(t *testing.T) {
+	dims := []int{512, 512}
+	small := SampleBlocks(dims, 0.001, 1)
+	large := SampleBlocks(dims, 0.1, 1)
+	if Volume(small[0].Size) >= Volume(large[0].Size) {
+		t.Fatalf("higher rate should give bigger blocks: %v vs %v",
+			small[0].Size, large[0].Size)
+	}
+	// At rate r with n dims: side ~ 0.5*r^(1/n); total volume of 2^n blocks
+	// ~ 2^n * (0.5 r^(1/n))^n * V = r/2^n * 2^n * ... ≈ r·V/2^... just check order.
+	totalSmall := 0
+	for _, b := range small {
+		totalSmall += Volume(b.Size)
+	}
+	frac := float64(totalSmall) / float64(Volume(dims))
+	if frac > 0.01 {
+		t.Fatalf("0.1%% sampling used %.3f%% of data", frac*100)
+	}
+}
+
+func TestConcatBlocks(t *testing.T) {
+	dims := []int{4, 4}
+	src := seq(16)
+	blocks := []Block{
+		{Origin: []int{0, 0}, Size: []int{2, 2}},
+		{Origin: []int{2, 2}, Size: []int{2, 2}},
+	}
+	data, nd := ConcatBlocks(src, dims, blocks)
+	if !reflect.DeepEqual(nd, []int{4, 2}) {
+		t.Fatalf("dims = %v", nd)
+	}
+	want := []int{0, 1, 4, 5, 10, 11, 14, 15}
+	if !reflect.DeepEqual(data, want) {
+		t.Fatalf("data = %v want %v", data, want)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := PermString([]int{2, 0, 1}); s != "201" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

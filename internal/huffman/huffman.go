@@ -1,0 +1,408 @@
+// Package huffman implements a canonical, length-limited Huffman coder over
+// dense uint32 symbol alphabets, with a compact serializable table format.
+// It is the entropy stage of every prediction-based codec in this repository
+// and supports the multi-tree encoding used by CliZ's quantization-bin
+// classification (paper §VI-E): each classified group simply gets its own
+// Codec instance and bitstream.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cliz/internal/bitio"
+)
+
+// MaxCodeLen is the longest admissible code. 58 keeps any code plus slack
+// within a single 64-bit read.
+const MaxCodeLen = 58
+
+// ErrCorrupt is returned when a serialized table or bitstream is malformed.
+var ErrCorrupt = errors.New("huffman: corrupt table or stream")
+
+// Codec holds canonical codes for one alphabet.
+type Codec struct {
+	// symbol -> (code, length); length 0 means symbol absent.
+	codes map[uint32]code
+	// canonical decode tables
+	maxLen     uint
+	firstCode  []uint64 // first canonical code value of each length
+	firstIdx   []int    // index into symsByCode of the first code of each length
+	counts     []int    // number of codes of each length
+	symsByCode []uint32 // symbols sorted by (length, code)
+}
+
+type code struct {
+	bits uint64
+	len  uint
+}
+
+// CountFreqs tallies symbol frequencies.
+func CountFreqs(symbols []uint32) map[uint32]uint64 {
+	f := make(map[uint32]uint64)
+	for _, s := range symbols {
+		f[s]++
+	}
+	return f
+}
+
+type hnode struct {
+	freq  uint64
+	depth int // prefer shallow trees on frequency ties
+	seq   int // creation order: the final, total-order tie-break
+	sym   uint32
+	leaf  bool
+	l, r  *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+
+// Less is a strict total order (seq is unique), which makes the heap's pop
+// sequence — and therefore the tree shape and every code length — fully
+// deterministic regardless of map iteration order.
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth < h[j].depth
+	}
+	return h[i].seq < h[j].seq
+}
+func (h hheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x any)   { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical length-limited codec from frequencies.
+// Frequencies of zero are ignored. An empty alphabet yields a codec that can
+// encode nothing; a single-symbol alphabet gets a 1-bit code.
+func Build(freqs map[uint32]uint64) *Codec {
+	lens := buildLengths(freqs)
+	return fromLengths(lens)
+}
+
+// buildLengths computes code lengths, rebuilding with damped frequencies if
+// the tree exceeds MaxCodeLen (a simple, rarely-triggered limiter).
+func buildLengths(freqs map[uint32]uint64) map[uint32]uint {
+	f := make(map[uint32]uint64, len(freqs))
+	for s, c := range freqs {
+		if c > 0 {
+			f[s] = c
+		}
+	}
+	for {
+		lens := huffLengths(f)
+		maxL := uint(0)
+		for _, l := range lens {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		if maxL <= MaxCodeLen {
+			return lens
+		}
+		// Damp the skew and retry.
+		for s, c := range f {
+			f[s] = c/2 + 1
+		}
+	}
+}
+
+func huffLengths(freqs map[uint32]uint64) map[uint32]uint {
+	lens := make(map[uint32]uint, len(freqs))
+	switch len(freqs) {
+	case 0:
+		return lens
+	case 1:
+		for s := range freqs {
+			lens[s] = 1
+		}
+		return lens
+	}
+	syms := make([]uint32, 0, len(freqs))
+	for s := range freqs {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	h := make(hheap, 0, len(freqs))
+	seq := 0
+	for _, s := range syms {
+		h = append(h, &hnode{freq: freqs[s], seq: seq, sym: s, leaf: true})
+		seq++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		d := a.depth
+		if b.depth > d {
+			d = b.depth
+		}
+		heap.Push(&h, &hnode{freq: a.freq + b.freq, depth: d + 1, seq: seq, l: a, r: b})
+		seq++
+	}
+	root := h[0]
+	var walk func(n *hnode, d uint)
+	walk = func(n *hnode, d uint) {
+		if n.leaf {
+			if d == 0 {
+				d = 1
+			}
+			lens[n.sym] = d
+			return
+		}
+		walk(n.l, d+1)
+		walk(n.r, d+1)
+	}
+	walk(root, 0)
+	return lens
+}
+
+// fromLengths assigns canonical codes given lengths.
+func fromLengths(lens map[uint32]uint) *Codec {
+	c := &Codec{codes: make(map[uint32]code, len(lens))}
+	if len(lens) == 0 {
+		return c
+	}
+	type sl struct {
+		sym uint32
+		l   uint
+	}
+	order := make([]sl, 0, len(lens))
+	maxL := uint(0)
+	for s, l := range lens {
+		order = append(order, sl{s, l})
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	c.maxLen = maxL
+	c.counts = make([]int, maxL+1)
+	for _, e := range order {
+		c.counts[e.l]++
+	}
+	c.firstCode = make([]uint64, maxL+2)
+	c.firstIdx = make([]int, maxL+2)
+	codeVal := uint64(0)
+	idx := 0
+	for l := uint(1); l <= maxL; l++ {
+		c.firstCode[l] = codeVal
+		c.firstIdx[l] = idx
+		codeVal += uint64(c.counts[l])
+		idx += c.counts[l]
+		codeVal <<= 1
+	}
+	c.symsByCode = make([]uint32, len(order))
+	nextCode := make([]uint64, maxL+1)
+	nextIdx := make([]int, maxL+1)
+	for l := uint(1); l <= maxL; l++ {
+		nextCode[l] = c.firstCode[l]
+		nextIdx[l] = c.firstIdx[l]
+	}
+	for _, e := range order {
+		c.codes[e.sym] = code{bits: nextCode[e.l], len: e.l}
+		c.symsByCode[nextIdx[e.l]] = e.sym
+		nextCode[e.l]++
+		nextIdx[e.l]++
+	}
+	return c
+}
+
+// Encode appends the codes for symbols to w. Unknown symbols are an error.
+func (c *Codec) Encode(symbols []uint32, w *bitio.Writer) error {
+	for _, s := range symbols {
+		cd, ok := c.codes[s]
+		if !ok {
+			return fmt.Errorf("huffman: symbol %d not in alphabet", s)
+		}
+		w.WriteBits(cd.bits, cd.len)
+	}
+	return nil
+}
+
+// DecodeOne reads one symbol from r.
+func (c *Codec) DecodeOne(r *bitio.Reader) (uint32, error) {
+	if len(c.symsByCode) == 0 {
+		return 0, ErrCorrupt
+	}
+	var v uint64
+	for l := uint(1); l <= c.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+		n := c.counts[l]
+		if n == 0 {
+			continue
+		}
+		first := c.firstCode[l]
+		if v >= first && v < first+uint64(n) {
+			return c.symsByCode[c.firstIdx[l]+int(v-first)], nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// Decode reads n symbols from r.
+func (c *Codec) Decode(n int, r *bitio.Reader) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		s, err := c.DecodeOne(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Alphabet returns the number of distinct symbols.
+func (c *Codec) Alphabet() int { return len(c.codes) }
+
+// CodeLen returns the code length for sym (0 if absent). Useful for cost
+// estimation without encoding.
+func (c *Codec) CodeLen(sym uint32) uint {
+	return c.codes[sym].len
+}
+
+// SerializeTable appends a compact description of the code table to dst:
+// varint count, then per symbol (sorted) varint delta-encoded symbol value
+// and a byte length.
+func (c *Codec) SerializeTable(dst []byte) []byte {
+	syms := make([]uint32, 0, len(c.codes))
+	for s := range c.codes {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	dst = appendUvarint(dst, uint64(len(syms)))
+	prev := uint32(0)
+	for i, s := range syms {
+		d := uint64(s)
+		if i > 0 {
+			d = uint64(s - prev) // strictly increasing
+		}
+		prev = s
+		dst = appendUvarint(dst, d)
+		dst = append(dst, byte(c.codes[s].len))
+	}
+	return dst
+}
+
+// ParseTable reads a table serialized by SerializeTable and returns the
+// codec plus the number of bytes consumed.
+func ParseTable(src []byte) (*Codec, int, error) {
+	n, sz := uvarint(src)
+	if sz <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	pos := sz
+	lens := make(map[uint32]uint, n)
+	var cur uint32
+	for i := uint64(0); i < n; i++ {
+		d, sz := uvarint(src[pos:])
+		if sz <= 0 || pos+sz >= len(src)+1 {
+			return nil, 0, ErrCorrupt
+		}
+		pos += sz
+		if pos >= len(src) {
+			return nil, 0, ErrCorrupt
+		}
+		l := uint(src[pos])
+		pos++
+		if l == 0 || l > MaxCodeLen {
+			return nil, 0, ErrCorrupt
+		}
+		if i == 0 {
+			cur = uint32(d)
+		} else {
+			cur += uint32(d)
+		}
+		lens[cur] = l
+	}
+	return fromLengths(lens), pos, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func uvarint(src []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range src {
+		if i > 9 {
+			return 0, -1
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, -1
+}
+
+// EncodeBlock is a convenience helper: builds a codec from the symbols,
+// serializes table + varint count + padded bitstream into one self-contained
+// byte block.
+func EncodeBlock(symbols []uint32) []byte {
+	c := Build(CountFreqs(symbols))
+	out := c.SerializeTable(nil)
+	out = appendUvarint(out, uint64(len(symbols)))
+	w := bitio.NewWriter(len(symbols) / 2)
+	_ = c.Encode(symbols, w) // cannot fail: codec built from these symbols
+	bits := w.Bytes()
+	out = appendUvarint(out, uint64(len(bits)))
+	return append(out, bits...)
+}
+
+// DecodeBlock reverses EncodeBlock, returning the symbols and bytes consumed.
+func DecodeBlock(src []byte) ([]uint32, int, error) {
+	c, pos, err := ParseTable(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, sz := uvarint(src[pos:])
+	if sz <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	pos += sz
+	blen, sz := uvarint(src[pos:])
+	if sz <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	pos += sz
+	if pos+int(blen) > len(src) {
+		return nil, 0, ErrCorrupt
+	}
+	if n == 0 {
+		return nil, pos + int(blen), nil
+	}
+	r := bitio.NewReader(src[pos : pos+int(blen)])
+	syms, err := c.Decode(int(n), r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return syms, pos + int(blen), nil
+}

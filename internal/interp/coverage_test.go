@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"cliz/internal/predict"
+)
+
+// TestTraversalCoversEveryPointOnce: compressing a constant field with a
+// loose bound must assign a non-zero (predictable) bin to every point —
+// proving the level/dimension traversal visits each grid point exactly once
+// (a missed point would keep bin 0 and desynchronize the literal stream;
+// a double visit would corrupt reconstruction).
+func TestTraversalCoversEveryPointOnce(t *testing.T) {
+	shapes := [][]int{
+		{1}, {2}, {3}, {17}, {1, 1}, {1, 9}, {9, 1}, {5, 7},
+		{2, 3, 4}, {7, 1, 5}, {16, 16, 16}, {3, 4, 5, 6},
+	}
+	for _, dims := range shapes {
+		vol := 1
+		for _, d := range dims {
+			vol *= d
+		}
+		data := make([]float32, vol)
+		for i := range data {
+			data[i] = 5 // constant: every prediction is exact
+		}
+		for _, fit := range []predict.Fitting{predict.Linear, predict.Cubic} {
+			res, err := Compress(data, dims, Config{EB: 1, Fitting: fit})
+			if err != nil {
+				t.Fatalf("%v: %v", dims, err)
+			}
+			zeros := 0
+			for _, b := range res.Bins {
+				if b == 0 {
+					zeros++
+				}
+			}
+			// The origin is predicted from 0 → bin radius+round(5/2) is
+			// still predictable with eb=1 (5/2=2.5 < radius), so even it
+			// must land in a non-zero bin.
+			if zeros != 0 {
+				t.Fatalf("%v fit=%v: %d points missed by the traversal", dims, fit, zeros)
+			}
+			if len(res.Literals) != 0 {
+				t.Fatalf("%v: unexpected literals %d", dims, len(res.Literals))
+			}
+		}
+	}
+}
+
+// TestConstantFieldReconstructsExactly: with every prediction landing on a
+// quantized lattice point, the reconstruction should be bit-exact.
+func TestConstantFieldReconstructsExactly(t *testing.T) {
+	dims := []int{6, 10, 14}
+	data := make([]float32, 6*10*14)
+	for i := range data {
+		data[i] = -3.25
+	}
+	cfg := Config{EB: 0.5, Fitting: predict.Cubic}
+	res, err := Compress(data, dims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(res.Bins, res.Literals, dims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(float64(got[i])-float64(data[i])) > 0.5 {
+			t.Fatalf("point %d: %g", i, got[i])
+		}
+	}
+}
+
+// TestLinearRampIsPerfectlyPredicted: linear fitting reproduces affine data
+// exactly, so all bins must be exactly the centre after the first level.
+func TestLinearRampIsPerfectlyPredicted(t *testing.T) {
+	n := 257
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(3*i + 7)
+	}
+	res, err := Compress(data, []int{n}, Config{EB: 0.01, Fitting: predict.Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := 0
+	for _, b := range res.Bins {
+		if b == 32768 {
+			centre++
+		}
+	}
+	// Everything except the coarse anchors (origin + a handful of boundary-
+	// degraded points at the top levels) predicts exactly.
+	if centre < n-20 {
+		t.Fatalf("only %d/%d points predicted exactly on a ramp", centre, n)
+	}
+}

@@ -1,0 +1,343 @@
+// Package interp implements the multi-level dynamic spline interpolation
+// engine of the SZ3 framework (paper §IV, §VI-B) that underlies the SZ3 and
+// QoZ baselines and the CliZ compressor.
+//
+// Points are visited level by level: at level ℓ the stride is 2^(ℓ−1), and
+// within a level each dimension is processed in sequence; along a dimension
+// the points at odd multiples of the stride are predicted from the already
+// reconstructed neighbours at ±s (linear fitting) or −3s, −s, +s, +3s (cubic
+// fitting, Formula (1)). The compressor and the decompressor execute the
+// identical traversal, so predictions are bit-identical on both sides.
+//
+// CliZ's extensions are threaded through the same engine:
+//
+//   - Mask awareness (§VI-B): a reference that is out of bounds *or* masked
+//     is marked invalid, and the fitting coefficients degrade through the
+//     closed form of Theorem 1 (package predict). Masked target points are
+//     skipped entirely — they produce no quantization bin.
+//   - Per-level error bounds (QoZ): Config.LevelEBFactor scales the error
+//     bound per level; factors ≤ 1 keep the global bound intact.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"cliz/internal/grid"
+	"cliz/internal/predict"
+	"cliz/internal/quant"
+)
+
+// ErrCorrupt is returned by Decompress when the bin/literal streams are
+// inconsistent with the grid.
+var ErrCorrupt = errors.New("interp: corrupt compressed stream")
+
+// Config parameterizes one engine run. The same Config must be used for
+// Compress and Decompress.
+type Config struct {
+	// EB is the absolute error bound (> 0).
+	EB float64
+	// Radius is the quantizer radius; 0 selects quant.DefaultRadius.
+	Radius int32
+	// Fitting selects linear or cubic prediction.
+	Fitting predict.Fitting
+	// Valid marks usable points; nil means all points are valid. Length
+	// must equal the grid volume. Masked points are neither predicted nor
+	// used as references.
+	Valid []bool
+	// LevelEBFactor, if non-nil, scales the error bound at each level
+	// (level 1 = finest). Factors must be in (0, 1] to preserve the bound.
+	LevelEBFactor func(level int) float64
+	// FillValue is written to masked positions on decompression.
+	FillValue float32
+}
+
+// Result is the compressor-side output of one engine run.
+type Result struct {
+	// Bins holds one quantization bin per grid point in row-major grid
+	// order. Masked positions hold 0 and must be skipped when serializing.
+	Bins []int32
+	// Literals holds the exact values of unpredictable points in traversal
+	// order.
+	Literals []float32
+	// Recon is the reconstructed data (what the decompressor will produce),
+	// useful for distortion metrics without a decode pass.
+	Recon []float32
+}
+
+// Levels returns the number of interpolation levels for the given dims:
+// ceil(log2(max extent)).
+func Levels(dims []int) int {
+	maxd := 0
+	for _, d := range dims {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	l := 0
+	for (1 << l) < maxd {
+		l++
+	}
+	return l
+}
+
+type engine struct {
+	dims    []int
+	strides []int
+	n       int
+	vol     int
+	cfg     Config
+	work    []float32 // reconstructed values, evolves during the run
+
+	decode bool
+	bins   []int32
+	lits   []float32
+	litPos int
+	err    error
+
+	q quant.Quantizer
+}
+
+func newEngine(dims []int, cfg Config) (*engine, error) {
+	vol := grid.Volume(dims)
+	if vol == 0 {
+		return nil, fmt.Errorf("interp: empty grid %v", dims)
+	}
+	if cfg.EB <= 0 {
+		return nil, fmt.Errorf("interp: error bound must be positive, got %g", cfg.EB)
+	}
+	if cfg.Valid != nil && len(cfg.Valid) != vol {
+		return nil, fmt.Errorf("interp: mask length %d != volume %d", len(cfg.Valid), vol)
+	}
+	if cfg.Radius == 0 {
+		cfg.Radius = quant.DefaultRadius
+	}
+	return &engine{
+		dims:    dims,
+		strides: grid.Strides(dims),
+		n:       len(dims),
+		vol:     vol,
+		cfg:     cfg,
+	}, nil
+}
+
+// Compress runs prediction + quantization over data.
+func Compress(data []float32, dims []int, cfg Config) (Result, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(data) != e.vol {
+		return Result{}, fmt.Errorf("interp: data length %d != volume %d", len(data), e.vol)
+	}
+	e.work = make([]float32, e.vol)
+	copy(e.work, data)
+	e.bins = make([]int32, e.vol)
+	e.run()
+	if e.err != nil {
+		return Result{}, e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return Result{Bins: e.bins, Literals: e.lits, Recon: e.work}, nil
+}
+
+// Decompress reconstructs data from grid-ordered bins and traversal-ordered
+// literals. bins must have one entry per grid point (entries at masked
+// positions are ignored).
+func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(bins) != e.vol {
+		return nil, fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
+	}
+	e.decode = true
+	e.work = make([]float32, e.vol)
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return e.work, nil
+}
+
+// run executes the full traversal (both directions share it, guaranteeing
+// symmetry).
+func (e *engine) run() {
+	levels := Levels(e.dims)
+	// The origin is handled first, predicted as 0.
+	e.q = e.quantizerFor(levels)
+	if e.valid(0) {
+		e.handle(0, 0)
+	}
+	for level := levels; level >= 1; level-- {
+		if e.err != nil {
+			return
+		}
+		e.q = e.quantizerFor(level)
+		stride := 1 << (level - 1)
+		for d := 0; d < e.n; d++ {
+			e.passDim(d, stride)
+		}
+	}
+}
+
+func (e *engine) quantizerFor(level int) quant.Quantizer {
+	eb := e.cfg.EB
+	if e.cfg.LevelEBFactor != nil {
+		f := e.cfg.LevelEBFactor(level)
+		if f > 0 {
+			eb *= f
+		}
+	}
+	return quant.New(eb, e.cfg.Radius)
+}
+
+func (e *engine) valid(idx int) bool {
+	return e.cfg.Valid == nil || e.cfg.Valid[idx]
+}
+
+// passDim predicts, along dimension d, every point whose d-coordinate is an
+// odd multiple of stride, whose earlier coordinates are multiples of stride,
+// and whose later coordinates are multiples of 2·stride.
+func (e *engine) passDim(d, stride int) {
+	dimD := e.dims[d]
+	if stride >= dimD {
+		return
+	}
+	stepD := e.strides[d] * stride
+
+	// Odometer over the other dimensions.
+	counts := make([]int, 0, e.n-1)
+	steps := make([]int, 0, e.n-1)
+	for k := 0; k < e.n; k++ {
+		if k == d {
+			continue
+		}
+		s := stride
+		if k > d {
+			s = 2 * stride
+		}
+		cnt := (e.dims[k] + s - 1) / s
+		counts = append(counts, cnt)
+		steps = append(steps, e.strides[k]*s)
+	}
+	nOther := len(counts)
+	pos := make([]int, nOther)
+	base := 0
+	for {
+		if e.err != nil {
+			return
+		}
+		// Walk the target line along d: x = stride, 3·stride, ...
+		lineLen := dimD
+		idx := base + stepD // coordinate stride along d
+		for x := stride; x < lineLen; x += 2 * stride {
+			e.predictPoint(idx, x, dimD, stepD, stride)
+			idx += 2 * stepD
+		}
+		// Odometer increment.
+		carry := nOther - 1
+		for ; carry >= 0; carry-- {
+			pos[carry]++
+			base += steps[carry]
+			if pos[carry] < counts[carry] {
+				break
+			}
+			pos[carry] = 0
+			base -= steps[carry] * counts[carry]
+		}
+		if carry < 0 {
+			return
+		}
+	}
+}
+
+// predictPoint predicts the point at flat index idx whose coordinate along
+// the active dimension is x (0 ≤ x < dimD), with flat step stepD per stride.
+// References sit at coordinates x ± stride and (for cubic) x ± 3·stride
+// (paper Fig. 6); references that fall outside the grid or on masked points
+// are flagged invalid and the fitting degrades via Formula (2).
+func (e *engine) predictPoint(idx, x, dimD, stepD, stride int) {
+	if !e.valid(idx) {
+		return
+	}
+	var pred float64
+	if e.cfg.Fitting == predict.Cubic {
+		var d [4]float64
+		vm := 0
+		if x-3*stride >= 0 && e.valid(idx-3*stepD) {
+			d[0] = float64(e.work[idx-3*stepD])
+			vm |= 1 << 0
+		}
+		if x-stride >= 0 && e.valid(idx-stepD) {
+			d[1] = float64(e.work[idx-stepD])
+			vm |= 1 << 1
+		}
+		if x+stride < dimD && e.valid(idx+stepD) {
+			d[2] = float64(e.work[idx+stepD])
+			vm |= 1 << 2
+		}
+		if x+3*stride < dimD && e.valid(idx+3*stepD) {
+			d[3] = float64(e.work[idx+3*stepD])
+			vm |= 1 << 3
+		}
+		pred = predict.PredictCubic(d, vm)
+	} else {
+		var d1, d2 float64
+		vm := 0
+		if x-stride >= 0 && e.valid(idx-stepD) {
+			d1 = float64(e.work[idx-stepD])
+			vm |= 1
+		}
+		if x+stride < dimD && e.valid(idx+stepD) {
+			d2 = float64(e.work[idx+stepD])
+			vm |= 2
+		}
+		pred = predict.PredictLinear(d1, d2, vm)
+	}
+	e.handle(idx, pred)
+}
+
+// handle quantizes (compress) or recovers (decompress) the point at idx.
+func (e *engine) handle(idx int, pred float64) {
+	if e.decode {
+		bin := e.bins[idx]
+		var lit float64
+		if bin == 0 {
+			if e.litPos >= len(e.lits) {
+				e.err = fmt.Errorf("interp: literal stream underrun at point %d: %w", idx, ErrCorrupt)
+				return
+			}
+			lit = float64(e.lits[e.litPos])
+			e.litPos++
+		}
+		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
+		return
+	}
+	orig := float64(e.work[idx])
+	bin, recon, exact := e.q.Quantize(pred, orig)
+	if exact {
+		e.lits = append(e.lits, e.work[idx])
+		// recon == orig; work[idx] already holds it.
+		_ = recon
+	} else {
+		e.work[idx] = float32(recon)
+	}
+	e.bins[idx] = bin
+}

@@ -1,0 +1,230 @@
+// Package lorenzo implements the first-order Lorenzo predictor of the SZ
+// family (Di & Cappello, IPDPS 2016; the non-interpolation arm of the SZ3
+// framework). Each point is predicted from its already-reconstructed
+// lower-corner neighbours by inclusion–exclusion:
+//
+//	1D: p = d(i−1)
+//	2D: p = d(i−1,j) + d(i,j−1) − d(i−1,j−1)
+//	nD: p = Σ (−1)^(|S|+1) d(x − S) over non-empty corner subsets S
+//
+// Out-of-bounds and masked neighbours contribute zero, exactly as classic SZ
+// handles boundaries. The package shares the bin-grid/literal contract of
+// the interpolation engine, so CliZ's masking and bin classification apply
+// unchanged; the auto-tuner can enable it as an extra fitting arm.
+package lorenzo
+
+import (
+	"fmt"
+
+	"cliz/internal/grid"
+	"cliz/internal/quant"
+)
+
+// Config parameterizes a Lorenzo run (mirrors interp.Config).
+type Config struct {
+	// EB is the absolute error bound (> 0).
+	EB float64
+	// Radius is the quantizer radius; 0 selects quant.DefaultRadius.
+	Radius int32
+	// Valid marks usable points; nil = all valid.
+	Valid []bool
+	// FillValue is written to masked positions on decompression.
+	FillValue float32
+}
+
+// Result mirrors interp.Result.
+type Result struct {
+	Bins     []int32
+	Literals []float32
+	Recon    []float32
+}
+
+type engine struct {
+	dims    []int
+	strides []int
+	n       int
+	vol     int
+	cfg     Config
+	work    []float32
+	q       quant.Quantizer
+
+	// corner offsets and signs for the inclusion-exclusion sum
+	offs  []int
+	signs []float64
+	// per-corner coordinate deltas for bounds checking
+	deltas [][]int
+
+	decode bool
+	bins   []int32
+	lits   []float32
+	litPos int
+	err    error
+}
+
+func newEngine(dims []int, cfg Config) (*engine, error) {
+	vol := grid.Volume(dims)
+	if vol == 0 {
+		return nil, fmt.Errorf("lorenzo: empty grid %v", dims)
+	}
+	if cfg.EB <= 0 {
+		return nil, fmt.Errorf("lorenzo: error bound must be positive, got %g", cfg.EB)
+	}
+	if cfg.Valid != nil && len(cfg.Valid) != vol {
+		return nil, fmt.Errorf("lorenzo: mask length %d != volume %d", len(cfg.Valid), vol)
+	}
+	if cfg.Radius == 0 {
+		cfg.Radius = quant.DefaultRadius
+	}
+	e := &engine{
+		dims:    dims,
+		strides: grid.Strides(dims),
+		n:       len(dims),
+		vol:     vol,
+		cfg:     cfg,
+		q:       quant.New(cfg.EB, cfg.Radius),
+	}
+	// Enumerate the 2^n − 1 non-empty corner subsets.
+	for mask := 1; mask < 1<<e.n; mask++ {
+		off := 0
+		delta := make([]int, e.n)
+		bits := 0
+		for d := 0; d < e.n; d++ {
+			if mask&(1<<d) != 0 {
+				off += e.strides[d]
+				delta[d] = 1
+				bits++
+			}
+		}
+		sign := 1.0
+		if bits%2 == 0 {
+			sign = -1
+		}
+		e.offs = append(e.offs, off)
+		e.signs = append(e.signs, sign)
+		e.deltas = append(e.deltas, delta)
+	}
+	return e, nil
+}
+
+// Compress runs Lorenzo prediction + quantization over data.
+func Compress(data []float32, dims []int, cfg Config) (Result, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(data) != e.vol {
+		return Result{}, fmt.Errorf("lorenzo: data length %d != volume %d", len(data), e.vol)
+	}
+	e.work = make([]float32, e.vol)
+	copy(e.work, data)
+	e.bins = make([]int32, e.vol)
+	e.run()
+	if e.err != nil {
+		return Result{}, e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return Result{Bins: e.bins, Literals: e.lits, Recon: e.work}, nil
+}
+
+// Decompress reconstructs data from bins (grid order) and literals
+// (scan order).
+func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(bins) != e.vol {
+		return nil, fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+	}
+	e.decode = true
+	e.work = make([]float32, e.vol)
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return e.work, nil
+}
+
+// run scans the grid in row-major order (identical on both sides).
+func (e *engine) run() {
+	coord := make([]int, e.n)
+	for idx := 0; idx < e.vol; idx++ {
+		if e.cfg.Valid == nil || e.cfg.Valid[idx] {
+			e.handle(idx, e.predict(idx, coord))
+			if e.err != nil {
+				return
+			}
+		}
+		for ax := e.n - 1; ax >= 0; ax-- {
+			coord[ax]++
+			if coord[ax] < e.dims[ax] {
+				break
+			}
+			coord[ax] = 0
+		}
+	}
+}
+
+// predict evaluates the inclusion-exclusion sum; neighbours outside the grid
+// or masked contribute 0.
+func (e *engine) predict(idx int, coord []int) float64 {
+	p := 0.0
+	for c, off := range e.offs {
+		in := true
+		for d, dd := range e.deltas[c] {
+			if coord[d] < dd {
+				in = false
+				break
+			}
+		}
+		if !in {
+			continue
+		}
+		nb := idx - off
+		if e.cfg.Valid != nil && !e.cfg.Valid[nb] {
+			continue
+		}
+		p += e.signs[c] * float64(e.work[nb])
+	}
+	return p
+}
+
+func (e *engine) handle(idx int, pred float64) {
+	if e.decode {
+		bin := e.bins[idx]
+		var lit float64
+		if bin == 0 {
+			if e.litPos >= len(e.lits) {
+				e.err = fmt.Errorf("lorenzo: literal stream underrun at point %d", idx)
+				return
+			}
+			lit = float64(e.lits[e.litPos])
+			e.litPos++
+		}
+		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
+		return
+	}
+	orig := float64(e.work[idx])
+	bin, recon, exact := e.q.Quantize(pred, orig)
+	if exact {
+		e.lits = append(e.lits, e.work[idx])
+	} else {
+		e.work[idx] = float32(recon)
+	}
+	e.bins[idx] = bin
+}

@@ -1,0 +1,280 @@
+// Package lossless provides the final lossless stage of the compression
+// pipelines. The paper's CliZ uses Huffman+Zstd; as a stdlib-only substitute
+// this package offers a from-scratch LZSS coder and a DEFLATE backend
+// (compress/flate), selectable per pipeline, plus a raw pass-through.
+// Streams are self-describing: the first byte identifies the backend.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Backend identifiers (first byte of every stream).
+const (
+	IDRaw   byte = 0
+	IDFlate byte = 1
+	IDLZSS  byte = 2
+)
+
+// ErrCorrupt is returned for malformed streams.
+var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+// Codec compresses and decompresses byte blobs.
+type Codec interface {
+	Name() string
+	ID() byte
+	Compress(src []byte) []byte
+	Decompress(src []byte) ([]byte, error)
+}
+
+// ByID returns the codec for a backend identifier.
+func ByID(id byte) (Codec, error) {
+	switch id {
+	case IDRaw:
+		return Raw{}, nil
+	case IDFlate:
+		return Flate{Level: flate.DefaultCompression}, nil
+	case IDLZSS:
+		return LZSS{}, nil
+	}
+	return nil, fmt.Errorf("lossless: unknown backend id %d", id)
+}
+
+// Encode compresses src with c and prepends the backend id.
+func Encode(c Codec, src []byte) []byte {
+	body := c.Compress(src)
+	out := make([]byte, 0, len(body)+1)
+	out = append(out, c.ID())
+	return append(out, body...)
+}
+
+// Decode inspects the id byte and decompresses accordingly.
+func Decode(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return nil, ErrCorrupt
+	}
+	c, err := ByID(src[0])
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompress(src[1:])
+}
+
+// Raw is the identity backend.
+type Raw struct{}
+
+func (Raw) Name() string { return "raw" }
+func (Raw) ID() byte     { return IDRaw }
+func (Raw) Compress(src []byte) []byte {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+func (Raw) Decompress(src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// Flate wraps compress/flate; it plays the role of the Zstd stage in the
+// paper's pipeline.
+type Flate struct {
+	Level int
+}
+
+func (Flate) Name() string { return "flate" }
+func (Flate) ID() byte     { return IDFlate }
+
+func (f Flate) Compress(src []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
+	buf.Write(hdr[:])
+	lvl := f.Level
+	if lvl == 0 {
+		lvl = flate.DefaultCompression
+	}
+	w, err := flate.NewWriter(&buf, lvl)
+	if err != nil {
+		w, _ = flate.NewWriter(&buf, flate.DefaultCompression)
+	}
+	_, _ = w.Write(src)
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+func (Flate) Decompress(src []byte) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(src[:8])
+	const maxSize = 1 << 34 // 16 GiB sanity cap
+	if n > maxSize {
+		return nil, ErrCorrupt
+	}
+	r := flate.NewReader(bytes.NewReader(src[8:]))
+	defer r.Close()
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("lossless: flate: %w", err)
+	}
+	return out, nil
+}
+
+// LZSS is a from-scratch greedy LZ77 coder with a hash-chain matcher.
+// Token format: a flag byte describes the next 8 tokens (bit=1 means match),
+// literals are single bytes, matches are 3 bytes:
+// 16-bit little-endian distance (1..65535) and a length byte (len-minMatch,
+// so lengths minMatch..minMatch+255).
+type LZSS struct{}
+
+const (
+	lzMinMatch = 4
+	lzMaxMatch = lzMinMatch + 255
+	lzWindow   = 1 << 16
+	lzHashBits = 15
+	lzHashLen  = 4
+	lzMaxChain = 32
+)
+
+func (LZSS) Name() string { return "lzss" }
+func (LZSS) ID() byte     { return IDLZSS }
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+func (LZSS) Compress(src []byte) []byte {
+	var out []byte
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(src)))
+	out = append(out, hdr[:]...)
+	n := len(src)
+	if n == 0 {
+		return out
+	}
+	head := make([]int32, 1<<lzHashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, n)
+	var (
+		flagPos = -1
+		flagBit = 8
+	)
+	emitFlag := func(bit byte) {
+		if flagBit == 8 {
+			out = append(out, 0)
+			flagPos = len(out) - 1
+			flagBit = 0
+		}
+		out[flagPos] |= bit << flagBit
+		flagBit++
+	}
+	insert := func(i int) {
+		if i+lzHashLen > n {
+			return
+		}
+		h := lzHash(load32(src, i))
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+	i := 0
+	for i < n {
+		bestLen, bestDist := 0, 0
+		if i+lzMinMatch <= n {
+			h := lzHash(load32(src, i))
+			cand := head[h]
+			limit := i - lzWindow + 1
+			maxL := n - i
+			if maxL > lzMaxMatch {
+				maxL = lzMaxMatch
+			}
+			for chain := 0; cand >= 0 && int(cand) >= limit && chain < lzMaxChain; chain++ {
+				c := int(cand)
+				if src[c+bestLen] == src[i+bestLen] || bestLen == 0 {
+					l := 0
+					for l < maxL && src[c+l] == src[i+l] {
+						l++
+					}
+					if l > bestLen {
+						bestLen, bestDist = l, i-c
+						if l == maxL {
+							break
+						}
+					}
+				}
+				cand = prev[c]
+			}
+		}
+		if bestLen >= lzMinMatch {
+			emitFlag(1)
+			out = append(out, byte(bestDist), byte(bestDist>>8), byte(bestLen-lzMinMatch))
+			end := i + bestLen
+			for ; i < end; i++ {
+				insert(i)
+			}
+		} else {
+			emitFlag(0)
+			out = append(out, src[i])
+			insert(i)
+			i++
+		}
+	}
+	return out
+}
+
+func (LZSS) Decompress(src []byte) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint64(src[:8]))
+	const maxSize = 1 << 34
+	if n < 0 || uint64(n) > maxSize {
+		return nil, ErrCorrupt
+	}
+	out := make([]byte, 0, n)
+	p := 8
+	for len(out) < n {
+		if p >= len(src) {
+			return nil, ErrCorrupt
+		}
+		flags := src[p]
+		p++
+		for bit := 0; bit < 8 && len(out) < n; bit++ {
+			if flags&(1<<bit) != 0 {
+				if p+3 > len(src) {
+					return nil, ErrCorrupt
+				}
+				dist := int(src[p]) | int(src[p+1])<<8
+				l := int(src[p+2]) + lzMinMatch
+				p += 3
+				if dist == 0 || dist > len(out) {
+					return nil, ErrCorrupt
+				}
+				for k := 0; k < l; k++ {
+					out = append(out, out[len(out)-dist])
+				}
+			} else {
+				if p >= len(src) {
+					return nil, ErrCorrupt
+				}
+				out = append(out, src[p])
+				p++
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+// Package mask models the mask-map of climate datasets (paper §V-A).
+//
+// CESM-style files mark missing/invalid grid points (e.g. land cells in an
+// ocean field) with huge fill values, and ship an integer mask map over the
+// horizontal (lat, lon) grid: 0 means invalid, positive integers label ocean
+// basins, negative integers label inland water bodies. The mask applies to
+// every level/timestep of a field, so it is stored once per horizontal grid
+// and broadcast across the leading dimension.
+package mask
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"cliz/internal/lossless"
+)
+
+// ErrCorrupt reports a malformed serialized mask.
+var ErrCorrupt = errors.New("mask: corrupt serialized mask")
+
+// Map is a horizontal mask over an nLat×nLon grid.
+type Map struct {
+	NLat, NLon int
+	// Regions holds the raw region labels (0 = invalid). Length NLat*NLon.
+	Regions []int32
+}
+
+// New builds a Map from region labels.
+func New(nLat, nLon int, regions []int32) *Map {
+	return &Map{NLat: nLat, NLon: nLon, Regions: regions}
+}
+
+// Valid reports whether the horizontal cell (lat, lon) holds real data.
+func (m *Map) Valid(lat, lon int) bool {
+	return m.Regions[lat*m.NLon+lon] != 0
+}
+
+// ValidCount returns the number of valid horizontal cells.
+func (m *Map) ValidCount() int {
+	n := 0
+	for _, r := range m.Regions {
+		if r != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bools returns the validity bitmap as a []bool of length NLat*NLon.
+func (m *Map) Bools() []bool {
+	out := make([]bool, len(m.Regions))
+	for i, r := range m.Regions {
+		out[i] = r != 0
+	}
+	return out
+}
+
+// Broadcast expands the horizontal validity to a full grid of the given dims,
+// whose trailing two dimensions must equal (NLat, NLon); every leading index
+// shares the same horizontal mask.
+func (m *Map) Broadcast(dims []int) []bool {
+	plane := m.NLat * m.NLon
+	lead := 1
+	for _, d := range dims[:len(dims)-2] {
+		lead *= d
+	}
+	hm := m.Bools()
+	out := make([]bool, lead*plane)
+	for l := 0; l < lead; l++ {
+		copy(out[l*plane:(l+1)*plane], hm)
+	}
+	return out
+}
+
+// FromFillValue derives a mask by scanning one horizontal slice of data for
+// the dataset's fill value (CESM writes values around 1e35–1e36 for missing
+// points). Points whose magnitude reaches threshold are invalid.
+func FromFillValue(slice []float32, nLat, nLon int, threshold float64) *Map {
+	regions := make([]int32, nLat*nLon)
+	for i, v := range slice {
+		f := float64(v)
+		if math.IsNaN(f) || math.Abs(f) >= threshold {
+			regions[i] = 0
+		} else {
+			regions[i] = 1
+		}
+	}
+	return &Map{NLat: nLat, NLon: nLon, Regions: regions}
+}
+
+// Serialize encodes the validity bitmap (1 bit per cell) and compresses it;
+// region labels beyond valid/invalid are not needed for compression and are
+// dropped, matching how CliZ consumes the mask.
+func (m *Map) Serialize() []byte {
+	nb := (len(m.Regions) + 7) / 8
+	bits := make([]byte, nb)
+	for i, r := range m.Regions {
+		if r != 0 {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	payload := lossless.Encode(lossless.Flate{Level: 6}, bits)
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(m.NLat))
+	binary.LittleEndian.PutUint32(out[4:], uint32(m.NLon))
+	return append(out, payload...)
+}
+
+// Parse decodes a mask produced by Serialize.
+func Parse(src []byte) (*Map, error) {
+	if len(src) < 8 {
+		return nil, ErrCorrupt
+	}
+	nLat := int(binary.LittleEndian.Uint32(src[0:]))
+	nLon := int(binary.LittleEndian.Uint32(src[4:]))
+	if nLat <= 0 || nLon <= 0 || nLat*nLon > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	bits, err := lossless.Decode(src[8:])
+	if err != nil {
+		return nil, err
+	}
+	n := nLat * nLon
+	if len(bits) < (n+7)/8 {
+		return nil, ErrCorrupt
+	}
+	regions := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if bits[i/8]&(1<<(i%8)) != 0 {
+			regions[i] = 1
+		}
+	}
+	return &Map{NLat: nLat, NLon: nLon, Regions: regions}, nil
+}

@@ -1,0 +1,110 @@
+package mask
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestValidAndCount(t *testing.T) {
+	m := New(2, 3, []int32{0, 1, -2, 0, 5, 0})
+	if m.Valid(0, 0) || !m.Valid(0, 1) || !m.Valid(0, 2) {
+		t.Fatal("validity wrong in row 0")
+	}
+	if m.Valid(1, 0) || !m.Valid(1, 1) || m.Valid(1, 2) {
+		t.Fatal("validity wrong in row 1")
+	}
+	if m.ValidCount() != 3 {
+		t.Fatalf("ValidCount = %d", m.ValidCount())
+	}
+}
+
+func TestBools(t *testing.T) {
+	m := New(1, 4, []int32{0, 2, -1, 0})
+	want := []bool{false, true, true, false}
+	if !reflect.DeepEqual(m.Bools(), want) {
+		t.Fatalf("Bools = %v", m.Bools())
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := New(2, 2, []int32{1, 0, 0, 1})
+	got := m.Broadcast([]int{3, 2, 2})
+	if len(got) != 12 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for l := 0; l < 3; l++ {
+		off := l * 4
+		if !got[off] || got[off+1] || got[off+2] || !got[off+3] {
+			t.Fatalf("layer %d wrong: %v", l, got[off:off+4])
+		}
+	}
+}
+
+func TestBroadcast2D(t *testing.T) {
+	m := New(2, 2, []int32{1, 1, 0, 1})
+	got := m.Broadcast([]int{2, 2})
+	want := []bool{true, true, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFromFillValue(t *testing.T) {
+	slice := []float32{1.5, 9.97e36, -2.0, float32(1e35)}
+	m := FromFillValue(slice, 2, 2, 1e30)
+	want := []bool{true, false, true, false}
+	if !reflect.DeepEqual(m.Bools(), want) {
+		t.Fatalf("got %v", m.Bools())
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nLat, nLon := 37, 53
+	regions := make([]int32, nLat*nLon)
+	for i := range regions {
+		if rng.Float64() < 0.6 {
+			regions[i] = int32(rng.Intn(5) + 1)
+		}
+	}
+	m := New(nLat, nLon, regions)
+	blob := m.Serialize()
+	got, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NLat != nLat || got.NLon != nLon {
+		t.Fatalf("dims %dx%d", got.NLat, got.NLon)
+	}
+	if !reflect.DeepEqual(got.Bools(), m.Bools()) {
+		t.Fatal("validity changed through serialization")
+	}
+}
+
+func TestSerializeCompact(t *testing.T) {
+	// A realistic coastline-ish mask should compress far below 1 bit/cell.
+	nLat, nLon := 192, 160
+	regions := make([]int32, nLat*nLon)
+	for i := 0; i < nLat; i++ {
+		for j := 0; j < nLon; j++ {
+			if j > nLon/3 {
+				regions[i*nLon+j] = 1
+			}
+		}
+	}
+	m := New(nLat, nLon, regions)
+	blob := m.Serialize()
+	if len(blob) > nLat*nLon/32 {
+		t.Fatalf("mask blob too large: %d bytes for %d cells", len(blob), nLat*nLon)
+	}
+}
+
+func TestParseCorrupt(t *testing.T) {
+	truncated := New(2, 2, []int32{1, 1, 1, 1}).Serialize()[:9]
+	for _, blob := range [][]byte{nil, {1, 2, 3}, make([]byte, 8), truncated} {
+		if _, err := Parse(blob); err == nil {
+			t.Fatalf("Parse(%v) should fail", blob)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package netcdf
+
+import "testing"
+
+// FuzzParse drives the NetCDF header parser and data reader with arbitrary
+// bytes; seeds include a fully valid file.
+func FuzzParse(f *testing.F) {
+	var w Writer
+	d := w.AddDim("x", 4)
+	_ = w.AddFloatVar("v", []int{d}, []Attr{{Name: "units", Value: "K"}}, []float32{1, 2, 3, 4})
+	blob, err := w.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("CDF\x01"))
+	f.Add([]byte("CDF\x02\x00\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		file, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		for _, name := range file.VarNames() {
+			_, _, _ = file.ReadFloat32(name)
+			if v, err := file.FindVar(name); err == nil {
+				_, _ = v.FillValue()
+			}
+		}
+	})
+}

@@ -1,0 +1,632 @@
+// Package netcdf implements the NetCDF classic file format (CDF-1/CDF-2),
+// enough to exchange climate fields with standard tools: reading and writing
+// dimensions, attributes, and fixed-size variables of the numeric types.
+//
+// The paper lists NetCDF integration as CliZ's future work (§VIII); this
+// package realizes it for the classic format so cmd/clizc can compress
+// variables straight out of .nc files and cmd/datagen can emit them. The
+// implementation follows the NetCDF classic format specification
+// (magic "CDF\x01"/"CDF\x02", big-endian, 4-byte aligned headers).
+package netcdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Type is a NetCDF external data type.
+type Type int32
+
+// NetCDF classic external types.
+const (
+	Byte   Type = 1
+	Char   Type = 2
+	Short  Type = 3
+	Int    Type = 4
+	Float  Type = 5
+	Double Type = 6
+)
+
+func (t Type) size() int {
+	switch t {
+	case Byte, Char:
+		return 1
+	case Short:
+		return 2
+	case Int, Float:
+		return 4
+	case Double:
+		return 8
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Byte:
+		return "byte"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return fmt.Sprintf("type(%d)", int32(t))
+}
+
+// header tags.
+const (
+	tagDimension = 0x0A
+	tagVariable  = 0x0B
+	tagAttribute = 0x0C
+	tagAbsent    = 0x00
+)
+
+// ErrCorrupt reports a malformed NetCDF file.
+var ErrCorrupt = errors.New("netcdf: corrupt file")
+
+// Dim is a named dimension.
+type Dim struct {
+	Name string
+	Len  int // 0 marks the record dimension (unsupported for data access)
+}
+
+// Attr is an attribute; Value holds string, []float64, []int32 or []byte
+// depending on Type.
+type Attr struct {
+	Name  string
+	Type  Type
+	Value any
+}
+
+// Var is a variable.
+type Var struct {
+	Name   string
+	Type   Type
+	DimIDs []int
+	Attrs  []Attr
+
+	begin int64 // data offset
+	vsize int64
+}
+
+// File is a parsed NetCDF classic file.
+type File struct {
+	Version byte // 1 or 2
+	Dims    []Dim
+	Attrs   []Attr
+	Vars    []Var
+
+	raw []byte
+}
+
+// Parse reads a classic NetCDF file from memory.
+func Parse(raw []byte) (*File, error) {
+	if len(raw) < 8 || string(raw[:3]) != "CDF" {
+		return nil, fmt.Errorf("netcdf: bad magic: %w", ErrCorrupt)
+	}
+	version := raw[3]
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("netcdf: unsupported version %d (classic CDF-1/2 only)", version)
+	}
+	f := &File{Version: version, raw: raw}
+	p := &parser{raw: raw, pos: 4, offSize: 4}
+	if version == 2 {
+		p.offSize = 8
+	}
+	_ = p.u32() // numrecs (record variables unsupported for data access)
+	var err error
+	f.Dims, err = p.dimList()
+	if err != nil {
+		return nil, err
+	}
+	f.Attrs, err = p.attrList()
+	if err != nil {
+		return nil, err
+	}
+	f.Vars, err = p.varList(len(f.Dims))
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return f, nil
+}
+
+// VarNames lists variable names in file order.
+func (f *File) VarNames() []string {
+	out := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// FindVar returns the named variable.
+func (f *File) FindVar(name string) (*Var, error) {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i], nil
+		}
+	}
+	return nil, fmt.Errorf("netcdf: no variable %q (have %v)", name, f.VarNames())
+}
+
+// VarDims returns the extents of a variable's dimensions.
+func (f *File) VarDims(v *Var) ([]int, error) {
+	out := make([]int, len(v.DimIDs))
+	for i, id := range v.DimIDs {
+		if id < 0 || id >= len(f.Dims) {
+			return nil, ErrCorrupt
+		}
+		if f.Dims[id].Len == 0 {
+			return nil, fmt.Errorf("netcdf: record variable %q unsupported", v.Name)
+		}
+		out[i] = f.Dims[id].Len
+	}
+	return out, nil
+}
+
+// ReadFloat32 reads a numeric variable, converting to float32.
+func (f *File) ReadFloat32(name string) ([]float32, []int, error) {
+	v, err := f.FindVar(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	dims, err := f.VarDims(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	esz := v.Type.size()
+	if esz == 0 {
+		return nil, nil, fmt.Errorf("netcdf: variable %q has unreadable type %s", name, v.Type)
+	}
+	end := v.begin + int64(n)*int64(esz)
+	if v.begin < 0 || end > int64(len(f.raw)) {
+		return nil, nil, fmt.Errorf("netcdf: variable %q data out of range: %w", name, ErrCorrupt)
+	}
+	src := f.raw[v.begin:end]
+	out := make([]float32, n)
+	switch v.Type {
+	case Float:
+		for i := range out {
+			out[i] = math.Float32frombits(binary.BigEndian.Uint32(src[4*i:]))
+		}
+	case Double:
+		for i := range out {
+			out[i] = float32(math.Float64frombits(binary.BigEndian.Uint64(src[8*i:])))
+		}
+	case Int:
+		for i := range out {
+			out[i] = float32(int32(binary.BigEndian.Uint32(src[4*i:])))
+		}
+	case Short:
+		for i := range out {
+			out[i] = float32(int16(binary.BigEndian.Uint16(src[2*i:])))
+		}
+	case Byte:
+		for i := range out {
+			out[i] = float32(int8(src[i]))
+		}
+	default:
+		return nil, nil, fmt.Errorf("netcdf: cannot convert %s to float32", v.Type)
+	}
+	return out, dims, nil
+}
+
+// FillValue returns the variable's _FillValue attribute if present.
+func (v *Var) FillValue() (float64, bool) {
+	for _, a := range v.Attrs {
+		if a.Name != "_FillValue" && a.Name != "missing_value" {
+			continue
+		}
+		switch vv := a.Value.(type) {
+		case []float64:
+			if len(vv) > 0 {
+				return vv[0], true
+			}
+		case []int32:
+			if len(vv) > 0 {
+				return float64(vv[0]), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// --- parsing ---
+
+type parser struct {
+	raw     []byte
+	pos     int
+	offSize int
+	err     error
+}
+
+func (p *parser) fail(msg string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("netcdf: %s at offset %d: %w", msg, p.pos, ErrCorrupt)
+	}
+}
+
+func (p *parser) u32() uint32 {
+	if p.err != nil {
+		return 0
+	}
+	if p.pos+4 > len(p.raw) {
+		p.fail("truncated u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.raw[p.pos:])
+	p.pos += 4
+	return v
+}
+
+func (p *parser) offset() int64 {
+	if p.offSize == 4 {
+		return int64(p.u32())
+	}
+	if p.err != nil {
+		return 0
+	}
+	if p.pos+8 > len(p.raw) {
+		p.fail("truncated u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(p.raw[p.pos:])
+	p.pos += 8
+	return int64(v)
+}
+
+func (p *parser) name() string {
+	n := int(p.u32())
+	if p.err != nil {
+		return ""
+	}
+	if n < 0 || p.pos+pad4(n) > len(p.raw) {
+		p.fail("truncated name")
+		return ""
+	}
+	s := string(p.raw[p.pos : p.pos+n])
+	p.pos += pad4(n)
+	return s
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+func (p *parser) taggedCount(wantTag uint32) int {
+	tag := p.u32()
+	count := p.u32()
+	if p.err != nil {
+		return 0
+	}
+	if tag == tagAbsent && count == 0 {
+		return 0
+	}
+	if tag != wantTag {
+		p.fail(fmt.Sprintf("expected tag %#x, got %#x", wantTag, tag))
+		return 0
+	}
+	if count > uint32(len(p.raw)) {
+		p.fail("absurd element count")
+		return 0
+	}
+	return int(count)
+}
+
+func (p *parser) dimList() ([]Dim, error) {
+	n := p.taggedCount(tagDimension)
+	dims := make([]Dim, 0, n)
+	for i := 0; i < n && p.err == nil; i++ {
+		name := p.name()
+		l := p.u32()
+		dims = append(dims, Dim{Name: name, Len: int(l)})
+	}
+	return dims, p.err
+}
+
+func (p *parser) attrList() ([]Attr, error) {
+	n := p.taggedCount(tagAttribute)
+	attrs := make([]Attr, 0, n)
+	for i := 0; i < n && p.err == nil; i++ {
+		a := Attr{Name: p.name(), Type: Type(p.u32())}
+		ne := int(p.u32())
+		esz := a.Type.size()
+		if esz == 0 || ne < 0 || p.pos+pad4(ne*esz) > len(p.raw) {
+			p.fail("bad attribute")
+			break
+		}
+		body := p.raw[p.pos : p.pos+ne*esz]
+		p.pos += pad4(ne * esz)
+		switch a.Type {
+		case Char:
+			a.Value = string(body)
+		case Byte:
+			a.Value = append([]byte(nil), body...)
+		case Short:
+			vals := make([]int32, ne)
+			for j := range vals {
+				vals[j] = int32(int16(binary.BigEndian.Uint16(body[2*j:])))
+			}
+			a.Value = vals
+		case Int:
+			vals := make([]int32, ne)
+			for j := range vals {
+				vals[j] = int32(binary.BigEndian.Uint32(body[4*j:]))
+			}
+			a.Value = vals
+		case Float:
+			vals := make([]float64, ne)
+			for j := range vals {
+				vals[j] = float64(math.Float32frombits(binary.BigEndian.Uint32(body[4*j:])))
+			}
+			a.Value = vals
+		case Double:
+			vals := make([]float64, ne)
+			for j := range vals {
+				vals[j] = math.Float64frombits(binary.BigEndian.Uint64(body[8*j:]))
+			}
+			a.Value = vals
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, p.err
+}
+
+func (p *parser) varList(nDims int) ([]Var, error) {
+	n := p.taggedCount(tagVariable)
+	vars := make([]Var, 0, n)
+	for i := 0; i < n && p.err == nil; i++ {
+		v := Var{Name: p.name()}
+		nd := int(p.u32())
+		if nd < 0 || nd > 64 {
+			p.fail("bad variable rank")
+			break
+		}
+		v.DimIDs = make([]int, nd)
+		for j := range v.DimIDs {
+			id := int(p.u32())
+			if id < 0 || id >= nDims {
+				p.fail("bad dim id")
+			}
+			v.DimIDs[j] = id
+		}
+		var err error
+		v.Attrs, err = p.attrList()
+		if err != nil {
+			return nil, err
+		}
+		v.Type = Type(p.u32())
+		v.vsize = int64(p.u32())
+		v.begin = p.offset()
+		vars = append(vars, v)
+	}
+	return vars, p.err
+}
+
+// --- writing ---
+
+// Writer builds a classic CDF-1 file with fixed-size variables.
+type Writer struct {
+	dims  []Dim
+	gatts []Attr
+	vars  []wvar
+}
+
+type wvar struct {
+	name   string
+	typ    Type
+	dimIDs []int
+	attrs  []Attr
+	data   []byte // big-endian external representation
+}
+
+// AddDim registers a dimension and returns its id.
+func (w *Writer) AddDim(name string, length int) int {
+	w.dims = append(w.dims, Dim{Name: name, Len: length})
+	return len(w.dims) - 1
+}
+
+// AddGlobalAttr adds a global attribute (Value: string, []float64 (with
+// Float/Double type) or []int32).
+func (w *Writer) AddGlobalAttr(a Attr) { w.gatts = append(w.gatts, a) }
+
+// AddFloatVar adds a float32 variable over the given dimension ids.
+func (w *Writer) AddFloatVar(name string, dimIDs []int, attrs []Attr, data []float32) error {
+	n := 1
+	for _, id := range dimIDs {
+		if id < 0 || id >= len(w.dims) {
+			return fmt.Errorf("netcdf: bad dim id %d", id)
+		}
+		n *= w.dims[id].Len
+	}
+	if n != len(data) {
+		return fmt.Errorf("netcdf: variable %q: %d values for volume %d", name, len(data), n)
+	}
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.BigEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	w.vars = append(w.vars, wvar{name: name, typ: Float, dimIDs: append([]int(nil), dimIDs...), attrs: attrs, data: raw})
+	return nil
+}
+
+// AddIntVar adds an int32 variable (e.g. a mask map).
+func (w *Writer) AddIntVar(name string, dimIDs []int, attrs []Attr, data []int32) error {
+	n := 1
+	for _, id := range dimIDs {
+		if id < 0 || id >= len(w.dims) {
+			return fmt.Errorf("netcdf: bad dim id %d", id)
+		}
+		n *= w.dims[id].Len
+	}
+	if n != len(data) {
+		return fmt.Errorf("netcdf: variable %q: %d values for volume %d", name, len(data), n)
+	}
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.BigEndian.PutUint32(raw[4*i:], uint32(v))
+	}
+	w.vars = append(w.vars, wvar{name: name, typ: Int, dimIDs: append([]int(nil), dimIDs...), attrs: attrs, data: raw})
+	return nil
+}
+
+// Bytes serializes the file.
+func (w *Writer) Bytes() ([]byte, error) {
+	var hdr []byte
+	hdr = append(hdr, 'C', 'D', 'F', 1)
+	hdr = be32(hdr, 0) // numrecs
+	// dim list
+	if len(w.dims) == 0 {
+		hdr = be32(hdr, tagAbsent)
+		hdr = be32(hdr, 0)
+	} else {
+		hdr = be32(hdr, tagDimension)
+		hdr = be32(hdr, uint32(len(w.dims)))
+		for _, d := range w.dims {
+			hdr = beName(hdr, d.Name)
+			hdr = be32(hdr, uint32(d.Len))
+		}
+	}
+	var err error
+	hdr, err = appendAttrs(hdr, w.gatts)
+	if err != nil {
+		return nil, err
+	}
+	// Variable list: first with placeholder offsets to size the header.
+	varsAt := len(hdr)
+	build := func(begins []int64) ([]byte, error) {
+		out := append([]byte(nil), hdr[:varsAt]...)
+		if len(w.vars) == 0 {
+			out = be32(out, tagAbsent)
+			out = be32(out, 0)
+			return out, nil
+		}
+		out = be32(out, tagVariable)
+		out = be32(out, uint32(len(w.vars)))
+		for i, v := range w.vars {
+			out = beName(out, v.name)
+			out = be32(out, uint32(len(v.dimIDs)))
+			for _, id := range v.dimIDs {
+				out = be32(out, uint32(id))
+			}
+			var err error
+			out, err = appendAttrs(out, v.attrs)
+			if err != nil {
+				return nil, err
+			}
+			out = be32(out, uint32(v.typ))
+			out = be32(out, uint32(pad4(len(v.data))))
+			out = be32(out, uint32(begins[i]))
+		}
+		return out, nil
+	}
+	placeholder := make([]int64, len(w.vars))
+	probe, err := build(placeholder)
+	if err != nil {
+		return nil, err
+	}
+	begins := make([]int64, len(w.vars))
+	off := int64(len(probe))
+	for i, v := range w.vars {
+		begins[i] = off
+		off += int64(pad4(len(v.data)))
+		if off > math.MaxUint32 {
+			return nil, fmt.Errorf("netcdf: CDF-1 file exceeds 4 GiB")
+		}
+	}
+	out, err := build(begins)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range w.vars {
+		out = append(out, v.data...)
+		for len(out)%4 != 0 {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+func be32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func beName(dst []byte, s string) []byte {
+	dst = be32(dst, uint32(len(s)))
+	dst = append(dst, s...)
+	for len(dst)%4 != 0 {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+func appendAttrs(dst []byte, attrs []Attr) ([]byte, error) {
+	if len(attrs) == 0 {
+		dst = be32(dst, tagAbsent)
+		return be32(dst, 0), nil
+	}
+	dst = be32(dst, tagAttribute)
+	dst = be32(dst, uint32(len(attrs)))
+	for _, a := range attrs {
+		dst = beName(dst, a.Name)
+		switch v := a.Value.(type) {
+		case string:
+			dst = be32(dst, uint32(Char))
+			dst = be32(dst, uint32(len(v)))
+			dst = append(dst, v...)
+			for len(dst)%4 != 0 {
+				dst = append(dst, 0)
+			}
+		case []float64:
+			t := a.Type
+			if t != Float && t != Double {
+				t = Double
+			}
+			dst = be32(dst, uint32(t))
+			dst = be32(dst, uint32(len(v)))
+			for _, x := range v {
+				if t == Float {
+					dst = be32(dst, math.Float32bits(float32(x)))
+				} else {
+					var b [8]byte
+					binary.BigEndian.PutUint64(b[:], math.Float64bits(x))
+					dst = append(dst, b[:]...)
+				}
+			}
+		case []int32:
+			dst = be32(dst, uint32(Int))
+			dst = be32(dst, uint32(len(v)))
+			for _, x := range v {
+				dst = be32(dst, uint32(x))
+			}
+		default:
+			return nil, fmt.Errorf("netcdf: unsupported attribute value %T for %q", a.Value, a.Name)
+		}
+	}
+	return dst, nil
+}
+
+// SortedVarNames returns variable names sorted alphabetically (stable
+// listing for CLIs).
+func (f *File) SortedVarNames() []string {
+	names := f.VarNames()
+	sort.Strings(names)
+	return names
+}

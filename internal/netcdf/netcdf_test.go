@@ -1,0 +1,240 @@
+package netcdf
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func buildSample(t *testing.T) ([]byte, []float32, []int32) {
+	t.Helper()
+	var w Writer
+	dT := w.AddDim("time", 4)
+	dLat := w.AddDim("lat", 3)
+	dLon := w.AddDim("lon", 5)
+	w.AddGlobalAttr(Attr{Name: "title", Value: "cliz test file"})
+	w.AddGlobalAttr(Attr{Name: "version", Value: []int32{3}})
+
+	rng := rand.New(rand.NewSource(1))
+	ssh := make([]float32, 4*3*5)
+	for i := range ssh {
+		ssh[i] = float32(rng.NormFloat64() * 10)
+	}
+	ssh[7] = 9.96921e36
+	err := w.AddFloatVar("SSH", []int{dT, dLat, dLon}, []Attr{
+		{Name: "units", Value: "cm"},
+		{Name: "_FillValue", Type: Float, Value: []float64{9.96921e36}},
+	}, ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []int32{1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 1, 1, 1, 1}
+	if err := w.AddIntVar("REGION_MASK", []int{dLat, dLon}, nil, regions); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, ssh, regions
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	blob, ssh, regions := buildSample(t)
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != 1 {
+		t.Fatalf("version %d", f.Version)
+	}
+	if len(f.Dims) != 3 || f.Dims[0].Name != "time" || f.Dims[2].Len != 5 {
+		t.Fatalf("dims %+v", f.Dims)
+	}
+	if len(f.Attrs) != 2 || f.Attrs[0].Name != "title" {
+		t.Fatalf("gatts %+v", f.Attrs)
+	}
+	if s, ok := f.Attrs[0].Value.(string); !ok || s != "cliz test file" {
+		t.Fatalf("title attr %v", f.Attrs[0].Value)
+	}
+
+	got, dims, err := f.ReadFloat32("SSH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dims, []int{4, 3, 5}) {
+		t.Fatalf("dims %v", dims)
+	}
+	if !reflect.DeepEqual(got, ssh) {
+		t.Fatal("float data mismatch")
+	}
+
+	gotMask, mdims, err := f.ReadFloat32("REGION_MASK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mdims, []int{3, 5}) {
+		t.Fatalf("mask dims %v", mdims)
+	}
+	for i, r := range regions {
+		if gotMask[i] != float32(r) {
+			t.Fatalf("mask[%d] = %g want %d", i, gotMask[i], r)
+		}
+	}
+}
+
+func TestFillValueAttr(t *testing.T) {
+	blob, _, _ := buildSample(t)
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.FindVar("SSH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill, ok := v.FillValue()
+	if !ok {
+		t.Fatal("fill value not found")
+	}
+	if math.Abs(fill-9.96921e36)/9.96921e36 > 1e-6 {
+		t.Fatalf("fill = %g", fill)
+	}
+	m, err := f.FindVar("REGION_MASK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.FillValue(); ok {
+		t.Fatal("mask has no fill value")
+	}
+}
+
+func TestVarNamesAndMissing(t *testing.T) {
+	blob, _, _ := buildSample(t)
+	f, _ := Parse(blob)
+	if !reflect.DeepEqual(f.SortedVarNames(), []string{"REGION_MASK", "SSH"}) {
+		t.Fatalf("names %v", f.SortedVarNames())
+	}
+	if _, err := f.FindVar("NOPE"); err == nil {
+		t.Fatal("missing variable accepted")
+	}
+	if _, _, err := f.ReadFloat32("NOPE"); err == nil {
+		t.Fatal("missing variable read")
+	}
+}
+
+func TestNamePadding(t *testing.T) {
+	// Names of every length mod 4 must round-trip (padding handling).
+	var w Writer
+	d := w.AddDim("x", 2)
+	for _, name := range []string{"a", "ab", "abc", "abcd", "abcde"} {
+		if err := w.AddFloatVar(name, []int{d}, nil, []float32{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "ab", "abc", "abcd", "abcde"} {
+		got, _, err := f.ReadFloat32(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got[0] != 1 || got[1] != 2 {
+			t.Fatalf("%s: %v", name, got)
+		}
+	}
+}
+
+func TestTypeConversions(t *testing.T) {
+	// Build a file with double/int/short/byte variables by hand-encoding
+	// through the writer's int path and a manual double patch is overkill;
+	// instead verify the converter on a double variable written as raw.
+	var w Writer
+	d := w.AddDim("x", 3)
+	if err := w.AddIntVar("iv", []int{d}, nil, []int32{-1, 0, 2147483647}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.ReadFloat32("iv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -1 || got[1] != 0 || got[2] != float32(2147483647) {
+		t.Fatalf("int conversion: %v", got)
+	}
+}
+
+func TestParseCorrupt(t *testing.T) {
+	blob, _, _ := buildSample(t)
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("CDF\x05garbagegarbage"),
+		blob[:10],
+		blob[:len(blob)/3],
+	}
+	for i, bad := range cases {
+		if f, err := Parse(bad); err == nil {
+			// Header may parse on some truncations; data reads must fail.
+			if _, _, err2 := f.ReadFloat32("SSH"); err2 == nil {
+				t.Fatalf("case %d: corrupt file fully readable", i)
+			}
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var w Writer
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Dims) != 0 || len(f.Vars) != 0 {
+		t.Fatal("empty file should be empty")
+	}
+}
+
+func TestDataAlignment(t *testing.T) {
+	// A variable with a non-multiple-of-4 byte size would break alignment;
+	// float data is always 4-aligned, but data sections must start 4-aligned
+	// regardless.
+	var w Writer
+	d := w.AddDim("x", 1)
+	_ = w.AddFloatVar("a", []int{d}, nil, []float32{3.5})
+	_ = w.AddFloatVar("b", []int{d}, nil, []float32{-7.25})
+	blob, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Vars {
+		if v.begin%4 != 0 {
+			t.Fatalf("variable %s misaligned at %d", v.Name, v.begin)
+		}
+	}
+	b, _, err := f.ReadFloat32("b")
+	if err != nil || b[0] != -7.25 {
+		t.Fatalf("b = %v (%v)", b, err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package netsim models the compression-enabled Globus WAN transfer of the
+// paper's scaled-performance experiment (§VII-C4, Fig. 13): N cores each
+// compress one file in parallel, then the compressed files cross a shared
+// wide-area bottleneck. The conclusion of Fig. 13 is arithmetic on
+// compressed sizes (transfer ≈ bytes/bandwidth) driven by *measured*
+// compression times and *actual* compressed sizes — only the link constants
+// are synthetic, and they default to an ANL→Purdue-like 10 Gbit/s path.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// WAN describes the wide-area path between the two endpoints.
+type WAN struct {
+	// BandwidthBytesPerSec is the shared bottleneck capacity.
+	BandwidthBytesPerSec float64
+	// SetupSec is the per-session control overhead (Globus handshake,
+	// checksums), paid once per transfer batch.
+	SetupSec float64
+	// PerFileSec is the per-file bookkeeping overhead, overlapped across
+	// ParallelStreams concurrent streams.
+	PerFileSec float64
+	// ParallelStreams is the endpoint's concurrency (Globus default 4–8).
+	ParallelStreams int
+}
+
+// DefaultWAN approximates the paper's ANL Bebop → Purdue Anvil path.
+func DefaultWAN() WAN {
+	return WAN{
+		BandwidthBytesPerSec: 1.25e9, // 10 Gbit/s
+		SetupSec:             2.0,
+		PerFileSec:           0.05,
+		ParallelStreams:      8,
+	}
+}
+
+// Validate checks the configuration.
+func (w WAN) Validate() error {
+	if w.BandwidthBytesPerSec <= 0 {
+		return fmt.Errorf("netsim: bandwidth must be positive")
+	}
+	if w.ParallelStreams <= 0 {
+		return fmt.Errorf("netsim: need at least one stream")
+	}
+	if w.SetupSec < 0 || w.PerFileSec < 0 {
+		return fmt.Errorf("netsim: negative overhead")
+	}
+	return nil
+}
+
+// Job describes one codec's workload: every core compresses one file of
+// FileBytes (compressed output) in CompressSec wall seconds.
+type Job struct {
+	Cores       int
+	FileBytes   int
+	CompressSec float64
+}
+
+// Result reports the simulated end-to-end cost.
+type Result struct {
+	CompressTime time.Duration
+	TransferTime time.Duration
+	Total        time.Duration
+	TotalBytes   int64
+}
+
+// Simulate runs one codec's batch: compression is perfectly parallel across
+// cores (each core owns one file, per the paper's setup), then all files
+// share the WAN bottleneck.
+func Simulate(w WAN, j Job) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if j.Cores <= 0 || j.FileBytes < 0 || j.CompressSec < 0 {
+		return Result{}, fmt.Errorf("netsim: invalid job %+v", j)
+	}
+	totalBytes := int64(j.Cores) * int64(j.FileBytes)
+	wire := float64(totalBytes) / w.BandwidthBytesPerSec
+	overhead := w.SetupSec + float64(j.Cores)*w.PerFileSec/float64(w.ParallelStreams)
+	xfer := wire + overhead
+	return Result{
+		CompressTime: durSec(j.CompressSec),
+		TransferTime: durSec(xfer),
+		Total:        durSec(j.CompressSec + xfer),
+		TotalBytes:   totalBytes,
+	}, nil
+}
+
+// Uncompressed models the baseline of shipping raw data (no compression).
+func Uncompressed(w WAN, cores int, rawBytes int) (Result, error) {
+	return Simulate(w, Job{Cores: cores, FileBytes: rawBytes})
+}
+
+func durSec(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateBasicArithmetic(t *testing.T) {
+	w := WAN{BandwidthBytesPerSec: 1e9, SetupSec: 1, PerFileSec: 0.1, ParallelStreams: 10}
+	res, err := Simulate(w, Job{Cores: 100, FileBytes: 1e7, CompressSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wire = 1e9 bytes / 1e9 Bps = 1s; overhead = 1 + 100*0.1/10 = 2s.
+	if got := res.TransferTime; got != 3*time.Second {
+		t.Fatalf("transfer = %v want 3s", got)
+	}
+	if res.CompressTime != 5*time.Second || res.Total != 8*time.Second {
+		t.Fatalf("compress %v total %v", res.CompressTime, res.Total)
+	}
+	if res.TotalBytes != 1e9 {
+		t.Fatalf("bytes %d", res.TotalBytes)
+	}
+}
+
+func TestSmallerFilesTransferFaster(t *testing.T) {
+	w := DefaultWAN()
+	big, _ := Simulate(w, Job{Cores: 512, FileBytes: 40 << 20, CompressSec: 7})
+	small, _ := Simulate(w, Job{Cores: 512, FileBytes: 4 << 20, CompressSec: 7})
+	if small.TransferTime >= big.TransferTime {
+		t.Fatal("smaller files should transfer faster")
+	}
+	if small.Total >= big.Total {
+		t.Fatal("total should shrink with compression ratio")
+	}
+}
+
+func TestMoreCoresMoreData(t *testing.T) {
+	w := DefaultWAN()
+	a, _ := Simulate(w, Job{Cores: 256, FileBytes: 10 << 20, CompressSec: 7})
+	b, _ := Simulate(w, Job{Cores: 1024, FileBytes: 10 << 20, CompressSec: 7})
+	if b.TransferTime <= a.TransferTime {
+		t.Fatal("4x the files must take longer on a shared link")
+	}
+	if b.TotalBytes != 4*a.TotalBytes {
+		t.Fatal("bytes should scale with cores")
+	}
+}
+
+func TestUncompressedBaseline(t *testing.T) {
+	w := DefaultWAN()
+	raw, err := Uncompressed(w, 256, 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _ := Simulate(w, Job{Cores: 256, FileBytes: 10 << 20, CompressSec: 5})
+	if comp.Total >= raw.Total {
+		t.Fatal("compression should pay for itself at 10x ratio")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(WAN{}, Job{Cores: 1}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	w := DefaultWAN()
+	if _, err := Simulate(w, Job{Cores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := Simulate(w, Job{Cores: 1, CompressSec: -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	bad := w
+	bad.ParallelStreams = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+}

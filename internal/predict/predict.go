@@ -1,0 +1,111 @@
+// Package predict implements the dynamic fitting predictors of the SZ3
+// framework and CliZ's mask-aware generalization (paper §VI-B).
+//
+// A cubic prediction for a target point uses four referenced points at
+// strides −3s, −s, +s, +3s (paper Fig. 6, Formula (1)):
+//
+//	p = −d0/16 + 9·d1/16 + 9·d2/16 − d3/16
+//
+// When referenced points are invalid — masked by the mask-map or out of
+// bounds — CliZ degrades the fit through Theorem 1's closed form
+// (Formula (2)): the coefficient of reference i is the product over j of
+// (v_j·M[i][j] + (1−v_j)·B[i][j]). All 16 validity combinations are
+// precomputed at init. The same treatment applies to linear fitting with a
+// two-reference table. This package also verifies the paper's Tables I–II
+// as golden tests.
+package predict
+
+// Fitting selects the base predictor family.
+type Fitting int
+
+const (
+	// Linear fitting predicts from d1, d2 at ±s (p = d1/2 + d2/2).
+	Linear Fitting = iota
+	// Cubic fitting predicts from d0..d3 at −3s, −s, +s, +3s (Formula (1)).
+	Cubic
+	// Lorenzo selects the first-order Lorenzo predictor instead of the
+	// interpolation traversal — the SZ family's classic scan predictor,
+	// available as an extension arm of the tuner.
+	Lorenzo
+)
+
+// String implements fmt.Stringer for experiment tables.
+func (f Fitting) String() string {
+	switch f {
+	case Cubic:
+		return "Cubic"
+	case Lorenzo:
+		return "Lorenzo"
+	}
+	return "Linear"
+}
+
+// cubicM and cubicB are the M and B matrices of Theorem 1 (Formula (2)).
+var cubicM = [4][4]float64{
+	{1, -0.5, 0.25, 0.5},
+	{1.5, 1, 0.5, 0.75},
+	{0.75, 0.5, 1, 1.5},
+	{0.5, 0.25, -0.5, 1},
+}
+
+var cubicB = [4][4]float64{
+	{0, 1, 1, 1},
+	{1, 0, 1, 1},
+	{1, 1, 0, 1},
+	{1, 1, 1, 0},
+}
+
+// cubicCoeffs[mask] holds the coefficients for validity bitmask `mask`
+// where bit i set means reference i is valid.
+var cubicCoeffs [16][4]float64
+
+// linearCoeffs[mask] similarly for the two linear references (d1 at −s,
+// d2 at +s): both valid → (1/2, 1/2); one valid → constant fit; none → 0.
+var linearCoeffs = [4][2]float64{
+	{0, 0},     // none valid
+	{1, 0},     // only d1
+	{0, 1},     // only d2
+	{0.5, 0.5}, // both
+}
+
+func init() {
+	for mask := 0; mask < 16; mask++ {
+		for i := 0; i < 4; i++ {
+			p := 1.0
+			for j := 0; j < 4; j++ {
+				if mask&(1<<j) != 0 {
+					p *= cubicM[i][j]
+				} else {
+					p *= cubicB[i][j]
+				}
+			}
+			cubicCoeffs[mask][i] = p
+		}
+	}
+}
+
+// CubicCoeffs returns the four coefficients for the given validity bitmask
+// (bit i set ⇔ reference i valid). Invalid references receive coefficient 0,
+// so callers may pass arbitrary values for them.
+func CubicCoeffs(validMask int) [4]float64 {
+	return cubicCoeffs[validMask&15]
+}
+
+// LinearCoeffs returns the two coefficients for the linear fit validity
+// bitmask (bit 0 ⇔ d1 valid, bit 1 ⇔ d2 valid).
+func LinearCoeffs(validMask int) [2]float64 {
+	return linearCoeffs[validMask&3]
+}
+
+// PredictCubic evaluates the mask-aware cubic fit. d holds the reference
+// values (garbage allowed where invalid); validMask flags validity.
+func PredictCubic(d [4]float64, validMask int) float64 {
+	c := cubicCoeffs[validMask&15]
+	return c[0]*d[0] + c[1]*d[1] + c[2]*d[2] + c[3]*d[3]
+}
+
+// PredictLinear evaluates the mask-aware linear fit over d1, d2.
+func PredictLinear(d1, d2 float64, validMask int) float64 {
+	c := linearCoeffs[validMask&3]
+	return c[0]*d1 + c[1]*d2
+}

@@ -1,0 +1,195 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIGolden verifies the paper's Table I: all references valid.
+func TestTableIGolden(t *testing.T) {
+	c := CubicCoeffs(0b1111)
+	want := [4]float64{-1.0 / 16, 9.0 / 16, 9.0 / 16, -1.0 / 16}
+	for i := range c {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("p%d = %g want %g", i, c[i], want[i])
+		}
+	}
+}
+
+// TestTableIIGolden verifies the paper's Table II: exactly one reference
+// invalid (validity rows 0111, 1011, 1101, 1110 as written v0..v3).
+func TestTableIIGolden(t *testing.T) {
+	cases := []struct {
+		mask int // bit i ⇔ v_i
+		want [4]float64
+	}{
+		{0b1110, [4]float64{0, 3.0 / 8, 3.0 / 4, -1.0 / 8}}, // v0=0
+		{0b1101, [4]float64{1.0 / 8, 0, 9.0 / 8, -1.0 / 4}}, // v1=0
+		{0b1011, [4]float64{-1.0 / 4, 9.0 / 8, 0, 1.0 / 8}}, // v2=0
+		{0b0111, [4]float64{-1.0 / 8, 3.0 / 4, 3.0 / 8, 0}}, // v3=0
+	}
+	for _, c := range cases {
+		got := CubicCoeffs(c.mask)
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Fatalf("mask %04b: p%d = %g want %g", c.mask, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestInvalidGetZeroCoefficient: masked references must never influence the
+// prediction.
+func TestInvalidGetZeroCoefficient(t *testing.T) {
+	for mask := 0; mask < 16; mask++ {
+		c := CubicCoeffs(mask)
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) == 0 && c[i] != 0 {
+				t.Fatalf("mask %04b: invalid ref %d has coeff %g", mask, i, c[i])
+			}
+		}
+	}
+}
+
+// TestCoefficientsSumToOne: with at least one valid reference the fit must
+// reproduce constants (coefficients sum to 1); with none, prediction is 0.
+func TestCoefficientsSumToOne(t *testing.T) {
+	for mask := 0; mask < 16; mask++ {
+		c := CubicCoeffs(mask)
+		sum := c[0] + c[1] + c[2] + c[3]
+		want := 1.0
+		if mask == 0 {
+			want = 0
+		}
+		if math.Abs(sum-want) > 1e-12 {
+			t.Fatalf("mask %04b: coeff sum %g want %g", mask, sum, want)
+		}
+	}
+	for mask := 0; mask < 4; mask++ {
+		c := LinearCoeffs(mask)
+		sum := c[0] + c[1]
+		want := 1.0
+		if mask == 0 {
+			want = 0
+		}
+		if math.Abs(sum-want) > 1e-12 {
+			t.Fatalf("linear mask %02b: sum %g", mask, sum)
+		}
+	}
+}
+
+// refPositions are the stride-unit coordinates of the four cubic references
+// relative to the target (paper Fig. 6).
+var refPositions = [4]float64{-3, -1, 1, 3}
+
+// TestPolynomialReproduction: with k valid references the fit must be exact
+// on polynomials of degree < min(k, valid count) sampled at the reference
+// positions — linear reproduction for ≥2 refs and full cubic for 4.
+func TestPolynomialReproduction(t *testing.T) {
+	eval := func(coef []float64, x float64) float64 {
+		v := 0.0
+		for i := len(coef) - 1; i >= 0; i-- {
+			v = v*x + coef[i]
+		}
+		return v
+	}
+	rng := rand.New(rand.NewSource(11))
+	for mask := 1; mask < 16; mask++ {
+		nvalid := 0
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				nvalid++
+			}
+		}
+		// The fit degrades to degree nvalid-1 (4 valid → cubic is exact for
+		// degree ≤ 3, 3 valid → quadratic, 2 → linear, 1 → constant).
+		maxDeg := nvalid - 1
+		if maxDeg > 3 {
+			maxDeg = 3
+		}
+		for deg := 0; deg <= maxDeg; deg++ {
+			coef := make([]float64, deg+1)
+			for i := range coef {
+				coef[i] = rng.NormFloat64()
+			}
+			var d [4]float64
+			for i := 0; i < 4; i++ {
+				if mask&(1<<i) != 0 {
+					d[i] = eval(coef, refPositions[i])
+				} else {
+					d[i] = 1e30 // garbage must be ignored
+				}
+			}
+			got := PredictCubic(d, mask)
+			want := eval(coef, 0)
+			scale := math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > 1e-9*scale {
+				t.Fatalf("mask %04b deg %d: got %g want %g", mask, deg, got, want)
+			}
+		}
+	}
+}
+
+// TestTwoValidIsLinearFit verifies the specific degradations the paper
+// mentions: two valid points give a linear fit through them.
+func TestTwoValidIsLinearFit(t *testing.T) {
+	// v1, v2 valid (positions −1, +1): p = (d1+d2)/2.
+	got := PredictCubic([4]float64{99, 4, 8, 99}, 0b0110)
+	if math.Abs(got-6) > 1e-12 {
+		t.Fatalf("interior linear: %g want 6", got)
+	}
+	// v2, v3 valid (positions +1, +3): extrapolation 1.5·d2 − 0.5·d3.
+	got = PredictCubic([4]float64{99, 99, 10, 14}, 0b1100)
+	if math.Abs(got-8) > 1e-12 {
+		t.Fatalf("extrapolation: %g want 8", got)
+	}
+}
+
+func TestLinearPredict(t *testing.T) {
+	if got := PredictLinear(4, 8, 3); got != 6 {
+		t.Fatalf("both valid: %g", got)
+	}
+	if got := PredictLinear(4, 999, 1); got != 4 {
+		t.Fatalf("only d1: %g", got)
+	}
+	if got := PredictLinear(999, 8, 2); got != 8 {
+		t.Fatalf("only d2: %g", got)
+	}
+	if got := PredictLinear(999, 999, 0); got != 0 {
+		t.Fatalf("none valid: %g", got)
+	}
+}
+
+func TestFittingString(t *testing.T) {
+	if Linear.String() != "Linear" || Cubic.String() != "Cubic" {
+		t.Fatal("Fitting.String broken")
+	}
+}
+
+// TestFormulaTwoConsistency checks the closed form against a direct
+// evaluation of Formula (2) for random validity masks.
+func TestFormulaTwoConsistency(t *testing.T) {
+	f := func(mask8 uint8) bool {
+		mask := int(mask8) & 15
+		c := CubicCoeffs(mask)
+		for i := 0; i < 4; i++ {
+			p := 1.0
+			for j := 0; j < 4; j++ {
+				vj := 0.0
+				if mask&(1<<j) != 0 {
+					vj = 1
+				}
+				p *= vj*cubicM[i][j] + (1-vj)*cubicB[i][j]
+			}
+			if math.Abs(p-c[i]) > 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package quality is a Z-checker-style assessment suite for lossy
+// reconstructions (the paper's distortion evaluation relies on this family
+// of metrics — PSNR, SSIM, Pearson correlation, Wasserstein distance — and
+// cites Z-checker as the community framework). Given the original and
+// reconstructed field it computes pointwise error statistics, correlation
+// and distributional distances, plus an error-autocorrelation probe that
+// flags compression artifacts invisible to PSNR.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cliz/internal/stats"
+)
+
+// Report holds the full assessment.
+type Report struct {
+	Points      int     // valid points scored
+	MinErr      float64 // most negative pointwise error (recon − orig)
+	MaxErr      float64 // most positive pointwise error
+	MaxAbsErr   float64
+	MeanErr     float64 // bias
+	RMSE        float64
+	NRMSE       float64 // RMSE / value range
+	PSNR        float64
+	SSIM        float64
+	Pearson     float64
+	Wasserstein float64 // 1-Wasserstein distance between value distributions
+	// ErrAutocorr is the lag-1 autocorrelation of the pointwise error along
+	// the fastest dimension. Near 0 = white (ideal); large values reveal
+	// structured artifacts even when PSNR looks fine.
+	ErrAutocorr float64
+	// Histogram counts pointwise errors in HistogramBins uniform bins over
+	// [−MaxAbsErr, +MaxAbsErr].
+	Histogram []int
+}
+
+// HistogramBins is the error-histogram resolution.
+const HistogramBins = 21
+
+// Assess computes the full report. valid may be nil; dims drive the SSIM
+// plane split and the autocorrelation direction.
+func Assess(orig, recon []float32, dims []int, valid []bool) Report {
+	var r Report
+	r.MinErr = math.Inf(1)
+	r.MaxErr = math.Inf(-1)
+	var sumErr, sumSq float64
+	for i := range orig {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		e := float64(recon[i]) - float64(orig[i])
+		if e < r.MinErr {
+			r.MinErr = e
+		}
+		if e > r.MaxErr {
+			r.MaxErr = e
+		}
+		sumErr += e
+		sumSq += e * e
+		r.Points++
+	}
+	if r.Points == 0 {
+		r.MinErr, r.MaxErr = 0, 0
+		return r
+	}
+	r.MeanErr = sumErr / float64(r.Points)
+	r.RMSE = math.Sqrt(sumSq / float64(r.Points))
+	r.MaxAbsErr = math.Max(math.Abs(r.MinErr), math.Abs(r.MaxErr))
+	lo, hi := stats.Range(orig, valid)
+	if span := hi - lo; span > 0 {
+		r.NRMSE = r.RMSE / span
+	}
+	r.PSNR = stats.PSNR(orig, recon, valid)
+	r.SSIM = stats.SSIM(orig, recon, dims, 8, valid)
+	r.Pearson = stats.Pearson(orig, recon, valid)
+	r.Wasserstein = wasserstein1(orig, recon, valid)
+	r.ErrAutocorr = errAutocorrLag1(orig, recon, dims, valid)
+	r.Histogram = errorHistogram(orig, recon, valid, r.MaxAbsErr)
+	return r
+}
+
+// wasserstein1 computes the 1-Wasserstein (earth mover's) distance between
+// the empirical value distributions: the mean absolute difference of the
+// sorted samples.
+func wasserstein1(orig, recon []float32, valid []bool) float64 {
+	var a, b []float64
+	for i := range orig {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		a = append(a, float64(orig[i]))
+		b = append(b, float64(recon[i]))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// errAutocorrLag1 computes the lag-1 autocorrelation of the pointwise error
+// along the fastest (last) dimension, skipping row boundaries and masked
+// pairs.
+func errAutocorrLag1(orig, recon []float32, dims []int, valid []bool) float64 {
+	rowLen := dims[len(dims)-1]
+	var sx, sxx, sxy float64
+	n := 0
+	for i := 0; i+1 < len(orig); i++ {
+		if (i+1)%rowLen == 0 {
+			continue
+		}
+		if valid != nil && (!valid[i] || !valid[i+1]) {
+			continue
+		}
+		e0 := float64(recon[i]) - float64(orig[i])
+		e1 := float64(recon[i+1]) - float64(orig[i+1])
+		sx += e0 + e1
+		sxx += e0*e0 + e1*e1
+		sxy += e0 * e1
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	mean := sx / float64(2*n)
+	varr := sxx/float64(2*n) - mean*mean
+	if varr <= 0 {
+		return 0
+	}
+	cov := sxy/float64(n) - mean*mean
+	return cov / varr
+}
+
+func errorHistogram(orig, recon []float32, valid []bool, maxAbs float64) []int {
+	h := make([]int, HistogramBins)
+	if maxAbs == 0 {
+		return h
+	}
+	for i := range orig {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		e := float64(recon[i]) - float64(orig[i])
+		bin := int((e + maxAbs) / (2 * maxAbs) * float64(HistogramBins))
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= HistogramBins {
+			bin = HistogramBins - 1
+		}
+		h[bin]++
+	}
+	return h
+}
+
+// String renders the report as a short human-readable block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "points       %d\n", r.Points)
+	fmt.Fprintf(&b, "max |err|    %.6g  (bias %.3g)\n", r.MaxAbsErr, r.MeanErr)
+	fmt.Fprintf(&b, "RMSE         %.6g  (NRMSE %.3g)\n", r.RMSE, r.NRMSE)
+	fmt.Fprintf(&b, "PSNR         %.2f dB\n", r.PSNR)
+	fmt.Fprintf(&b, "SSIM         %.5f\n", r.SSIM)
+	fmt.Fprintf(&b, "Pearson      %.6f\n", r.Pearson)
+	fmt.Fprintf(&b, "Wasserstein  %.6g\n", r.Wasserstein)
+	fmt.Fprintf(&b, "err lag-1 ac %.3f\n", r.ErrAutocorr)
+	if len(r.Histogram) > 0 {
+		maxC := 1
+		for _, c := range r.Histogram {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		b.WriteString("err hist     ")
+		glyphs := []rune(" .:-=+*#%@")
+		for _, c := range r.Histogram {
+			g := int(float64(c) / float64(maxC) * float64(len(glyphs)-1))
+			b.WriteRune(glyphs[g])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

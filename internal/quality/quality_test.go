@@ -1,0 +1,153 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func field(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(float64(i)/20) + 0.1*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestPerfectReconstruction(t *testing.T) {
+	a := field(64*64, 1)
+	r := Assess(a, a, []int{64, 64}, nil)
+	if r.MaxAbsErr != 0 || r.RMSE != 0 || r.MeanErr != 0 {
+		t.Fatalf("errors nonzero: %+v", r)
+	}
+	if !math.IsInf(r.PSNR, 1) {
+		t.Fatalf("PSNR %v", r.PSNR)
+	}
+	if math.Abs(r.SSIM-1) > 1e-9 || math.Abs(r.Pearson-1) > 1e-9 {
+		t.Fatalf("similarity: %+v", r)
+	}
+	if r.Wasserstein != 0 {
+		t.Fatalf("wasserstein %v", r.Wasserstein)
+	}
+}
+
+func TestWhiteNoiseError(t *testing.T) {
+	a := field(128*128, 2)
+	rng := rand.New(rand.NewSource(3))
+	b := make([]float32, len(a))
+	for i := range b {
+		b[i] = a[i] + float32(0.01*rng.NormFloat64())
+	}
+	r := Assess(a, b, []int{128, 128}, nil)
+	if r.RMSE < 0.008 || r.RMSE > 0.012 {
+		t.Fatalf("RMSE %v", r.RMSE)
+	}
+	// White noise: near-zero lag-1 autocorrelation and near-zero bias.
+	if math.Abs(r.ErrAutocorr) > 0.05 {
+		t.Fatalf("autocorr %v", r.ErrAutocorr)
+	}
+	if math.Abs(r.MeanErr) > 0.001 {
+		t.Fatalf("bias %v", r.MeanErr)
+	}
+}
+
+func TestStructuredArtifactDetected(t *testing.T) {
+	// A smooth low-frequency error (blocking-like artifact) must light up
+	// the autocorrelation probe even at the same RMSE as white noise.
+	a := field(128*128, 4)
+	b := make([]float32, len(a))
+	for i := range b {
+		b[i] = a[i] + float32(0.01*math.Sin(float64(i%128)/6))
+	}
+	r := Assess(a, b, []int{128, 128}, nil)
+	if r.ErrAutocorr < 0.8 {
+		t.Fatalf("structured error not detected: autocorr %v", r.ErrAutocorr)
+	}
+}
+
+func TestBiasShowsInMeanAndWasserstein(t *testing.T) {
+	a := field(4096, 5)
+	b := make([]float32, len(a))
+	for i := range b {
+		b[i] = a[i] + 0.05
+	}
+	r := Assess(a, b, []int{4096}, nil)
+	if math.Abs(r.MeanErr-0.05) > 1e-6 {
+		t.Fatalf("bias %v", r.MeanErr)
+	}
+	if math.Abs(r.Wasserstein-0.05) > 1e-3 {
+		t.Fatalf("wasserstein %v (a constant shift moves mass exactly by it)", r.Wasserstein)
+	}
+}
+
+func TestMaskedAssessment(t *testing.T) {
+	a := field(1000, 6)
+	b := make([]float32, len(a))
+	copy(b, a)
+	valid := make([]bool, len(a))
+	for i := range valid {
+		valid[i] = i%3 != 0
+		if !valid[i] {
+			b[i] = 1e30 // garbage at masked points must not count
+		}
+	}
+	r := Assess(a, b, []int{1000}, valid)
+	if r.MaxAbsErr != 0 {
+		t.Fatalf("masked garbage leaked: %v", r.MaxAbsErr)
+	}
+	if r.Points != 666 {
+		t.Fatalf("points %d", r.Points)
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	a := make([]float32, 10000)
+	b := make([]float32, 10000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	r := Assess(a, b, []int{10000}, nil)
+	if len(r.Histogram) != HistogramBins {
+		t.Fatalf("bins %d", len(r.Histogram))
+	}
+	total := 0
+	for _, c := range r.Histogram {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("histogram total %d", total)
+	}
+	// Gaussian errors peak at the central bin.
+	mid := r.Histogram[HistogramBins/2]
+	if mid < r.Histogram[0]*3 {
+		t.Fatalf("histogram not peaked: %v", r.Histogram)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	r := Assess(nil, nil, []int{1}, nil)
+	if r.Points != 0 {
+		t.Fatalf("points %d", r.Points)
+	}
+	all := Assess([]float32{1, 2}, []float32{1, 2}, []int{2}, []bool{false, false})
+	if all.Points != 0 {
+		t.Fatal("fully masked should score nothing")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := field(1024, 8)
+	b := make([]float32, len(a))
+	for i := range b {
+		b[i] = a[i] + 0.001
+	}
+	s := Assess(a, b, []int{32, 32}, nil).String()
+	for _, want := range []string{"PSNR", "SSIM", "Wasserstein", "err hist"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}

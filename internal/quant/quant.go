@@ -1,0 +1,61 @@
+// Package quant implements the error-bounded linear-scale quantizer shared
+// by the prediction-based codecs (SZ3, QoZ, CliZ). Bin 0 is reserved for
+// "unpredictable" points whose exact value is stored as a literal; all other
+// bins encode round((orig-pred)/(2·eb)) offset by Radius so they are
+// non-negative (paper §IV, following the SZ3 framework).
+package quant
+
+import "math"
+
+// DefaultRadius matches SZ3's default quantization radius: predictable bins
+// live in [1, 2·Radius).
+const DefaultRadius = 32768
+
+// Quantizer is an error-bounded linear quantizer. The zero value is not
+// usable; construct with New.
+type Quantizer struct {
+	eb     float64
+	radius int32
+}
+
+// New returns a quantizer for absolute error bound eb (> 0).
+func New(eb float64, radius int32) Quantizer {
+	if radius < 2 {
+		radius = 2
+	}
+	return Quantizer{eb: eb, radius: radius}
+}
+
+// EB returns the absolute error bound.
+func (q Quantizer) EB() float64 { return q.eb }
+
+// Radius returns the quantization radius.
+func (q Quantizer) Radius() int32 { return q.radius }
+
+// Quantize maps (pred, orig) to a bin and the reconstructed value.
+// exact=true means the point is unpredictable (bin 0) and orig must be
+// stored as a literal; the reconstruction is then orig itself (cast through
+// float32, which is lossless for float32 inputs).
+func (q Quantizer) Quantize(pred, orig float64) (bin int32, recon float64, exact bool) {
+	diff := orig - pred
+	qf := diff / (2 * q.eb)
+	if qf > float64(q.radius-1) || qf < -float64(q.radius-1) || math.IsNaN(qf) {
+		return 0, orig, true
+	}
+	k := int32(math.Round(qf))
+	recon = pred + 2*q.eb*float64(k)
+	// Verify: float rounding could push the reconstruction out of bounds.
+	if math.Abs(float64(float32(recon))-orig) > q.eb {
+		return 0, orig, true
+	}
+	return k + q.radius, recon, false
+}
+
+// Recover reconstructs a value from its bin. For bin 0 the caller must
+// supply the stored literal.
+func (q Quantizer) Recover(pred float64, bin int32, literal float64) float64 {
+	if bin == 0 {
+		return literal
+	}
+	return pred + 2*q.eb*float64(bin-q.radius)
+}

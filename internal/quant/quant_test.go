@@ -1,0 +1,112 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRecoverSymmetry(t *testing.T) {
+	q := New(0.01, DefaultRadius)
+	cases := []struct{ pred, orig float64 }{
+		{0, 0}, {1, 1.005}, {1, 0.995}, {100, 100.02}, {-5, -5.019},
+		{3.25, 3.25}, {0, 0.0099},
+	}
+	for _, c := range cases {
+		bin, recon, exact := q.Quantize(c.pred, c.orig)
+		if exact {
+			t.Fatalf("(%g,%g) unexpectedly unpredictable", c.pred, c.orig)
+		}
+		got := q.Recover(c.pred, bin, 0)
+		if got != recon {
+			t.Fatalf("Recover mismatch: %g vs %g", got, recon)
+		}
+		if math.Abs(got-c.orig) > 0.01+1e-12 {
+			t.Fatalf("error bound violated: |%g-%g| = %g", got, c.orig, math.Abs(got-c.orig))
+		}
+	}
+}
+
+func TestUnpredictablePath(t *testing.T) {
+	q := New(1e-6, 4) // tiny radius forces literals quickly
+	bin, recon, exact := q.Quantize(0, 100)
+	if !exact || bin != 0 {
+		t.Fatalf("expected unpredictable, got bin %d", bin)
+	}
+	if recon != 100 {
+		t.Fatalf("recon = %g", recon)
+	}
+	if got := q.Recover(0, 0, 100); got != 100 {
+		t.Fatalf("Recover literal = %g", got)
+	}
+}
+
+func TestNaNIsUnpredictable(t *testing.T) {
+	q := New(0.1, DefaultRadius)
+	_, _, exact := q.Quantize(0, math.NaN())
+	if !exact {
+		t.Fatal("NaN should be unpredictable")
+	}
+	_, _, exact = q.Quantize(math.NaN(), 5)
+	if !exact {
+		t.Fatal("NaN prediction should be unpredictable")
+	}
+}
+
+func TestHugeFillValueIsUnpredictable(t *testing.T) {
+	q := New(0.001, DefaultRadius)
+	_, _, exact := q.Quantize(0, 1e35)
+	if !exact {
+		t.Fatal("CESM fill value should fall back to literal")
+	}
+}
+
+func TestBinRange(t *testing.T) {
+	q := New(0.5, 8)
+	for d := -20.0; d <= 20; d += 0.25 {
+		bin, _, exact := q.Quantize(0, d)
+		if exact {
+			continue
+		}
+		if bin < 1 || bin >= 16 {
+			t.Fatalf("bin %d out of [1,16) for diff %g", bin, d)
+		}
+	}
+}
+
+func TestMinRadiusClamp(t *testing.T) {
+	q := New(1, 0)
+	if q.Radius() != 2 {
+		t.Fatalf("radius not clamped: %d", q.Radius())
+	}
+}
+
+func TestErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, -1-rng.Float64()*4) // 1e-1 .. 1e-5
+		q := New(eb, DefaultRadius)
+		for i := 0; i < 200; i++ {
+			orig := float64(float32(rng.NormFloat64() * 100))
+			pred := orig + rng.NormFloat64()*eb*50
+			bin, recon, exact := q.Quantize(pred, orig)
+			var got float64
+			if exact {
+				got = float64(float32(q.Recover(pred, bin, orig)))
+			} else {
+				got = float64(float32(q.Recover(pred, bin, 0)))
+				if got != float64(float32(recon)) {
+					return false
+				}
+			}
+			if math.Abs(got-orig) > eb*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

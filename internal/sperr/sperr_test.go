@@ -1,0 +1,203 @@
+package sperr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/stats"
+)
+
+func TestWavelet1DPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 8, 9, 17, 64, 100, 255} {
+		x := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+			orig[i] = x[i]
+		}
+		scratch := make([]float64, n)
+		fwd97(x, scratch)
+		inv97(x, scratch)
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-9*math.Max(1, math.Abs(orig[i])) {
+				t.Fatalf("n=%d i=%d: %g vs %g", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestWaveletEnergyCompaction(t *testing.T) {
+	// A smooth signal must concentrate energy in the low band.
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 20)
+	}
+	scratch := make([]float64, n)
+	fwd97(x, scratch)
+	low, high := 0.0, 0.0
+	for i, v := range x {
+		if i < (n+1)/2 {
+			low += v * v
+		} else {
+			high += v * v
+		}
+	}
+	if low < 100*high {
+		t.Fatalf("poor compaction: low %g high %g", low, high)
+	}
+}
+
+func TestDWTMultiLevelInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][]int{{64}, {32, 48}, {10, 24, 36}, {3, 5, 16, 24}} {
+		vol := 1
+		for _, d := range dims {
+			vol *= d
+		}
+		data := make([]float64, vol)
+		orig := make([]float64, vol)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 10
+			orig[i] = data[i]
+		}
+		dwt(data, dims, maxLevels, true)
+		dwt(data, dims, maxLevels, false)
+		for i := range data {
+			if math.Abs(data[i]-orig[i]) > 1e-8*math.Max(1, math.Abs(orig[i])) {
+				t.Fatalf("dims %v i=%d: %g vs %g", dims, i, data[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestLevelScheduleDeterministicAndBounded(t *testing.T) {
+	s := levelSchedule([]int{100, 37, 5}, maxLevels)
+	if len(s) == 0 || len(s) > maxLevels {
+		t.Fatalf("levels %d", len(s))
+	}
+	// Dim 2 (extent 5 < 8) must never shrink.
+	for _, region := range s {
+		if region[2] != 5 {
+			t.Fatalf("small dim was transformed: %v", region)
+		}
+	}
+	// Tiny grids get no levels.
+	if len(levelSchedule([]int{4, 4}, maxLevels)) != 0 {
+		t.Fatal("tiny grid should have no transform levels")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(k int64) bool { return unzig(zigzag(k)) == k }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTrip(t *testing.T, ds *dataset.Dataset, eb float64) []float32 {
+	t.Helper()
+	var c Compressor
+	blob, err := c.Compress(ds, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := c.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != len(ds.Dims) {
+		t.Fatalf("dims %v", dims)
+	}
+	return got
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	ds := datagen.HurricaneT(0.06)
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3} {
+		eb := ds.AbsErrorBound(rel)
+		got := roundTrip(t, ds, eb)
+		if e := stats.MaxAbsErr(ds.Data, got, nil); e > eb*(1+1e-9) {
+			t.Fatalf("rel %g: max error %g > %g", rel, e, eb)
+		}
+	}
+}
+
+func TestRoundTripWithFillValues(t *testing.T) {
+	// The strict bound must hold even at 1e36 fill points (via outliers).
+	ds := datagen.SSH(0.08)
+	eb := ds.AbsErrorBound(1e-2)
+	got := roundTrip(t, ds, eb)
+	if e := stats.MaxAbsErr(ds.Data, got, nil); e > eb*(1+1e-9) {
+		t.Fatalf("max error %g > %g", e, eb)
+	}
+}
+
+func TestOutlierFractionSmallOnSmoothData(t *testing.T) {
+	ds := datagen.CESMT(0.05)
+	eb := ds.AbsErrorBound(1e-3)
+	var c Compressor
+	blob, err := c.Compress(ds, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.MaxAbsErr(ds.Data, got, nil); e > eb*(1+1e-9) {
+		t.Fatalf("bound violated: %g > %g", e, eb)
+	}
+	// Sanity: reasonable compression on a smooth field.
+	if ratio := stats.Ratio(ds.Points(), len(blob)); ratio < 4 {
+		t.Fatalf("weak compression on smooth data: ratio %.1f", ratio)
+	}
+}
+
+func TestSmallAndOddShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][]int{{5}, {2, 2}, {7, 9}, {1, 33, 7}} {
+		vol := 1
+		for _, d := range dims {
+			vol *= d
+		}
+		data := make([]float32, vol)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		ds := &dataset.Dataset{Name: "odd", Data: data, Dims: dims}
+		got := roundTrip(t, ds, 0.05)
+		if e := stats.MaxAbsErr(data, got, nil); e > 0.05*(1+1e-9) {
+			t.Fatalf("%v: err %g", dims, e)
+		}
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	var c Compressor
+	ds := datagen.HurricaneT(0.05)
+	blob, err := c.Compress(ds, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{nil, []byte("1234"), blob[:12], blob[:len(blob)/2]} {
+		if _, _, err := c.Decompress(bad); err == nil {
+			t.Fatalf("corrupt blob (%d bytes) accepted", len(bad))
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	var c Compressor
+	ds := &dataset.Dataset{Name: "x", Data: make([]float32, 4), Dims: []int{2, 2}}
+	for _, eb := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := c.Compress(ds, eb); err == nil {
+			t.Fatalf("eb %g accepted", eb)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package sperr
+
+// CDF 9/7 lifting coefficients (the JPEG2000 irreversible filter SPERR
+// builds on).
+const (
+	lift1 = -1.586134342059924
+	lift2 = -0.052980118572961
+	lift3 = 0.882911075530934
+	lift4 = 0.443506852043971
+	kappa = 1.230174104914001
+)
+
+// fwd97 applies the forward CDF 9/7 transform in place to x (n ≥ 2),
+// using whole-sample symmetric extension, then deinterleaves so the
+// low band occupies x[:ceil(n/2)] and the high band the remainder.
+func fwd97(x, scratch []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	at := func(i int) float64 {
+		if i < 0 {
+			i = -i
+		}
+		if i >= n {
+			i = 2*(n-1) - i
+		}
+		return x[i]
+	}
+	// Four lifting steps.
+	for i := 1; i < n; i += 2 {
+		x[i] += lift1 * (at(i-1) + at(i+1))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] += lift2 * (at(i-1) + at(i+1))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] += lift3 * (at(i-1) + at(i+1))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] += lift4 * (at(i-1) + at(i+1))
+	}
+	// Scale and deinterleave: evens → low band, odds → high band.
+	nLow := (n + 1) / 2
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			scratch[i/2] = x[i] * (1 / kappa)
+		} else {
+			scratch[nLow+i/2] = x[i] * kappa
+		}
+	}
+	copy(x, scratch[:n])
+}
+
+// inv97 reverses fwd97.
+func inv97(x, scratch []float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	nLow := (n + 1) / 2
+	// Interleave and unscale.
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			scratch[i] = x[i/2] * kappa
+		} else {
+			scratch[i] = x[nLow+i/2] * (1 / kappa)
+		}
+	}
+	copy(x, scratch[:n])
+	at := func(i int) float64 {
+		if i < 0 {
+			i = -i
+		}
+		if i >= n {
+			i = 2*(n-1) - i
+		}
+		return x[i]
+	}
+	// Undo lifting in reverse order with negated coefficients.
+	for i := 0; i < n; i += 2 {
+		x[i] -= lift4 * (at(i-1) + at(i+1))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= lift3 * (at(i-1) + at(i+1))
+	}
+	for i := 0; i < n; i += 2 {
+		x[i] -= lift2 * (at(i-1) + at(i+1))
+	}
+	for i := 1; i < n; i += 2 {
+		x[i] -= lift1 * (at(i-1) + at(i+1))
+	}
+}
+
+// minTransformExtent is the smallest extent worth transforming at a level.
+const minTransformExtent = 8
+
+// levelSchedule returns, per level, which dims are transformed and the
+// region extents entering that level. The schedule is a pure function of
+// dims so the decoder recomputes it identically.
+func levelSchedule(dims []int, maxLevels int) [][]int {
+	cur := append([]int(nil), dims...)
+	var levels [][]int
+	for l := 0; l < maxLevels; l++ {
+		any := false
+		for _, d := range cur {
+			if d >= minTransformExtent {
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		levels = append(levels, append([]int(nil), cur...))
+		for i, d := range cur {
+			if d >= minTransformExtent {
+				cur[i] = (d + 1) / 2
+			}
+		}
+	}
+	return levels
+}
+
+// dwt applies the multi-level dyadic transform (forward when fwd is true)
+// over the nD array in place.
+func dwt(data []float64, dims []int, maxLevels int, fwd bool) {
+	n := len(dims)
+	strides := make([]int, n)
+	acc := 1
+	for i := n - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= dims[i]
+	}
+	levels := levelSchedule(dims, maxLevels)
+	maxDim := 0
+	for _, d := range dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	line := make([]float64, maxDim)
+	scratch := make([]float64, maxDim)
+
+	apply := func(region []int, level int) {
+		order := make([]int, 0, n)
+		for d := 0; d < n; d++ {
+			if region[d] >= minTransformExtent {
+				order = append(order, d)
+			}
+		}
+		if !fwd {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for _, d := range order {
+			ext := region[d]
+			// Iterate all lines along d within the region.
+			idx := make([]int, n)
+			for {
+				// Gather.
+				base := 0
+				for k := 0; k < n; k++ {
+					base += idx[k] * strides[k]
+				}
+				for i := 0; i < ext; i++ {
+					line[i] = data[base+i*strides[d]]
+				}
+				if fwd {
+					fwd97(line[:ext], scratch)
+				} else {
+					inv97(line[:ext], scratch)
+				}
+				for i := 0; i < ext; i++ {
+					data[base+i*strides[d]] = line[i]
+				}
+				// Advance to the next line (skip dim d).
+				carry := n - 1
+				for ; carry >= 0; carry-- {
+					if carry == d {
+						continue
+					}
+					idx[carry]++
+					if idx[carry] < region[carry] {
+						break
+					}
+					idx[carry] = 0
+				}
+				if carry < 0 {
+					break
+				}
+			}
+		}
+		_ = level
+	}
+
+	if fwd {
+		for l, region := range levels {
+			apply(region, l)
+		}
+	} else {
+		for l := len(levels) - 1; l >= 0; l-- {
+			apply(levels[l], l)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats computes the distortion and rate metrics used throughout the
+// paper's evaluation (§VII-B): PSNR (Formula (3)), windowed SSIM
+// (Formulas (4)–(5)) computed in O(n) with summed-area tables, RMSE, maximum
+// absolute error, Pearson correlation, value range, and bit-rate. All metrics
+// optionally skip masked (invalid) points, matching how climate tools score
+// only valid regions.
+package stats
+
+import (
+	"math"
+)
+
+// Range returns (min, max) over the valid points of x. valid may be nil.
+func Range(x []float32, valid []bool) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range x {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// RMSE returns the root mean squared error over valid points.
+func RMSE(a, b []float32, valid []bool) float64 {
+	var sum float64
+	n := 0
+	for i := range a {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		d := float64(a[i]) - float64(b[i])
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// MaxAbsErr returns the maximum pointwise absolute error over valid points.
+func MaxAbsErr(a, b []float32, valid []bool) float64 {
+	m := 0.0
+	for i := range a {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PSNR implements the paper's Formula (3): 20·log10((max−min)/RMSE), where
+// the range is taken over the original data's valid points. A perfect
+// reconstruction returns +Inf.
+func PSNR(orig, recon []float32, valid []bool) float64 {
+	lo, hi := Range(orig, valid)
+	rmse := RMSE(orig, recon, valid)
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10((hi-lo)/rmse)
+}
+
+// Pearson returns the Pearson correlation coefficient over valid points.
+func Pearson(a, b []float32, valid []bool) float64 {
+	var sa, sb, saa, sbb, sab float64
+	n := 0
+	for i := range a {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		x, y := float64(a[i]), float64(b[i])
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	cov := sab - sa*sb/fn
+	va := saa - sa*sa/fn
+	vb := sbb - sb*sb/fn
+	den := math.Sqrt(va * vb)
+	if den == 0 {
+		return 1
+	}
+	return cov / den
+}
+
+// BitRate returns the average bits per data point for a compressed size.
+func BitRate(compressedBytes, points int) float64 {
+	if points == 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(points)
+}
+
+// Ratio returns the compression ratio S/S' for float32 data.
+func Ratio(points, compressedBytes int) float64 {
+	if compressedBytes == 0 {
+		return 0
+	}
+	return float64(points*4) / float64(compressedBytes)
+}
+
+// SSIM computes the mean windowed SSIM (Formulas (4)–(5)) over every 2D
+// slice of the dataset: dims' trailing two axes form the image plane and the
+// leading axes are iterated, averaging all slices. Window is the (square)
+// sliding-window side; the standard c1, c2 constants use the original data's
+// dynamic range. Masked points contribute zeros to the window sums (the same
+// simplification climate SSIM tools apply to fill values after range
+// normalization).
+func SSIM(orig, recon []float32, dims []int, window int, valid []bool) float64 {
+	if len(dims) < 2 {
+		// Treat 1D as a 1×n image.
+		dims = []int{1, dims[0]}
+	}
+	h := dims[len(dims)-2]
+	w := dims[len(dims)-1]
+	planes := 1
+	for _, d := range dims[:len(dims)-2] {
+		planes *= d
+	}
+	if window > h {
+		window = h
+	}
+	if window > w {
+		window = w
+	}
+	if window < 2 {
+		window = 2
+		if h < 2 || w < 2 {
+			return 1
+		}
+	}
+	lo, hi := Range(orig, valid)
+	L := hi - lo
+	if L == 0 {
+		L = 1
+	}
+	c1 := (0.01 * L) * (0.01 * L)
+	c2 := (0.03 * L) * (0.03 * L)
+
+	var total float64
+	var count int
+	plane := h * w
+	for p := 0; p < planes; p++ {
+		off := p * plane
+		s, n := ssimPlane(orig[off:off+plane], recon[off:off+plane], h, w, window, c1, c2, sliceValid(valid, off, plane))
+		total += s
+		count += n
+	}
+	if count == 0 {
+		return 1
+	}
+	return total / float64(count)
+}
+
+func sliceValid(valid []bool, off, n int) []bool {
+	if valid == nil {
+		return nil
+	}
+	return valid[off : off+n]
+}
+
+// ssimPlane computes the summed SSIM over all window positions of one plane
+// using summed-area tables, returning (sum, windowCount).
+func ssimPlane(x, y []float32, h, w, win int, c1, c2 float64, valid []bool) (float64, int) {
+	// Summed-area tables for x, y, x², y², xy.
+	W := w + 1
+	sx := make([]float64, (h+1)*W)
+	sy := make([]float64, (h+1)*W)
+	sxx := make([]float64, (h+1)*W)
+	syy := make([]float64, (h+1)*W)
+	sxy := make([]float64, (h+1)*W)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			idx := i*w + j
+			var a, b float64
+			if valid == nil || valid[idx] {
+				a, b = float64(x[idx]), float64(y[idx])
+			}
+			t := (i+1)*W + (j + 1)
+			l := (i+1)*W + j
+			u := i*W + (j + 1)
+			ul := i*W + j
+			sx[t] = a + sx[l] + sx[u] - sx[ul]
+			sy[t] = b + sy[l] + sy[u] - sy[ul]
+			sxx[t] = a*a + sxx[l] + sxx[u] - sxx[ul]
+			syy[t] = b*b + syy[l] + syy[u] - syy[ul]
+			sxy[t] = a*b + sxy[l] + sxy[u] - sxy[ul]
+		}
+	}
+	box := func(s []float64, i0, j0 int) float64 {
+		i1, j1 := i0+win, j0+win
+		return s[i1*W+j1] - s[i0*W+j1] - s[i1*W+j0] + s[i0*W+j0]
+	}
+	np := float64(win * win)
+	var sum float64
+	var cnt int
+	// Slide with stride 1 — summed-area tables make this O(h·w).
+	for i0 := 0; i0+win <= h; i0++ {
+		for j0 := 0; j0+win <= w; j0++ {
+			mx := box(sx, i0, j0) / np
+			my := box(sy, i0, j0) / np
+			vx := box(sxx, i0, j0)/np - mx*mx
+			vy := box(syy, i0, j0)/np - my*my
+			cxy := box(sxy, i0, j0)/np - mx*my
+			if vx < 0 {
+				vx = 0
+			}
+			if vy < 0 {
+				vy = 0
+			}
+			s := ((2*mx*my + c1) * (2*cxy + c2)) / ((mx*mx + my*my + c1) * (vx + vy + c2))
+			sum += s
+			cnt++
+		}
+	}
+	return sum, cnt
+}

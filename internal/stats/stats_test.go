@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRange(t *testing.T) {
+	x := []float32{3, -1, 7, 2}
+	lo, hi := Range(x, nil)
+	if lo != -1 || hi != 7 {
+		t.Fatalf("range = (%g,%g)", lo, hi)
+	}
+	valid := []bool{true, false, false, true}
+	lo, hi = Range(x, valid)
+	if lo != 2 || hi != 3 {
+		t.Fatalf("masked range = (%g,%g)", lo, hi)
+	}
+	lo, hi = Range(nil, nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty range")
+	}
+}
+
+func TestRMSEAndMaxErr(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{1, 2, 3, 4}
+	if RMSE(a, b, nil) != 0 || MaxAbsErr(a, b, nil) != 0 {
+		t.Fatal("identical arrays should have zero error")
+	}
+	b = []float32{2, 2, 3, 4}
+	if got := RMSE(a, b, nil); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("RMSE = %g", got)
+	}
+	if got := MaxAbsErr(a, b, nil); got != 1 {
+		t.Fatalf("MaxAbsErr = %g", got)
+	}
+	// Masked point excluded.
+	valid := []bool{false, true, true, true}
+	if got := MaxAbsErr(a, b, valid); got != 0 {
+		t.Fatalf("masked MaxAbsErr = %g", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// range 10, rmse 0.1 → PSNR = 20·log10(100) = 40 dB
+	n := 1000
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i % 11) // range 0..10
+		if i%2 == 0 {
+			b[i] = a[i] + 0.1
+		} else {
+			b[i] = a[i] - 0.1
+		}
+	}
+	got := PSNR(a, b, nil)
+	if math.Abs(got-40) > 0.2 {
+		t.Fatalf("PSNR = %g want ≈40", got)
+	}
+	if !math.IsInf(PSNR(a, a, nil), 1) {
+		t.Fatal("perfect reconstruction should be +Inf")
+	}
+}
+
+func TestPSNRIncreasesWithFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]float32, n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64() * 10)
+	}
+	noisy := func(s float64) []float32 {
+		b := make([]float32, n)
+		for i := range b {
+			b[i] = a[i] + float32(rng.NormFloat64()*s)
+		}
+		return b
+	}
+	p1 := PSNR(a, noisy(1), nil)
+	p2 := PSNR(a, noisy(0.1), nil)
+	p3 := PSNR(a, noisy(0.01), nil)
+	if !(p1 < p2 && p2 < p3) {
+		t.Fatalf("PSNR not monotone: %g %g %g", p1, p2, p3)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	if got := Pearson(a, a, nil); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation %g", got)
+	}
+	b := []float32{5, 4, 3, 2, 1}
+	if got := Pearson(a, b, nil); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation %g", got)
+	}
+}
+
+func TestBitRateAndRatio(t *testing.T) {
+	if got := BitRate(4000, 1000); got != 32 {
+		t.Fatalf("BitRate = %g", got)
+	}
+	if got := Ratio(1000, 400); got != 10 {
+		t.Fatalf("Ratio = %g", got)
+	}
+	if Ratio(10, 0) != 0 || BitRate(1, 0) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestSSIMPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []int{4, 32, 32}
+	n := 4 * 32 * 32
+	a := make([]float32, n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	if got := SSIM(a, a, dims, 8, nil); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self SSIM = %g", got)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, w := 64, 64
+	a := make([]float32, h*w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			a[i*w+j] = float32(math.Sin(float64(i)/5) + math.Cos(float64(j)/7))
+		}
+	}
+	mk := func(s float64) []float32 {
+		b := make([]float32, len(a))
+		for i := range b {
+			b[i] = a[i] + float32(rng.NormFloat64()*s)
+		}
+		return b
+	}
+	s1 := SSIM(a, mk(0.001), []int{h, w}, 8, nil)
+	s2 := SSIM(a, mk(0.3), []int{h, w}, 8, nil)
+	if !(s2 < s1) {
+		t.Fatalf("SSIM not degrading: %g vs %g", s1, s2)
+	}
+	if s1 < 0.99 {
+		t.Fatalf("near-identical image scored %g", s1)
+	}
+	if s2 > 0.95 {
+		t.Fatalf("noisy image scored too high: %g", s2)
+	}
+}
+
+func TestSSIM1D(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	got := SSIM(a, a, []int{8}, 4, nil)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("1D self SSIM = %g", got)
+	}
+}
+
+func TestSSIMWindowLargerThanImage(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	got := SSIM(a, a, []int{2, 2}, 16, nil)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("tiny image SSIM = %g", got)
+	}
+}
+
+func TestSSIMRangeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float32, 32*32)
+	b := make([]float32, 32*32)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		b[i] = float32(rng.NormFloat64())
+	}
+	got := SSIM(a, b, []int{32, 32}, 8, nil)
+	if got < -1.0001 || got > 1.0001 {
+		t.Fatalf("SSIM out of range: %g", got)
+	}
+}

@@ -1,0 +1,270 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cliz/internal/bitio"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/stats"
+)
+
+func TestLiftNearInverse(t *testing.T) {
+	// ZFP's lossy lifting pair is not bit-exact (the >>1 steps drop low
+	// bits, exactly as in the original), but the reconstruction error must
+	// stay within a few ulps — far below any coded bit plane.
+	f := func(a, b, c, d int32) bool {
+		vals := []int32{a >> 2, b >> 2, c >> 2, d >> 2}
+		blk := append([]int32(nil), vals...)
+		fwdLift(blk, 0, 1)
+		invLift(blk, 0, 1)
+		for i := range vals {
+			diff := int64(blk[i]) - int64(vals[i])
+			if diff < -8 || diff > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXformNearInverse3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	blk := make([]int32, 64)
+	orig := make([]int32, 64)
+	for i := range blk {
+		blk[i] = int32(rng.Intn(1<<28)) - 1<<27
+		orig[i] = blk[i]
+	}
+	fwdXform(blk, 3)
+	invXform(blk, 3)
+	for i := range blk {
+		diff := int64(blk[i]) - int64(orig[i])
+		if diff < -64 || diff > 64 {
+			t.Fatalf("3D transform error too large at %d: %d vs %d", i, blk[i], orig[i])
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	f := func(x int32) bool { return nb2int(int2nb(x)) == x }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegabinaryMagnitudeOrdering(t *testing.T) {
+	// Small-magnitude ints must have their high negabinary planes zero,
+	// otherwise plane truncation would not be embedded coding.
+	if int2nb(0) != 0 {
+		t.Fatalf("nb(0) = %#x", int2nb(0))
+	}
+	for _, v := range []int32{1, -1, 5, -7, 100, -100} {
+		u := int2nb(v)
+		if u>>20 != 0 {
+			t.Fatalf("nb(%d) = %#x has high bits set", v, u)
+		}
+	}
+}
+
+func TestPlaneCoderRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 << (2 * (rng.Intn(3) + 1)) // 4, 16, 64
+		coeff := make([]uint32, size)
+		for i := range coeff {
+			// Energy-decaying coefficients, like a real transform output.
+			coeff[i] = uint32(rng.Int63()) >> uint(rng.Intn(24))
+		}
+		kmin := rng.Intn(20)
+		w := bitio.NewWriter(64)
+		encodePlanes(w, coeff, kmin)
+		r := bitio.NewReader(w.Bytes())
+		got, err := decodePlanes(r, size, kmin)
+		if err != nil {
+			return false
+		}
+		maskHi := ^uint32(0) << uint(kmin)
+		for i := range coeff {
+			if got[i] != coeff[i]&maskHi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequencyOrderProperties(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		ord := sequency[r-1]
+		n := 1 << (2 * r)
+		if len(ord) != n {
+			t.Fatalf("rank %d: len %d", r, len(ord))
+		}
+		seen := make([]bool, n)
+		for _, o := range ord {
+			if o < 0 || o >= n || seen[o] {
+				t.Fatalf("rank %d: not a permutation", r)
+			}
+			seen[o] = true
+		}
+		if ord[0] != 0 {
+			t.Fatalf("rank %d: DC coefficient must come first", r)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, ds *dataset.Dataset, eb float64) []float32 {
+	t.Helper()
+	var c Compressor
+	blob, err := c.Compress(ds, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := c.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != len(ds.Dims) {
+		t.Fatalf("dims %v", dims)
+	}
+	return got
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	ds := datagen.HurricaneT(0.06)
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3} {
+		eb := ds.AbsErrorBound(rel)
+		got := roundTrip(t, ds, eb)
+		if e := stats.MaxAbsErr(ds.Data, got, nil); e > eb {
+			t.Fatalf("rel %g: max error %g > tol %g", rel, e, eb)
+		}
+	}
+}
+
+func TestRoundTrip1D2D4D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shapes := [][]int{{257}, {33, 41}, {3, 5, 17, 19}}
+	for _, dims := range shapes {
+		vol := 1
+		for _, d := range dims {
+			vol *= d
+		}
+		data := make([]float32, vol)
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i)/7) + 0.1*rng.NormFloat64())
+		}
+		ds := &dataset.Dataset{Name: "t", Data: data, Dims: dims}
+		got := roundTrip(t, ds, 0.01)
+		if e := stats.MaxAbsErr(data, got, nil); e > 0.01 {
+			t.Fatalf("%v: max error %g", dims, e)
+		}
+	}
+}
+
+func TestZeroBlockHandling(t *testing.T) {
+	data := make([]float32, 16*16)
+	ds := &dataset.Dataset{Name: "zero", Data: data, Dims: []int{16, 16}}
+	var c Compressor
+	blob, err := c.Compress(ds, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero data must compress to nearly nothing (1 bit per block).
+	if len(blob) > 64 {
+		t.Fatalf("zero field used %d bytes", len(blob))
+	}
+	got, _, err := c.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero field decoded %g at %d", v, i)
+		}
+	}
+}
+
+func TestSmootherDataCompressesBetter(t *testing.T) {
+	n := 64 * 64
+	smooth := make([]float32, n)
+	rough := make([]float32, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range smooth {
+		smooth[i] = float32(math.Sin(float64(i) / 300))
+		rough[i] = float32(rng.NormFloat64())
+	}
+	var c Compressor
+	sb, _ := c.Compress(&dataset.Dataset{Name: "s", Data: smooth, Dims: []int{64, 64}}, 0.001)
+	rb, _ := c.Compress(&dataset.Dataset{Name: "r", Data: rough, Dims: []int{64, 64}}, 0.001)
+	if len(sb) >= len(rb) {
+		t.Fatalf("smooth %d >= rough %d bytes", len(sb), len(rb))
+	}
+}
+
+func TestFillValuesHurtRatio(t *testing.T) {
+	// The paper's §V-A observation: huge sentinels wreck transform coding.
+	ds := datagen.SSH(0.08) // contains 9.97e36 fills
+	clean := ds.Clone()
+	valid := ds.Validity()
+	for i, ok := range valid {
+		if !ok {
+			clean.Data[i] = 0 // neutralized fills
+		}
+	}
+	eb := ds.AbsErrorBound(1e-2)
+	var c Compressor
+	withFills, err := c.Compress(ds, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := c.Compress(clean, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withFills) <= len(without) {
+		t.Fatalf("fill values should hurt: %d vs %d bytes", len(withFills), len(without))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	ds := datagen.HurricaneT(0.05)
+	var c Compressor
+	blob, err := c.Compress(ds, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := c.Decompress([]byte("XXXXYYYY")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := c.Decompress(blob[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, err := c.Decompress(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	var c Compressor
+	ds := &dataset.Dataset{Name: "x", Data: make([]float32, 4), Dims: []int{2, 2}}
+	if _, err := c.Compress(ds, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	bad := &dataset.Dataset{Name: "x", Data: make([]float32, 3), Dims: []int{2, 2}}
+	if _, err := c.Compress(bad, 1); err == nil {
+		t.Fatal("inconsistent dataset accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package cliz
+
+import (
+	"cliz/internal/quality"
+	"cliz/internal/stats"
+)
+
+// QualityReport is the full Z-checker-style assessment of a reconstruction:
+// pointwise error statistics, PSNR/SSIM/Pearson, the 1-Wasserstein distance
+// between value distributions, a lag-1 error autocorrelation (artifact
+// probe), and an error histogram. Its String method renders a summary block.
+type QualityReport = quality.Report
+
+// Assess runs the full quality suite over a reconstruction.
+func Assess(orig, recon []float32, dims []int, valid []bool) QualityReport {
+	return quality.Assess(orig, recon, dims, valid)
+}
+
+// PSNR computes the peak signal-to-noise ratio (paper Formula (3)) between
+// the original and reconstructed data; valid may be nil, or mark the points
+// to score (e.g. from ValidityOf).
+func PSNR(orig, recon []float32, valid []bool) float64 {
+	return stats.PSNR(orig, recon, valid)
+}
+
+// SSIM computes the mean windowed structural similarity (paper Formulas
+// (4)–(5)) over the dataset's trailing-two-dimension planes with the given
+// window side (8 is a common choice).
+func SSIM(orig, recon []float32, dims []int, window int, valid []bool) float64 {
+	return stats.SSIM(orig, recon, dims, window, valid)
+}
+
+// MaxAbsErr returns the maximum pointwise absolute error over valid points,
+// the quantity an error-bounded compressor guarantees.
+func MaxAbsErr(orig, recon []float32, valid []bool) float64 {
+	return stats.MaxAbsErr(orig, recon, valid)
+}
+
+// ValidityOf expands a dataset's mask into a per-point validity bitmap
+// (nil when the dataset has no mask).
+func ValidityOf(ds *Dataset) ([]bool, error) {
+	ids, err := ds.internal()
+	if err != nil {
+		return nil, err
+	}
+	return ids.Validity(), nil
+}

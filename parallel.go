@@ -1,0 +1,37 @@
+package cliz
+
+import "cliz/internal/core"
+
+// CompressChunked splits the dataset along its leading dimension into
+// nChunks independently-compressed pieces and compresses them concurrently
+// with the given number of workers (0 = GOMAXPROCS) — the library-level
+// counterpart of the paper's per-core-file Globus setup (§VII-C4). Periodic
+// pipelines keep chunk boundaries on whole periods. The container is decoded
+// (also in parallel) by the regular Decompress.
+func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, workers int) ([]byte, *CompressInfo, error) {
+	ids, err := ds.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	abs, err := eb.resolve(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	var p core.Pipeline
+	if pipe != nil && pipe.p.Perm != nil {
+		p = pipe.p
+	} else {
+		p = core.Default(ids)
+	}
+	blob, err := core.CompressChunked(ids, abs, p, core.Options{}, nChunks, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	points := ids.Points()
+	return blob, &CompressInfo{
+		CompressedBytes: len(blob),
+		Ratio:           float64(points*4) / float64(len(blob)),
+		BitRate:         float64(len(blob)) * 8 / float64(points),
+		Pipeline:        p.String(),
+	}, nil
+}
