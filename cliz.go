@@ -26,10 +26,13 @@ package cliz
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"cliz/internal/core"
 	"cliz/internal/dataset"
 	"cliz/internal/mask"
+	"cliz/internal/trace"
 )
 
 // LeadKind describes the physical meaning of a dataset's leading dimension.
@@ -113,9 +116,18 @@ func Abs(v float64) ErrorBound { return ErrorBound{Abs: v} }
 func (e ErrorBound) resolve(ds *dataset.Dataset) (float64, error) {
 	switch {
 	case e.Abs > 0 && e.Rel == 0:
+		if math.IsInf(e.Abs, 0) || math.IsNaN(e.Abs) {
+			return 0, fmt.Errorf("cliz: non-finite absolute error bound %g", e.Abs)
+		}
 		return e.Abs, nil
 	case e.Rel > 0 && e.Abs == 0:
-		return ds.AbsErrorBound(e.Rel), nil
+		abs := ds.AbsErrorBound(e.Rel)
+		if math.IsInf(abs, 0) || math.IsNaN(abs) {
+			// An infinite value range (±Inf at a valid point) would resolve
+			// to an unbounded budget and silently destroy the data.
+			return 0, fmt.Errorf("cliz: relative bound %g resolves to non-finite absolute bound (non-finite values at valid points?)", e.Rel)
+		}
+		return abs, nil
 	}
 	return 0, fmt.Errorf("cliz: exactly one of Rel/Abs must be positive (got %+v)", e)
 }
@@ -152,6 +164,9 @@ type TuneOptions struct {
 	DisableClassify bool
 	// FixedPeriod overrides FFT-based period detection.
 	FixedPeriod int
+	// Trace, when non-nil, records the tuner's coarse stages (period
+	// detection, sampling, search, refinement) into the collector.
+	Trace *Trace
 }
 
 // TuneReport summarizes an AutoTune run.
@@ -177,6 +192,7 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 		return Pipeline{}, nil, err
 	}
 	var tc core.TuneConfig
+	var copt core.Options
 	if opt != nil {
 		tc = core.TuneConfig{
 			SamplingRate:    opt.SamplingRate,
@@ -185,8 +201,9 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 			DisableClassify: opt.DisableClassify,
 			FixedPeriod:     opt.FixedPeriod,
 		}
+		copt.Trace = opt.Trace.collector()
 	}
-	best, rep, err := core.AutoTune(ids, abs, tc, core.Options{})
+	best, rep, err := core.AutoTune(ids, abs, tc, copt)
 	if err != nil {
 		return Pipeline{}, nil, err
 	}
@@ -195,6 +212,82 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 		PipelinesTested: len(rep.Candidates),
 		EstimatedRatio:  rep.BestRatio,
 	}, nil
+}
+
+// StageInfo is one per-stage record of a traced compression or
+// decompression run: wall time, byte counts, item counts and stage-specific
+// numeric annotations (quantization-bin histogram entropy, Huffman table
+// bytes, ...). Nested work is path-qualified, e.g. "template/predict" or
+// "chunk[3]/entropy".
+type StageInfo struct {
+	Name     string
+	Duration time.Duration
+	InBytes  int64
+	OutBytes int64
+	Items    int64
+	Notes    map[string]float64
+}
+
+// Trace collects per-stage records across one or more compression runs.
+// Attach it with WithTrace; it is safe for concurrent use (the chunked
+// compressor records from many goroutines). The zero value is ready to use.
+type Trace struct {
+	rec trace.Recorder
+}
+
+// Stages returns the collected records in arrival order.
+func (t *Trace) Stages() []StageInfo { return stageInfos(t.rec.Stages()) }
+
+// Aggregate merges records by base stage name (summing nested template/,
+// residual/ and chunk[i]/ work), ordered by descending duration.
+func (t *Trace) Aggregate() []StageInfo { return stageInfos(t.rec.Aggregate()) }
+
+// Reset clears the trace for reuse.
+func (t *Trace) Reset() { t.rec.Reset() }
+
+// String renders the records as an aligned, human-readable stage table.
+func (t *Trace) String() string { return t.rec.Table() }
+
+func (t *Trace) collector() trace.Collector {
+	if t == nil {
+		return nil
+	}
+	return &t.rec
+}
+
+func stageInfos(stages []trace.Stage) []StageInfo {
+	out := make([]StageInfo, len(stages))
+	for i, s := range stages {
+		out[i] = StageInfo{
+			Name:     s.Name,
+			Duration: s.Duration,
+			InBytes:  s.InBytes,
+			OutBytes: s.OutBytes,
+			Items:    s.Items,
+		}
+		if len(s.Extra) > 0 {
+			out[i].Notes = make(map[string]float64, len(s.Extra))
+			for _, kv := range s.Extra {
+				out[i].Notes[kv.Key] = kv.Value
+			}
+		}
+	}
+	return out
+}
+
+// CompressOption customizes a Compress/CompressChunked call.
+type CompressOption func(*compressConfig)
+
+type compressConfig struct {
+	trace *Trace
+}
+
+// WithTrace attaches a stage collector: the run records per-stage wall
+// times and byte counts into t, and the returned CompressInfo carries the
+// records in its Stages field. Without this option the instrumentation
+// hooks are allocation-free no-ops.
+func WithTrace(t *Trace) CompressOption {
+	return func(c *compressConfig) { c.trace = t }
 }
 
 // CompressInfo reports what a compression achieved.
@@ -207,12 +300,19 @@ type CompressInfo struct {
 	BitRate float64
 	// Pipeline is the configuration used, in table notation.
 	Pipeline string
+	// Stages holds the per-stage records when a Trace was attached with
+	// WithTrace (nil otherwise).
+	Stages []StageInfo
 }
 
 // Compress encodes the dataset under the error bound with the given
 // pipeline (nil selects the default pipeline). The returned blob is
 // self-contained: Decompress needs nothing else.
-func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline) ([]byte, *CompressInfo, error) {
+func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...CompressOption) ([]byte, *CompressInfo, error) {
+	var cfg compressConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ids, err := ds.internal()
 	if err != nil {
 		return nil, nil, err
@@ -227,17 +327,21 @@ func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline) ([]byte, *CompressInfo
 	} else {
 		p = core.Default(ids)
 	}
-	blob, err := core.Compress(ids, abs, p, core.Options{})
+	blob, err := core.Compress(ids, abs, p, core.Options{Trace: cfg.trace.collector()})
 	if err != nil {
 		return nil, nil, err
 	}
 	points := ids.Points()
-	return blob, &CompressInfo{
+	info := &CompressInfo{
 		CompressedBytes: len(blob),
 		Ratio:           float64(points*4) / float64(len(blob)),
 		BitRate:         float64(len(blob)) * 8 / float64(points),
 		Pipeline:        p.String(),
-	}, nil
+	}
+	if cfg.trace != nil {
+		info.Stages = cfg.trace.Stages()
+	}
+	return blob, info, nil
 }
 
 // Decompress reconstructs the data and its dims from a CliZ blob — either a
@@ -248,6 +352,15 @@ func Decompress(blob []byte) ([]float32, []int, error) {
 		return core.DecompressChunked(blob, 0)
 	}
 	return core.Decompress(blob)
+}
+
+// DecompressTraced is Decompress with an attached stage collector recording
+// per-stage decode timings and byte counts (t may be nil).
+func DecompressTraced(blob []byte, t *Trace) ([]float32, []int, error) {
+	if core.IsChunked(blob) {
+		return core.DecompressChunkedTraced(blob, 0, t.collector())
+	}
+	return core.DecompressTraced(blob, t.collector())
 }
 
 // compile-time checks that the internal enums line up with the public ones.

@@ -295,3 +295,163 @@ func TestAutoTuneInvalidInputs(t *testing.T) {
 		t.Fatal("nil dataset pipeline accepted")
 	}
 }
+
+// TestErrorBoundEdgeCases drives the public API through degenerate inputs:
+// every case must either satisfy the error bound at all valid points or
+// return a clean error — never panic, and never hand back a silently
+// bound-violating reconstruction.
+func TestErrorBoundEdgeCases(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	seq := func(n int) []float32 {
+		d := make([]float32, n)
+		for i := range d {
+			d[i] = float32(i%7) + 0.5
+		}
+		return d
+	}
+	cases := []struct {
+		name    string
+		ds      *cliz.Dataset
+		eb      cliz.ErrorBound
+		wantErr bool
+	}{
+		{
+			// Rel on a constant field: the value range is zero; the bound
+			// must still resolve to something positive and finite.
+			name: "rel-constant-field",
+			ds:   &cliz.Dataset{Name: "const", Data: make([]float32, 256), Dims: []int{16, 16}},
+			eb:   cliz.Rel(1e-2),
+		},
+		{
+			// Rel when every point is masked out: the valid range is empty.
+			name: "rel-all-masked",
+			ds: &cliz.Dataset{Name: "masked", Data: []float32{9e35, 9e35, 9e35, 9e35},
+				Dims: []int{2, 2}, MaskRegions: []int32{0, 0, 0, 0}, FillValue: 9e35},
+			eb: cliz.Rel(1e-2),
+		},
+		{name: "abs-zero", ds: &cliz.Dataset{Name: "z", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.Abs(0), wantErr: true},
+		{name: "abs-negative", ds: &cliz.Dataset{Name: "neg", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.Abs(-1), wantErr: true},
+		{name: "abs-inf", ds: &cliz.Dataset{Name: "ai", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.Abs(math.Inf(1)), wantErr: true},
+		{name: "both-set", ds: &cliz.Dataset{Name: "b", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.ErrorBound{Rel: 1e-2, Abs: 0.1}, wantErr: true},
+		{name: "neither-set", ds: &cliz.Dataset{Name: "n", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.ErrorBound{}, wantErr: true},
+		{
+			// NaN at a valid point: preserved bit-exactly via the literal
+			// path; finite neighbours stay within the absolute bound.
+			name: "abs-nan-point",
+			ds:   &cliz.Dataset{Name: "nan", Data: []float32{1, 2, nan, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, Dims: []int{4, 4}},
+			eb:   cliz.Abs(0.1),
+		},
+		{
+			name: "abs-inf-point",
+			ds:   &cliz.Dataset{Name: "inf", Data: []float32{1, 2, inf, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, Dims: []int{4, 4}},
+			eb:   cliz.Abs(0.1),
+		},
+		{
+			// Rel with ±Inf at a valid point resolves to an infinite
+			// absolute budget — that must be a clean error, not a silent
+			// data-destroying success.
+			name:    "rel-inf-point",
+			ds:      &cliz.Dataset{Name: "relinf", Data: []float32{1, 2, inf, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, Dims: []int{4, 4}},
+			eb:      cliz.Rel(1e-2),
+			wantErr: true,
+		},
+		{name: "one-element", ds: &cliz.Dataset{Name: "one", Data: []float32{3.25}, Dims: []int{1}}, eb: cliz.Abs(0.1)},
+		{name: "one-by-n", ds: &cliz.Dataset{Name: "row", Data: seq(5), Dims: []int{1, 5}}, eb: cliz.Abs(0.1)},
+		{name: "n-by-one", ds: &cliz.Dataset{Name: "col", Data: seq(5), Dims: []int{5, 1}}, eb: cliz.Abs(0.1)},
+		{name: "all-ones-4d", ds: &cliz.Dataset{Name: "pt", Data: seq(1), Dims: []int{1, 1, 1, 1}}, eb: cliz.Abs(0.1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blob, _, err := cliz.Compress(tc.ds, tc.eb, nil)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected a clean error, got success")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			recon, dims, err := cliz.Decompress(blob)
+			if err != nil {
+				t.Fatalf("decompress: %v", err)
+			}
+			if len(dims) != len(tc.ds.Dims) || len(recon) != len(tc.ds.Data) {
+				t.Fatalf("shape %v / %d points", dims, len(recon))
+			}
+			valid, _ := cliz.ValidityOf(tc.ds)
+			// Bound the reconstruction error at every valid point. A
+			// non-finite original must come back bit-identical; the error
+			// budget only applies between finite values.
+			eb := tc.eb.Abs
+			if eb == 0 {
+				eb = 1 // Rel on constant/empty range clamps the range to 1
+			}
+			for i, v := range tc.ds.Data {
+				if valid != nil && !valid[i] {
+					continue
+				}
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					if math.Float32bits(recon[i]) != math.Float32bits(v) {
+						t.Fatalf("point %d: non-finite %g not preserved (got %g)", i, v, recon[i])
+					}
+					continue
+				}
+				if d := math.Abs(float64(recon[i]) - float64(v)); d > eb*(1+1e-5) {
+					t.Fatalf("point %d: |%g-%g| = %g > eb %g", i, recon[i], v, d, eb)
+				}
+			}
+		})
+	}
+}
+
+// TestPublicTrace exercises the WithTrace option end to end: stage records
+// must land both in the Trace and in CompressInfo.Stages, aggregate sanely,
+// and the traced decompressor must mirror them.
+func TestPublicTrace(t *testing.T) {
+	ds := makeTestDataset()
+	var tr cliz.Trace
+	blob, info, err := cliz.Compress(ds, cliz.Rel(1e-2), nil, cliz.WithTrace(&tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Stages) == 0 || len(tr.Stages()) != len(info.Stages) {
+		t.Fatalf("CompressInfo carries %d stages, trace %d", len(info.Stages), len(tr.Stages()))
+	}
+	names := map[string]bool{}
+	var total cliz.StageInfo
+	for _, s := range tr.Aggregate() {
+		names[s.Name] = true
+		if s.Name == "total" {
+			total = s
+		}
+	}
+	for _, want := range []string{"predict", "entropy", "lossless", "total"} {
+		if !names[want] {
+			t.Fatalf("aggregate missing %q: %v", want, names)
+		}
+	}
+	if total.OutBytes != int64(len(blob)) {
+		t.Fatalf("total.OutBytes %d != blob %d", total.OutBytes, len(blob))
+	}
+	if tr.String() == "" {
+		t.Fatal("empty table rendering")
+	}
+	tr.Reset()
+	if len(tr.Stages()) != 0 {
+		t.Fatal("Reset did not clear records")
+	}
+	if _, _, err := cliz.DecompressTraced(blob, &tr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range tr.Aggregate() {
+		if s.Name == "reconstruct" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decode trace missing reconstruct stage:\n%s", tr.String())
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,9 +33,23 @@ func run(args []string) error {
 		scale = fs.Float64("scale", 0, "dataset scale (1.0 = paper dimensions; default 0.25)")
 		out   = fs.String("out", "", "directory for CSVs and artifacts (optional)")
 		quiet = fs.Bool("quiet", false, "suppress progress logging")
+		perf  = fs.Bool("perf", false, "run the perf-regression suite and write BENCH_PR.json")
+		reps  = fs.Int("perf-reps", 3, "repetitions per field in -perf mode (median is reported)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perf {
+		var log io.Writer
+		if !*quiet {
+			log = os.Stderr
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+		}
+		return runPerf(*scale, *reps, *out, log)
 	}
 	if *list {
 		for _, e := range experiments.List() {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/trace"
+)
+
+// Perf-regression mode: compress and decompress a fixed set of synthetic
+// fields, record throughput / ratio / per-stage shares, and emit the result
+// as machine-readable JSON (BENCH_PR.json) for cross-PR comparison:
+//
+//	clizbench -perf -out results/
+//
+// Numbers are medians over -perf-reps runs so a single scheduler hiccup
+// does not move the regression baseline.
+
+// perfStage is one aggregated pipeline stage in the report.
+type perfStage struct {
+	Name     string  `json:"name"`
+	Millis   float64 `json:"ms"`
+	Share    float64 `json:"share"`               // fraction of summed stage time
+	OutBytes int64   `json:"out_bytes,omitempty"` // section payload, if any
+}
+
+// perfField is the full record for one benchmark field.
+type perfField struct {
+	Field           string      `json:"field"`
+	Dims            []int       `json:"dims"`
+	Points          int         `json:"points"`
+	RelErrorBound   float64     `json:"rel_error_bound"`
+	AbsErrorBound   float64     `json:"abs_error_bound"`
+	Pipeline        string      `json:"pipeline"`
+	CompressedBytes int         `json:"compressed_bytes"`
+	Ratio           float64     `json:"ratio"`
+	BitsPerPoint    float64     `json:"bits_per_point"`
+	CompressMBps    float64     `json:"compress_mb_per_s"`
+	DecompressMBps  float64     `json:"decompress_mb_per_s"`
+	CompressStages  []perfStage `json:"compress_stages"`
+	DecodeStages    []perfStage `json:"decode_stages"`
+}
+
+// perfReport is the BENCH_PR.json document.
+type perfReport struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	Scale      float64     `json:"scale"`
+	Reps       int         `json:"reps"`
+	UnixMillis int64       `json:"unix_millis"`
+	Fields     []perfField `json:"fields"`
+}
+
+// perfFields is the standard corpus: an ocean field with a region mask and
+// periodicity (SSH-like) and two atmosphere fields (Hurricane-like, CESM-T).
+var perfFields = []string{"SSH", "Hurricane-T", "CESM-T"}
+
+func runPerf(scale float64, reps int, outDir string, log io.Writer) error {
+	if scale <= 0 {
+		scale = 0.25
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	const rel = 1e-2
+	report := perfReport{
+		Schema:     "cliz-bench-pr/1",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Reps:       reps,
+		UnixMillis: time.Now().UnixMilli(),
+	}
+	for _, name := range perfFields {
+		ds, err := datagen.ByName(name, scale)
+		if err != nil {
+			return err
+		}
+		eb := ds.AbsErrorBound(rel)
+		best, _, err := core.AutoTune(ds, eb, core.TuneConfig{}, core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: tune: %w", name, err)
+		}
+		mb := float64(ds.Points()) * 4 / (1 << 20)
+
+		var blob []byte
+		var cTimes, dTimes []time.Duration
+		var cRec, dRec trace.Recorder
+		for r := 0; r < reps; r++ {
+			cRec.Reset()
+			t0 := time.Now()
+			blob, err = core.Compress(ds, eb, best, core.Options{Trace: &cRec})
+			cTimes = append(cTimes, time.Since(t0))
+			if err != nil {
+				return fmt.Errorf("%s: compress: %w", name, err)
+			}
+			dRec.Reset()
+			t0 = time.Now()
+			if _, _, err = core.DecompressTraced(blob, &dRec); err != nil {
+				return fmt.Errorf("%s: decompress: %w", name, err)
+			}
+			dTimes = append(dTimes, time.Since(t0))
+		}
+		f := perfField{
+			Field:           name,
+			Dims:            ds.Dims,
+			Points:          ds.Points(),
+			RelErrorBound:   rel,
+			AbsErrorBound:   eb,
+			Pipeline:        best.String(),
+			CompressedBytes: len(blob),
+			Ratio:           float64(ds.Points()*4) / float64(len(blob)),
+			BitsPerPoint:    float64(len(blob)) * 8 / float64(ds.Points()),
+			CompressMBps:    mb / median(cTimes).Seconds(),
+			DecompressMBps:  mb / median(dTimes).Seconds(),
+			CompressStages:  perfStages(cRec.Aggregate()),
+			DecodeStages:    perfStages(dRec.Aggregate()),
+		}
+		report.Fields = append(report.Fields, f)
+		if log != nil {
+			fmt.Fprintf(log, "perf %-12s ratio %7.2f  compress %7.1f MB/s  decompress %7.1f MB/s\n",
+				name, f.Ratio, f.CompressMBps, f.DecompressMBps)
+		}
+	}
+	path := "BENCH_PR.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if log != nil {
+		fmt.Fprintf(log, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// perfStages converts aggregated trace records (from the last rep — shares
+// are stable across reps) into report rows, skipping the totals.
+func perfStages(agg []trace.Stage) []perfStage {
+	var sum time.Duration
+	for _, s := range agg {
+		if s.Name != "total" {
+			sum += s.Duration
+		}
+	}
+	out := make([]perfStage, 0, len(agg))
+	for _, s := range agg {
+		if s.Name == "total" {
+			continue
+		}
+		ps := perfStage{
+			Name:     s.Name,
+			Millis:   float64(s.Duration) / float64(time.Millisecond),
+			OutBytes: s.OutBytes,
+		}
+		if sum > 0 {
+			ps.Share = float64(s.Duration) / float64(sum)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -31,6 +31,7 @@ import (
 	"cliz/internal/netcdf"
 	"cliz/internal/quality"
 	"cliz/internal/stats"
+	"cliz/internal/trace"
 
 	_ "cliz/internal/qoz"
 	_ "cliz/internal/sperr"
@@ -64,6 +65,7 @@ func run(args []string) error {
 		ncMask       = fs.String("nc-mask", "", "NetCDF variable holding the region mask (0 = invalid)")
 		chunks       = fs.Int("chunks", 0, "CliZ only: split along dim 0 into this many chunks compressed in parallel")
 		workers      = fs.Int("workers", 0, "worker goroutines for -chunks (0 = all cores)")
+		verbose      = fs.Bool("v", false, "CliZ only: print a per-stage timing/byte table to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,16 +135,33 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *verbose && *codecName != "CliZ" {
+			return fmt.Errorf("-v requires -codec CliZ")
+		}
+		var rec trace.Recorder
+		var opt core.Options
+		if *verbose {
+			opt.Trace = &rec
+		}
 		var blob []byte
 		if *chunks > 1 {
 			if *codecName != "CliZ" {
 				return fmt.Errorf("-chunks requires -codec CliZ")
 			}
-			best, _, err := core.AutoTune(ds, eb, core.TuneConfig{}, core.Options{})
+			best, _, err := core.AutoTune(ds, eb, core.TuneConfig{}, opt)
 			if err != nil {
 				return err
 			}
-			blob, err = core.CompressChunked(ds, eb, best, core.Options{}, *chunks, *workers)
+			blob, err = core.CompressChunked(ds, eb, best, opt, *chunks, *workers)
+			if err != nil {
+				return err
+			}
+		} else if *verbose {
+			best, _, err := core.AutoTune(ds, eb, core.TuneConfig{}, opt)
+			if err != nil {
+				return err
+			}
+			blob, err = core.Compress(ds, eb, best, opt)
 			if err != nil {
 				return err
 			}
@@ -151,6 +170,9 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "compress stages:\n%s", trace.Table(rec.Aggregate()))
 		}
 		if *out == "" {
 			*out = *in + ".clz"
@@ -173,12 +195,21 @@ func run(args []string) error {
 	var data []float32
 	var dims []int
 	var used string
+	var rec trace.Recorder
+	var tc trace.Collector
+	if *verbose {
+		tc = &rec
+	}
 	if core.IsChunked(blob) {
-		data, dims, err = core.DecompressChunked(blob, *workers)
+		data, dims, err = core.DecompressChunkedTraced(blob, *workers, tc)
 		if err != nil {
 			return err
 		}
 		used = "CliZ (chunked)"
+	} else if d, dm, derr := core.DecompressTraced(blob, tc); derr == nil {
+		data, dims, used = d, dm, "CliZ"
+	} else {
+		rec.Reset()
 	}
 	for _, name := range codec.Names() {
 		if used != "" {
@@ -192,6 +223,9 @@ func run(args []string) error {
 	}
 	if used == "" {
 		return fmt.Errorf("no registered codec recognises %s", *in)
+	}
+	if *verbose && rec.Stages() != nil {
+		fmt.Fprintf(os.Stderr, "decode stages:\n%s", trace.Table(rec.Aggregate()))
 	}
 	fmt.Printf("%s: decoded %v (%d points) with %s\n", *in, dims, len(data), used)
 	if *out != "" {

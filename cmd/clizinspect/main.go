@@ -3,21 +3,35 @@
 // and parallel chunks — without decompressing the payload.
 //
 //	clizinspect field.clz
+//
+// With -decode the blob is additionally decompressed under a stage
+// collector and a per-stage timing table (aggregated across chunks and
+// template/residual sub-blobs) is printed.
+//
+//	clizinspect -decode field.clz
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"cliz/internal/core"
+	"cliz/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: clizinspect <file.clz>")
+	fs := flag.NewFlagSet("clizinspect", flag.ContinueOnError)
+	decode := fs.Bool("decode", false, "decompress the blob and print a decode stage table")
+	workers := fs.Int("workers", 0, "decode workers for chunked blobs (0 = all cores)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	blob, err := os.ReadFile(os.Args[1])
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clizinspect [-decode] <file.clz>")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clizinspect:", err)
 		os.Exit(1)
@@ -28,4 +42,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(info)
+	if *decode {
+		var rec trace.Recorder
+		var data []float32
+		if core.IsChunked(blob) {
+			data, _, err = core.DecompressChunkedTraced(blob, *workers, &rec)
+		} else {
+			data, _, err = core.DecompressTraced(blob, &rec)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clizinspect: decode:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndecode stages (%d points):\n%s", len(data), trace.Table(rec.Aggregate()))
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"cliz/internal/mask"
 	"cliz/internal/predict"
 	"cliz/internal/quant"
+	"cliz/internal/trace"
 )
 
 // Options tune implementation knobs that are not part of the paper's
@@ -31,6 +32,10 @@ type Options struct {
 	// (paper default) or rANS. Decoding is driven by the block itself, so
 	// blobs written with either coder always decode.
 	Entropy entropy.Kind
+	// Trace receives per-stage records (wall time, byte counts, bin
+	// histogram summaries). Nil — the default — disables collection; the
+	// hooks are then allocation-free no-ops.
+	Trace trace.Collector
 }
 
 func (o Options) radius() int32 {
@@ -87,7 +92,12 @@ func CompressWithRecon(ds *dataset.Dataset, eb float64, p Pipeline, opt Options)
 	if p.UseMask {
 		v.hm = ds.Mask
 	}
-	return compressGeneral(ds.Data, ds.Dims, v, eb, p, ds.FillValue, opt)
+	total := trace.Begin(opt.Trace, "total")
+	blob, recon, err := compressGeneral(ds.Data, ds.Dims, v, eb, p, ds.FillValue, opt)
+	if err == nil {
+		total.EndFull(int64(len(ds.Data))*4, int64(len(blob)), int64(len(ds.Data)), nil)
+	}
+	return blob, recon, err
 }
 
 func compressGeneral(data []float32, dims []int, v validity, eb float64,
@@ -118,7 +128,9 @@ func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
 	valid := v.bitmap(dims)
+	sp := trace.Begin(opt.Trace, "template-build")
 	tmplData, tmplDims, tmplValid := buildTemplate(data, dims, valid, p.Period, fill)
+	sp.EndFull(int64(len(data))*4, int64(len(tmplData))*4, int64(len(tmplData)), nil)
 	tv := validity{}
 	if v.hm != nil && len(dims) >= 3 {
 		tv.hm = v.hm // horizontal masks broadcast identically over phases
@@ -128,11 +140,15 @@ func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 		tv.pts = tmplValid
 	}
 	tp := templatePipeline(p, len(tmplDims))
-	tmplBlob, tmplRecon, err := compressUnit(tmplData, tmplDims, tv, eb, tp, fill, opt)
+	topt := opt
+	topt.Trace = trace.Prefixed(opt.Trace, "template")
+	tmplBlob, tmplRecon, err := compressUnit(tmplData, tmplDims, tv, eb, tp, fill, topt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: template: %w", err)
 	}
+	sp = trace.Begin(opt.Trace, "residual-build")
 	residual := subtractTemplate(data, tmplRecon, dims, p.Period, valid, fill)
+	sp.EndFull(int64(len(data))*4, int64(len(residual))*4, int64(len(residual)), nil)
 	// The decoder composes fl32(residual′ + template), and the residual
 	// itself is fl32(data − template): two float32 roundings the residual's
 	// verified bound does not see. Budget them out of the residual's error
@@ -148,7 +164,9 @@ func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 	rp := p
 	rp.Period = 0
 	rp.Template = nil
-	resBlob, resRecon, err := compressUnit(residual, dims, v, eb-slack, rp, fill, opt)
+	ropt := opt
+	ropt.Trace = trace.Prefixed(opt.Trace, "residual")
+	resBlob, resRecon, err := compressUnit(residual, dims, v, eb-slack, rp, fill, ropt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: residual: %w", err)
 	}
@@ -271,15 +289,18 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
 	validOrig := v.bitmap(dims)
+	sp := trace.Begin(opt.Trace, "permute")
 	tdims := grid.PermuteDims(dims, p.Perm)
 	tdata := grid.Transpose(data, dims, p.Perm)
 	var tvalid []bool
 	if validOrig != nil {
 		tvalid = grid.Transpose(validOrig, dims, p.Perm)
 	}
+	sp.EndFull(int64(len(data))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
 	fdims := p.Fusion.Apply(tdims)
 	var res interp.Result
 	var err error
+	sp = trace.Begin(opt.Trace, "predict")
 	if p.Fitting == predict.Lorenzo {
 		lres, lerr := lorenzo.Compress(tdata, fdims, lorenzo.Config{
 			EB: eb, Radius: opt.radius(), Valid: tvalid, FillValue: fill,
@@ -299,6 +320,7 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.EndFull(int64(len(tdata))*4, 0, int64(len(res.Bins)), binStats(res.Bins, res.Literals, tvalid, opt.Trace))
 
 	h := header{
 		flags:  maskFlags(v) | fitFlag(p),
@@ -314,21 +336,39 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	out := encodeHeader(h)
 	switch {
 	case v.hm != nil:
-		out = appendSection(out, v.hm.Serialize())
+		sp = trace.Begin(opt.Trace, "mask")
+		ms := v.hm.Serialize()
+		out = appendSection(out, ms)
+		sp.EndBytes(int64(len(v.hm.Regions))*4, int64(len(ms)))
 	case v.pts != nil:
-		out = appendSection(out, packBitmap(v.pts))
+		sp = trace.Begin(opt.Trace, "mask")
+		ms := packBitmap(v.pts)
+		out = appendSection(out, ms)
+		sp.EndBytes(int64(len(v.pts)), int64(len(ms)))
 	}
 	be := opt.backend()
 	if p.Classify {
+		sp = trace.Begin(opt.Trace, "classify")
 		nLat, nLon := latLon(dims)
 		colOf := columnIDs(dims, p.Perm)
 		cls := classify.Analyze(res.Bins, colOf, nLat*nLon, tvalid,
 			classify.Params{Radius: opt.radius(), Lambda: opt.Lambda})
 		classify.ShiftBins(res.Bins, colOf, tvalid, cls)
 		a, b := classify.Split(res.Bins, colOf, tvalid, cls)
-		out = appendSection(out, classify.PackMeta(cls))
-		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, a)))
-		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, b)))
+		meta := classify.PackMeta(cls)
+		out = appendSection(out, meta)
+		sp.EndFull(int64(len(res.Bins))*4, int64(len(meta)), int64(len(a)+len(b)), nil)
+		sp = trace.Begin(opt.Trace, "entropy")
+		encA := entropy.EncodeBlock(opt.Entropy, a)
+		encB := entropy.EncodeBlock(opt.Entropy, b)
+		sp.EndFull(int64(len(a)+len(b))*4, int64(len(encA)+len(encB)),
+			int64(len(a)+len(b)), entropyStats(opt.Trace, encA, encB))
+		sp = trace.Begin(opt.Trace, "lossless")
+		lsA := lossless.Encode(be, encA)
+		lsB := lossless.Encode(be, encB)
+		out = appendSection(out, lsA)
+		out = appendSection(out, lsB)
+		sp.EndBytes(int64(len(encA)+len(encB)), int64(len(lsA)+len(lsB)))
 	} else {
 		syms := make([]uint32, 0, len(res.Bins))
 		for i, bin := range res.Bins {
@@ -337,22 +377,103 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 			}
 			syms = append(syms, uint32(bin))
 		}
-		out = appendSection(out, lossless.Encode(be, entropy.EncodeBlock(opt.Entropy, syms)))
+		sp = trace.Begin(opt.Trace, "entropy")
+		enc := entropy.EncodeBlock(opt.Entropy, syms)
+		sp.EndFull(int64(len(syms))*4, int64(len(enc)), int64(len(syms)),
+			entropyStats(opt.Trace, enc))
+		sp = trace.Begin(opt.Trace, "lossless")
+		ls := lossless.Encode(be, enc)
+		out = appendSection(out, ls)
+		sp.EndBytes(int64(len(enc)), int64(len(ls)))
 	}
-	out = appendSection(out, lossless.Encode(be, float32sToBytes(res.Literals)))
+	sp = trace.Begin(opt.Trace, "literals")
+	litRaw := float32sToBytes(res.Literals)
+	litEnc := lossless.Encode(be, litRaw)
+	out = appendSection(out, litEnc)
+	sp.EndFull(int64(len(litRaw)), int64(len(litEnc)), int64(len(res.Literals)), nil)
 
 	// Reconstruction back in the original layout.
+	sp = trace.Begin(opt.Trace, "unpermute")
 	recon := grid.Transpose(res.Recon, tdims, grid.InversePerm(p.Perm))
+	sp.EndFull(int64(len(res.Recon))*4, int64(len(recon))*4, int64(len(recon)), nil)
 	return out, recon, nil
+}
+
+// binStats summarizes the quantization-bin histogram for the trace: distinct
+// bin count, Shannon entropy in bits/symbol, the share of the most frequent
+// bin, and the literal (unpredictable) count. It runs only when a collector
+// is attached; the nil-trace hot path never touches it.
+func binStats(bins []int32, literals []float32, tvalid []bool, c trace.Collector) []trace.KV {
+	if c == nil {
+		return nil
+	}
+	hist := map[int32]int{}
+	n := 0
+	for i, b := range bins {
+		if tvalid != nil && !tvalid[i] {
+			continue
+		}
+		hist[b]++
+		n++
+	}
+	if n == 0 {
+		return []trace.KV{{Key: "literals", Value: float64(len(literals))}}
+	}
+	top := 0
+	entropyBits := 0.0
+	for _, cnt := range hist {
+		if cnt > top {
+			top = cnt
+		}
+		pr := float64(cnt) / float64(n)
+		entropyBits -= pr * math.Log2(pr)
+	}
+	return []trace.KV{
+		{Key: "distinct_bins", Value: float64(len(hist))},
+		{Key: "entropy_bits", Value: entropyBits},
+		{Key: "top1_share", Value: float64(top) / float64(n)},
+		{Key: "literals", Value: float64(len(literals))},
+	}
+}
+
+// entropyStats splits encoded symbol blocks into code-table and payload
+// bytes (Huffman tree size vs bitstream size). Collector-gated like binStats.
+func entropyStats(c trace.Collector, blocks ...[]byte) []trace.KV {
+	if c == nil {
+		return nil
+	}
+	table, stream := 0, 0
+	for _, b := range blocks {
+		if _, t, s, ok := entropy.BlockStats(b); ok {
+			table += t
+			stream += s
+		}
+	}
+	return []trace.KV{
+		{Key: "table_bytes", Value: float64(table)},
+		{Key: "stream_bytes", Value: float64(stream)},
+	}
 }
 
 // Decompress reconstructs the data and original dims from a CliZ blob.
 func Decompress(blob []byte) ([]float32, []int, error) {
 	pos := 0
-	return decompressAt(blob, &pos)
+	return decompressAt(blob, &pos, nil)
 }
 
-func decompressAt(blob []byte, pos *int) ([]float32, []int, error) {
+// DecompressTraced is Decompress with an attached stage collector recording
+// per-stage decode timings and byte counts.
+func DecompressTraced(blob []byte, c trace.Collector) ([]float32, []int, error) {
+	pos := 0
+	total := trace.Begin(c, "total")
+	data, dims, err := decompressAt(blob, &pos, c)
+	if err == nil {
+		total.EndFull(int64(len(blob)), int64(len(data))*4, int64(len(data)), nil)
+	}
+	return data, dims, err
+}
+
+func decompressAt(blob []byte, pos *int, c trace.Collector) ([]float32, []int, error) {
 	h, err := parseHeader(blob, pos)
 	if err != nil {
 		return nil, nil, err
@@ -367,7 +488,7 @@ func decompressAt(blob []byte, pos *int) ([]float32, []int, error) {
 			return nil, nil, err
 		}
 		tpos := 0
-		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos)
+		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos, trace.Prefixed(c, "template"))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: template: %w", err)
 		}
@@ -375,13 +496,14 @@ func decompressAt(blob []byte, pos *int) ([]float32, []int, error) {
 			return nil, nil, ErrCorrupt
 		}
 		rpos := 0
-		residual, resDims, err := decompressAt(resSec, &rpos)
+		residual, resDims, err := decompressAt(resSec, &rpos, trace.Prefixed(c, "residual"))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: residual: %w", err)
 		}
 		if !dimsEqual(resDims, h.dims) {
 			return nil, nil, ErrCorrupt
 		}
+		sp := trace.Begin(c, "compose")
 		data := addTemplate(residual, tmpl, h.dims, h.pipe.Period)
 		if h.flags&(flagMask|flagPointMask) != 0 {
 			// Adding the template disturbed the fill values the residual
@@ -397,9 +519,10 @@ func decompressAt(blob []byte, pos *int) ([]float32, []int, error) {
 				}
 			}
 		}
+		sp.EndFull(0, int64(len(data))*4, int64(len(data)), nil)
 		return data, h.dims, nil
 	}
-	return decompressUnit(blob, pos, h)
+	return decompressUnit(blob, pos, h, c)
 }
 
 // validityFromUnitBlob extracts the embedded validity bitmap of a unit blob.
@@ -426,11 +549,12 @@ func validityFromUnitBlob(blob []byte, dims []int) ([]bool, error) {
 	return nil, ErrCorrupt
 }
 
-func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
+func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float32, []int, error) {
 	dims := h.dims
 	p := h.pipe
 	vol := grid.Volume(dims)
 	var validOrig, tvalid []bool
+	sp := trace.Begin(c, "mask")
 	switch {
 	case h.flags&flagMask != 0:
 		sec, err := readSection(blob, pos)
@@ -460,9 +584,12 @@ func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
 	if validOrig != nil {
 		tvalid = grid.Transpose(validOrig, dims, p.Perm)
 	}
+	sp.EndFull(0, int64(len(validOrig)), int64(len(validOrig)), nil)
 	tdims := grid.PermuteDims(dims, p.Perm)
 	fdims := p.Fusion.Apply(tdims)
 
+	sp = trace.Begin(c, "entropy-decode")
+	binsStart := *pos
 	var bins []int32
 	if h.flags&flagClassify != 0 {
 		metaSec, err := readSection(blob, pos)
@@ -521,6 +648,8 @@ func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
 			return nil, nil, ErrCorrupt
 		}
 	}
+	sp.EndFull(int64(*pos-binsStart), int64(len(bins))*4, int64(len(bins)), nil)
+	sp = trace.Begin(c, "literals-decode")
 	litSec, err := readSection(blob, pos)
 	if err != nil {
 		return nil, nil, err
@@ -533,6 +662,8 @@ func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.EndFull(int64(len(litSec)), int64(len(litBytes)), int64(len(lits)), nil)
+	sp = trace.Begin(c, "reconstruct")
 	var tdata []float32
 	if p.Fitting == predict.Lorenzo {
 		tdata, err = lorenzo.Decompress(bins, lits, fdims, lorenzo.Config{
@@ -551,7 +682,10 @@ func decompressUnit(blob []byte, pos *int, h header) ([]float32, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.EndFull(int64(len(bins))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
+	sp = trace.Begin(c, "unpermute")
 	data := grid.Transpose(tdata, tdims, grid.InversePerm(p.Perm))
+	sp.EndFull(int64(len(tdata))*4, int64(len(data))*4, int64(len(data)), nil)
 	return data, dims, nil
 }
 

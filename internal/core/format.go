@@ -154,10 +154,11 @@ func parseHeader(src []byte, pos *int) (header, error) {
 			return h, ErrCorrupt
 		}
 		h.dims[i] = int(d)
-		vol *= int(d)
-		if vol > 1<<33 {
+		// Overflow-safe: vol*d can wrap past 1<<64 and sneak under the cap.
+		if int(d) > (1<<33)/vol {
 			return h, fmt.Errorf("core: volume too large: %w", ErrCorrupt)
 		}
+		vol *= int(d)
 	}
 	if len(src)-*pos < int(nd) {
 		return h, ErrCorrupt

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The on-disk seed corpus for FuzzDecompress (testdata/fuzz/FuzzDecompress)
+// pins the decoder's hostile-input behaviour: truncated headers, corrupted
+// entropy streams, volume-overflow dims and malformed chunked containers.
+// `go test` runs every seed through the fuzz target even without -fuzz;
+// regenerate the files with `go test ./internal/core -run TestFuzzCorpus -update`.
+
+// corpusSeeds builds the hostile blobs from deterministic valid ones.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	ds := smallHurricane()
+	eb := ds.AbsErrorBound(1e-2)
+	plain, err := Compress(ds, eb, Default(ds), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Default(ds)
+	cls.Classify = true
+	classified, err := Compress(ds, eb, cls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := CompressChunked(ds, eb, Default(ds), Options{}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := map[string][]byte{
+		"trunc-magic":      []byte("CLZ"),
+		"trunc-header-9":   append([]byte(nil), plain[:9]...),
+		"trunc-header-20":  append([]byte(nil), plain[:20]...),
+		"trunc-last-bytes": append([]byte(nil), plain[:len(plain)-5]...),
+		"trunc-half":       append([]byte(nil), plain[:len(plain)/2]...),
+		"chunked-trunc":    append([]byte(nil), chunked[:len(chunked)-7]...),
+	}
+	// Corrupted Huffman stream: flip bytes in the middle of the bins
+	// section (past the header, before the trailing literals).
+	corrupt := append([]byte(nil), plain...)
+	for i := len(corrupt) / 2; i < len(corrupt)/2+8 && i < len(corrupt); i++ {
+		corrupt[i] ^= 0xA5
+	}
+	seeds["corrupt-huffman"] = corrupt
+	corrupt2 := append([]byte(nil), classified...)
+	for i := len(corrupt2) / 3; i < len(corrupt2)/3+8 && i < len(corrupt2); i++ {
+		corrupt2[i] ^= 0x5A
+	}
+	seeds["corrupt-multihuffman"] = corrupt2
+	// Volume overflow: dims 2^31 × 4 × 2^31 = 2^64 wraps to 0 and used to
+	// sneak under the volume cap.
+	seeds["dims-overflow"] = overflowBlob()
+	// Chunked container whose chunk count exceeds the lead extent.
+	badNC := append([]byte(nil), chunked...)
+	// layout: "CLZP" ver ndims dims... nchunks — patch nchunks (single
+	// varint byte for small values) to 0xFF,0x01 would shift framing, so
+	// just overwrite the 1-byte varint with a bigger 1-byte value.
+	ncPos := 4 + 1
+	p := ncPos
+	_, _ = readUvarint(badNC, &p) // ndims
+	for i := 0; i < len(ds.Dims); i++ {
+		_, _ = readUvarint(badNC, &p)
+	}
+	badNC[p] = 0x7F
+	seeds["chunked-bad-nchunks"] = badNC
+	// Chunk lead extents that no longer sum to dims[0].
+	badLead := append([]byte(nil), chunked...)
+	q := p
+	_, _ = readUvarint(badLead, &q) // nchunks
+	badLead[q] = 0x01               // first chunk's lead extent -> 1
+	seeds["chunked-lead-mismatch"] = badLead
+	return seeds
+}
+
+// overflowBlob hand-crafts a header whose dims volume wraps past 1<<64.
+func overflowBlob() []byte {
+	out := []byte(magic)
+	out = append(out, version, 0)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(1.0))
+	out = append(out, b8[:]...)
+	out = append(out, 0, 0, 0, 0) // fill value
+	out = appendUvarint(out, 32768)
+	out = appendUvarint(out, 3)
+	out = appendUvarint(out, 1<<31)
+	out = appendUvarint(out, 4)
+	out = appendUvarint(out, 1<<31)
+	out = append(out, 0, 1, 2) // perm
+	out = appendUvarint(out, 3)
+	out = append(out, 1, 1, 1) // fusion groups
+	out = appendUvarint(out, 0) // period
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(0))
+	out = append(out, b8[:]...)
+	out = appendUvarint(out, 0) // empty bins section
+	out = appendUvarint(out, 0) // empty literals section
+	return out
+}
+
+func fuzzCorpusDir() string {
+	return filepath.Join("testdata", "fuzz", "FuzzDecompress")
+}
+
+// TestFuzzCorpus regenerates the seed files with -update and always replays
+// every on-disk seed through the decoder entry points, requiring a clean
+// error or a clean success — never a panic.
+func TestFuzzCorpus(t *testing.T) {
+	seeds := corpusSeeds(t)
+	if *updateGolden {
+		if err := os.MkdirAll(fuzzCorpusDir(), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, blob := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(blob)) + ")\n"
+			if err := os.WriteFile(filepath.Join(fuzzCorpusDir(), "seed-"+name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d seeds", len(seeds))
+	}
+	// The crafted overflow header must be rejected at parse time, not
+	// merely die downstream.
+	if _, err := Inspect(overflowBlob()); err == nil {
+		t.Fatal("overflow dims accepted by Inspect")
+	}
+	entries, err := os.ReadDir(fuzzCorpusDir())
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(fuzzCorpusDir(), e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := parseCorpusEntry(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			if IsChunked(blob) {
+				_, _, _ = DecompressChunked(blob, 1)
+			} else {
+				_, _, _ = Decompress(blob)
+			}
+			_, _ = Inspect(blob)
+		})
+		ran++
+	}
+	if ran < len(seeds) {
+		t.Fatalf("only %d corpus files on disk, expected at least %d (regenerate with -update)", ran, len(seeds))
+	}
+}
+
+// parseCorpusEntry reads the Go fuzz corpus v1 format: a version line
+// followed by one []byte("...") literal.
+func parseCorpusEntry(s string) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimSpace(s), "\n", 2)
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "go test fuzz v1") {
+		return nil, fmt.Errorf("not a v1 corpus entry")
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "[]byte(")
+	body = strings.TrimSuffix(body, ")")
+	str, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(str), nil
+}

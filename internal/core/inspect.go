@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"cliz/internal/grid"
 )
 
 // SectionInfo describes one section of a blob.
@@ -99,12 +101,17 @@ func inspectChunked(blob []byte) (*BlobInfo, error) {
 		return nil, ErrCorrupt
 	}
 	dims := make([]int, nd)
+	vol := 1
 	for i := range dims {
 		d, err := readUvarint(blob, &pos)
-		if err != nil {
+		if err != nil || d == 0 || d > 1<<31 {
 			return nil, ErrCorrupt
 		}
 		dims[i] = int(d)
+		if int(d) > (1<<33)/vol {
+			return nil, ErrCorrupt
+		}
+		vol *= int(d)
 	}
 	nc, err := readUvarint(blob, &pos)
 	if err != nil {
@@ -130,7 +137,8 @@ func inspectChunked(blob []byte) (*BlobInfo, error) {
 	return info, nil
 }
 
-// Render writes a human-readable tree of the blob structure.
+// Render writes a human-readable tree of the blob structure, with each
+// section's share of the blob and its cost in bits per data point.
 func (b *BlobInfo) Render(indent string, w *strings.Builder) {
 	fmt.Fprintf(w, "%s%s  dims=%v", indent, b.Kind, b.Dims)
 	if b.EB > 0 {
@@ -139,9 +147,18 @@ func (b *BlobInfo) Render(indent string, w *strings.Builder) {
 	if b.Pipeline != "" {
 		fmt.Fprintf(w, "  [%s]", b.Pipeline)
 	}
-	fmt.Fprintf(w, "  %d bytes\n", b.Total)
+	points := grid.Volume(b.Dims)
+	fmt.Fprintf(w, "  %d bytes", b.Total)
+	if points > 0 && b.Total > 0 {
+		fmt.Fprintf(w, " (%.3f bits/point)", float64(b.Total)*8/float64(points))
+	}
+	w.WriteByte('\n')
 	for _, s := range b.Sections {
-		fmt.Fprintf(w, "%s  %-10s %8d bytes\n", indent, s.Name, s.Bytes)
+		fmt.Fprintf(w, "%s  %-10s %8d bytes", indent, s.Name, s.Bytes)
+		if b.Total > 0 {
+			fmt.Fprintf(w, " %5.1f%%", 100*float64(s.Bytes)/float64(b.Total))
+		}
+		w.WriteByte('\n')
 	}
 	for _, c := range b.Children {
 		c.Render(indent+"    ", w)

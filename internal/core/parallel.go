@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cliz/internal/dataset"
+	"cliz/internal/trace"
 )
 
 // Parallel chunked container: the dataset is split along the leading
@@ -45,6 +46,7 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 	for _, d := range ds.Dims[1:] {
 		plane *= d
 	}
+	total := trace.Begin(opt.Trace, "chunked-total")
 	blobs := make([][]byte, nChunks)
 	errs := make([]error, nChunks)
 	var wg sync.WaitGroup
@@ -70,7 +72,9 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 				cp.Period = 0
 				cp.Template = nil
 			}
-			blobs[c], errs[c] = Compress(sub, eb, cp, opt)
+			copt := opt
+			copt.Trace = trace.Prefixed(opt.Trace, fmt.Sprintf("chunk[%d]", c))
+			blobs[c], errs[c] = Compress(sub, eb, cp, copt)
 		}(c)
 	}
 	wg.Wait()
@@ -91,6 +95,7 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 		out = appendUvarint(out, uint64(bounds[c+1]-bounds[c]))
 		out = appendSection(out, blob)
 	}
+	total.EndFull(int64(len(ds.Data))*4, int64(len(out)), int64(nChunks), nil)
 	return out, nil
 }
 
@@ -120,6 +125,12 @@ func IsChunked(blob []byte) bool {
 
 // DecompressChunked reverses CompressChunked, decoding chunks concurrently.
 func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
+	return DecompressChunkedTraced(blob, workers, nil)
+}
+
+// DecompressChunkedTraced is DecompressChunked with an attached stage
+// collector; each chunk's decode stages are path-qualified "chunk[i]/...".
+func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]float32, []int, error) {
 	if !IsChunked(blob) {
 		return nil, nil, fmt.Errorf("core: not a chunked container: %w", ErrCorrupt)
 	}
@@ -140,10 +151,10 @@ func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 			return nil, nil, ErrCorrupt
 		}
 		dims[i] = int(d)
-		vol *= int(d)
-		if vol > 1<<33 {
+		if int(d) > (1<<33)/vol {
 			return nil, nil, ErrCorrupt
 		}
+		vol *= int(d)
 	}
 	nc, err := readUvarint(blob, &pos)
 	if err != nil || nc == 0 || nc > uint64(dims[0]) {
@@ -174,6 +185,7 @@ func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	plane := vol / dims[0]
+	sp := trace.Begin(tc, "chunked-total")
 	out := make([]float32, vol)
 	errs := make([]error, nc)
 	var wg sync.WaitGroup
@@ -185,7 +197,9 @@ func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			data, cdims, err := Decompress(chunks[c].blob)
+			cpos := 0
+			data, cdims, err := decompressAt(chunks[c].blob, &cpos,
+				trace.Prefixed(tc, fmt.Sprintf("chunk[%d]", c)))
 			if err != nil {
 				errs[c] = err
 				return
@@ -204,5 +218,6 @@ func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 			return nil, nil, err
 		}
 	}
+	sp.EndFull(int64(len(blob)), int64(vol)*4, int64(nc), nil)
 	return out, dims, nil
 }

@@ -9,6 +9,7 @@ import (
 	"cliz/internal/dataset"
 	"cliz/internal/grid"
 	"cliz/internal/predict"
+	"cliz/internal/trace"
 )
 
 // TuneConfig controls the offline auto-tuning stage (paper §VI-A).
@@ -298,10 +299,16 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 		return Pipeline{}, nil, err
 	}
 	start := time.Now()
+	// Candidate evaluation loops run untraced — hundreds of tiny pipeline
+	// runs would flood the collector; the tuner records its own coarse
+	// stages into the caller's collector instead.
+	tcol := opt.Trace
+	opt.Trace = nil
 	rate := tc.SamplingRate
 	if rate == 0 {
 		rate = 0.01
 	}
+	sp := trace.Begin(tcol, "tune/detect-period")
 	period := 0
 	if ds.Periodic && !tc.DisablePeriod {
 		if tc.FixedPeriod > 0 {
@@ -310,8 +317,12 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 			period = DetectPeriod(ds, tc.SampleRows)
 		}
 	}
+	sp.EndFull(0, 0, int64(period), nil)
+	sp = trace.Begin(tcol, "tune/sample")
 	smp := sampleConcat(ds, rate, period)
 	samplePoints := grid.Volume(smp.dims)
+	sp.EndFull(int64(len(ds.Data))*4, int64(samplePoints)*4, int64(samplePoints), nil)
+	sp = trace.Begin(tcol, "tune/search")
 	cands := EnumeratePipelines(len(ds.Dims), period, ds.Mask != nil, tc)
 	report := &TuneReport{Period: period, SamplePoints: samplePoints}
 	bestIdx := -1
@@ -348,6 +359,7 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 			bestIdx = len(report.Candidates) - 1
 		}
 	}
+	sp.EndFull(0, 0, int64(len(report.Candidates)), nil)
 	if bestIdx < 0 {
 		return Pipeline{}, nil, fmt.Errorf("core: auto-tuning found no viable pipeline")
 	}
@@ -356,6 +368,7 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 	// tiny, so the leading candidates are re-ranked on an 8×-larger sample.
 	best := report.Candidates[bestIdx].Pipe
 	bestRatio := report.Candidates[bestIdx].Ratio
+	sp = trace.Begin(tcol, "tune/refine")
 	refSmp := smp
 	if rate < 1 {
 		// The refinement sample must carry enough *compressed payload* that
@@ -407,14 +420,18 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 			}
 		}
 	}
+	sp.EndFull(0, 0, int64(grid.Volume(refSmp.dims)), nil)
 	if best.Period > 0 {
+		sp = trace.Begin(tcol, "tune/template")
 		best.Template = tuneTemplate(smp, eb, best, opt)
+		sp.End()
 	}
 	// Level-wise error-bound tuning: coarse interpolation levels anchor all
 	// finer predictions, so tightening them (α > 1, capped by β) often buys
 	// ratio — the same knob QoZ introduced and newer SZ3 adopted. Tuned
 	// after the pipeline search so the paper's candidate counts (96/192 for
 	// 3D) are preserved.
+	sp = trace.Begin(tcol, "tune/alpha")
 	bestAlpha, alphaRatio := 1.0, -1.0
 	refPoints := grid.Volume(refSmp.dims)
 	for _, alpha := range []float64{1, 1.25, 1.5, 1.75, 2} {
@@ -434,6 +451,7 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 			bestAlpha = alpha
 		}
 	}
+	sp.End()
 	best.LevelAlpha = bestAlpha
 	report.Best = best
 	report.BestRatio = bestRatio

@@ -61,3 +61,33 @@ func DecodeBlock(blob []byte) ([]uint32, error) {
 	}
 	return nil, ErrCorrupt
 }
+
+// BlockStats splits an encoded block into its code-table bytes and payload
+// bytes (symbol counts + bitstream) without decoding it — the observability
+// layer uses this to report how much of each symbol stream is tree/table
+// overhead. ok is false for malformed blocks.
+func BlockStats(blob []byte) (kind Kind, tableBytes, streamBytes int, ok bool) {
+	if len(blob) == 0 {
+		return 0, 0, 0, false
+	}
+	kind = Kind(blob[0])
+	body := blob[1:]
+	var n int
+	switch kind {
+	case Huffman:
+		_, pos, err := huffman.ParseTable(body)
+		if err != nil {
+			return kind, 0, 0, false
+		}
+		n = pos
+	case RANS:
+		pos, tok := rans.TableBytes(body)
+		if !tok {
+			return kind, 0, 0, false
+		}
+		n = pos
+	default:
+		return kind, 0, 0, false
+	}
+	return kind, n, len(body) - n, true
+}

@@ -132,6 +132,16 @@ func (t *freqTable) serialize(dst []byte) []byte {
 	return dst
 }
 
+// TableBytes reports how many leading bytes of an encoded block hold the
+// frequency table (observability helper; ok=false on malformed input).
+func TableBytes(src []byte) (int, bool) {
+	pos := 0
+	if _, err := parseTable(src, &pos); err != nil {
+		return 0, false
+	}
+	return pos, true
+}
+
 func parseTable(src []byte, pos *int) (*freqTable, error) {
 	n, err := readUvarint(src, pos)
 	if err != nil || n == 0 || n > MaxAlphabet {

@@ -1,0 +1,254 @@
+// Package trace is the observability layer of the compression pipeline: a
+// lightweight, allocation-conscious collector of per-stage records (wall
+// time, byte counts, item counts and free-form numeric annotations) that the
+// core compressor threads through every stage when — and only when — a
+// collector is attached. With a nil collector every hook is a no-op that
+// performs zero allocations and never reads the clock, so the hot path pays
+// nothing for the instrumentation it does not use.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage is one record: a named unit of pipeline work with its cost.
+type Stage struct {
+	// Name identifies the stage. Nested work is path-qualified with '/',
+	// e.g. "template/predict" or "chunk[3]/entropy".
+	Name string
+	// Duration is the stage's wall time (0 for pure bookkeeping records).
+	Duration time.Duration
+	// InBytes / OutBytes are the stage's input and output sizes where
+	// meaningful (0 otherwise). For coding stages Out < In is the win.
+	InBytes  int64
+	OutBytes int64
+	// Items counts the units processed (points, symbols, chunks...).
+	Items int64
+	// Extra holds stage-specific numeric annotations (histogram entropy,
+	// Huffman table bytes, literal counts...). Nil for most stages.
+	Extra []KV
+}
+
+// KV is one numeric annotation.
+type KV struct {
+	Key   string
+	Value float64
+}
+
+// Collector receives stage records. Implementations must be safe for
+// concurrent use: the parallel chunked compressor records from many
+// goroutines at once.
+type Collector interface {
+	Record(s Stage)
+}
+
+// Recorder is the standard Collector: a mutex-guarded, append-only list of
+// stage records.
+type Recorder struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// Record implements Collector.
+func (r *Recorder) Record(s Stage) {
+	r.mu.Lock()
+	r.stages = append(r.stages, s)
+	r.mu.Unlock()
+}
+
+// Stages returns a copy of the records in arrival order.
+func (r *Recorder) Stages() []Stage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Stage(nil), r.stages...)
+}
+
+// Reset clears the records so the recorder can be reused.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.stages = r.stages[:0]
+	r.mu.Unlock()
+}
+
+// Aggregate merges records whose names share the same base stage (the path
+// component after the last '/'), summing durations, bytes and items. The
+// result is ordered by descending duration — the profile view.
+func (r *Recorder) Aggregate() []Stage {
+	return Aggregate(r.Stages())
+}
+
+// Aggregate merges stages by base name (see Recorder.Aggregate).
+func Aggregate(stages []Stage) []Stage {
+	idx := map[string]int{}
+	var out []Stage
+	for _, s := range stages {
+		base := s.Name
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		j, ok := idx[base]
+		if !ok {
+			idx[base] = len(out)
+			out = append(out, Stage{Name: base, Duration: s.Duration,
+				InBytes: s.InBytes, OutBytes: s.OutBytes, Items: s.Items})
+			continue
+		}
+		out[j].Duration += s.Duration
+		out[j].InBytes += s.InBytes
+		out[j].OutBytes += s.OutBytes
+		out[j].Items += s.Items
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Table renders the raw records as a human-readable stage table.
+func (r *Recorder) Table() string { return Table(r.Stages()) }
+
+// Table renders stage records as an aligned text table. Records named
+// "total" (or ending in "/total") are separated from the per-stage rows.
+func Table(stages []Stage) string {
+	if len(stages) == 0 {
+		return "(no stages recorded)\n"
+	}
+	// The % column denominator: the recorded totals when the stages nest
+	// under them, otherwise the stage sum (tuning spans run outside the
+	// compression total, so the sum can exceed it).
+	var total, sum time.Duration
+	for _, s := range stages {
+		if isTotal(s.Name) {
+			total += s.Duration
+		} else {
+			sum += s.Duration
+		}
+	}
+	if sum > total {
+		total = sum
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %6s %12s %12s %10s  %s\n",
+		"stage", "time", "%", "in", "out", "items", "notes")
+	for _, s := range stages {
+		pct := "-"
+		if total > 0 && !isTotal(s.Name) {
+			pct = fmt.Sprintf("%.1f", 100*float64(s.Duration)/float64(total))
+		}
+		fmt.Fprintf(&b, "%-28s %10s %6s %12s %12s %10s  %s\n",
+			s.Name, fmtDuration(s.Duration), pct,
+			fmtBytes(s.InBytes), fmtBytes(s.OutBytes), fmtCount(s.Items),
+			fmtExtra(s.Extra))
+	}
+	return b.String()
+}
+
+func isTotal(name string) bool {
+	return name == "total" || strings.HasSuffix(name, "/total")
+}
+
+func fmtDuration(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n == 0:
+		return "-"
+	case n < 1024:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+}
+
+func fmtCount(n int64) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func fmtExtra(kvs []KV) string {
+	if len(kvs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(kvs))
+	for i, kv := range kvs {
+		parts[i] = fmt.Sprintf("%s=%.4g", kv.Key, kv.Value)
+	}
+	return strings.Join(parts, " ")
+}
+
+// prefixed qualifies every record's name with a path prefix.
+type prefixed struct {
+	inner  Collector
+	prefix string
+}
+
+func (p prefixed) Record(s Stage) {
+	s.Name = p.prefix + "/" + s.Name
+	p.inner.Record(s)
+}
+
+// Prefixed wraps c so every record is path-qualified with prefix. A nil c
+// yields nil, keeping the no-collector fast path intact for nested stages.
+func Prefixed(c Collector, prefix string) Collector {
+	if c == nil {
+		return nil
+	}
+	return prefixed{inner: c, prefix: prefix}
+}
+
+// Span measures one stage. The zero Span (from Begin with a nil collector)
+// is inert: End and its variants return immediately without reading the
+// clock or allocating.
+type Span struct {
+	c    Collector
+	name string
+	t0   time.Time
+}
+
+// Begin starts a span. With a nil collector it returns the zero Span and
+// does not read the clock — the nil path is allocation-free (guarded by
+// TestSpanNilCollectorAllocs).
+func Begin(c Collector, name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, name: name, t0: time.Now()}
+}
+
+// End records the span with no byte accounting.
+func (sp Span) End() { sp.EndFull(0, 0, 0, nil) }
+
+// EndBytes records the span with input/output byte counts.
+func (sp Span) EndBytes(in, out int64) { sp.EndFull(in, out, 0, nil) }
+
+// EndFull records the span with full accounting. Extra is retained, not
+// copied; callers hand over ownership.
+func (sp Span) EndFull(in, out, items int64, extra []KV) {
+	if sp.c == nil {
+		return
+	}
+	sp.c.Record(Stage{
+		Name:     sp.name,
+		Duration: time.Since(sp.t0),
+		InBytes:  in,
+		OutBytes: out,
+		Items:    items,
+		Extra:    extra,
+	})
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCollects(t *testing.T) {
+	var r Recorder
+	sp := Begin(&r, "predict")
+	time.Sleep(time.Millisecond)
+	sp.EndFull(100, 40, 25, []KV{{"entropy_bits", 2.5}})
+	Begin(&r, "lossless").EndBytes(40, 20)
+	got := r.Stages()
+	if len(got) != 2 {
+		t.Fatalf("stages %d", len(got))
+	}
+	if got[0].Name != "predict" || got[0].Duration <= 0 || got[0].Items != 25 {
+		t.Fatalf("bad record %+v", got[0])
+	}
+	if got[1].InBytes != 40 || got[1].OutBytes != 20 {
+		t.Fatalf("bad record %+v", got[1])
+	}
+	r.Reset()
+	if len(r.Stages()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSpanNilCollectorAllocs(t *testing.T) {
+	// The no-collector hot path must not allocate or read the clock.
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Begin(nil, "predict")
+		sp.EndFull(1, 2, 3, nil)
+		Begin(nil, "x").End()
+		Begin(Prefixed(nil, "chunk[0]"), "y").EndBytes(4, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-collector span allocated %v times per run", allocs)
+	}
+}
+
+func TestPrefixed(t *testing.T) {
+	var r Recorder
+	c := Prefixed(&r, "template")
+	Begin(c, "predict").End()
+	Begin(Prefixed(c, "inner"), "entropy").End()
+	got := r.Stages()
+	if got[0].Name != "template/predict" {
+		t.Fatalf("name %q", got[0].Name)
+	}
+	if got[1].Name != "template/inner/entropy" {
+		t.Fatalf("name %q", got[1].Name)
+	}
+}
+
+func TestAggregateMergesByBaseName(t *testing.T) {
+	stages := []Stage{
+		{Name: "chunk[0]/predict", Duration: 3 * time.Millisecond, InBytes: 10, Items: 5},
+		{Name: "chunk[1]/predict", Duration: 5 * time.Millisecond, InBytes: 20, Items: 7},
+		{Name: "chunk[0]/entropy", Duration: time.Millisecond, OutBytes: 4},
+	}
+	agg := Aggregate(stages)
+	if len(agg) != 2 {
+		t.Fatalf("aggregated %d", len(agg))
+	}
+	if agg[0].Name != "predict" || agg[0].Duration != 8*time.Millisecond ||
+		agg[0].InBytes != 30 || agg[0].Items != 12 {
+		t.Fatalf("bad aggregate %+v", agg[0])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	stages := []Stage{
+		{Name: "predict", Duration: 2 * time.Millisecond, InBytes: 4096, Items: 1024,
+			Extra: []KV{{"literals", 3}}},
+		{Name: "total", Duration: 3 * time.Millisecond, OutBytes: 900},
+	}
+	s := Table(stages)
+	for _, want := range []string{"predict", "total", "literals=3", "4.0KiB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	if Table(nil) == "" {
+		t.Fatal("empty table rendering")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Begin(&r, "s").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(r.Stages()) != 800 {
+		t.Fatalf("lost records: %d", len(r.Stages()))
+	}
+}

@@ -7,8 +7,13 @@ import "cliz/internal/core"
 // with the given number of workers (0 = GOMAXPROCS) — the library-level
 // counterpart of the paper's per-core-file Globus setup (§VII-C4). Periodic
 // pipelines keep chunk boundaries on whole periods. The container is decoded
-// (also in parallel) by the regular Decompress.
-func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, workers int) ([]byte, *CompressInfo, error) {
+// (also in parallel) by the regular Decompress. With WithTrace attached,
+// each chunk's stages are recorded path-qualified as "chunk[i]/...".
+func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, workers int, opts ...CompressOption) ([]byte, *CompressInfo, error) {
+	var cfg compressConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ids, err := ds.internal()
 	if err != nil {
 		return nil, nil, err
@@ -23,15 +28,19 @@ func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, worker
 	} else {
 		p = core.Default(ids)
 	}
-	blob, err := core.CompressChunked(ids, abs, p, core.Options{}, nChunks, workers)
+	blob, err := core.CompressChunked(ids, abs, p, core.Options{Trace: cfg.trace.collector()}, nChunks, workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	points := ids.Points()
-	return blob, &CompressInfo{
+	info := &CompressInfo{
 		CompressedBytes: len(blob),
 		Ratio:           float64(points*4) / float64(len(blob)),
 		BitRate:         float64(len(blob)) * 8 / float64(points),
 		Pipeline:        p.String(),
-	}, nil
+	}
+	if cfg.trace != nil {
+		info.Stages = cfg.trace.Stages()
+	}
+	return blob, info, nil
 }
