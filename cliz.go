@@ -121,6 +121,13 @@ func (e ErrorBound) resolve(ds *dataset.Dataset) (float64, error) {
 		}
 		return e.Abs, nil
 	case e.Rel > 0 && e.Abs == 0:
+		lo, hi := ds.ValueRange()
+		if hi-lo <= 0 {
+			// A constant field has no value range to scale against; the old
+			// behavior silently substituted a range of 1, turning "0.1% of
+			// the range" into an arbitrary absolute budget.
+			return 0, fmt.Errorf("cliz: relative bound %g on a field with zero value range [%g, %g]; use Abs for constant fields", e.Rel, lo, hi)
+		}
 		abs := ds.AbsErrorBound(e.Rel)
 		if math.IsInf(abs, 0) || math.IsNaN(abs) {
 			// An infinite value range (±Inf at a valid point) would resolve
@@ -275,19 +282,36 @@ func stageInfos(stages []trace.Stage) []StageInfo {
 	return out
 }
 
-// CompressOption customizes a Compress/CompressChunked call.
-type CompressOption func(*compressConfig)
+// Option customizes a Compress, CompressChunked or Decompress call.
+type Option func(*config)
 
-type compressConfig struct {
-	trace *Trace
+// CompressOption is the historical name of Option, kept as an alias because
+// the decode path now accepts the same options.
+type CompressOption = Option
+
+type config struct {
+	trace   *Trace
+	workers int
 }
 
 // WithTrace attaches a stage collector: the run records per-stage wall
 // times and byte counts into t, and the returned CompressInfo carries the
 // records in its Stages field. Without this option the instrumentation
 // hooks are allocation-free no-ops.
-func WithTrace(t *Trace) CompressOption {
-	return func(c *compressConfig) { c.trace = t }
+func WithTrace(t *Trace) Option {
+	return func(c *config) { c.trace = t }
+}
+
+// WithWorkers bounds intra-blob parallelism: sectioned prediction (or
+// reconstruction on decode), sharded entropy coding and parallel
+// transposition all run on up to n goroutines. n <= 1 (the default) keeps
+// everything on the calling goroutine. The encoded blob is deterministic for
+// a fixed n; decode output never depends on n at all, because the section
+// partition is read back from the blob header. Chunked containers combine
+// this with chunk-level concurrency (the chunk workers argument), so the
+// two multiply — keep the product near GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
 }
 
 // CompressInfo reports what a compression achieved.
@@ -305,32 +329,33 @@ type CompressInfo struct {
 	Stages []StageInfo
 }
 
-// Compress encodes the dataset under the error bound with the given
-// pipeline (nil selects the default pipeline). The returned blob is
-// self-contained: Decompress needs nothing else.
-func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...CompressOption) ([]byte, *CompressInfo, error) {
-	var cfg compressConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
+// prepare is the shared front half of Compress and CompressChunked:
+// validate the dataset, resolve the error bound, and resolve the pipeline.
+// A nil pipe selects the default; a non-nil pipeline that was not produced
+// by AutoTune, DefaultPipeline or a prior decode (i.e. the zero value) is
+// rejected instead of being silently swapped for the default.
+func prepare(ds *Dataset, eb ErrorBound, pipe *Pipeline) (*dataset.Dataset, float64, core.Pipeline, error) {
 	ids, err := ds.internal()
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, core.Pipeline{}, err
 	}
 	abs, err := eb.resolve(ids)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, core.Pipeline{}, err
 	}
-	var p core.Pipeline
-	if pipe != nil && pipe.p.Perm != nil {
-		p = pipe.p
-	} else {
-		p = core.Default(ids)
+	if pipe == nil {
+		return ids, abs, core.Default(ids), nil
 	}
-	blob, err := core.Compress(ids, abs, p, core.Options{Trace: cfg.trace.collector()})
-	if err != nil {
-		return nil, nil, err
+	if pipe.p.Perm == nil {
+		return nil, 0, core.Pipeline{}, errors.New(
+			"cliz: zero-value Pipeline; use AutoTune or DefaultPipeline, or pass nil for the default")
 	}
+	return ids, abs, pipe.p, nil
+}
+
+// newCompressInfo builds the CompressInfo shared by both compress entry
+// points.
+func newCompressInfo(ids *dataset.Dataset, blob []byte, p core.Pipeline, cfg *config) *CompressInfo {
 	points := ids.Points()
 	info := &CompressInfo{
 		CompressedBytes: len(blob),
@@ -341,26 +366,53 @@ func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...CompressOption
 	if cfg.trace != nil {
 		info.Stages = cfg.trace.Stages()
 	}
-	return blob, info, nil
+	return info
+}
+
+// Compress encodes the dataset under the error bound with the given
+// pipeline (nil selects the default pipeline). The returned blob is
+// self-contained: Decompress needs nothing else.
+func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...Option) ([]byte, *CompressInfo, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ids, abs, p, err := prepare(ds, eb, pipe)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := core.Compress(ids, abs, p, core.Options{
+		Trace:   cfg.trace.collector(),
+		Workers: cfg.workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, newCompressInfo(ids, blob, p, &cfg), nil
 }
 
 // Decompress reconstructs the data and its dims from a CliZ blob — either a
 // regular blob from Compress or a chunked container from CompressChunked
-// (chunks decode concurrently).
-func Decompress(blob []byte) ([]float32, []int, error) {
-	if core.IsChunked(blob) {
-		return core.DecompressChunked(blob, 0)
+// (chunks decode concurrently). WithWorkers bounds intra-blob decode
+// parallelism; the output is identical for every worker count.
+func Decompress(blob []byte, opts ...Option) ([]float32, []int, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return core.Decompress(blob)
+	if core.IsChunked(blob) {
+		return core.DecompressChunkedTraced(blob, cfg.workers, cfg.trace.collector())
+	}
+	return core.DecompressWithOptions(blob, core.DecompressOptions{
+		Workers: cfg.workers,
+		Trace:   cfg.trace.collector(),
+	})
 }
 
 // DecompressTraced is Decompress with an attached stage collector recording
 // per-stage decode timings and byte counts (t may be nil).
 func DecompressTraced(blob []byte, t *Trace) ([]float32, []int, error) {
-	if core.IsChunked(blob) {
-		return core.DecompressChunkedTraced(blob, 0, t.collector())
-	}
-	return core.DecompressTraced(blob, t.collector())
+	return Decompress(blob, WithTrace(t))
 }
 
 // compile-time checks that the internal enums line up with the public ones.

@@ -317,18 +317,22 @@ func TestErrorBoundEdgeCases(t *testing.T) {
 		wantErr bool
 	}{
 		{
-			// Rel on a constant field: the value range is zero; the bound
-			// must still resolve to something positive and finite.
-			name: "rel-constant-field",
-			ds:   &cliz.Dataset{Name: "const", Data: make([]float32, 256), Dims: []int{16, 16}},
-			eb:   cliz.Rel(1e-2),
+			// Rel on a constant field: the value range is zero, so "1% of
+			// the range" has no meaning. This used to silently substitute a
+			// range of 1; it is now a clean error directing callers to Abs.
+			name:    "rel-constant-field",
+			ds:      &cliz.Dataset{Name: "const", Data: make([]float32, 256), Dims: []int{16, 16}},
+			eb:      cliz.Rel(1e-2),
+			wantErr: true,
 		},
 		{
-			// Rel when every point is masked out: the valid range is empty.
+			// Rel when every point is masked out: the valid range is empty —
+			// same zero-range error as the constant field.
 			name: "rel-all-masked",
 			ds: &cliz.Dataset{Name: "masked", Data: []float32{9e35, 9e35, 9e35, 9e35},
 				Dims: []int{2, 2}, MaskRegions: []int32{0, 0, 0, 0}, FillValue: 9e35},
-			eb: cliz.Rel(1e-2),
+			eb:      cliz.Rel(1e-2),
+			wantErr: true,
 		},
 		{name: "abs-zero", ds: &cliz.Dataset{Name: "z", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.Abs(0), wantErr: true},
 		{name: "abs-negative", ds: &cliz.Dataset{Name: "neg", Data: seq(16), Dims: []int{4, 4}}, eb: cliz.Abs(-1), wantErr: true},

@@ -27,14 +27,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("clizbench", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list experiments")
-		id    = fs.String("run", "", "experiment id to run (e.g. E01)")
-		all   = fs.Bool("all", false, "run every experiment")
-		scale = fs.Float64("scale", 0, "dataset scale (1.0 = paper dimensions; default 0.25)")
-		out   = fs.String("out", "", "directory for CSVs and artifacts (optional)")
-		quiet = fs.Bool("quiet", false, "suppress progress logging")
-		perf  = fs.Bool("perf", false, "run the perf-regression suite and write BENCH_PR.json")
-		reps  = fs.Int("perf-reps", 3, "repetitions per field in -perf mode (median is reported)")
+		list    = fs.Bool("list", false, "list experiments")
+		id      = fs.String("run", "", "experiment id to run (e.g. E01)")
+		all     = fs.Bool("all", false, "run every experiment")
+		scale   = fs.Float64("scale", 0, "dataset scale (1.0 = paper dimensions; default 0.25)")
+		out     = fs.String("out", "", "directory for CSVs and artifacts (optional)")
+		quiet   = fs.Bool("quiet", false, "suppress progress logging")
+		perf    = fs.Bool("perf", false, "run the perf-regression suite and write BENCH_PR.json")
+		reps    = fs.Int("perf-reps", 3, "repetitions per field in -perf mode (median is reported)")
+		workers = fs.Int("workers", 0, "intra-blob workers for the -perf parallel pass (0 = NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +50,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		return runPerf(*scale, *reps, *out, log)
+		return runPerf(*scale, *reps, *workers, *out, log)
 	}
 	if *list {
 		for _, e := range experiments.List() {

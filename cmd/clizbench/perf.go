@@ -33,19 +33,30 @@ type perfStage struct {
 
 // perfField is the full record for one benchmark field.
 type perfField struct {
-	Field           string      `json:"field"`
-	Dims            []int       `json:"dims"`
-	Points          int         `json:"points"`
-	RelErrorBound   float64     `json:"rel_error_bound"`
-	AbsErrorBound   float64     `json:"abs_error_bound"`
-	Pipeline        string      `json:"pipeline"`
-	CompressedBytes int         `json:"compressed_bytes"`
-	Ratio           float64     `json:"ratio"`
-	BitsPerPoint    float64     `json:"bits_per_point"`
-	CompressMBps    float64     `json:"compress_mb_per_s"`
-	DecompressMBps  float64     `json:"decompress_mb_per_s"`
-	CompressStages  []perfStage `json:"compress_stages"`
-	DecodeStages    []perfStage `json:"decode_stages"`
+	Field           string  `json:"field"`
+	Dims            []int   `json:"dims"`
+	Points          int     `json:"points"`
+	RelErrorBound   float64 `json:"rel_error_bound"`
+	AbsErrorBound   float64 `json:"abs_error_bound"`
+	Pipeline        string  `json:"pipeline"`
+	CompressedBytes int     `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+	BitsPerPoint    float64 `json:"bits_per_point"`
+	CompressMBps    float64 `json:"compress_mb_per_s"`
+	DecompressMBps  float64 `json:"decompress_mb_per_s"`
+	// Par* mirror the serial numbers with intra-blob parallelism enabled
+	// (Workers = the -workers flag, default NumCPU). The parallel blob is a
+	// v2 encoding whose ratio should match the serial one within ~1%.
+	ParWorkers         int     `json:"par_workers,omitempty"`
+	ParCompressedBytes int     `json:"par_compressed_bytes,omitempty"`
+	ParRatio           float64 `json:"par_ratio,omitempty"`
+	ParCompressMBps    float64 `json:"par_compress_mb_per_s,omitempty"`
+	ParDecompressMBps  float64 `json:"par_decompress_mb_per_s,omitempty"`
+	CompressSpeedup    float64 `json:"compress_speedup,omitempty"`
+	DecompressSpeedup  float64 `json:"decompress_speedup,omitempty"`
+
+	CompressStages []perfStage `json:"compress_stages"`
+	DecodeStages   []perfStage `json:"decode_stages"`
 }
 
 // perfReport is the BENCH_PR.json document.
@@ -63,16 +74,19 @@ type perfReport struct {
 // periodicity (SSH-like) and two atmosphere fields (Hurricane-like, CESM-T).
 var perfFields = []string{"SSH", "Hurricane-T", "CESM-T"}
 
-func runPerf(scale float64, reps int, outDir string, log io.Writer) error {
+func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) error {
 	if scale <= 0 {
 		scale = 0.25
 	}
 	if reps < 1 {
 		reps = 3
 	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	const rel = 1e-2
 	report := perfReport{
-		Schema:     "cliz-bench-pr/1",
+		Schema:     "cliz-bench-pr/2",
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Scale:      scale,
@@ -124,10 +138,44 @@ func runPerf(scale float64, reps int, outDir string, log io.Writer) error {
 			CompressStages:  perfStages(cRec.Aggregate()),
 			DecodeStages:    perfStages(dRec.Aggregate()),
 		}
+
+		// Parallel pass: same pipeline, intra-blob workers enabled on both
+		// sides. Skipped when the budget is one worker (nothing to compare).
+		if workers > 1 {
+			var pBlob []byte
+			var pcTimes, pdTimes []time.Duration
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				pBlob, err = core.Compress(ds, eb, best, core.Options{Workers: workers})
+				pcTimes = append(pcTimes, time.Since(t0))
+				if err != nil {
+					return fmt.Errorf("%s: parallel compress: %w", name, err)
+				}
+				t0 = time.Now()
+				if _, _, err = core.DecompressWithOptions(pBlob,
+					core.DecompressOptions{Workers: workers}); err != nil {
+					return fmt.Errorf("%s: parallel decompress: %w", name, err)
+				}
+				pdTimes = append(pdTimes, time.Since(t0))
+			}
+			f.ParWorkers = workers
+			f.ParCompressedBytes = len(pBlob)
+			f.ParRatio = float64(ds.Points()*4) / float64(len(pBlob))
+			f.ParCompressMBps = mb / median(pcTimes).Seconds()
+			f.ParDecompressMBps = mb / median(pdTimes).Seconds()
+			f.CompressSpeedup = f.ParCompressMBps / f.CompressMBps
+			f.DecompressSpeedup = f.ParDecompressMBps / f.DecompressMBps
+		}
 		report.Fields = append(report.Fields, f)
 		if log != nil {
 			fmt.Fprintf(log, "perf %-12s ratio %7.2f  compress %7.1f MB/s  decompress %7.1f MB/s\n",
 				name, f.Ratio, f.CompressMBps, f.DecompressMBps)
+			if f.ParWorkers > 1 {
+				fmt.Fprintf(log, "perf %-12s   par(w=%d) ratio %7.2f  compress %7.1f MB/s (%.2fx)  decompress %7.1f MB/s (%.2fx)\n",
+					name, f.ParWorkers, f.ParRatio,
+					f.ParCompressMBps, f.CompressSpeedup,
+					f.ParDecompressMBps, f.DecompressSpeedup)
+			}
 		}
 	}
 	path := "BENCH_PR.json"

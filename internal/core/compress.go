@@ -8,8 +8,6 @@ import (
 	"cliz/internal/dataset"
 	"cliz/internal/entropy"
 	"cliz/internal/grid"
-	"cliz/internal/interp"
-	"cliz/internal/lorenzo"
 	"cliz/internal/lossless"
 	"cliz/internal/mask"
 	"cliz/internal/predict"
@@ -36,6 +34,16 @@ type Options struct {
 	// histogram summaries). Nil — the default — disables collection; the
 	// hooks are then allocation-free no-ops.
 	Trace trace.Collector
+	// Workers bounds intra-blob parallelism: sectioned prediction, sharded
+	// entropy coding, and parallel transposition. <= 1 (the default) keeps
+	// every stage on the calling goroutine. Output is deterministic for a
+	// fixed Workers value; Workers = 1 reproduces the serial v1 bitstream
+	// except for the version byte and section-count field.
+	Workers int
+	// sectionLeadFloor overrides minSectionLead so package tests can force
+	// sectioned prediction on small fixtures; 0 (always, outside tests)
+	// selects the default.
+	sectionLeadFloor int
 }
 
 func (o Options) radius() int32 {
@@ -43,6 +51,13 @@ func (o Options) radius() int32 {
 		return quant.DefaultRadius
 	}
 	return o.Radius
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 func (o Options) backend() lossless.Codec {
@@ -171,12 +186,13 @@ func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 		return nil, nil, fmt.Errorf("core: residual: %w", err)
 	}
 	h := header{
-		flags:  flagPeriodic | maskFlags(v) | fitFlag(p),
-		eb:     eb,
-		fill:   fill,
-		radius: opt.radius(),
-		dims:   dims,
-		pipe:   p,
+		flags:     flagPeriodic | maskFlags(v) | fitFlag(p),
+		eb:        eb,
+		fill:      fill,
+		radius:    opt.radius(),
+		dims:      dims,
+		pipe:      p,
+		psections: 1, // periodic wrappers carry no bin streams of their own
 	}
 	if p.Classify {
 		h.flags |= flagClassify
@@ -289,46 +305,38 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
 	validOrig := v.bitmap(dims)
+	W := opt.workers()
 	sp := trace.Begin(opt.Trace, "permute")
 	tdims := grid.PermuteDims(dims, p.Perm)
-	tdata := grid.Transpose(data, dims, p.Perm)
+	tdata := grid.TransposeWorkers(data, dims, p.Perm, W)
 	var tvalid []bool
 	if validOrig != nil {
-		tvalid = grid.Transpose(validOrig, dims, p.Perm)
+		tvalid = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
 	}
 	sp.EndFull(int64(len(data))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
 	fdims := p.Fusion.Apply(tdims)
-	var res interp.Result
-	var err error
-	sp = trace.Begin(opt.Trace, "predict")
-	if p.Fitting == predict.Lorenzo {
-		lres, lerr := lorenzo.Compress(tdata, fdims, lorenzo.Config{
-			EB: eb, Radius: opt.radius(), Valid: tvalid, FillValue: fill,
-		})
-		res = interp.Result(lres)
-		err = lerr
-	} else {
-		res, err = interp.Compress(tdata, fdims, interp.Config{
-			EB:            eb,
-			Radius:        opt.radius(),
-			Fitting:       p.Fitting,
-			Valid:         tvalid,
-			FillValue:     fill,
-			LevelEBFactor: levelEBFactor(p.LevelAlpha),
-		})
+	P := sectionCount(W, fdims, opt.sectionLeadFloor)
+	// The sectioned fan-out gets its own span name so the per-shard spans
+	// (which Aggregate folds into one "predict" row) are not double-counted.
+	predName := "predict"
+	if P > 1 {
+		predName = "predict-fanout"
 	}
+	sp = trace.Begin(opt.Trace, predName)
+	bins, lits, reconT, err := predictSections(tdata, fdims, tvalid, eb, p, fill, opt, P)
 	if err != nil {
 		return nil, nil, err
 	}
-	sp.EndFull(int64(len(tdata))*4, 0, int64(len(res.Bins)), binStats(res.Bins, res.Literals, tvalid, opt.Trace))
+	sp.EndFull(int64(len(tdata))*4, 0, int64(len(bins)), binStats(bins, lits, tvalid, opt.Trace))
 
 	h := header{
-		flags:  maskFlags(v) | fitFlag(p),
-		eb:     eb,
-		fill:   fill,
-		radius: opt.radius(),
-		dims:   dims,
-		pipe:   p,
+		flags:     maskFlags(v) | fitFlag(p),
+		eb:        eb,
+		fill:      fill,
+		radius:    opt.radius(),
+		dims:      dims,
+		pipe:      p,
+		psections: P,
 	}
 	if p.Classify {
 		h.flags |= flagClassify
@@ -351,16 +359,16 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		sp = trace.Begin(opt.Trace, "classify")
 		nLat, nLon := latLon(dims)
 		colOf := columnIDs(dims, p.Perm)
-		cls := classify.Analyze(res.Bins, colOf, nLat*nLon, tvalid,
+		cls := classify.Analyze(bins, colOf, nLat*nLon, tvalid,
 			classify.Params{Radius: opt.radius(), Lambda: opt.Lambda})
-		classify.ShiftBins(res.Bins, colOf, tvalid, cls)
-		a, b := classify.Split(res.Bins, colOf, tvalid, cls)
+		classify.ShiftBins(bins, colOf, tvalid, cls)
+		a, b := classify.Split(bins, colOf, tvalid, cls)
 		meta := classify.PackMeta(cls)
 		out = appendSection(out, meta)
-		sp.EndFull(int64(len(res.Bins))*4, int64(len(meta)), int64(len(a)+len(b)), nil)
+		sp.EndFull(int64(len(bins))*4, int64(len(meta)), int64(len(a)+len(b)), nil)
 		sp = trace.Begin(opt.Trace, "entropy")
-		encA := entropy.EncodeBlock(opt.Entropy, a)
-		encB := entropy.EncodeBlock(opt.Entropy, b)
+		encA := entropy.EncodeBlockSharded(opt.Entropy, a, W)
+		encB := entropy.EncodeBlockSharded(opt.Entropy, b, W)
 		sp.EndFull(int64(len(a)+len(b))*4, int64(len(encA)+len(encB)),
 			int64(len(a)+len(b)), entropyStats(opt.Trace, encA, encB))
 		sp = trace.Begin(opt.Trace, "lossless")
@@ -370,32 +378,35 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		out = appendSection(out, lsB)
 		sp.EndBytes(int64(len(encA)+len(encB)), int64(len(lsA)+len(lsB)))
 	} else {
-		syms := make([]uint32, 0, len(res.Bins))
-		for i, bin := range res.Bins {
+		symsp := symsPool.Get().(*[]uint32)
+		syms := (*symsp)[:0]
+		for i, bin := range bins {
 			if tvalid != nil && !tvalid[i] {
 				continue
 			}
 			syms = append(syms, uint32(bin))
 		}
 		sp = trace.Begin(opt.Trace, "entropy")
-		enc := entropy.EncodeBlock(opt.Entropy, syms)
+		enc := entropy.EncodeBlockSharded(opt.Entropy, syms, W)
 		sp.EndFull(int64(len(syms))*4, int64(len(enc)), int64(len(syms)),
 			entropyStats(opt.Trace, enc))
+		*symsp = syms[:0]
+		symsPool.Put(symsp)
 		sp = trace.Begin(opt.Trace, "lossless")
 		ls := lossless.Encode(be, enc)
 		out = appendSection(out, ls)
 		sp.EndBytes(int64(len(enc)), int64(len(ls)))
 	}
 	sp = trace.Begin(opt.Trace, "literals")
-	litRaw := float32sToBytes(res.Literals)
+	litRaw := float32sToBytes(lits)
 	litEnc := lossless.Encode(be, litRaw)
 	out = appendSection(out, litEnc)
-	sp.EndFull(int64(len(litRaw)), int64(len(litEnc)), int64(len(res.Literals)), nil)
+	sp.EndFull(int64(len(litRaw)), int64(len(litEnc)), int64(len(lits)), nil)
 
 	// Reconstruction back in the original layout.
 	sp = trace.Begin(opt.Trace, "unpermute")
-	recon := grid.Transpose(res.Recon, tdims, grid.InversePerm(p.Perm))
-	sp.EndFull(int64(len(res.Recon))*4, int64(len(recon))*4, int64(len(recon)), nil)
+	recon := grid.TransposeWorkers(reconT, tdims, grid.InversePerm(p.Perm), W)
+	sp.EndFull(int64(len(reconT))*4, int64(len(recon))*4, int64(len(recon)), nil)
 	return out, recon, nil
 }
 
@@ -455,25 +466,49 @@ func entropyStats(c trace.Collector, blocks ...[]byte) []trace.KV {
 	}
 }
 
+// DecompressOptions tune the decode side. The zero value is the serial
+// default.
+type DecompressOptions struct {
+	// Workers bounds intra-blob decode parallelism (sharded entropy decode,
+	// sectioned reconstruction, parallel transposition). The reconstruction
+	// partition comes from the blob header, so the output is identical for
+	// every worker count.
+	Workers int
+	// Trace receives per-stage decode records; nil disables collection.
+	Trace trace.Collector
+}
+
+func (o DecompressOptions) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
 // Decompress reconstructs the data and original dims from a CliZ blob.
 func Decompress(blob []byte) ([]float32, []int, error) {
 	pos := 0
-	return decompressAt(blob, &pos, nil)
+	return decompressAt(blob, &pos, nil, 1)
 }
 
 // DecompressTraced is Decompress with an attached stage collector recording
 // per-stage decode timings and byte counts.
 func DecompressTraced(blob []byte, c trace.Collector) ([]float32, []int, error) {
+	return DecompressWithOptions(blob, DecompressOptions{Trace: c})
+}
+
+// DecompressWithOptions is Decompress with decode-side knobs.
+func DecompressWithOptions(blob []byte, opt DecompressOptions) ([]float32, []int, error) {
 	pos := 0
-	total := trace.Begin(c, "total")
-	data, dims, err := decompressAt(blob, &pos, c)
+	total := trace.Begin(opt.Trace, "total")
+	data, dims, err := decompressAt(blob, &pos, opt.Trace, opt.workers())
 	if err == nil {
 		total.EndFull(int64(len(blob)), int64(len(data))*4, int64(len(data)), nil)
 	}
 	return data, dims, err
 }
 
-func decompressAt(blob []byte, pos *int, c trace.Collector) ([]float32, []int, error) {
+func decompressAt(blob []byte, pos *int, c trace.Collector, workers int) ([]float32, []int, error) {
 	h, err := parseHeader(blob, pos)
 	if err != nil {
 		return nil, nil, err
@@ -488,7 +523,7 @@ func decompressAt(blob []byte, pos *int, c trace.Collector) ([]float32, []int, e
 			return nil, nil, err
 		}
 		tpos := 0
-		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos, trace.Prefixed(c, "template"))
+		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos, trace.Prefixed(c, "template"), workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: template: %w", err)
 		}
@@ -496,7 +531,7 @@ func decompressAt(blob []byte, pos *int, c trace.Collector) ([]float32, []int, e
 			return nil, nil, ErrCorrupt
 		}
 		rpos := 0
-		residual, resDims, err := decompressAt(resSec, &rpos, trace.Prefixed(c, "residual"))
+		residual, resDims, err := decompressAt(resSec, &rpos, trace.Prefixed(c, "residual"), workers)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: residual: %w", err)
 		}
@@ -522,7 +557,7 @@ func decompressAt(blob []byte, pos *int, c trace.Collector) ([]float32, []int, e
 		sp.EndFull(0, int64(len(data))*4, int64(len(data)), nil)
 		return data, h.dims, nil
 	}
-	return decompressUnit(blob, pos, h, c)
+	return decompressUnit(blob, pos, h, c, workers)
 }
 
 // validityFromUnitBlob extracts the embedded validity bitmap of a unit blob.
@@ -549,10 +584,13 @@ func validityFromUnitBlob(blob []byte, dims []int) ([]bool, error) {
 	return nil, ErrCorrupt
 }
 
-func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float32, []int, error) {
+func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers int) ([]float32, []int, error) {
 	dims := h.dims
 	p := h.pipe
 	vol := grid.Volume(dims)
+	if workers < 1 {
+		workers = 1
+	}
 	var validOrig, tvalid []bool
 	sp := trace.Begin(c, "mask")
 	switch {
@@ -582,7 +620,7 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float
 		}
 	}
 	if validOrig != nil {
-		tvalid = grid.Transpose(validOrig, dims, p.Perm)
+		tvalid = grid.TransposeWorkers(validOrig, dims, p.Perm, workers)
 	}
 	sp.EndFull(0, int64(len(validOrig)), int64(len(validOrig)), nil)
 	tdims := grid.PermuteDims(dims, p.Perm)
@@ -609,11 +647,11 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float
 		if err != nil {
 			return nil, nil, err
 		}
-		a, err := decodeSymbolSection(aSec)
+		a, err := decodeSymbolSectionWorkers(aSec, workers)
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := decodeSymbolSection(bSec)
+		b, err := decodeSymbolSectionWorkers(bSec, workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -628,7 +666,7 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float
 		if err != nil {
 			return nil, nil, err
 		}
-		syms, err := decodeSymbolSection(sec)
+		syms, err := decodeSymbolSectionWorkers(sec, workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -663,38 +701,32 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector) ([]float
 		return nil, nil, err
 	}
 	sp.EndFull(int64(len(litSec)), int64(len(litBytes)), int64(len(lits)), nil)
-	sp = trace.Begin(c, "reconstruct")
-	var tdata []float32
-	if p.Fitting == predict.Lorenzo {
-		tdata, err = lorenzo.Decompress(bins, lits, fdims, lorenzo.Config{
-			EB: h.eb, Radius: h.radius, Valid: tvalid, FillValue: h.fill,
-		})
-	} else {
-		tdata, err = interp.Decompress(bins, lits, fdims, interp.Config{
-			EB:            h.eb,
-			Radius:        h.radius,
-			Fitting:       p.Fitting,
-			Valid:         tvalid,
-			FillValue:     h.fill,
-			LevelEBFactor: levelEBFactor(p.LevelAlpha),
-		})
+	recName := "reconstruct"
+	if h.psections > 1 {
+		recName = "reconstruct-fanout"
 	}
+	sp = trace.Begin(c, recName)
+	tdata, err := reconstructSections(bins, lits, fdims, tvalid, h, workers, h.psections, c)
 	if err != nil {
 		return nil, nil, err
 	}
 	sp.EndFull(int64(len(bins))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
 	sp = trace.Begin(c, "unpermute")
-	data := grid.Transpose(tdata, tdims, grid.InversePerm(p.Perm))
+	data := grid.TransposeWorkers(tdata, tdims, grid.InversePerm(p.Perm), workers)
 	sp.EndFull(int64(len(tdata))*4, int64(len(data))*4, int64(len(data)), nil)
 	return data, dims, nil
 }
 
 func decodeSymbolSection(sec []byte) ([]uint32, error) {
+	return decodeSymbolSectionWorkers(sec, 1)
+}
+
+func decodeSymbolSectionWorkers(sec []byte, workers int) ([]uint32, error) {
 	raw, err := lossless.Decode(sec)
 	if err != nil {
 		return nil, err
 	}
-	return entropy.DecodeBlock(raw)
+	return entropy.DecodeBlockParallel(raw, workers)
 }
 
 // packBitmap bit-packs and flate-compresses a validity bitmap.

@@ -12,8 +12,9 @@ import (
 
 // Blob layout (all integers varint unless noted):
 //
-//	magic "CLZ1" | version 1 | flags | eb float64 | fill float32 | radius
+//	magic "CLZ1" | version 1|2 | flags | eb float64 | fill float32 | radius
 //	ndims | dims... | perm bytes | fusion group count | groups... | period
+//	level alpha float64 | psections (version 2 only; v1 implies 1)
 //	sections (each uvarint length + payload), in order:
 //	  mask        (flagMask)
 //	  template    (flagPeriodic; nested full blob)
@@ -22,9 +23,17 @@ import (
 //	  streamA     (always for unit blobs; the single stream when !classify)
 //	  streamB     (flagClassify)
 //	  literals    (always for unit blobs)
+//
+// psections is the number of contiguous predict/reconstruct sections the
+// fused leading dimension was cut into at encode time; the decoder replays
+// the same partition (possibly in parallel), so decode output never depends
+// on the decode-side worker count. Version 2 writers may also emit sharded
+// entropy blocks (entropy.Sharded) inside streamA/streamB; v1 readers would
+// reject those, which is why emitting them bumps the version.
 const (
-	magic   = "CLZ1"
-	version = 1
+	magic    = "CLZ1"
+	version1 = 1
+	version2 = 2
 )
 
 const (
@@ -49,6 +58,10 @@ type header struct {
 	radius int32
 	dims   []int
 	pipe   Pipeline
+	// psections is the predict-section count recorded in v2 blobs (always 1
+	// for v1). It partitions the fused leading dimension for parallel
+	// prediction/reconstruction.
+	psections int
 }
 
 func appendUvarint(dst []byte, v uint64) []byte {
@@ -87,7 +100,7 @@ func readSection(src []byte, pos *int) ([]byte, error) {
 func encodeHeader(h header) []byte {
 	out := make([]byte, 0, 64)
 	out = append(out, magic...)
-	out = append(out, version)
+	out = append(out, version2)
 	out = append(out, h.flags)
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.eb))
@@ -109,6 +122,7 @@ func encodeHeader(h header) []byte {
 	out = appendUvarint(out, uint64(h.pipe.Period))
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.pipe.LevelAlpha))
 	out = append(out, b8[:]...)
+	out = appendUvarint(out, uint64(h.psections))
 	return out
 }
 
@@ -121,8 +135,9 @@ func parseHeader(src []byte, pos *int) (header, error) {
 		return h, fmt.Errorf("core: bad magic: %w", ErrCorrupt)
 	}
 	*pos += 4
-	if src[*pos] != version {
-		return h, fmt.Errorf("core: unsupported version %d: %w", src[*pos], ErrCorrupt)
+	ver := src[*pos]
+	if ver != version1 && ver != version2 {
+		return h, fmt.Errorf("core: unsupported version %d: %w", ver, ErrCorrupt)
 	}
 	*pos++
 	h.flags = src[*pos]
@@ -198,6 +213,20 @@ func parseHeader(src []byte, pos *int) (header, error) {
 	*pos += 8
 	if h.pipe.LevelAlpha < 0 || math.IsNaN(h.pipe.LevelAlpha) || h.pipe.LevelAlpha > 1e6 {
 		return h, ErrCorrupt
+	}
+	h.psections = 1
+	if ver >= version2 {
+		// Sections partition the fused leading dimension, so the count can
+		// never exceed that extent.
+		lead := 1
+		for j := 0; j < h.pipe.Fusion.Groups[0]; j++ {
+			lead *= h.dims[h.pipe.Perm[j]]
+		}
+		ps, err := readUvarint(src, pos)
+		if err != nil || ps == 0 || ps > uint64(lead) {
+			return h, ErrCorrupt
+		}
+		h.psections = int(ps)
 	}
 	h.pipe.UseMask = h.flags&(flagMask|flagPointMask) != 0
 	h.pipe.Classify = h.flags&flagClassify != 0

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"cliz/internal/dataset"
 )
 
 // The on-disk seed corpus for FuzzDecompress (testdata/fuzz/FuzzDecompress)
@@ -78,13 +80,40 @@ func corpusSeeds(t testing.TB) map[string][]byte {
 	_, _ = readUvarint(badLead, &q) // nchunks
 	badLead[q] = 0x01               // first chunk's lead extent -> 1
 	seeds["chunked-lead-mismatch"] = badLead
+	// Chunked container whose trailing dims disagree with the embedded
+	// chunk's (at equal volume and matching lead extent): the per-chunk
+	// validation must reject the full dims vector, not just dims[0] — the
+	// old check let this write a transposed plane into the output.
+	seeds["chunked-plane-mismatch"] = chunkedPlaneMismatch(t)
 	return seeds
+}
+
+// chunkedPlaneMismatch wraps a valid [2,3,5] unit blob in a container that
+// declares dims [2,5,3]: same volume, same lead, swapped planes.
+func chunkedPlaneMismatch(t testing.TB) []byte {
+	sw := &dataset.Dataset{Name: "swap", Data: make([]float32, 2*3*5), Dims: []int{2, 3, 5}}
+	for i := range sw.Data {
+		sw.Data[i] = float32(i % 7)
+	}
+	blob, err := Compress(sw, 0.01, Default(sw), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []byte(parMagic)
+	out = append(out, version1)
+	out = appendUvarint(out, 3)
+	out = appendUvarint(out, 2)
+	out = appendUvarint(out, 5) // swapped trailing dims
+	out = appendUvarint(out, 3)
+	out = appendUvarint(out, 1) // one chunk
+	out = appendUvarint(out, 2) // lead extent matches
+	return appendSection(out, blob)
 }
 
 // overflowBlob hand-crafts a header whose dims volume wraps past 1<<64.
 func overflowBlob() []byte {
 	out := []byte(magic)
-	out = append(out, version, 0)
+	out = append(out, version1, 0)
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(1.0))
 	out = append(out, b8[:]...)
@@ -96,7 +125,7 @@ func overflowBlob() []byte {
 	out = appendUvarint(out, 1<<31)
 	out = append(out, 0, 1, 2) // perm
 	out = appendUvarint(out, 3)
-	out = append(out, 1, 1, 1) // fusion groups
+	out = append(out, 1, 1, 1)  // fusion groups
 	out = appendUvarint(out, 0) // period
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(0))
 	out = append(out, b8[:]...)

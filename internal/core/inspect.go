@@ -20,7 +20,11 @@ type BlobInfo struct {
 	EB       float64
 	Fill     float32
 	Pipeline string
-	Sections []SectionInfo
+	// PSections is the predict-section count from the v2 header (1 for v1
+	// blobs and for serial encodes): how many ways the fused leading
+	// dimension was cut for parallel prediction/reconstruction.
+	PSections int
+	Sections  []SectionInfo
 	// Children holds the template+residual of periodic blobs or the chunks
 	// of a parallel container.
 	Children []*BlobInfo
@@ -43,10 +47,11 @@ func inspectAt(blob []byte, pos *int) (*BlobInfo, error) {
 		return nil, err
 	}
 	info := &BlobInfo{
-		Dims:     h.dims,
-		EB:       h.eb,
-		Fill:     h.fill,
-		Pipeline: h.pipe.String(),
+		Dims:      h.dims,
+		EB:        h.eb,
+		Fill:      h.fill,
+		Pipeline:  h.pipe.String(),
+		PSections: h.psections,
 	}
 	info.Sections = append(info.Sections, SectionInfo{"header", *pos - start})
 	if h.flags&flagPeriodic != 0 {
@@ -92,7 +97,7 @@ func inspectAt(blob []byte, pos *int) (*BlobInfo, error) {
 
 func inspectChunked(blob []byte) (*BlobInfo, error) {
 	pos := 4
-	if pos >= len(blob) || blob[pos] != version {
+	if pos >= len(blob) || blob[pos] != version1 {
 		return nil, ErrCorrupt
 	}
 	pos++
@@ -146,6 +151,9 @@ func (b *BlobInfo) Render(indent string, w *strings.Builder) {
 	}
 	if b.Pipeline != "" {
 		fmt.Fprintf(w, "  [%s]", b.Pipeline)
+	}
+	if b.PSections > 1 {
+		fmt.Fprintf(w, "  psections=%d", b.PSections)
 	}
 	points := grid.Volume(b.Dims)
 	fmt.Fprintf(w, "  %d bytes", b.Total)

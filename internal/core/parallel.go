@@ -85,7 +85,7 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 	}
 	out := make([]byte, 0, len(ds.Data)/2)
 	out = append(out, parMagic...)
-	out = append(out, version)
+	out = append(out, version1)
 	out = appendUvarint(out, uint64(len(ds.Dims)))
 	for _, d := range ds.Dims {
 		out = appendUvarint(out, uint64(d))
@@ -135,7 +135,7 @@ func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]fl
 		return nil, nil, fmt.Errorf("core: not a chunked container: %w", ErrCorrupt)
 	}
 	pos := 4
-	if pos >= len(blob) || blob[pos] != version {
+	if pos >= len(blob) || blob[pos] != version1 {
 		return nil, nil, ErrCorrupt
 	}
 	pos++
@@ -198,17 +198,32 @@ func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]fl
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cpos := 0
+			// Chunks already decode concurrently; nested intra-blob
+			// parallelism would only oversubscribe the worker budget.
 			data, cdims, err := decompressAt(chunks[c].blob, &cpos,
-				trace.Prefixed(tc, fmt.Sprintf("chunk[%d]", c)))
+				trace.Prefixed(tc, fmt.Sprintf("chunk[%d]", c)), 1)
 			if err != nil {
 				errs[c] = err
 				return
 			}
+			// Validate the FULL dims vector: a crafted chunk whose trailing
+			// dims disagree with the container (even at equal volume) would
+			// otherwise write a transposed/truncated plane into out.
 			if len(cdims) != len(dims) || cdims[0] != chunks[c].lead {
 				errs[c] = ErrCorrupt
 				return
 			}
-			copy(out[off*plane:], data)
+			for i := 1; i < len(dims); i++ {
+				if cdims[i] != dims[i] {
+					errs[c] = ErrCorrupt
+					return
+				}
+			}
+			if len(data) != chunks[c].lead*plane {
+				errs[c] = ErrCorrupt
+				return
+			}
+			copy(out[off*plane:(off+chunks[c].lead)*plane], data)
 		}(c, off)
 		off += chunks[c].lead
 	}

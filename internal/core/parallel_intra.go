@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cliz/internal/interp"
+	"cliz/internal/lorenzo"
+	"cliz/internal/par"
+	"cliz/internal/predict"
+	"cliz/internal/trace"
+)
+
+// Intra-blob parallelism: the fused leading dimension is cut into P
+// contiguous sections and each section runs its own prediction/quantization
+// (or reconstruction) engine. Sections are independent — predictions never
+// reference across a section boundary — so the partition is part of the
+// format: v2 blobs record P (header.psections) and the decoder replays the
+// identical partition whatever its own worker budget is. Bins stay in global
+// grid order (sections are contiguous in row-major memory); the literal
+// stream is the concatenation of the sections' literals, and the decoder
+// recovers each section's share by counting bin==0 at valid points.
+
+// minSectionVol keeps sections large enough that the per-section engine
+// setup stays negligible.
+const minSectionVol = 1 << 15
+
+// minSectionLead is the floor on each section's extent along the fused
+// leading dimension. Every section restarts the interpolation hierarchy, so
+// a cut costs roughly one coarse level's worth of extra anchors; measured on
+// the perf corpus that is ~0.5-0.7% of the blob per boundary at 128+ planes
+// per section and grows sharply below (a 25-plane field cut in two loses
+// ~15%). The floor keeps the parallel encoding's ratio within the ~1%
+// parity contract: short leading extents simply don't section, and the
+// entropy shards (which are ratio-neutral) carry the parallelism instead.
+const minSectionLead = 128
+
+// sectionCount picks the number of predict sections for a worker budget.
+// leadFloor <= 0 selects minSectionLead (tests lower it to exercise
+// sectioning on small fixtures).
+func sectionCount(workers int, fdims []int, leadFloor int) int {
+	if workers <= 1 || len(fdims) == 0 {
+		return 1
+	}
+	if leadFloor <= 0 {
+		leadFloor = minSectionLead
+	}
+	p := workers
+	if m := fdims[0] / leadFloor; p > m {
+		p = m
+	}
+	vol := 1
+	for _, d := range fdims {
+		vol *= d
+	}
+	if m := vol / minSectionVol; p > m {
+		p = m
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// sectionBounds cuts the leading extent n into k near-equal pieces (it is
+// chunkBounds without period snapping, shared by encode and decode).
+func sectionBounds(n, k int) []int {
+	return chunkBounds(n, k, 0)
+}
+
+// predictSections runs prediction+quantization over P contiguous sections of
+// the fused grid, writing bins and recon into global slices and returning the
+// concatenated literal stream. P==1 degrades to one engine over the whole
+// grid on the calling goroutine.
+func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
+	p Pipeline, fill float32, opt Options, P int) ([]int32, []float32, []float32, error) {
+
+	vol := len(tdata)
+	bins := make([]int32, vol)
+	recon := make([]float32, vol)
+	bounds := sectionBounds(fdims[0], P)
+	nSec := len(bounds) - 1
+	plane := vol / fdims[0]
+	secLits := make([][]float32, nSec)
+	errs := make([]error, nSec)
+	par.Run(opt.workers(), nSec, func(i int) {
+		lo, hi := bounds[i]*plane, bounds[i+1]*plane
+		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		var svalid []bool
+		if tvalid != nil {
+			svalid = tvalid[lo:hi]
+		}
+		// Serial runs are traced by the caller's single "predict" span; the
+		// sectioned path emits per-shard spans that Aggregate folds back
+		// into one "predict" row.
+		var tc trace.Collector
+		if nSec > 1 {
+			tc = trace.Prefixed(opt.Trace, fmt.Sprintf("shard[%d]", i))
+		}
+		sp := trace.Begin(tc, "predict")
+		var lits []float32
+		var err error
+		if p.Fitting == predict.Lorenzo {
+			lits, err = lorenzo.CompressBuffers(tdata[lo:hi], sdims, lorenzo.Config{
+				EB: eb, Radius: opt.radius(), Valid: svalid, FillValue: fill,
+			}, bins[lo:hi], recon[lo:hi])
+		} else {
+			lits, err = interp.CompressBuffers(tdata[lo:hi], sdims, interp.Config{
+				EB:            eb,
+				Radius:        opt.radius(),
+				Fitting:       p.Fitting,
+				Valid:         svalid,
+				FillValue:     fill,
+				LevelEBFactor: levelEBFactor(p.LevelAlpha),
+			}, bins[lo:hi], recon[lo:hi])
+		}
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		secLits[i] = lits
+		sp.EndFull(int64(hi-lo)*4, 0, int64(hi-lo), nil)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var lits []float32
+	if nSec == 1 {
+		lits = secLits[0]
+	} else {
+		total := 0
+		for _, l := range secLits {
+			total += len(l)
+		}
+		lits = make([]float32, 0, total)
+		for _, l := range secLits {
+			lits = append(lits, l...)
+		}
+	}
+	return bins, lits, recon, nil
+}
+
+// reconstructSections reverses predictSections: the same partition (P from
+// the blob header) is replayed over the global bins, each section consuming
+// its own prefix of the literal stream, with up to `workers` concurrent
+// engines.
+func reconstructSections(bins []int32, lits []float32, fdims []int, tvalid []bool,
+	h header, workers, P int, tc trace.Collector) ([]float32, error) {
+
+	vol := len(bins)
+	if len(fdims) == 0 || fdims[0] < P || P < 1 {
+		return nil, ErrCorrupt
+	}
+	bounds := sectionBounds(fdims[0], P)
+	nSec := len(bounds) - 1
+	plane := vol / fdims[0]
+	// Each section consumes exactly one literal per valid bin-0 point it
+	// handles; prefix sums give every section its slice start. Slices are
+	// open-ended past the start so section-local underrun checks match the
+	// serial engine's.
+	litStart := make([]int, nSec+1)
+	for i := 0; i < nSec; i++ {
+		lo, hi := bounds[i]*plane, bounds[i+1]*plane
+		cnt := 0
+		for j := lo; j < hi; j++ {
+			if bins[j] == 0 && (tvalid == nil || tvalid[j]) {
+				cnt++
+			}
+		}
+		litStart[i+1] = litStart[i] + cnt
+	}
+	if litStart[nSec] > len(lits) {
+		return nil, fmt.Errorf("core: literal stream underrun: %w", ErrCorrupt)
+	}
+	out := make([]float32, vol)
+	errs := make([]error, nSec)
+	par.Run(workers, nSec, func(i int) {
+		lo, hi := bounds[i]*plane, bounds[i+1]*plane
+		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		var svalid []bool
+		if tvalid != nil {
+			svalid = tvalid[lo:hi]
+		}
+		var stc trace.Collector
+		if nSec > 1 {
+			stc = trace.Prefixed(tc, fmt.Sprintf("shard[%d]", i))
+		}
+		sp := trace.Begin(stc, "reconstruct")
+		if h.pipe.Fitting == predict.Lorenzo {
+			errs[i] = lorenzo.DecompressBuffers(bins[lo:hi], lits[litStart[i]:], sdims, lorenzo.Config{
+				EB: h.eb, Radius: h.radius, Valid: svalid, FillValue: h.fill,
+			}, out[lo:hi])
+		} else {
+			errs[i] = interp.DecompressBuffers(bins[lo:hi], lits[litStart[i]:], sdims, interp.Config{
+				EB:            h.eb,
+				Radius:        h.radius,
+				Fitting:       h.pipe.Fitting,
+				Valid:         svalid,
+				FillValue:     h.fill,
+				LevelEBFactor: levelEBFactor(h.pipe.LevelAlpha),
+			}, out[lo:hi])
+		}
+		sp.EndFull(int64(hi-lo)*4, int64(hi-lo)*4, int64(hi-lo), nil)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// symsPool recycles the uint32 staging slice the unclassified encode path
+// uses to gather valid-point bins for entropy coding.
+var symsPool = sync.Pool{New: func() any { return new([]uint32) }}

@@ -105,3 +105,62 @@ func TestChunkedConcurrentCompress(t *testing.T) {
 		}
 	}
 }
+
+// TestIntraBlobRaceStress hammers the intra-blob parallel encode and decode
+// paths — sectioned prediction/reconstruction, sharded entropy coding, the
+// pooled scratch buffers and parallel transposes — from several goroutines
+// at once so `go test -race` observes them under real contention. Every
+// iteration also checks the determinism contract against a reference blob.
+func TestIntraBlobRaceStress(t *testing.T) {
+	ds := smallSSH()
+	eb := ds.AbsErrorBound(1e-2)
+	p := Default(ds)
+	p.Period = 12
+	p.Classify = true
+	ref, err := Compress(ds, eb, p, Options{Workers: 4, sectionLeadFloor: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, _, err := DecompressWithOptions(ref, DecompressOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw := floatsToBytes(refOut)
+
+	const goroutines = 4
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				blob, err := Compress(ds, eb, p, Options{Workers: 4, sectionLeadFloor: 8})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if string(blob) != string(ref) {
+					errs[g] = fmt.Errorf("iteration %d: encode not deterministic", it)
+					return
+				}
+				out, _, err := DecompressWithOptions(blob, DecompressOptions{Workers: 4})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if string(floatsToBytes(out)) != string(refRaw) {
+					errs[g] = fmt.Errorf("iteration %d: decode output differs", it)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

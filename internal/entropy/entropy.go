@@ -2,12 +2,23 @@
 // pipelines: canonical Huffman (the paper's choice) or static rANS (the
 // FSE/Zstd family). Every block is self-describing — one kind byte followed
 // by the coder's own payload — so pipelines can mix coders freely.
+//
+// Blocks may additionally be *sharded* (kind Sharded): the symbol stream is
+// cut into contiguous sections that are encoded and decoded concurrently. A
+// sharded Huffman block shares one code table across all shards; only the
+// bitstreams are per-shard, so the size cost over a plain block is the shard
+// directory (a few varints per shard). Sharded rANS blocks fall back to
+// independent sub-blocks (one slot table each) because the rANS stream state
+// cannot be split under a shared table without re-normalizing.
 package entropy
 
 import (
 	"errors"
+	"sync"
 
+	"cliz/internal/bitio"
 	"cliz/internal/huffman"
+	"cliz/internal/par"
 	"cliz/internal/rans"
 )
 
@@ -18,7 +29,24 @@ type Kind byte
 const (
 	Huffman Kind = 0
 	RANS    Kind = 1
+	// Sharded marks a parallel container: a mode byte (shared-table Huffman
+	// or independent sub-blocks), a shard directory, and per-shard streams.
+	Sharded Kind = 2
 )
+
+// Sharded container modes.
+const (
+	modeSharedHuffman byte = 0
+	modeSubBlocks     byte = 1
+)
+
+// minShardSyms is the smallest symbol count worth cutting into one extra
+// shard.
+const minShardSyms = 1024
+
+// maxShards bounds the decoder's shard-directory allocation; encoders use
+// one shard per worker, so real counts are tiny.
+const maxShards = 1 << 12
 
 // ErrCorrupt reports an unknown coder id or malformed payload.
 var ErrCorrupt = errors.New("entropy: corrupt block")
@@ -30,6 +58,8 @@ func (k Kind) String() string {
 		return "huffman"
 	case RANS:
 		return "rans"
+	case Sharded:
+		return "sharded"
 	}
 	return "unknown"
 }
@@ -46,8 +76,17 @@ func EncodeBlock(kind Kind, symbols []uint32) []byte {
 	return append([]byte{byte(Huffman)}, huffman.EncodeBlock(symbols)...)
 }
 
-// DecodeBlock reverses EncodeBlock.
+// DecodeBlock reverses EncodeBlock (and decodes sharded blocks serially; use
+// DecodeBlockParallel to fan shard decoding out across workers).
 func DecodeBlock(blob []byte) ([]uint32, error) {
+	return DecodeBlockParallel(blob, 1)
+}
+
+// DecodeBlockParallel is DecodeBlock with bounded shard-level parallelism:
+// the shards of a Sharded block decode on up to `workers` goroutines into
+// disjoint windows of one output slice. Plain blocks (and workers <= 1)
+// decode serially; the result is identical either way.
+func DecodeBlockParallel(blob []byte, workers int) ([]uint32, error) {
 	if len(blob) == 0 {
 		return nil, ErrCorrupt
 	}
@@ -58,8 +97,215 @@ func DecodeBlock(blob []byte) ([]uint32, error) {
 	case RANS:
 		syms, _, err := rans.DecodeBlock(blob[1:])
 		return syms, err
+	case Sharded:
+		return decodeSharded(blob[1:], workers)
 	}
 	return nil, ErrCorrupt
+}
+
+// writerPool recycles the bitstream writers of parallel shard encoders; the
+// backing buffers grow to shard size once and are reused across blobs.
+var writerPool = sync.Pool{New: func() any { return bitio.NewWriter(0) }}
+
+// EncodeBlockSharded encodes symbols as a Sharded container of `shards`
+// contiguous sections compressed concurrently (bounded by the shard count
+// itself — callers pick shards = worker budget). Huffman shards share one
+// code table built over the full stream, so the output is the plain block's
+// table and bitstream plus a small shard directory. shards <= 1, or streams
+// too short to cut, degrade to the plain self-describing EncodeBlock. The
+// output depends only on (kind, symbols, shards) — never on scheduling.
+func EncodeBlockSharded(kind Kind, symbols []uint32, shards int) []byte {
+	// Shards below ~minShardSyms symbols cost more in directory and table
+	// overhead than the concurrency buys; short streams degrade gracefully.
+	if s := len(symbols) / minShardSyms; shards > s {
+		shards = s
+	}
+	if shards <= 1 {
+		return EncodeBlock(kind, symbols)
+	}
+	bounds := shardBounds(len(symbols), shards)
+	n := len(bounds) - 1
+	if kind == RANS {
+		// Independent sub-blocks: each shard re-derives its own table (and
+		// keeps rANS's own Huffman fallback for oversized alphabets).
+		subs := make([][]byte, n)
+		par.Run(n, n, func(i int) {
+			subs[i] = EncodeBlock(RANS, symbols[bounds[i]:bounds[i+1]])
+		})
+		out := []byte{byte(Sharded), modeSubBlocks}
+		out = appendUvarint(out, uint64(n))
+		for i, sub := range subs {
+			out = appendUvarint(out, uint64(bounds[i+1]-bounds[i]))
+			out = appendUvarint(out, uint64(len(sub)))
+		}
+		for _, sub := range subs {
+			out = append(out, sub...)
+		}
+		return out
+	}
+	// Shared-table Huffman: one codec over the full stream, per-shard
+	// byte-aligned bitstreams.
+	c := huffman.Build(huffman.CountFreqs(symbols))
+	streams := make([][]byte, n)
+	par.Run(n, n, func(i int) {
+		w := writerPool.Get().(*bitio.Writer)
+		w.Reset()
+		_ = c.Encode(symbols[bounds[i]:bounds[i+1]], w) // codec covers these symbols
+		streams[i] = append([]byte(nil), w.Bytes()...)
+		writerPool.Put(w)
+	})
+	out := []byte{byte(Sharded), modeSharedHuffman}
+	out = c.SerializeTable(out)
+	out = appendUvarint(out, uint64(n))
+	for i, s := range streams {
+		out = appendUvarint(out, uint64(bounds[i+1]-bounds[i]))
+		out = appendUvarint(out, uint64(len(s)))
+	}
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// shardBounds cuts n symbols into k near-equal contiguous sections.
+func shardBounds(n, k int) []int {
+	bounds := make([]int, 0, k+1)
+	bounds = append(bounds, 0)
+	for i := 1; i <= k; i++ {
+		b := n * i / k
+		if b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
+}
+
+// shardDir is one parsed shard-directory entry.
+type shardDir struct {
+	nSyms   int
+	nBytes  int
+	symOff  int
+	byteOff int
+}
+
+// parseShardDir reads the shard count and directory at body[*pos:], returning
+// the entries with symbol/byte offsets resolved and validated against the
+// remaining payload length.
+func parseShardDir(body []byte, pos *int) ([]shardDir, error) {
+	nShards, err := readUvarint(body, pos)
+	if err != nil || nShards == 0 || nShards > maxShards || nShards > uint64(len(body)) {
+		return nil, ErrCorrupt
+	}
+	dir := make([]shardDir, nShards)
+	symOff, byteOff := 0, 0
+	for i := range dir {
+		ns, err := readUvarint(body, pos)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		nb, err := readUvarint(body, pos)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		// The encoder never emits empty shards, and each encoded symbol
+		// costs at least one bit in any coder here, so a symbol count of
+		// zero or beyond 8x the payload bytes cannot be legitimate.
+		if ns == 0 || nb > uint64(len(body)) || ns > 8*nb {
+			return nil, ErrCorrupt
+		}
+		dir[i] = shardDir{nSyms: int(ns), nBytes: int(nb), symOff: symOff, byteOff: byteOff}
+		symOff += int(ns)
+		byteOff += int(nb)
+		if symOff < 0 || byteOff < 0 {
+			return nil, ErrCorrupt
+		}
+	}
+	if byteOff > len(body)-*pos {
+		return nil, ErrCorrupt
+	}
+	return dir, nil
+}
+
+// decodeSharded decodes a Sharded container body (everything after the kind
+// byte) with up to `workers` concurrent shard decoders.
+func decodeSharded(body []byte, workers int) ([]uint32, error) {
+	if len(body) < 2 {
+		return nil, ErrCorrupt
+	}
+	mode := body[0]
+	pos := 1
+	var codec *huffman.Codec
+	switch mode {
+	case modeSharedHuffman:
+		c, n, err := huffman.ParseTable(body[pos:])
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		codec = c
+		pos += n
+	case modeSubBlocks:
+	default:
+		return nil, ErrCorrupt
+	}
+	dir, err := parseShardDir(body, &pos)
+	if err != nil {
+		return nil, err
+	}
+	last := dir[len(dir)-1]
+	out := make([]uint32, last.symOff+last.nSyms)
+	streams := body[pos:]
+	errs := make([]error, len(dir))
+	par.Run(workers, len(dir), func(i int) {
+		d := dir[i]
+		raw := streams[d.byteOff : d.byteOff+d.nBytes]
+		dst := out[d.symOff : d.symOff+d.nSyms]
+		if mode == modeSharedHuffman {
+			errs[i] = codec.DecodeInto(dst, bitio.NewReader(raw))
+			return
+		}
+		syms, err := DecodeBlock(raw)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if len(syms) != d.nSyms {
+			errs[i] = ErrCorrupt
+			return
+		}
+		copy(dst, syms)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(src []byte, pos *int) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := *pos; i < len(src); i++ {
+		if i-*pos > 9 {
+			return 0, ErrCorrupt
+		}
+		b := src[i]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			*pos = i + 1
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, ErrCorrupt
 }
 
 // BlockStats splits an encoded block into its code-table bytes and payload
@@ -83,6 +329,27 @@ func BlockStats(blob []byte) (kind Kind, tableBytes, streamBytes int, ok bool) {
 	case RANS:
 		pos, tok := rans.TableBytes(body)
 		if !tok {
+			return kind, 0, 0, false
+		}
+		n = pos
+	case Sharded:
+		// Table side = mode byte + shared code table (if any) + the shard
+		// directory; stream side = the concatenated shard payloads (which,
+		// in sub-block mode, still embed their own small tables).
+		if len(body) < 2 {
+			return kind, 0, 0, false
+		}
+		pos := 1
+		if body[0] == modeSharedHuffman {
+			_, tn, err := huffman.ParseTable(body[pos:])
+			if err != nil {
+				return kind, 0, 0, false
+			}
+			pos += tn
+		} else if body[0] != modeSubBlocks {
+			return kind, 0, 0, false
+		}
+		if _, err := parseShardDir(body, &pos); err != nil {
 			return kind, 0, 0, false
 		}
 		n = pos

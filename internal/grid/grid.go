@@ -7,6 +7,8 @@ package grid
 import (
 	"fmt"
 	"math"
+
+	"cliz/internal/par"
 )
 
 // Volume returns the number of points spanned by dims. Empty dims or any
@@ -93,6 +95,14 @@ func PermuteDims(dims, perm []int) []int {
 // that is row-major over PermuteDims(dims, perm). Axis perm[i] of the source
 // becomes axis i of the destination.
 func Transpose[T any](src []T, dims, perm []int) []T {
+	return TransposeWorkers(src, dims, perm, 1)
+}
+
+// TransposeWorkers is Transpose with the destination range split across up
+// to `workers` goroutines. The destination is written sequentially within
+// each range, so ranges are disjoint and the result is identical for any
+// worker count.
+func TransposeWorkers[T any](src []T, dims, perm []int, workers int) []T {
 	n := len(dims)
 	if !ValidPerm(perm, n) {
 		panic(fmt.Sprintf("grid: invalid permutation %v for %d dims", perm, n))
@@ -112,10 +122,39 @@ func Transpose[T any](src []T, dims, perm []int) []T {
 	for i, p := range perm {
 		step[i] = srcStr[p]
 	}
-	// Odometer walk over destination coordinates; dst index is sequential.
+	// Too little data to amortize goroutine startup.
+	if workers > 1 && vol < 1<<16 {
+		workers = 1
+	}
+	if workers > vol {
+		workers = vol
+	}
+	if workers <= 1 {
+		transposeRange(dst, src, outDims, step, 0, vol)
+		return dst
+	}
+	par.Run(workers, workers, func(w int) {
+		lo, hi := vol*w/workers, vol*(w+1)/workers
+		transposeRange(dst, src, outDims, step, lo, hi)
+	})
+	return dst
+}
+
+// transposeRange fills dst[lo:hi] of a transposition: destination indices are
+// sequential, the source index is recovered from the starting coordinate and
+// then advanced with the usual odometer.
+func transposeRange[T any](dst, src []T, outDims, step []int, lo, hi int) {
+	n := len(outDims)
+	// Seed the odometer at destination index lo.
 	coord := make([]int, n)
+	rem := lo
 	si := 0
-	for di := 0; di < vol; di++ {
+	for ax := n - 1; ax >= 0; ax-- {
+		coord[ax] = rem % outDims[ax]
+		rem /= outDims[ax]
+		si += coord[ax] * step[ax]
+	}
+	for di := lo; di < hi; di++ {
 		dst[di] = src[si]
 		// increment odometer (last destination axis fastest)
 		for ax := n - 1; ax >= 0; ax-- {
@@ -128,7 +167,6 @@ func Transpose[T any](src []T, dims, perm []int) []T {
 			si -= step[ax] * outDims[ax]
 		}
 	}
-	return dst
 }
 
 // Fusion describes which adjacent dimensions are merged: Groups is a

@@ -263,14 +263,24 @@ func (c *Codec) DecodeOne(r *bitio.Reader) (uint32, error) {
 // Decode reads n symbols from r.
 func (c *Codec) Decode(n int, r *bitio.Reader) ([]uint32, error) {
 	out := make([]uint32, n)
-	for i := 0; i < n; i++ {
-		s, err := c.DecodeOne(r)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
+	if err := c.DecodeInto(out, r); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeInto fills dst with len(dst) symbols read from r. It allocates
+// nothing, so parallel shard decoders can decode straight into disjoint
+// windows of one shared output slice.
+func (c *Codec) DecodeInto(dst []uint32, r *bitio.Reader) error {
+	for i := range dst {
+		s, err := c.DecodeOne(r)
+		if err != nil {
+			return err
+		}
+		dst[i] = s
+	}
+	return nil
 }
 
 // Alphabet returns the number of distinct symbols.
@@ -398,6 +408,11 @@ func DecodeBlock(src []byte) ([]uint32, int, error) {
 	}
 	if n == 0 {
 		return nil, pos + int(blen), nil
+	}
+	// Every symbol costs at least one bit, so a count that exceeds the
+	// bitstream's capacity is corrupt — reject before allocating n slots.
+	if n > 8*blen {
+		return nil, 0, ErrCorrupt
 	}
 	r := bitio.NewReader(src[pos : pos+int(blen)])
 	syms, err := c.Decode(int(n), r)

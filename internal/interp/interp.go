@@ -123,45 +123,38 @@ func newEngine(dims []int, cfg Config) (*engine, error) {
 
 // Compress runs prediction + quantization over data.
 func Compress(data []float32, dims []int, cfg Config) (Result, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	bins := make([]int32, vol)
+	recon := make([]float32, vol)
+	lits, err := CompressBuffers(data, dims, cfg, bins, recon)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(data) != e.vol {
-		return Result{}, fmt.Errorf("interp: data length %d != volume %d", len(data), e.vol)
-	}
-	e.work = make([]float32, e.vol)
-	copy(e.work, data)
-	e.bins = make([]int32, e.vol)
-	e.run()
-	if e.err != nil {
-		return Result{}, e.err
-	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
-	return Result{Bins: e.bins, Literals: e.lits, Recon: e.work}, nil
+	return Result{Bins: bins, Literals: lits, Recon: recon}, nil
 }
 
-// Decompress reconstructs data from grid-ordered bins and traversal-ordered
-// literals. bins must have one entry per grid point (entries at masked
-// positions are ignored).
-func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+// CompressBuffers is Compress writing bins and the reconstruction into
+// caller-provided slices (each of length equal to the grid volume) and
+// returning the literal stream. Sectioned parallel compression uses it to
+// run independent engine instances over disjoint windows of one global
+// bins/recon pair without per-section allocation.
+func CompressBuffers(data []float32, dims []int, cfg Config, bins []int32, recon []float32) ([]float32, error) {
 	e, err := newEngine(dims, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(bins) != e.vol {
-		return nil, fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
+	if len(data) != e.vol {
+		return nil, fmt.Errorf("interp: data length %d != volume %d", len(data), e.vol)
 	}
-	e.decode = true
-	e.work = make([]float32, e.vol)
+	if len(bins) != e.vol || len(recon) != e.vol {
+		return nil, fmt.Errorf("interp: buffer length %d/%d != volume %d", len(bins), len(recon), e.vol)
+	}
+	copy(recon, data)
+	for i := range bins {
+		bins[i] = 0
+	}
+	e.work = recon
 	e.bins = bins
-	e.lits = literals
 	e.run()
 	if e.err != nil {
 		return nil, e.err
@@ -173,7 +166,50 @@ func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]flo
 			}
 		}
 	}
-	return e.work, nil
+	return e.lits, nil
+}
+
+// Decompress reconstructs data from grid-ordered bins and traversal-ordered
+// literals. bins must have one entry per grid point (entries at masked
+// positions are ignored).
+func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+	out := make([]float32, grid.Volume(dims))
+	if err := DecompressBuffers(bins, literals, dims, cfg, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressBuffers is Decompress writing the reconstruction into a
+// caller-provided slice of length equal to the grid volume. The literal
+// slice may extend past this run's consumption (sections consume a prefix).
+func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config, out []float32) error {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return err
+	}
+	if len(bins) != e.vol {
+		return fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
+	}
+	if len(out) != e.vol {
+		return fmt.Errorf("interp: out length %d != volume %d", len(out), e.vol)
+	}
+	e.decode = true
+	e.work = out
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	if e.err != nil {
+		return e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return nil
 }
 
 // run executes the full traversal (both directions share it, guaranteeing

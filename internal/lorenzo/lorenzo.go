@@ -108,44 +108,36 @@ func newEngine(dims []int, cfg Config) (*engine, error) {
 
 // Compress runs Lorenzo prediction + quantization over data.
 func Compress(data []float32, dims []int, cfg Config) (Result, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	bins := make([]int32, vol)
+	recon := make([]float32, vol)
+	lits, err := CompressBuffers(data, dims, cfg, bins, recon)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(data) != e.vol {
-		return Result{}, fmt.Errorf("lorenzo: data length %d != volume %d", len(data), e.vol)
-	}
-	e.work = make([]float32, e.vol)
-	copy(e.work, data)
-	e.bins = make([]int32, e.vol)
-	e.run()
-	if e.err != nil {
-		return Result{}, e.err
-	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
-	return Result{Bins: e.bins, Literals: e.lits, Recon: e.work}, nil
+	return Result{Bins: bins, Literals: lits, Recon: recon}, nil
 }
 
-// Decompress reconstructs data from bins (grid order) and literals
-// (scan order).
-func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+// CompressBuffers is Compress writing bins and the reconstruction into
+// caller-provided slices (mirrors interp.CompressBuffers for the sectioned
+// parallel path).
+func CompressBuffers(data []float32, dims []int, cfg Config, bins []int32, recon []float32) ([]float32, error) {
 	e, err := newEngine(dims, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(bins) != e.vol {
-		return nil, fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+	if len(data) != e.vol {
+		return nil, fmt.Errorf("lorenzo: data length %d != volume %d", len(data), e.vol)
 	}
-	e.decode = true
-	e.work = make([]float32, e.vol)
+	if len(bins) != e.vol || len(recon) != e.vol {
+		return nil, fmt.Errorf("lorenzo: buffer length %d/%d != volume %d", len(bins), len(recon), e.vol)
+	}
+	copy(recon, data)
+	for i := range bins {
+		bins[i] = 0
+	}
+	e.work = recon
 	e.bins = bins
-	e.lits = literals
 	e.run()
 	if e.err != nil {
 		return nil, e.err
@@ -157,7 +149,48 @@ func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]flo
 			}
 		}
 	}
-	return e.work, nil
+	return e.lits, nil
+}
+
+// Decompress reconstructs data from bins (grid order) and literals
+// (scan order).
+func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]float32, error) {
+	out := make([]float32, grid.Volume(dims))
+	if err := DecompressBuffers(bins, literals, dims, cfg, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressBuffers is Decompress writing into a caller-provided slice; the
+// literal slice may extend past this run's consumption.
+func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config, out []float32) error {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return err
+	}
+	if len(bins) != e.vol {
+		return fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+	}
+	if len(out) != e.vol {
+		return fmt.Errorf("lorenzo: out length %d != volume %d", len(out), e.vol)
+	}
+	e.decode = true
+	e.work = out
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	if e.err != nil {
+		return e.err
+	}
+	if e.cfg.Valid != nil {
+		for i, ok := range e.cfg.Valid {
+			if !ok {
+				e.work[i] = e.cfg.FillValue
+			}
+		}
+	}
+	return nil
 }
 
 // run scans the grid in row-major order (identical on both sides).

@@ -119,9 +119,31 @@ func (Flate) Decompress(src []byte) ([]byte, error) {
 	}
 	r := flate.NewReader(bytes.NewReader(src[8:]))
 	defer r.Close()
-	out := make([]byte, n)
-	if _, err := io.ReadFull(r, out); err != nil {
-		return nil, fmt.Errorf("lossless: flate: %w", err)
+	// Grow the output as data actually arrives instead of trusting the
+	// declared size up front: a corrupt length prefix would otherwise zero
+	// gigabytes before the stream errors out.
+	cap0 := n
+	if cap0 > 1<<20 {
+		cap0 = 1 << 20
+	}
+	out := make([]byte, 0, cap0)
+	var chunk [32 << 10]byte
+	for uint64(len(out)) < n {
+		want := n - uint64(len(out))
+		if want > uint64(len(chunk)) {
+			want = uint64(len(chunk))
+		}
+		m, err := r.Read(chunk[:want])
+		out = append(out, chunk[:m]...)
+		if uint64(len(out)) == n {
+			break
+		}
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("lossless: flate: %w", err)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,43 @@
+// Package par provides the tiny bounded fan-out primitive shared by the
+// intra-blob parallel paths (sectioned prediction, sharded entropy coding)
+// and the chunked container. It deliberately has no dependencies so every
+// layer of the pipeline can use it.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, n), using at most `workers`
+// concurrent goroutines. workers <= 1 (or n <= 1) degrades to a plain serial
+// loop on the calling goroutine, so the serial path pays nothing. Iteration
+// order is unspecified when parallel; fn must be safe for concurrent calls
+// on distinct i.
+func Run(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 97} {
+			var hits atomic.Int64
+			seen := make([]atomic.Bool, n)
+			Run(workers, n, func(i int) {
+				hits.Add(1)
+				if seen[i].Swap(true) {
+					t.Errorf("workers=%d n=%d: index %d ran twice", workers, n, i)
+				}
+			})
+			if int(hits.Load()) != n {
+				t.Fatalf("workers=%d n=%d: %d calls", workers, n, hits.Load())
+			}
+		}
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	var got []int
+	Run(1, 4, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", got)
+		}
+	}
+}

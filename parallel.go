@@ -9,38 +9,23 @@ import "cliz/internal/core"
 // pipelines keep chunk boundaries on whole periods. The container is decoded
 // (also in parallel) by the regular Decompress. With WithTrace attached,
 // each chunk's stages are recorded path-qualified as "chunk[i]/...".
-func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, workers int, opts ...CompressOption) ([]byte, *CompressInfo, error) {
-	var cfg compressConfig
+// WithWorkers additionally bounds parallelism *inside* each chunk; the two
+// levels multiply, so keep the product near GOMAXPROCS.
+func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, workers int, opts ...Option) ([]byte, *CompressInfo, error) {
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ids, err := ds.internal()
+	ids, abs, p, err := prepare(ds, eb, pipe)
 	if err != nil {
 		return nil, nil, err
 	}
-	abs, err := eb.resolve(ids)
+	blob, err := core.CompressChunked(ids, abs, p, core.Options{
+		Trace:   cfg.trace.collector(),
+		Workers: cfg.workers,
+	}, nChunks, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	var p core.Pipeline
-	if pipe != nil && pipe.p.Perm != nil {
-		p = pipe.p
-	} else {
-		p = core.Default(ids)
-	}
-	blob, err := core.CompressChunked(ids, abs, p, core.Options{Trace: cfg.trace.collector()}, nChunks, workers)
-	if err != nil {
-		return nil, nil, err
-	}
-	points := ids.Points()
-	info := &CompressInfo{
-		CompressedBytes: len(blob),
-		Ratio:           float64(points*4) / float64(len(blob)),
-		BitRate:         float64(len(blob)) * 8 / float64(points),
-		Pipeline:        p.String(),
-	}
-	if cfg.trace != nil {
-		info.Stages = cfg.trace.Stages()
-	}
-	return blob, info, nil
+	return blob, newCompressInfo(ids, blob, p, &cfg), nil
 }
