@@ -2,6 +2,7 @@ package baselines_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cliz"
@@ -83,5 +84,54 @@ func TestMaskedDatasetThroughBaselines(t *testing.T) {
 		if _, _, err := baselines.Decompress(name, blob); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+	}
+}
+
+// TestNonFiniteRoundTripOrError pins the non-finite contract across every
+// registered compressor: a NaN or Inf at a valid grid point must either
+// survive the round trip (NaN stays NaN, Inf stays exactly Inf, finite
+// neighbours stay within the bound) or be rejected with a clear error at
+// compress time. Silently zeroing or perturbing such points is a bound
+// violation with no signal — the failure mode this test exists to catch.
+func TestNonFiniteRoundTripOrError(t *testing.T) {
+	const eb = 0.01
+	nanIdx, posIdx, negIdx := 100, 200, 300
+	for _, name := range baselines.Names() {
+		t.Run(name, func(t *testing.T) {
+			ds := smallField()
+			ds.Data[nanIdx] = float32(math.NaN())
+			ds.Data[posIdx] = float32(math.Inf(1))
+			ds.Data[negIdx] = float32(math.Inf(-1))
+			blob, err := baselines.Compress(name, ds, cliz.Abs(eb))
+			if err != nil {
+				// A clean rejection is an acceptable contract — but it must
+				// name the problem, not fail somewhere random.
+				if !strings.Contains(err.Error(), "non-finite") {
+					t.Fatalf("rejection does not explain the non-finite input: %v", err)
+				}
+				return
+			}
+			recon, _, err := baselines.Decompress(name, blob)
+			if err != nil {
+				t.Fatalf("compressed non-finite data but failed to decompress: %v", err)
+			}
+			for i, want := range ds.Data {
+				got := recon[i]
+				switch {
+				case math.IsNaN(float64(want)):
+					if !math.IsNaN(float64(got)) {
+						t.Fatalf("NaN at %d decoded to %g", i, got)
+					}
+				case math.IsInf(float64(want), 0):
+					if got != want {
+						t.Fatalf("Inf at %d decoded to %g", i, got)
+					}
+				default:
+					if diff := math.Abs(float64(got) - float64(want)); !(diff <= eb) {
+						t.Fatalf("finite point %d: |%g-%g| = %g > %g", i, got, want, diff, eb)
+					}
+				}
+			}
+		})
 	}
 }

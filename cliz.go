@@ -290,8 +290,9 @@ type Option func(*config)
 type CompressOption = Option
 
 type config struct {
-	trace   *Trace
-	workers int
+	trace      *Trace
+	workers    int
+	boundEvery int
 }
 
 // WithTrace attaches a stage collector: the run records per-stage wall
@@ -312,6 +313,23 @@ func WithTrace(t *Trace) Option {
 // two multiply — keep the product near GOMAXPROCS.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// WithBoundCheck enables decode-time bound self-verification: after the
+// reconstruction is built, the prediction traversal is replayed read-only
+// over it and every n-th point is checked to regenerate exactly from its
+// recorded quantization bin (n = 1 checks every point). Combined with the
+// v3 checksums this upgrades "the bitstream decoded" to "the decode
+// satisfies the header's error bound". A mismatch fails the decode with an
+// error; the sampled replay costs roughly a second reconstruction pass at
+// n = 1 and amortizes away for larger n.
+func WithBoundCheck(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.boundEvery = n
+	}
 }
 
 // CompressInfo reports what a compression achieved.
@@ -400,19 +418,156 @@ func Decompress(blob []byte, opts ...Option) ([]float32, []int, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if core.IsChunked(blob) {
-		return core.DecompressChunkedTraced(blob, cfg.workers, cfg.trace.collector())
+	opt := core.DecompressOptions{
+		Workers:         cfg.workers,
+		Trace:           cfg.trace.collector(),
+		BoundCheckEvery: cfg.boundEvery,
 	}
-	return core.DecompressWithOptions(blob, core.DecompressOptions{
-		Workers: cfg.workers,
-		Trace:   cfg.trace.collector(),
-	})
+	if core.IsChunked(blob) {
+		return core.DecompressChunkedOpts(blob, cfg.workers, opt)
+	}
+	return core.DecompressWithOptions(blob, opt)
 }
 
 // DecompressTraced is Decompress with an attached stage collector recording
 // per-stage decode timings and byte counts (t may be nil).
 func DecompressTraced(blob []byte, t *Trace) ([]float32, []int, error) {
 	return Decompress(blob, WithTrace(t))
+}
+
+// SectionCheck is the verification result for one blob section. Path names
+// the section qualified by its position in the blob tree ("header", "bins",
+// "template/literals", "chunk[2]/mask", ...).
+type SectionCheck struct {
+	Path  string
+	Bytes int
+	// OK is false when the section's checksum mismatches or its framing is
+	// corrupt.
+	OK bool
+	// Checksummed reports whether a CRC-32C actually covered this section
+	// (false inside v1/v2 blobs, which carry no checksums and are only
+	// walked structurally).
+	Checksummed bool
+	// Detail explains a failure (empty when OK).
+	Detail string
+}
+
+// ChunkDamage describes one undecodable chunk of a chunked container.
+type ChunkDamage struct {
+	// Index is the chunk's position in the container.
+	Index int
+	// LeadStart/LeadLen locate the damaged region along dims[0]; in the
+	// partial-decode output that region is filled with quiet NaN.
+	LeadStart int
+	LeadLen   int
+	// Detail is the decode failure.
+	Detail string
+}
+
+// VerifyReport is the outcome of verifying a blob's integrity.
+type VerifyReport struct {
+	// Kind is "unit", "periodic" or "chunked".
+	Kind string
+	// Version is the blob format version (v3 blobs carry checksums).
+	Version int
+	// Checksummed reports whether every part of the blob carries CRC-32C
+	// integrity checksums.
+	Checksummed bool
+	// Sections lists every section checked, in blob order.
+	Sections []SectionCheck
+	// BoundChecked counts the points re-verified against the error bound
+	// when WithBoundCheck was enabled on DecompressVerified.
+	BoundChecked int64
+	// DamagedChunks lists the chunks DecompressPartial could not decode.
+	DamagedChunks []ChunkDamage
+}
+
+// OK reports whether every section verified and every chunk decoded.
+func (r *VerifyReport) OK() bool {
+	for _, s := range r.Sections {
+		if !s.OK {
+			return false
+		}
+	}
+	return len(r.DamagedChunks) == 0
+}
+
+// Damaged returns the paths of all failed sections and damaged chunks.
+func (r *VerifyReport) Damaged() []string {
+	var out []string
+	for _, s := range r.Sections {
+		if !s.OK {
+			out = append(out, s.Path)
+		}
+	}
+	for _, c := range r.DamagedChunks {
+		out = append(out, fmt.Sprintf("chunk[%d]", c.Index))
+	}
+	return out
+}
+
+func publicReport(rep *core.VerifyReport) *VerifyReport {
+	out := &VerifyReport{
+		Kind:         rep.Kind,
+		Version:      rep.Version,
+		Checksummed:  rep.Checksummed,
+		BoundChecked: rep.BoundChecked,
+	}
+	for _, s := range rep.Sections {
+		out.Sections = append(out.Sections, SectionCheck(s))
+	}
+	for _, c := range rep.DamagedChunks {
+		out.DamagedChunks = append(out.DamagedChunks, ChunkDamage{
+			Index:     c.Index,
+			LeadStart: c.LeadStart,
+			LeadLen:   c.LeadLen,
+			Detail:    c.Err.Error(),
+		})
+	}
+	return out
+}
+
+// Verify checks a blob's integrity without decoding payloads: v3 blobs have
+// the header checksum and every per-section CRC-32C recomputed, v1/v2 blobs
+// are walked structurally. Damage is attributed to named sections; hostile
+// input never panics and cannot trigger volume-sized allocations.
+func Verify(blob []byte) *VerifyReport {
+	return publicReport(core.Verify(blob))
+}
+
+// DecompressVerified verifies every checksum before decoding and returns the
+// verification report alongside the data. With WithBoundCheck the decode
+// additionally re-verifies sampled points against the error bound. On
+// damage, the error is non-nil and the report names the failed sections.
+func DecompressVerified(blob []byte, opts ...Option) ([]float32, []int, *VerifyReport, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	data, dims, rep, err := core.DecompressVerified(blob, core.DecompressOptions{
+		Workers:         cfg.workers,
+		Trace:           cfg.trace.collector(),
+		BoundCheckEvery: cfg.boundEvery,
+	})
+	return data, dims, publicReport(rep), err
+}
+
+// DecompressPartial decodes as much of a chunked container as possible:
+// intact chunks land in the output, undecodable chunks are reported in the
+// VerifyReport's DamagedChunks and their regions filled with quiet NaN so
+// they cannot be mistaken for data. Non-chunked blobs behave like
+// DecompressVerified. The error is non-nil only when nothing was decodable.
+func DecompressPartial(blob []byte, opts ...Option) ([]float32, []int, *VerifyReport, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	data, dims, rep, err := core.DecompressPartial(blob, core.DecompressOptions{
+		Workers:         cfg.workers,
+		Trace:           cfg.trace.collector(),
+		BoundCheckEvery: cfg.boundEvery,
+	})
+	return data, dims, publicReport(rep), err
 }
 
 // compile-time checks that the internal enums line up with the public ones.

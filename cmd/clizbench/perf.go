@@ -44,6 +44,13 @@ type perfField struct {
 	BitsPerPoint    float64 `json:"bits_per_point"`
 	CompressMBps    float64 `json:"compress_mb_per_s"`
 	DecompressMBps  float64 `json:"decompress_mb_per_s"`
+	// Integrity* quantify the v3 checksum cost: directory+CRC bytes in the
+	// blob (size overhead) and the decode throughput when every checksum is
+	// re-verified up front (DecompressVerified vs plain Decompress).
+	IntegrityBytes         int     `json:"integrity_bytes"`
+	IntegrityOverheadPct   float64 `json:"integrity_overhead_pct"`
+	VerifiedDecompressMBps float64 `json:"verified_decompress_mb_per_s"`
+	VerifyOverheadPct      float64 `json:"verify_overhead_pct"`
 	// Par* mirror the serial numbers with intra-blob parallelism enabled
 	// (Workers = the -workers flag, default NumCPU). The parallel blob is a
 	// v2 encoding whose ratio should match the serial one within ~1%.
@@ -86,7 +93,7 @@ func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) err
 	}
 	const rel = 1e-2
 	report := perfReport{
-		Schema:     "cliz-bench-pr/2",
+		Schema:     "cliz-bench-pr/3",
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Scale:      scale,
@@ -123,6 +130,18 @@ func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) err
 			}
 			dTimes = append(dTimes, time.Since(t0))
 		}
+		var vTimes []time.Duration
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, _, _, err = core.DecompressVerified(blob, core.DecompressOptions{}); err != nil {
+				return fmt.Errorf("%s: verified decompress: %w", name, err)
+			}
+			vTimes = append(vTimes, time.Since(t0))
+		}
+		info, err := core.Inspect(blob)
+		if err != nil {
+			return fmt.Errorf("%s: inspect: %w", name, err)
+		}
 		f := perfField{
 			Field:           name,
 			Dims:            ds.Dims,
@@ -135,8 +154,14 @@ func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) err
 			BitsPerPoint:    float64(len(blob)) * 8 / float64(ds.Points()),
 			CompressMBps:    mb / median(cTimes).Seconds(),
 			DecompressMBps:  mb / median(dTimes).Seconds(),
-			CompressStages:  perfStages(cRec.Aggregate()),
-			DecodeStages:    perfStages(dRec.Aggregate()),
+
+			IntegrityBytes:         info.IntegrityTotal(),
+			IntegrityOverheadPct:   100 * float64(info.IntegrityTotal()) / float64(len(blob)),
+			VerifiedDecompressMBps: mb / median(vTimes).Seconds(),
+			VerifyOverheadPct:      100 * (median(vTimes).Seconds()/median(dTimes).Seconds() - 1),
+
+			CompressStages: perfStages(cRec.Aggregate()),
+			DecodeStages:   perfStages(dRec.Aggregate()),
 		}
 
 		// Parallel pass: same pipeline, intra-blob workers enabled on both
@@ -170,6 +195,9 @@ func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) err
 		if log != nil {
 			fmt.Fprintf(log, "perf %-12s ratio %7.2f  compress %7.1f MB/s  decompress %7.1f MB/s\n",
 				name, f.Ratio, f.CompressMBps, f.DecompressMBps)
+			fmt.Fprintf(log, "perf %-12s   integrity %d bytes (%.3f%% size)  verified decompress %7.1f MB/s (+%.1f%% time)\n",
+				name, f.IntegrityBytes, f.IntegrityOverheadPct,
+				f.VerifiedDecompressMBps, f.VerifyOverheadPct)
 			if f.ParWorkers > 1 {
 				fmt.Fprintf(log, "perf %-12s   par(w=%d) ratio %7.2f  compress %7.1f MB/s (%.2fx)  decompress %7.1f MB/s (%.2fx)\n",
 					name, f.ParWorkers, f.ParRatio,

@@ -208,6 +208,11 @@ func run(args []string) error {
 		used = "CliZ (chunked)"
 	} else if d, dm, derr := core.DecompressTraced(blob, tc); derr == nil {
 		data, dims, used = d, dm, "CliZ"
+	} else if core.IsUnit(blob) {
+		// The magic says CliZ; no other codec can recognise it. Surface the
+		// real failure (v3 blobs attribute it to a named section) instead of
+		// the generic no-codec message.
+		return fmt.Errorf("damaged CliZ blob (clizinspect -verify locates the damage): %w", derr)
 	} else {
 		rec.Reset()
 	}

@@ -4,9 +4,17 @@
 //
 //	clizinspect field.clz
 //
+// With -verify every integrity checksum of a v3 blob is recomputed (v1/v2
+// blobs are walked structurally) and a per-section damage report is printed;
+// the exit status is non-zero when any section fails.
+//
+//	clizinspect -verify field.clz
+//
 // With -decode the blob is additionally decompressed under a stage
 // collector and a per-stage timing table (aggregated across chunks and
-// template/residual sub-blobs) is printed.
+// template/residual sub-blobs) is printed. -bound-check n additionally
+// replays the prediction traversal over the decoded output, re-verifying
+// every n-th point against the error bound.
 //
 //	clizinspect -decode field.clz
 package main
@@ -23,12 +31,14 @@ import (
 func main() {
 	fs := flag.NewFlagSet("clizinspect", flag.ContinueOnError)
 	decode := fs.Bool("decode", false, "decompress the blob and print a decode stage table")
+	verify := fs.Bool("verify", false, "recompute all integrity checksums and print a damage report")
+	boundCheck := fs.Int("bound-check", 0, "with -decode: re-verify every n-th decoded point against the error bound (0 = off)")
 	workers := fs.Int("workers", 0, "decode workers for chunked blobs (0 = all cores)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clizinspect [-decode] <file.clz>")
+		fmt.Fprintln(os.Stderr, "usage: clizinspect [-verify] [-decode [-bound-check n]] <file.clz>")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(fs.Arg(0))
@@ -42,13 +52,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(info)
+	if n := info.IntegrityTotal(); n > 0 {
+		fmt.Printf("integrity overhead: %d bytes (%.3f%% of blob)\n",
+			n, 100*float64(n)/float64(len(blob)))
+	}
+	if *verify {
+		rep := core.Verify(blob)
+		fmt.Printf("\n%s", rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	}
 	if *decode {
 		var rec trace.Recorder
+		opt := core.DecompressOptions{Workers: *workers, Trace: &rec, BoundCheckEvery: *boundCheck}
 		var data []float32
 		if core.IsChunked(blob) {
-			data, _, err = core.DecompressChunkedTraced(blob, *workers, &rec)
+			data, _, err = core.DecompressChunkedOpts(blob, *workers, opt)
 		} else {
-			data, _, err = core.DecompressTraced(blob, &rec)
+			data, _, err = core.DecompressWithOptions(blob, opt)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "clizinspect: decode:", err)

@@ -79,14 +79,14 @@ type validity struct {
 func (v validity) none() bool { return v.hm == nil && v.pts == nil }
 
 // bitmap materializes the per-point validity for dims (nil if unmasked).
-func (v validity) bitmap(dims []int) []bool {
+func (v validity) bitmap(dims []int) ([]bool, error) {
 	switch {
 	case v.pts != nil:
-		return v.pts
+		return v.pts, nil
 	case v.hm != nil:
 		return v.hm.Broadcast(dims)
 	}
-	return nil
+	return nil, nil
 }
 
 // Compress encodes ds.Data under the absolute error bound eb with the given
@@ -142,7 +142,10 @@ func compressGeneral(data []float32, dims []int, v validity, eb float64,
 func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
-	valid := v.bitmap(dims)
+	valid, err := v.bitmap(dims)
+	if err != nil {
+		return nil, nil, err
+	}
 	sp := trace.Begin(opt.Trace, "template-build")
 	tmplData, tmplDims, tmplValid := buildTemplate(data, dims, valid, p.Period, fill)
 	sp.EndFull(int64(len(data))*4, int64(len(tmplData))*4, int64(len(tmplData)), nil)
@@ -197,9 +200,10 @@ func compressPeriodic(data []float32, dims []int, v validity, eb float64,
 	if p.Classify {
 		h.flags |= flagClassify
 	}
-	out := encodeHeader(h)
-	out = appendSection(out, tmplBlob)
-	out = appendSection(out, resBlob)
+	w := blobWriter{h: h}
+	w.add(secTemplate, tmplBlob)
+	w.add(secResidual, resBlob)
+	out := w.bytes()
 	// Compose the reconstruction: template tile + residual.
 	recon := addTemplate(resRecon, tmplRecon, dims, p.Period)
 	if valid != nil {
@@ -304,7 +308,10 @@ func identityPerm(n int) []int {
 func compressUnit(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
-	validOrig := v.bitmap(dims)
+	validOrig, err := v.bitmap(dims)
+	if err != nil {
+		return nil, nil, err
+	}
 	W := opt.workers()
 	sp := trace.Begin(opt.Trace, "permute")
 	tdims := grid.PermuteDims(dims, p.Perm)
@@ -341,17 +348,17 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	if p.Classify {
 		h.flags |= flagClassify
 	}
-	out := encodeHeader(h)
+	w := blobWriter{h: h}
 	switch {
 	case v.hm != nil:
 		sp = trace.Begin(opt.Trace, "mask")
 		ms := v.hm.Serialize()
-		out = appendSection(out, ms)
+		w.add(secMask, ms)
 		sp.EndBytes(int64(len(v.hm.Regions))*4, int64(len(ms)))
 	case v.pts != nil:
 		sp = trace.Begin(opt.Trace, "mask")
 		ms := packBitmap(v.pts)
-		out = appendSection(out, ms)
+		w.add(secMask, ms)
 		sp.EndBytes(int64(len(v.pts)), int64(len(ms)))
 	}
 	be := opt.backend()
@@ -364,7 +371,7 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		classify.ShiftBins(bins, colOf, tvalid, cls)
 		a, b := classify.Split(bins, colOf, tvalid, cls)
 		meta := classify.PackMeta(cls)
-		out = appendSection(out, meta)
+		w.add(secClassMeta, meta)
 		sp.EndFull(int64(len(bins))*4, int64(len(meta)), int64(len(a)+len(b)), nil)
 		sp = trace.Begin(opt.Trace, "entropy")
 		encA := entropy.EncodeBlockSharded(opt.Entropy, a, W)
@@ -374,8 +381,8 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		sp = trace.Begin(opt.Trace, "lossless")
 		lsA := lossless.Encode(be, encA)
 		lsB := lossless.Encode(be, encB)
-		out = appendSection(out, lsA)
-		out = appendSection(out, lsB)
+		w.add(secBinsA, lsA)
+		w.add(secBinsB, lsB)
 		sp.EndBytes(int64(len(encA)+len(encB)), int64(len(lsA)+len(lsB)))
 	} else {
 		symsp := symsPool.Get().(*[]uint32)
@@ -394,14 +401,15 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		symsPool.Put(symsp)
 		sp = trace.Begin(opt.Trace, "lossless")
 		ls := lossless.Encode(be, enc)
-		out = appendSection(out, ls)
+		w.add(secBins, ls)
 		sp.EndBytes(int64(len(enc)), int64(len(ls)))
 	}
 	sp = trace.Begin(opt.Trace, "literals")
 	litRaw := float32sToBytes(lits)
 	litEnc := lossless.Encode(be, litRaw)
-	out = appendSection(out, litEnc)
+	w.add(secLiterals, litEnc)
 	sp.EndFull(int64(len(litRaw)), int64(len(litEnc)), int64(len(lits)), nil)
+	out := w.bytes()
 
 	// Reconstruction back in the original layout.
 	sp = trace.Begin(opt.Trace, "unpermute")
@@ -476,6 +484,17 @@ type DecompressOptions struct {
 	Workers int
 	// Trace receives per-stage decode records; nil disables collection.
 	Trace trace.Collector
+	// BoundCheckEvery > 0 enables decode-time bound self-verification: the
+	// prediction traversal is replayed read-only over the finished
+	// reconstruction and every BoundCheckEvery-th point is checked to be
+	// exactly regenerated from its recorded quantization bin (or literal).
+	// 1 checks every point. Combined with v3 checksums this turns "the
+	// bitstream decoded" into "the decode satisfies the header's error
+	// bound".
+	BoundCheckEvery int
+	// stats receives verification counters when non-nil (set by
+	// DecompressVerified / DecompressPartial).
+	stats *verifyCounters
 }
 
 func (o DecompressOptions) workers() int {
@@ -485,10 +504,16 @@ func (o DecompressOptions) workers() int {
 	return o.Workers
 }
 
+// prefixed returns a copy routing trace records under the given stage prefix.
+func (o DecompressOptions) prefixed(prefix string) DecompressOptions {
+	o.Trace = trace.Prefixed(o.Trace, prefix)
+	return o
+}
+
 // Decompress reconstructs the data and original dims from a CliZ blob.
 func Decompress(blob []byte) ([]float32, []int, error) {
 	pos := 0
-	return decompressAt(blob, &pos, nil, 1)
+	return decompressAt(blob, &pos, DecompressOptions{Workers: 1})
 }
 
 // DecompressTraced is Decompress with an attached stage collector recording
@@ -501,29 +526,34 @@ func DecompressTraced(blob []byte, c trace.Collector) ([]float32, []int, error) 
 func DecompressWithOptions(blob []byte, opt DecompressOptions) ([]float32, []int, error) {
 	pos := 0
 	total := trace.Begin(opt.Trace, "total")
-	data, dims, err := decompressAt(blob, &pos, opt.Trace, opt.workers())
+	data, dims, err := decompressAt(blob, &pos, opt)
 	if err == nil {
 		total.EndFull(int64(len(blob)), int64(len(data))*4, int64(len(data)), nil)
 	}
 	return data, dims, err
 }
 
-func decompressAt(blob []byte, pos *int, c trace.Collector, workers int) ([]float32, []int, error) {
+func decompressAt(blob []byte, pos *int, opt DecompressOptions) ([]float32, []int, error) {
+	c := opt.Trace
 	h, err := parseHeader(blob, pos)
 	if err != nil {
 		return nil, nil, err
 	}
 	if h.flags&flagPeriodic != 0 {
-		tmplSec, err := readSection(blob, pos)
+		sr := sectionReader{h: &h}
+		tmplSec, err := sr.next(blob, pos, secTemplate)
 		if err != nil {
 			return nil, nil, err
 		}
-		resSec, err := readSection(blob, pos)
+		resSec, err := sr.next(blob, pos, secResidual)
 		if err != nil {
 			return nil, nil, err
+		}
+		if !sr.done() {
+			return nil, nil, ErrCorrupt
 		}
 		tpos := 0
-		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos, trace.Prefixed(c, "template"), workers)
+		tmpl, tmplDims, err := decompressAt(tmplSec, &tpos, opt.prefixed("template"))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: template: %w", err)
 		}
@@ -531,7 +561,7 @@ func decompressAt(blob []byte, pos *int, c trace.Collector, workers int) ([]floa
 			return nil, nil, ErrCorrupt
 		}
 		rpos := 0
-		residual, resDims, err := decompressAt(resSec, &rpos, trace.Prefixed(c, "residual"), workers)
+		residual, resDims, err := decompressAt(resSec, &rpos, opt.prefixed("residual"))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: residual: %w", err)
 		}
@@ -557,7 +587,7 @@ func decompressAt(blob []byte, pos *int, c trace.Collector, workers int) ([]floa
 		sp.EndFull(0, int64(len(data))*4, int64(len(data)), nil)
 		return data, h.dims, nil
 	}
-	return decompressUnit(blob, pos, h, c, workers)
+	return decompressUnit(blob, pos, h, opt)
 }
 
 // validityFromUnitBlob extracts the embedded validity bitmap of a unit blob.
@@ -567,35 +597,61 @@ func validityFromUnitBlob(blob []byte, dims []int) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	sec, err := readSection(blob, &pos)
-	if err != nil {
-		return nil, err
-	}
+	sr := sectionReader{h: &h}
 	switch {
 	case h.flags&flagMask != 0:
+		sec, err := sr.next(blob, &pos, secMask)
+		if err != nil {
+			return nil, err
+		}
 		hm, err := mask.Parse(sec)
 		if err != nil {
 			return nil, err
 		}
-		return hm.Broadcast(dims), nil
+		return hm.Broadcast(dims)
 	case h.flags&flagPointMask != 0:
+		sec, err := sr.next(blob, &pos, secMask)
+		if err != nil {
+			return nil, err
+		}
 		return unpackBitmap(sec, grid.Volume(dims))
 	}
 	return nil, ErrCorrupt
 }
 
-func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers int) ([]float32, []int, error) {
+// checkDecodeBudget gates a declared volume against the hard decode caps and
+// the remaining payload size, so hostile headers cannot drive the allocations
+// below (bins, bitmaps, output) past what the payload can plausibly back.
+func checkDecodeBudget(vol, avail int) error {
+	if vol > maxDecodeVolume {
+		return fmt.Errorf("core: declared volume %d exceeds decode cap %d: %w",
+			vol, maxDecodeVolume, ErrCorrupt)
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	if uint64(vol) > (uint64(avail)+64)*maxPointsPerByte {
+		return fmt.Errorf("core: declared volume %d implausible for %d payload bytes: %w",
+			vol, avail, ErrCorrupt)
+	}
+	return nil
+}
+
+func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]float32, []int, error) {
+	c := opt.Trace
+	workers := opt.workers()
 	dims := h.dims
 	p := h.pipe
 	vol := grid.Volume(dims)
-	if workers < 1 {
-		workers = 1
+	if err := checkDecodeBudget(vol, len(blob)-*pos); err != nil {
+		return nil, nil, err
 	}
+	sr := sectionReader{h: &h}
 	var validOrig, tvalid []bool
 	sp := trace.Begin(c, "mask")
 	switch {
 	case h.flags&flagMask != 0:
-		sec, err := readSection(blob, pos)
+		sec, err := sr.next(blob, pos, secMask)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -607,9 +663,12 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers 
 		if hm.NLat != nLat || hm.NLon != nLon {
 			return nil, nil, ErrCorrupt
 		}
-		validOrig = hm.Broadcast(dims)
+		validOrig, err = hm.Broadcast(dims)
+		if err != nil {
+			return nil, nil, err
+		}
 	case h.flags&flagPointMask != 0:
-		sec, err := readSection(blob, pos)
+		sec, err := sr.next(blob, pos, secMask)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -630,15 +689,15 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers 
 	binsStart := *pos
 	var bins []int32
 	if h.flags&flagClassify != 0 {
-		metaSec, err := readSection(blob, pos)
+		metaSec, err := sr.next(blob, pos, secClassMeta)
 		if err != nil {
 			return nil, nil, err
 		}
-		aSec, err := readSection(blob, pos)
+		aSec, err := sr.next(blob, pos, secBinsA)
 		if err != nil {
 			return nil, nil, err
 		}
-		bSec, err := readSection(blob, pos)
+		bSec, err := sr.next(blob, pos, secBinsB)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -662,7 +721,7 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers 
 		}
 		classify.UnshiftBins(bins, colOf, tvalid, cls)
 	} else {
-		sec, err := readSection(blob, pos)
+		sec, err := sr.next(blob, pos, secBins)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -688,9 +747,12 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers 
 	}
 	sp.EndFull(int64(*pos-binsStart), int64(len(bins))*4, int64(len(bins)), nil)
 	sp = trace.Begin(c, "literals-decode")
-	litSec, err := readSection(blob, pos)
+	litSec, err := sr.next(blob, pos, secLiterals)
 	if err != nil {
 		return nil, nil, err
+	}
+	if !sr.done() {
+		return nil, nil, ErrCorrupt
 	}
 	litBytes, err := lossless.Decode(litSec)
 	if err != nil {
@@ -711,6 +773,17 @@ func decompressUnit(blob []byte, pos *int, h header, c trace.Collector, workers 
 		return nil, nil, err
 	}
 	sp.EndFull(int64(len(bins))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
+	if opt.BoundCheckEvery > 0 {
+		sp = trace.Begin(c, "verify-bound")
+		n, err := verifySections(bins, lits, fdims, tvalid, h, workers, h.psections, opt.BoundCheckEvery, tdata)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: bound self-verification: %w", err)
+		}
+		if opt.stats != nil {
+			opt.stats.boundChecked.Add(int64(n))
+		}
+		sp.EndFull(int64(len(bins))*4, 0, int64(n), nil)
+	}
 	sp = trace.Begin(c, "unpermute")
 	data := grid.TransposeWorkers(tdata, tdims, grid.InversePerm(p.Perm), workers)
 	sp.EndFull(int64(len(tdata))*4, int64(len(data))*4, int64(len(data)), nil)

@@ -308,7 +308,10 @@ func TestBuildTemplateMath(t *testing.T) {
 
 func TestBuildTemplateMasked(t *testing.T) {
 	dims := []int{2, 1, 2}
-	valid := mask.New(1, 2, []int32{1, 0}).Broadcast(dims)
+	valid, err := mask.New(1, 2, []int32{1, 0}).Broadcast(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
 	data := []float32{5, 999, 7, 999}
 	tmpl, _, tmplValid := buildTemplate(data, dims, valid, 2, -1)
 	if tmpl[0] != 5 || tmpl[2] != 7 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"cliz/internal/grid"
@@ -12,9 +13,12 @@ import (
 
 // Blob layout (all integers varint unless noted):
 //
-//	magic "CLZ1" | version 1|2 | flags | eb float64 | fill float32 | radius
+//	magic "CLZ1" | version 1|2|3 | flags | eb float64 | fill float32 | radius
 //	ndims | dims... | perm bytes | fusion group count | groups... | period
-//	level alpha float64 | psections (version 2 only; v1 implies 1)
+//	level alpha float64 | psections (version >= 2; v1 implies 1)
+//	section directory (version 3 only):
+//	  nsections | per section: id byte + CRC-32C uint32 LE of the payload
+//	  | CRC-32C uint32 LE over every header+directory byte so far
 //	sections (each uvarint length + payload), in order:
 //	  mask        (flagMask)
 //	  template    (flagPeriodic; nested full blob)
@@ -30,10 +34,62 @@ import (
 // on the decode-side worker count. Version 2 writers may also emit sharded
 // entropy blocks (entropy.Sharded) inside streamA/streamB; v1 readers would
 // reject those, which is why emitting them bumps the version.
+//
+// Version 3 adds integrity: the header and directory are covered by one
+// CRC-32C (Castagnoli), and every section payload by its own, so any
+// single-byte corruption anywhere in the blob is detected and attributed to
+// a named section before its bytes are interpreted. v1/v2 blobs carry no
+// directory and still decode bit-exactly.
 const (
 	magic    = "CLZ1"
 	version1 = 1
 	version2 = 2
+	version3 = 3
+)
+
+// crcTable is the Castagnoli (CRC-32C) table shared by all integrity checks.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Section ids of the v3 directory. The id makes the directory
+// self-describing: a verifier can name a damaged section without trusting
+// the flag logic that ordered it.
+const (
+	secMask byte = iota
+	secTemplate
+	secResidual
+	secClassMeta
+	secBinsA
+	secBinsB
+	secBins
+	secLiterals
+	numSectionIDs
+)
+
+var sectionNames = [numSectionIDs]string{
+	"mask", "template", "residual", "class-meta", "bins-A", "bins-B", "bins", "literals",
+}
+
+func sectionName(id byte) string {
+	if int(id) < len(sectionNames) {
+		return sectionNames[id]
+	}
+	return fmt.Sprintf("section-%d", id)
+}
+
+// Hard resource caps for untrusted input. A hostile header must not be able
+// to trigger allocations the payload cannot plausibly back.
+const (
+	// maxSections bounds the v3 directory (real blobs need at most 5).
+	maxSections = 16
+	// maxDecodeVolume caps the point count a single blob may declare at
+	// decode time (format-level parsing allows more; Inspect stays cheap).
+	maxDecodeVolume = 1 << 31
+	// maxPointsPerByte caps declared points per remaining payload byte. The
+	// densest legitimate encodings (near-constant or almost fully masked
+	// fields: ~1 bit/point Huffman then ~1000x flate) stay under ~8k
+	// points/byte, so 64k leaves an 8x margin while capping a 40-byte
+	// hostile header to a few-MB allocation instead of gigabytes.
+	maxPointsPerByte = 1 << 16
 )
 
 const (
@@ -51,17 +107,45 @@ const (
 // ErrCorrupt reports a malformed CliZ blob.
 var ErrCorrupt = errors.New("core: corrupt CliZ blob")
 
+// ErrChecksum reports a v3 integrity-checksum mismatch. It wraps ErrCorrupt,
+// so errors.Is(err, ErrCorrupt) remains true for all corruption classes.
+var ErrChecksum = fmt.Errorf("checksum mismatch: %w", ErrCorrupt)
+
+// SectionError attributes a decode failure to a named blob section.
+type SectionError struct {
+	Section string
+	Err     error
+}
+
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("core: section %q: %v", e.Section, e.Err)
+}
+
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// dirEntry is one v3 section-directory record.
+type dirEntry struct {
+	id  byte
+	crc uint32
+}
+
 type header struct {
-	flags  byte
-	eb     float64
-	fill   float32
-	radius int32
-	dims   []int
-	pipe   Pipeline
-	// psections is the predict-section count recorded in v2 blobs (always 1
+	version byte
+	flags   byte
+	eb      float64
+	fill    float32
+	radius  int32
+	dims    []int
+	pipe    Pipeline
+	// psections is the predict-section count recorded in v2+ blobs (always 1
 	// for v1). It partitions the fused leading dimension for parallel
 	// prediction/reconstruction.
 	psections int
+	// secs is the v3 section directory (nil for v1/v2 blobs).
+	secs []dirEntry
+	// integrityBytes counts the directory + checksum bytes a v3 header
+	// spends on integrity (0 for v1/v2).
+	integrityBytes int
 }
 
 func appendUvarint(dst []byte, v uint64) []byte {
@@ -98,9 +182,13 @@ func readSection(src []byte, pos *int) ([]byte, error) {
 }
 
 func encodeHeader(h header) []byte {
+	ver := h.version
+	if ver == 0 {
+		ver = version3
+	}
 	out := make([]byte, 0, 64)
 	out = append(out, magic...)
-	out = append(out, version2)
+	out = append(out, ver)
 	out = append(out, h.flags)
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.eb))
@@ -126,8 +214,89 @@ func encodeHeader(h header) []byte {
 	return out
 }
 
+// blobWriter assembles a v3 blob: header fields, the integrity directory
+// (section id + payload CRC-32C per section, then one CRC-32C over every
+// header and directory byte), and the section payloads.
+type blobWriter struct {
+	h    header
+	ids  []byte
+	secs [][]byte
+}
+
+func (w *blobWriter) add(id byte, payload []byte) {
+	w.ids = append(w.ids, id)
+	w.secs = append(w.secs, payload)
+}
+
+func (w *blobWriter) bytes() []byte {
+	w.h.version = version3
+	out := encodeHeader(w.h)
+	total := len(out) + 1 + 5*len(w.ids) + 4
+	for _, s := range w.secs {
+		total += binary.MaxVarintLen64 + len(s)
+	}
+	buf := make([]byte, 0, total)
+	buf = append(buf, out...)
+	buf = appendUvarint(buf, uint64(len(w.ids)))
+	var b4 [4]byte
+	for i, id := range w.ids {
+		buf = append(buf, id)
+		binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(w.secs[i], crcTable))
+		buf = append(buf, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(buf, crcTable))
+	buf = append(buf, b4[:]...)
+	for _, s := range w.secs {
+		buf = appendSection(buf, s)
+	}
+	return buf
+}
+
+// sectionReader walks the sections of one parsed blob in order. For v3
+// headers every read cross-checks the expected section id and the payload
+// CRC-32C against the directory before the bytes are handed out; v1/v2
+// headers degrade to a plain framed read.
+type sectionReader struct {
+	h   *header
+	idx int
+}
+
+func (r *sectionReader) next(src []byte, pos *int, id byte) ([]byte, error) {
+	sec, err := readSection(src, pos)
+	if err != nil {
+		return nil, &SectionError{Section: sectionName(id), Err: err}
+	}
+	if r.h.version >= version3 {
+		if r.idx >= len(r.h.secs) {
+			return nil, &SectionError{Section: sectionName(id),
+				Err: fmt.Errorf("section %d beyond %d-entry directory: %w", r.idx, len(r.h.secs), ErrCorrupt)}
+		}
+		ent := r.h.secs[r.idx]
+		if ent.id != id {
+			return nil, &SectionError{Section: sectionName(id),
+				Err: fmt.Errorf("directory lists %q here: %w", sectionName(ent.id), ErrCorrupt)}
+		}
+		// The framing and directory entry line up, so the walk can continue
+		// past a payload-checksum failure: advance before the CRC check.
+		r.idx++
+		if got := crc32.Checksum(sec, crcTable); got != ent.crc {
+			return nil, &SectionError{Section: sectionName(id), Err: ErrChecksum}
+		}
+		return sec, nil
+	}
+	r.idx++
+	return sec, nil
+}
+
+// done reports whether every directory entry was consumed (always true for
+// v1/v2 blobs, which carry no directory).
+func (r *sectionReader) done() bool {
+	return r.h.version < version3 || r.idx == len(r.h.secs)
+}
+
 func parseHeader(src []byte, pos *int) (header, error) {
 	var h header
+	start := *pos
 	if len(src)-*pos < len(magic)+2 {
 		return h, ErrCorrupt
 	}
@@ -136,9 +305,10 @@ func parseHeader(src []byte, pos *int) (header, error) {
 	}
 	*pos += 4
 	ver := src[*pos]
-	if ver != version1 && ver != version2 {
+	if ver != version1 && ver != version2 && ver != version3 {
 		return h, fmt.Errorf("core: unsupported version %d: %w", ver, ErrCorrupt)
 	}
+	h.version = ver
 	*pos++
 	h.flags = src[*pos]
 	*pos++
@@ -227,6 +397,34 @@ func parseHeader(src []byte, pos *int) (header, error) {
 			return h, ErrCorrupt
 		}
 		h.psections = int(ps)
+	}
+	if ver >= version3 {
+		dirStart := *pos
+		ns, err := readUvarint(src, pos)
+		if err != nil || ns > maxSections {
+			return h, fmt.Errorf("core: section directory: %w", ErrCorrupt)
+		}
+		if len(src)-*pos < int(ns)*5+4 {
+			return h, fmt.Errorf("core: section directory truncated: %w", ErrCorrupt)
+		}
+		h.secs = make([]dirEntry, ns)
+		for i := range h.secs {
+			id := src[*pos]
+			if id >= numSectionIDs {
+				return h, fmt.Errorf("core: unknown section id %d: %w", id, ErrCorrupt)
+			}
+			h.secs[i] = dirEntry{id: id, crc: binary.LittleEndian.Uint32(src[*pos+1:])}
+			*pos += 5
+		}
+		// One CRC covers header fields and directory together, so a flip in
+		// the directory itself (count, ids, per-section CRCs) is caught here
+		// and never mis-frames the section parse.
+		want := binary.LittleEndian.Uint32(src[*pos:])
+		if got := crc32.Checksum(src[start:*pos], crcTable); got != want {
+			return h, &SectionError{Section: "header", Err: ErrChecksum}
+		}
+		*pos += 4
+		h.integrityBytes = *pos - dirStart
 	}
 	h.pipe.UseMask = h.flags&(flagMask|flagPointMask) != 0
 	h.pipe.Classify = h.flags&flagClassify != 0

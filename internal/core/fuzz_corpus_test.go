@@ -85,6 +85,30 @@ func corpusSeeds(t testing.TB) map[string][]byte {
 	// validation must reject the full dims vector, not just dims[0] — the
 	// old check let this write a transposed plane into the output.
 	seeds["chunked-plane-mismatch"] = chunkedPlaneMismatch(t)
+	// v2 fixture with a bit flipped inside the sharded-entropy bins region:
+	// v2 blobs carry no checksums, so this must die in the entropy decoder
+	// (or bound check), never panic or silently succeed.
+	if v2, err := os.ReadFile(goldenPath("v2-parallel-w4", ".clz")); err == nil {
+		flipped := append([]byte(nil), v2...)
+		flipped[len(flipped)/2] ^= 0x08
+		seeds["v2-shard-dir-flip"] = flipped
+	} else {
+		t.Fatalf("v2 fixture for fuzz seed: %v", err)
+	}
+	// v3 blob with a corrupted section payload (checksum must catch it) and
+	// one with a corrupted directory entry (the header CRC must catch it
+	// before the directory can mis-frame anything). `plain` is a v3 blob:
+	// its directory starts right after the psections varint.
+	crcFlip := append([]byte(nil), plain...)
+	crcFlip[len(crcFlip)-3] ^= 0x10 // inside the literals payload
+	seeds["v3-section-crc-flip"] = crcFlip
+	dirFlip := append([]byte(nil), plain...)
+	hpos := 0
+	if _, err := parseHeader(dirFlip, &hpos); err != nil {
+		t.Fatalf("v3 seed header: %v", err)
+	}
+	dirFlip[hpos-6] ^= 0x01 // a directory CRC byte (before the header CRC)
+	seeds["v3-dir-flip"] = dirFlip
 	return seeds
 }
 
@@ -177,10 +201,12 @@ func TestFuzzCorpus(t *testing.T) {
 		t.Run(e.Name(), func(t *testing.T) {
 			if IsChunked(blob) {
 				_, _, _ = DecompressChunked(blob, 1)
+				_, _, _, _ = DecompressPartial(blob, DecompressOptions{})
 			} else {
 				_, _, _ = Decompress(blob)
 			}
 			_, _ = Inspect(blob)
+			_ = Verify(blob)
 		})
 		ran++
 	}

@@ -37,9 +37,11 @@ func FuzzDecompress(f *testing.F) {
 		// Must never panic; errors and garbage output are acceptable.
 		if IsChunked(blob) {
 			_, _, _ = DecompressChunked(blob, 1)
+			_, _, _, _ = DecompressPartial(blob, DecompressOptions{})
 		} else {
 			_, _, _ = Decompress(blob)
 		}
 		_, _ = Inspect(blob)
+		_ = Verify(blob)
 	})
 }

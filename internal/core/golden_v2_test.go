@@ -2,71 +2,29 @@ package core
 
 import (
 	"bytes"
-	"flag"
 	"os"
 	"testing"
 )
 
-var updateGoldenV2 = flag.Bool("update-v2", false,
-	"regenerate the v2 (parallel-encode) golden fixtures under testdata/golden")
-
-// TestGoldenV2Fixtures pins the version-2 on-disk format produced by the
-// parallel encoder: sectioned prediction (psections > 1) and sharded entropy
-// blocks. These fixtures live beside — and never replace — the v1 fixtures,
-// which continue to pin backward compatibility. Regenerate only after a
-// deliberate format change, with
-// `go test ./internal/core -run TestGoldenV2 -update-v2`.
+// TestGoldenV2Fixtures pins decode-side backward compatibility for the
+// version-2 on-disk format (sectioned prediction, sharded entropy blocks).
+// The fixtures are frozen: the writer has moved on to v3 (integrity
+// checksums), so — exactly like the v1 fixtures — these blobs are never
+// regenerated and must keep decoding bit-exactly at every worker count.
 func TestGoldenV2Fixtures(t *testing.T) {
 	ds := smallSSH()
 	eb := ds.AbsErrorBound(1e-2)
-	p := Default(ds)
-	p.Period = 12
-	p.Classify = true
-	cases := []struct {
-		name    string
-		workers int
-	}{
-		{"v2-parallel-w4", 4},
-		{"v2-parallel-w8", 8},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			if *updateGoldenV2 {
-				blob, err := Compress(ds, eb, p, Options{Workers: tc.workers, sectionLeadFloor: 8})
-				if err != nil {
-					t.Fatal(err)
-				}
-				recon, _, err := Decompress(blob)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(goldenPath(tc.name, ".clz"), blob, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(goldenPath(tc.name, ".f32"), floatsToBytes(recon), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("updated %s: %d-byte blob", tc.name, len(blob))
-				return
-			}
-			blob, err := os.ReadFile(goldenPath(tc.name, ".clz"))
+	cases := []string{"v2-parallel-w4", "v2-parallel-w8"}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			blob, err := os.ReadFile(goldenPath(name, ".clz"))
 			if err != nil {
-				t.Fatalf("%v (regenerate with -update-v2)", err)
+				t.Fatalf("%v (v2 fixtures are frozen; do not regenerate)", err)
 			}
-			wantRaw, err := os.ReadFile(goldenPath(tc.name, ".f32"))
-			if err != nil {
-				t.Fatalf("%v (regenerate with -update-v2)", err)
-			}
-			// The encoder must still reproduce the committed blob exactly
-			// (determinism for a fixed worker count)…
-			reblob, err := Compress(ds, eb, p, Options{Workers: tc.workers, sectionLeadFloor: 8})
+			wantRaw, err := os.ReadFile(goldenPath(name, ".f32"))
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(reblob, blob) {
-				t.Fatalf("encode of %s changed (%d vs %d bytes)", tc.name, len(reblob), len(blob))
-			}
-			// …and decode must be bit-exact at every worker count.
 			for _, w := range []int{1, 4} {
 				recon, dims, err := DecompressWithOptions(blob, DecompressOptions{Workers: w})
 				if err != nil {
@@ -77,9 +35,21 @@ func TestGoldenV2Fixtures(t *testing.T) {
 				}
 				if !bytes.Equal(floatsToBytes(recon), wantRaw) {
 					t.Fatalf("decode workers=%d of %s.clz changed: %s",
-						w, tc.name, firstFloatDiff(floatsToBytes(recon), wantRaw))
+						w, name, firstFloatDiff(floatsToBytes(recon), wantRaw))
 				}
 				checkBound(t, ds, recon, eb)
+			}
+			// v2 blobs carry no checksums; Verify must still walk them
+			// structurally and report them intact (not damaged).
+			rep := Verify(blob)
+			if !rep.OK() {
+				t.Fatalf("Verify rejected an intact v2 fixture:\n%s", rep)
+			}
+			if rep.Checksummed {
+				t.Fatal("Verify claims a v2 blob is checksummed")
+			}
+			if rep.Version != 2 {
+				t.Fatalf("Verify reports version %d for a v2 fixture", rep.Version)
 			}
 		})
 	}

@@ -20,6 +20,15 @@ type BlobInfo struct {
 	EB       float64
 	Fill     float32
 	Pipeline string
+	// Version is the blob format version (0 for the chunked container root,
+	// whose chunks carry their own versions).
+	Version int
+	// Checksummed reports a v3 blob whose header and sections carry CRC-32C
+	// integrity checksums.
+	Checksummed bool
+	// IntegrityBytes counts the bytes the v3 section directory and checksums
+	// add to this blob (excluding children).
+	IntegrityBytes int
 	// PSections is the predict-section count from the v2 header (1 for v1
 	// blobs and for serial encodes): how many ways the fused leading
 	// dimension was cut for parallel prediction/reconstruction.
@@ -29,6 +38,15 @@ type BlobInfo struct {
 	// of a parallel container.
 	Children []*BlobInfo
 	Total    int
+}
+
+// IntegrityTotal sums the integrity overhead of the blob and all children.
+func (b *BlobInfo) IntegrityTotal() int {
+	n := b.IntegrityBytes
+	for _, c := range b.Children {
+		n += c.IntegrityTotal()
+	}
+	return n
 }
 
 // Inspect parses a blob's structure without decompressing the payload.
@@ -47,11 +65,14 @@ func inspectAt(blob []byte, pos *int) (*BlobInfo, error) {
 		return nil, err
 	}
 	info := &BlobInfo{
-		Dims:      h.dims,
-		EB:        h.eb,
-		Fill:      h.fill,
-		Pipeline:  h.pipe.String(),
-		PSections: h.psections,
+		Dims:           h.dims,
+		EB:             h.eb,
+		Fill:           h.fill,
+		Pipeline:       h.pipe.String(),
+		Version:        int(h.version),
+		Checksummed:    h.version >= version3,
+		IntegrityBytes: h.integrityBytes,
+		PSections:      h.psections,
 	}
 	info.Sections = append(info.Sections, SectionInfo{"header", *pos - start})
 	if h.flags&flagPeriodic != 0 {
@@ -146,6 +167,12 @@ func inspectChunked(blob []byte) (*BlobInfo, error) {
 // section's share of the blob and its cost in bits per data point.
 func (b *BlobInfo) Render(indent string, w *strings.Builder) {
 	fmt.Fprintf(w, "%s%s  dims=%v", indent, b.Kind, b.Dims)
+	if b.Version > 0 {
+		fmt.Fprintf(w, "  v%d", b.Version)
+	}
+	if b.Checksummed {
+		w.WriteString("+crc")
+	}
 	if b.EB > 0 {
 		fmt.Fprintf(w, "  eb=%g", b.EB)
 	}

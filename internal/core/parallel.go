@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
 	"cliz/internal/dataset"
+	"cliz/internal/grid"
 	"cliz/internal/trace"
 )
 
@@ -123,6 +125,14 @@ func IsChunked(blob []byte) bool {
 	return len(blob) >= 4 && string(blob[:4]) == parMagic
 }
 
+// IsUnit reports whether blob bears the CliZ unit-blob magic. A blob that
+// passes IsUnit but fails Decompress is a damaged CliZ blob, not some other
+// format — callers sniffing codecs should surface the decode error instead
+// of trying the next codec.
+func IsUnit(blob []byte) bool {
+	return len(blob) >= 4 && string(blob[:4]) == magic
+}
+
 // DecompressChunked reverses CompressChunked, decoding chunks concurrently.
 func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 	return DecompressChunkedTraced(blob, workers, nil)
@@ -131,6 +141,27 @@ func DecompressChunked(blob []byte, workers int) ([]float32, []int, error) {
 // DecompressChunkedTraced is DecompressChunked with an attached stage
 // collector; each chunk's decode stages are path-qualified "chunk[i]/...".
 func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]float32, []int, error) {
+	return DecompressChunkedOpts(blob, workers, DecompressOptions{Trace: tc})
+}
+
+// DecompressChunkedOpts is DecompressChunked with full decode-side knobs
+// (trace collector, decode-time bound self-verification).
+func DecompressChunkedOpts(blob []byte, workers int, opt DecompressOptions) ([]float32, []int, error) {
+	data, dims, _, err := decompressChunked(blob, workers, opt, false)
+	return data, dims, err
+}
+
+// chunkEntry is one parsed record of a chunked container.
+type chunkEntry struct {
+	lead int // extent along dims[0]
+	off  int // start along dims[0]
+	blob []byte
+}
+
+// parseChunkedContainer validates the container framing and returns the full
+// dims plus the chunk table. Resource caps gate the declared volume against
+// the container size before any volume-proportional allocation.
+func parseChunkedContainer(blob []byte) ([]int, []chunkEntry, error) {
 	if !IsChunked(blob) {
 		return nil, nil, fmt.Errorf("core: not a chunked container: %w", ErrCorrupt)
 	}
@@ -156,15 +187,14 @@ func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]fl
 		}
 		vol *= int(d)
 	}
+	if err := checkDecodeBudget(vol, len(blob)-pos); err != nil {
+		return nil, nil, err
+	}
 	nc, err := readUvarint(blob, &pos)
 	if err != nil || nc == 0 || nc > uint64(dims[0]) {
 		return nil, nil, ErrCorrupt
 	}
-	type chunk struct {
-		lead int
-		blob []byte
-	}
-	chunks := make([]chunk, nc)
+	chunks := make([]chunkEntry, nc)
 	total := 0
 	for c := range chunks {
 		lead, err := readUvarint(blob, &pos)
@@ -175,33 +205,47 @@ func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]fl
 		if err != nil {
 			return nil, nil, err
 		}
-		chunks[c] = chunk{lead: int(lead), blob: sec}
+		chunks[c] = chunkEntry{lead: int(lead), off: total, blob: sec}
 		total += int(lead)
 	}
 	if total != dims[0] {
 		return nil, nil, ErrCorrupt
 	}
+	return dims, chunks, nil
+}
+
+// decompressChunked decodes a chunked container. With partial=false the
+// first chunk failure aborts the whole decode; with partial=true damaged
+// chunks are reported in the returned ChunkDamage list and their output
+// regions are filled with quiet NaN so they cannot be mistaken for data.
+func decompressChunked(blob []byte, workers int, opt DecompressOptions, partial bool) ([]float32, []int, []ChunkDamage, error) {
+	dims, chunks, err := parseChunkedContainer(blob)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	vol := grid.Volume(dims)
+	nc := len(chunks)
 	plane := vol / dims[0]
-	sp := trace.Begin(tc, "chunked-total")
+	sp := trace.Begin(opt.Trace, "chunked-total")
 	out := make([]float32, vol)
 	errs := make([]error, nc)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	off := 0
 	for c := range chunks {
 		wg.Add(1)
-		go func(c, off int) {
+		go func(c int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cpos := 0
 			// Chunks already decode concurrently; nested intra-blob
 			// parallelism would only oversubscribe the worker budget.
-			data, cdims, err := decompressAt(chunks[c].blob, &cpos,
-				trace.Prefixed(tc, fmt.Sprintf("chunk[%d]", c)), 1)
+			copt := opt.prefixed(fmt.Sprintf("chunk[%d]", c))
+			copt.Workers = 1
+			data, cdims, err := decompressAt(chunks[c].blob, &cpos, copt)
 			if err != nil {
 				errs[c] = err
 				return
@@ -223,16 +267,30 @@ func DecompressChunkedTraced(blob []byte, workers int, tc trace.Collector) ([]fl
 				errs[c] = ErrCorrupt
 				return
 			}
-			copy(out[off*plane:(off+chunks[c].lead)*plane], data)
-		}(c, off)
-		off += chunks[c].lead
+			copy(out[chunks[c].off*plane:(chunks[c].off+chunks[c].lead)*plane], data)
+		}(c)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	var damage []ChunkDamage
+	nan := float32(math.NaN())
+	for c, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !partial {
+			return nil, nil, nil, err
+		}
+		damage = append(damage, ChunkDamage{
+			Index:     c,
+			LeadStart: chunks[c].off,
+			LeadLen:   chunks[c].lead,
+			Err:       err,
+		})
+		region := out[chunks[c].off*plane : (chunks[c].off+chunks[c].lead)*plane]
+		for i := range region {
+			region[i] = nan
 		}
 	}
 	sp.EndFull(int64(len(blob)), int64(vol)*4, int64(nc), nil)
-	return out, dims, nil
+	return out, dims, damage, nil
 }

@@ -150,30 +150,12 @@ func reconstructSections(bins []int32, lits []float32, fdims []int, tvalid []boo
 	h header, workers, P int, tc trace.Collector) ([]float32, error) {
 
 	vol := len(bins)
-	if len(fdims) == 0 || fdims[0] < P || P < 1 {
-		return nil, ErrCorrupt
+	bounds, litStart, err := sectionLitStarts(bins, lits, fdims, tvalid, P)
+	if err != nil {
+		return nil, err
 	}
-	bounds := sectionBounds(fdims[0], P)
 	nSec := len(bounds) - 1
 	plane := vol / fdims[0]
-	// Each section consumes exactly one literal per valid bin-0 point it
-	// handles; prefix sums give every section its slice start. Slices are
-	// open-ended past the start so section-local underrun checks match the
-	// serial engine's.
-	litStart := make([]int, nSec+1)
-	for i := 0; i < nSec; i++ {
-		lo, hi := bounds[i]*plane, bounds[i+1]*plane
-		cnt := 0
-		for j := lo; j < hi; j++ {
-			if bins[j] == 0 && (tvalid == nil || tvalid[j]) {
-				cnt++
-			}
-		}
-		litStart[i+1] = litStart[i] + cnt
-	}
-	if litStart[nSec] > len(lits) {
-		return nil, fmt.Errorf("core: literal stream underrun: %w", ErrCorrupt)
-	}
 	out := make([]float32, vol)
 	errs := make([]error, nSec)
 	par.Run(workers, nSec, func(i int) {
@@ -210,6 +192,83 @@ func reconstructSections(bins []int32, lits []float32, fdims []int, tvalid []boo
 		}
 	}
 	return out, nil
+}
+
+// sectionLitStarts replays the encoder's section partition and computes each
+// section's literal-stream start. Each section consumes exactly one literal
+// per valid bin-0 point it handles; prefix sums give every section its slice
+// start. Slices are open-ended past the start so section-local underrun
+// checks match the serial engine's.
+func sectionLitStarts(bins []int32, lits []float32, fdims []int, tvalid []bool, P int) ([]int, []int, error) {
+	if len(fdims) == 0 || fdims[0] < P || P < 1 {
+		return nil, nil, ErrCorrupt
+	}
+	bounds := sectionBounds(fdims[0], P)
+	nSec := len(bounds) - 1
+	plane := len(bins) / fdims[0]
+	litStart := make([]int, nSec+1)
+	for i := 0; i < nSec; i++ {
+		lo, hi := bounds[i]*plane, bounds[i+1]*plane
+		cnt := 0
+		for j := lo; j < hi; j++ {
+			if bins[j] == 0 && (tvalid == nil || tvalid[j]) {
+				cnt++
+			}
+		}
+		litStart[i+1] = litStart[i] + cnt
+	}
+	if litStart[nSec] > len(lits) {
+		return nil, nil, fmt.Errorf("core: literal stream underrun: %w", ErrCorrupt)
+	}
+	return bounds, litStart, nil
+}
+
+// verifySections mirrors reconstructSections in verify mode: each section
+// replays its prediction traversal read-only over the finished (still
+// transposed) reconstruction and checks that every `every`-th point is
+// exactly regenerated from its recorded bin or literal. Returns the total
+// number of points checked.
+func verifySections(bins []int32, lits []float32, fdims []int, tvalid []bool,
+	h header, workers, P, every int, recon []float32) (int, error) {
+
+	bounds, litStart, err := sectionLitStarts(bins, lits, fdims, tvalid, P)
+	if err != nil {
+		return 0, err
+	}
+	nSec := len(bounds) - 1
+	plane := len(bins) / fdims[0]
+	counts := make([]int, nSec)
+	errs := make([]error, nSec)
+	par.Run(workers, nSec, func(i int) {
+		lo, hi := bounds[i]*plane, bounds[i+1]*plane
+		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		var svalid []bool
+		if tvalid != nil {
+			svalid = tvalid[lo:hi]
+		}
+		if h.pipe.Fitting == predict.Lorenzo {
+			counts[i], errs[i] = lorenzo.VerifyBuffers(bins[lo:hi], lits[litStart[i]:], sdims, lorenzo.Config{
+				EB: h.eb, Radius: h.radius, Valid: svalid, FillValue: h.fill,
+			}, recon[lo:hi], every)
+		} else {
+			counts[i], errs[i] = interp.VerifyBuffers(bins[lo:hi], lits[litStart[i]:], sdims, interp.Config{
+				EB:            h.eb,
+				Radius:        h.radius,
+				Fitting:       h.pipe.Fitting,
+				Valid:         svalid,
+				FillValue:     h.fill,
+				LevelEBFactor: levelEBFactor(h.pipe.LevelAlpha),
+			}, recon[lo:hi], every)
+		}
+	})
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+		total += counts[i]
+	}
+	return total, nil
 }
 
 // symsPool recycles the uint32 staging slice the unclassified encode path

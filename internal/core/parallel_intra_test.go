@@ -188,9 +188,10 @@ func TestChunkedPeriodSnappedEquivalence(t *testing.T) {
 }
 
 // TestWorkers1MatchesV1Golden pins the format-compatibility contract: the
-// Workers=1 v2 encoding of a fixture's inputs is byte-identical to the
-// committed v1 blob except for the version byte and the one-byte psections
-// field appended to the header.
+// Workers=1 v3 encoding of a fixture's inputs carries byte-identical section
+// payloads to the committed v1 blob — only the version byte, the psections
+// field, and the integrity directory differ. The expected blob is built by
+// re-wrapping the v1 fixture's own sections with the v3 writer.
 func TestWorkers1MatchesV1Golden(t *testing.T) {
 	v1, err := os.ReadFile(goldenPath("cubic-default", ".clz"))
 	if err != nil {
@@ -198,12 +199,10 @@ func TestWorkers1MatchesV1Golden(t *testing.T) {
 	}
 	ds := smallHurricane()
 	eb := ds.AbsErrorBound(1e-2)
-	v2, err := Compress(ds, eb, Default(ds), Options{Workers: 1})
+	v3, err := Compress(ds, eb, Default(ds), Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Transform the v1 fixture into its expected v2 form: bump the version
-	// byte and splice psections=1 in after the header.
 	pos := 0
 	h, err := parseHeader(v1, &pos)
 	if err != nil {
@@ -212,13 +211,30 @@ func TestWorkers1MatchesV1Golden(t *testing.T) {
 	if h.psections != 1 {
 		t.Fatalf("v1 fixture parsed psections=%d, want implied 1", h.psections)
 	}
-	want := append([]byte(nil), v1[:4]...)
-	want = append(want, version2)
-	want = append(want, v1[5:pos]...)
-	want = appendUvarint(want, 1)
-	want = append(want, v1[pos:]...)
-	if !bytes.Equal(v2, want) {
-		t.Fatalf("Workers=1 v2 encode diverges from v1 fixture beyond the header (%d vs %d bytes)",
-			len(v2), len(want))
+	var ids []byte
+	if h.flags&(flagMask|flagPointMask) != 0 {
+		ids = append(ids, secMask)
+	}
+	if h.flags&flagClassify != 0 {
+		ids = append(ids, secClassMeta, secBinsA, secBinsB)
+	} else {
+		ids = append(ids, secBins)
+	}
+	ids = append(ids, secLiterals)
+	w := blobWriter{h: h}
+	for _, id := range ids {
+		sec, err := readSection(v1, &pos)
+		if err != nil {
+			t.Fatalf("v1 fixture section %s: %v", sectionName(id), err)
+		}
+		w.add(id, sec)
+	}
+	if pos != len(v1) {
+		t.Fatalf("v1 fixture has %d trailing bytes", len(v1)-pos)
+	}
+	want := w.bytes()
+	if !bytes.Equal(v3, want) {
+		t.Fatalf("Workers=1 v3 encode diverges from the re-wrapped v1 fixture beyond the header (%d vs %d bytes)",
+			len(v3), len(want))
 	}
 }

@@ -27,7 +27,7 @@ func DetectPeriod(ds *dataset.Dataset, sampleRows int) int {
 	var valid []bool
 	if ds.Mask != nil {
 		// Validity of one horizontal plane, tiled over any inner height dim.
-		valid = ds.Mask.Broadcast(ds.Dims[1:])
+		valid, _ = ds.Mask.Broadcast(ds.Dims[1:])
 	}
 	if sampleRows <= 0 {
 		sampleRows = 10 // the paper's Fig. 8 uses 10 rows
@@ -67,7 +67,10 @@ func PeriodicResidual(ds *dataset.Dataset, period int, tmplPipe Pipeline) ([]flo
 	if tmplPipe.UseMask {
 		v.hm = ds.Mask
 	}
-	valid := v.bitmap(ds.Dims)
+	valid, err := v.bitmap(ds.Dims)
+	if err != nil {
+		return nil, err
+	}
 	tmplData, tmplDims, tmplValid := buildTemplate(ds.Data, ds.Dims, valid, period, ds.FillValue)
 	tv := validity{}
 	if v.hm != nil {

@@ -125,7 +125,7 @@ type sample struct {
 func sampleConcat(ds *dataset.Dataset, rate float64, period int) sample {
 	var validOrig []bool
 	if ds.Mask != nil {
-		validOrig = ds.Mask.Broadcast(ds.Dims)
+		validOrig, _ = ds.Mask.Broadcast(ds.Dims)
 	}
 	if rate >= 1 {
 		return sample{data: ds.Data, dims: ds.Dims, valid: validOrig}
@@ -191,7 +191,7 @@ func sampleConcat(ds *dataset.Dataset, rate float64, period int) sample {
 func sampleCentral(ds *dataset.Dataset, rate float64, period int) sample {
 	var validOrig []bool
 	if ds.Mask != nil {
-		validOrig = ds.Mask.Broadcast(ds.Dims)
+		validOrig, _ = ds.Mask.Broadcast(ds.Dims)
 	}
 	if rate >= 1 {
 		return sample{data: ds.Data, dims: ds.Dims, valid: validOrig}

@@ -69,12 +69,17 @@ func (d *Dataset) LatLonDims() (nLat, nLon int) {
 	return d.Dims[n-2], d.Dims[n-1]
 }
 
-// Validity returns the broadcast validity bitmap (nil when unmasked).
+// Validity returns the broadcast validity bitmap (nil when unmasked or when
+// the mask does not fit the dims — Validate reports that case as an error).
 func (d *Dataset) Validity() []bool {
 	if d.Mask == nil {
 		return nil
 	}
-	return d.Mask.Broadcast(d.Dims)
+	v, err := d.Mask.Broadcast(d.Dims)
+	if err != nil {
+		return nil
+	}
+	return v
 }
 
 // ValidPoints counts the valid points.

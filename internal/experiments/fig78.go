@@ -64,7 +64,10 @@ func fig8(env Env) ([]Table, error) {
 	}
 	nT := ds.Dims[0]
 	plane := ds.Dims[1] * ds.Dims[2]
-	valid := ds.Mask.Broadcast(ds.Dims[1:])
+	valid, err := ds.Mask.Broadcast(ds.Dims[1:])
+	if err != nil {
+		return nil, err
+	}
 	var rows [][]float64
 	for p := 0; p < plane && len(rows) < 10; p += plane/23 + 1 {
 		if !valid[p] {

@@ -22,6 +22,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cliz/internal/grid"
 	"cliz/internal/predict"
@@ -94,6 +95,15 @@ type engine struct {
 	lits   []float32
 	litPos int
 	err    error
+
+	// verify mode: the decode traversal is replayed read-only over a
+	// finished reconstruction, re-deriving every prediction from the final
+	// values (valid because decode references are always finalized) and
+	// checking each vEvery-th point regenerates exactly.
+	verify   bool
+	vEvery   int
+	vSeen    int
+	vChecked int
 
 	q quant.Quantizer
 }
@@ -210,6 +220,36 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 		}
 	}
 	return nil
+}
+
+// VerifyBuffers replays the decode traversal read-only over a finished
+// reconstruction, checking that every `every`-th handled point (1 = all) is
+// exactly regenerated from its recorded bin — i.e. that recon is the value
+// the bin stream commits to, which the encoder verified against the error
+// bound. It returns the number of points checked. The replay is sound
+// because decode predictions only ever reference finalized values.
+func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, recon []float32, every int) (int, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if len(bins) != e.vol {
+		return 0, fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
+	}
+	if len(recon) != e.vol {
+		return 0, fmt.Errorf("interp: recon length %d != volume %d", len(recon), e.vol)
+	}
+	if every < 1 {
+		every = 1
+	}
+	e.decode = true
+	e.verify = true
+	e.vEvery = every
+	e.work = recon
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	return e.vChecked, e.err
 }
 
 // run executes the full traversal (both directions share it, guaranteeing
@@ -363,6 +403,10 @@ func (e *engine) handle(idx int, pred float64) {
 			lit = float64(e.lits[e.litPos])
 			e.litPos++
 		}
+		if e.verify {
+			e.checkPoint(idx, pred, bin, lit)
+			return
+		}
 		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
 		return
 	}
@@ -376,4 +420,25 @@ func (e *engine) handle(idx int, pred float64) {
 		e.work[idx] = float32(recon)
 	}
 	e.bins[idx] = bin
+}
+
+// checkPoint compares the finished reconstruction at idx against the value
+// its bin (or literal) regenerates, sampling every vEvery-th handled point.
+func (e *engine) checkPoint(idx int, pred float64, bin int32, lit float64) {
+	if bin < 0 || bin >= 2*e.q.Radius() {
+		e.err = fmt.Errorf("interp: bin %d out of range at point %d: %w", bin, idx, ErrCorrupt)
+		return
+	}
+	e.vSeen++
+	if (e.vSeen-1)%e.vEvery != 0 {
+		return
+	}
+	want := float32(e.q.Recover(pred, bin, lit))
+	got := e.work[idx]
+	if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
+		e.err = fmt.Errorf("interp: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g: %w",
+			idx, got, want, ErrCorrupt)
+		return
+	}
+	e.vChecked++
 }

@@ -15,6 +15,7 @@ package lorenzo
 
 import (
 	"fmt"
+	"math"
 
 	"cliz/internal/grid"
 	"cliz/internal/quant"
@@ -59,6 +60,13 @@ type engine struct {
 	lits   []float32
 	litPos int
 	err    error
+
+	// verify mode (mirrors interp): replay the scan read-only over a
+	// finished reconstruction and check sampled points regenerate exactly.
+	verify   bool
+	vEvery   int
+	vSeen    int
+	vChecked int
 }
 
 func newEngine(dims []int, cfg Config) (*engine, error) {
@@ -193,6 +201,35 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 	return nil
 }
 
+// VerifyBuffers replays the decode scan read-only over a finished
+// reconstruction, checking that every `every`-th handled point (1 = all) is
+// exactly regenerated from its recorded bin or literal. Sound because
+// Lorenzo references are always lower-corner neighbours, finalized before
+// the target point on both sides.
+func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, recon []float32, every int) (int, error) {
+	e, err := newEngine(dims, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if len(bins) != e.vol {
+		return 0, fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+	}
+	if len(recon) != e.vol {
+		return 0, fmt.Errorf("lorenzo: recon length %d != volume %d", len(recon), e.vol)
+	}
+	if every < 1 {
+		every = 1
+	}
+	e.decode = true
+	e.verify = true
+	e.vEvery = every
+	e.work = recon
+	e.bins = bins
+	e.lits = literals
+	e.run()
+	return e.vChecked, e.err
+}
+
 // run scans the grid in row-major order (identical on both sides).
 func (e *engine) run() {
 	coord := make([]int, e.n)
@@ -248,6 +285,25 @@ func (e *engine) handle(idx int, pred float64) {
 			}
 			lit = float64(e.lits[e.litPos])
 			e.litPos++
+		}
+		if e.verify {
+			if bin < 0 || bin >= 2*e.q.Radius() {
+				e.err = fmt.Errorf("lorenzo: bin %d out of range at point %d", bin, idx)
+				return
+			}
+			e.vSeen++
+			if (e.vSeen-1)%e.vEvery != 0 {
+				return
+			}
+			want := float32(e.q.Recover(pred, bin, lit))
+			got := e.work[idx]
+			if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
+				e.err = fmt.Errorf("lorenzo: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g",
+					idx, got, want)
+				return
+			}
+			e.vChecked++
+			return
 		}
 		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
 		return

@@ -11,6 +11,7 @@ package mask
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 
 	"cliz/internal/lossless"
@@ -18,6 +19,9 @@ import (
 
 // ErrCorrupt reports a malformed serialized mask.
 var ErrCorrupt = errors.New("mask: corrupt serialized mask")
+
+// ErrShape reports a broadcast target whose dims do not fit the mask grid.
+var ErrShape = errors.New("mask: dims do not match mask shape")
 
 // Map is a horizontal mask over an nLat×nLon grid.
 type Map struct {
@@ -58,19 +62,34 @@ func (m *Map) Bools() []bool {
 
 // Broadcast expands the horizontal validity to a full grid of the given dims,
 // whose trailing two dimensions must equal (NLat, NLon); every leading index
-// shares the same horizontal mask.
-func (m *Map) Broadcast(dims []int) []bool {
+// shares the same horizontal mask. A 1-D grid broadcasts a 1×n mask. Dims
+// that do not fit the mask grid return ErrShape instead of panicking.
+func (m *Map) Broadcast(dims []int) ([]bool, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mask: broadcast to empty dims: %w", ErrShape)
+	}
 	plane := m.NLat * m.NLon
 	lead := 1
-	for _, d := range dims[:len(dims)-2] {
-		lead *= d
+	if len(dims) == 1 {
+		if m.NLat != 1 || m.NLon != dims[0] {
+			return nil, fmt.Errorf("mask: %dx%d mask does not fit 1-D grid of %d: %w",
+				m.NLat, m.NLon, dims[0], ErrShape)
+		}
+	} else {
+		if dims[len(dims)-2] != m.NLat || dims[len(dims)-1] != m.NLon {
+			return nil, fmt.Errorf("mask: %dx%d mask does not fit trailing dims of %v: %w",
+				m.NLat, m.NLon, dims, ErrShape)
+		}
+		for _, d := range dims[:len(dims)-2] {
+			lead *= d
+		}
 	}
 	hm := m.Bools()
 	out := make([]bool, lead*plane)
 	for l := 0; l < lead; l++ {
 		copy(out[l*plane:(l+1)*plane], hm)
 	}
-	return out
+	return out, nil
 }
 
 // FromFillValue derives a mask by scanning one horizontal slice of data for

@@ -1,6 +1,7 @@
 package mask
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -29,7 +30,10 @@ func TestBools(t *testing.T) {
 
 func TestBroadcast(t *testing.T) {
 	m := New(2, 2, []int32{1, 0, 0, 1})
-	got := m.Broadcast([]int{3, 2, 2})
+	got, err := m.Broadcast([]int{3, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 12 {
 		t.Fatalf("len = %d", len(got))
 	}
@@ -43,7 +47,10 @@ func TestBroadcast(t *testing.T) {
 
 func TestBroadcast2D(t *testing.T) {
 	m := New(2, 2, []int32{1, 1, 0, 1})
-	got := m.Broadcast([]int{2, 2})
+	got, err := m.Broadcast([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []bool{true, true, false, true}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %v", got)
@@ -106,5 +113,45 @@ func TestParseCorrupt(t *testing.T) {
 		if _, err := Parse(blob); err == nil {
 			t.Fatalf("Parse(%v) should fail", blob)
 		}
+	}
+}
+
+// TestBroadcastRank1 pins the satellite bugfix: a rank-1 dims vector used to
+// index dims[len-2] and panic. A 1×n mask broadcasts onto a 1-D grid; any
+// other rank-1 shape is a shape error, not a panic.
+func TestBroadcastRank1(t *testing.T) {
+	m := New(1, 3, []int32{1, 0, 1})
+	got, err := m.Broadcast([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := m.Broadcast([]int{4}); err == nil {
+		t.Fatal("mismatched 1-D extent accepted")
+	}
+}
+
+func TestBroadcastShapeMismatch(t *testing.T) {
+	m := New(2, 3, []int32{1, 1, 1, 0, 0, 0})
+	cases := [][]int{
+		nil,          // empty dims
+		{},           // empty dims
+		{5, 3, 2},    // trailing dims swapped
+		{4, 2, 2},    // wrong lon extent
+		{10, 3, 3},   // wrong lat extent
+		{2, 2, 3, 2}, // 4-D with trailing dims swapped
+	}
+	for _, dims := range cases {
+		if _, err := m.Broadcast(dims); err == nil {
+			t.Fatalf("dims %v accepted by a 2x3 mask", dims)
+		} else if !errors.Is(err, ErrShape) {
+			t.Fatalf("dims %v: error %v does not wrap ErrShape", dims, err)
+		}
+	}
+	if _, err := m.Broadcast([]int{7, 2, 3}); err != nil {
+		t.Fatalf("matching dims rejected: %v", err)
 	}
 }

@@ -12,18 +12,34 @@ import "math"
 const DefaultRadius = 32768
 
 // Quantizer is an error-bounded linear quantizer. The zero value is not
-// usable; construct with New.
+// usable; construct with New (float32 elements) or New64 (float64 elements).
 type Quantizer struct {
 	eb     float64
 	radius int32
+	// wide marks float64 element semantics: reconstructions are verified
+	// (and recovered) at full float64 precision instead of being squeezed
+	// through float32.
+	wide bool
 }
 
-// New returns a quantizer for absolute error bound eb (> 0).
+// New returns a quantizer for absolute error bound eb (> 0) over float32
+// elements: the bound is verified on the float32-rounded reconstruction the
+// decoder will materialize.
 func New(eb float64, radius int32) Quantizer {
 	if radius < 2 {
 		radius = 2
 	}
 	return Quantizer{eb: eb, radius: radius}
+}
+
+// New64 returns a quantizer for float64 elements. Verifying through a
+// float32 cast would spuriously demote in-bound points to literals whenever
+// the value's float32 ulp exceeds eb (e.g. values near 1e8 under eb=1e-3),
+// so the wide quantizer keeps the reconstruction at float64 end to end.
+func New64(eb float64, radius int32) Quantizer {
+	q := New(eb, radius)
+	q.wide = true
+	return q
 }
 
 // EB returns the absolute error bound.
@@ -45,17 +61,27 @@ func (q Quantizer) Quantize(pred, orig float64) (bin int32, recon float64, exact
 	k := int32(math.Round(qf))
 	recon = pred + 2*q.eb*float64(k)
 	// Verify: float rounding could push the reconstruction out of bounds.
-	if math.Abs(float64(float32(recon))-orig) > q.eb {
+	// The cast matches the element type — narrow quantizers check the
+	// float32 value the decoder materializes, wide ones the full float64.
+	if !q.wide {
+		recon = float64(float32(recon))
+	}
+	if math.Abs(recon-orig) > q.eb {
 		return 0, orig, true
 	}
 	return k + q.radius, recon, false
 }
 
-// Recover reconstructs a value from its bin. For bin 0 the caller must
-// supply the stored literal.
+// Recover reconstructs a value from its bin, mirroring the element-type cast
+// Quantize verified against. For bin 0 the caller must supply the stored
+// literal.
 func (q Quantizer) Recover(pred float64, bin int32, literal float64) float64 {
 	if bin == 0 {
 		return literal
 	}
-	return pred + 2*q.eb*float64(bin-q.radius)
+	r := pred + 2*q.eb*float64(bin-q.radius)
+	if !q.wide {
+		r = float64(float32(r))
+	}
+	return r
 }

@@ -110,3 +110,72 @@ func TestErrorBoundProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWideQuantizerLargeMagnitudes pins the New64 contract: under eb=1e-3,
+// values near 1e8 have a float32 ulp (~8) that dwarfs the bound, so the
+// narrow quantizer's float32 verification must demote every point to a
+// literal, while the wide quantizer keeps quantizing and still satisfies
+// the bound at full float64 precision.
+func TestWideQuantizerLargeMagnitudes(t *testing.T) {
+	const eb = 1e-3
+	narrow := New(eb, DefaultRadius)
+	wide := New64(eb, DefaultRadius)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		pred := 1e8 + rng.Float64()
+		orig := pred + (rng.Float64()-0.5)*0.1 // well within the radius
+		if _, _, exact := narrow.Quantize(pred, orig); !exact {
+			t.Fatalf("narrow quantizer kept a bin at %g despite a float32 ulp > eb", orig)
+		}
+		bin, recon, exact := wide.Quantize(pred, orig)
+		if exact {
+			t.Fatalf("wide quantizer demoted (%g,%g) to a literal", pred, orig)
+		}
+		if got := wide.Recover(pred, bin, 0); got != recon {
+			t.Fatalf("wide Recover mismatch: %g vs %g", got, recon)
+		}
+		if math.Abs(recon-orig) > eb {
+			t.Fatalf("wide bound violated: |%g-%g| = %g", recon, orig, math.Abs(recon-orig))
+		}
+	}
+}
+
+// TestWideQuantizerRoundTripProperty is a float64 round-trip property test:
+// for any finite pred/orig pair the wide quantizer either stores a literal
+// or recovers within the bound, and Quantize/Recover agree exactly.
+func TestWideQuantizerRoundTripProperty(t *testing.T) {
+	const eb = 1e-6
+	q := New64(eb, DefaultRadius)
+	f := func(pred, orig float64) bool {
+		if math.IsNaN(pred) || math.IsInf(pred, 0) || math.IsNaN(orig) || math.IsInf(orig, 0) {
+			return true
+		}
+		bin, recon, exact := q.Quantize(pred, orig)
+		if exact {
+			return bin == 0 && recon == orig
+		}
+		got := q.Recover(pred, bin, 0)
+		return got == recon && math.Abs(got-orig) <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNarrowRecoverMatchesFloat32Materialization pins the satellite bugfix:
+// Recover must mirror the float32 cast Quantize verified against, so the
+// value the decoder hands out is exactly the one the bound was checked on.
+func TestNarrowRecoverMatchesFloat32Materialization(t *testing.T) {
+	q := New(0.01, DefaultRadius)
+	pred, orig := 1000.0001, 1000.018
+	bin, recon, exact := q.Quantize(pred, orig)
+	if exact {
+		t.Fatal("unexpectedly unpredictable")
+	}
+	if recon != float64(float32(recon)) {
+		t.Fatalf("narrow recon %v is not a float32 value", recon)
+	}
+	if got := q.Recover(pred, bin, 0); got != recon {
+		t.Fatalf("Recover %v differs from verified recon %v", got, recon)
+	}
+}

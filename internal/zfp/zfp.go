@@ -455,6 +455,15 @@ func (Compressor) Compress(ds *dataset.Dataset, eb float64) ([]byte, error) {
 	if eb <= 0 {
 		return nil, fmt.Errorf("zfp: tolerance must be positive, got %g", eb)
 	}
+	// The block transform has no way to represent NaN/Inf: they would be
+	// silently zeroed during fixed-point promotion, violating the bound
+	// without any signal. Reject them up front instead.
+	for i, v := range ds.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("zfp: non-finite value %g at index %d: ZFP cannot bound NaN/Inf (mask or replace them first)", v, i)
+		}
+	}
 	minexp := int(math.Floor(math.Log2(eb)))
 	dims := ds.Dims
 	out := make([]byte, 0, len(ds.Data))
