@@ -1,0 +1,138 @@
+// Command clizconform runs the seeded conformance harness: it generates
+// random-but-reproducible dataset × pipeline × option cases, checks every
+// invariant of the CliZ contract on each (error bound, fill exactness,
+// decode determinism, worker independence, blob integrity, trace
+// accounting, ratio sanity, differential SZ3/QoZ oracles), shrinks failures
+// to minimal reproducers and writes replayable artifacts.
+//
+// Sweep:    clizconform -seed 42 -cases 200 -out conform-out
+// Replay:   clizconform -replay conform-out/conform-repro-42-17.json
+//
+// The sweep is fully deterministic: the same seed (with the same -cases and
+// -max-points) generates the same cases and the same verdicts. The exit
+// code is 0 when every case passes or is cleanly rejected, 1 when any
+// invariant fails, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cliz/internal/conform"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "master seed; the whole sweep is a pure function of it")
+		cases     = flag.Int("cases", 100, "number of cases to generate and run")
+		maxPoints = flag.Int("max-points", 1<<15, "cap on each case's grid volume")
+		baselines = flag.Bool("baselines", true, "run the differential SZ3/QoZ oracles")
+		shrink    = flag.Bool("shrink", true, "minimize failing cases before reporting")
+		outDir    = flag.String("out", "", "directory for replayable failure artifacts")
+		replay    = flag.String("replay", "", "replay one artifact instead of sweeping")
+		budget    = flag.Duration("budget", 0, "stop the sweep after this wall time (0 = none)")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON")
+		verbose   = flag.Bool("v", false, "log every case")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay, *baselines, *jsonOut))
+	}
+
+	cfg := conform.Config{
+		Seed:      *seed,
+		Cases:     *cases,
+		MaxPoints: *maxPoints,
+		Baselines: *baselines,
+		Shrink:    *shrink,
+		OutDir:    *outDir,
+		Budget:    *budget,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	res, err := conform.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("%s in %v\n", res.Summary(), time.Since(start).Round(time.Millisecond))
+		for _, f := range res.Failures {
+			fmt.Printf("\ncase %d: %s\n", f.Index, f.Case.String())
+			for _, fl := range f.Failures {
+				fmt.Printf("  %s\n", fl)
+			}
+			if f.Shrunk != nil {
+				fmt.Printf("  shrunk to %d points: %s\n", f.Shrunk.Points(), f.Shrunk.String())
+				for _, fl := range f.ShrunkFailures {
+					fmt.Printf("    %s\n", fl)
+				}
+			}
+			if f.ArtifactPath != "" {
+				fmt.Printf("  artifact: %s  (replay with: clizconform -replay %s)\n",
+					f.ArtifactPath, f.ArtifactPath)
+			}
+		}
+	}
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+func runReplay(path string, baselines, jsonOut bool) int {
+	art, err := conform.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep := conform.Replay(art, conform.RunOptions{Baselines: baselines})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		printVerdict("original", &art.Case, rep.Original)
+		if rep.Shrunk != nil {
+			printVerdict("shrunk", art.Shrunk, rep.Shrunk)
+		}
+	}
+	if rep.StillFails() {
+		return 1
+	}
+	fmt.Println("artifact no longer reproduces — the bug appears fixed")
+	return 0
+}
+
+func printVerdict(kind string, c *conform.Case, v *conform.Verdict) {
+	fmt.Printf("%s case (%d points): %s\n", kind, c.Points(), c.String())
+	fmt.Printf("  outcome: %s\n", v.Outcome)
+	if v.RejectReason != "" {
+		fmt.Printf("  reason: %s\n", v.RejectReason)
+	}
+	for _, f := range v.Failures {
+		fmt.Printf("  %s\n", f)
+	}
+}

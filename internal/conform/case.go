@@ -1,0 +1,162 @@
+// Package conform is the seeded conformance harness: it generates
+// random-but-reproducible datasets and pipeline/option combinations, runs
+// every case through a shared invariant suite (error bound, fill-value
+// exactness, decode determinism, worker independence, blob integrity, trace
+// byte-accounting, compression-ratio sanity, and differential oracles
+// against the SZ3/QoZ baselines), shrinks failures to minimal reproducers,
+// and writes replayable artifacts.
+//
+// Everything is a pure function of the seed: the same seed generates the
+// same cases, datasets, verdicts and artifacts, so any failure printed by a
+// sweep can be replayed exactly with `clizconform -replay` or re-derived
+// with `clizconform -seed`.
+package conform
+
+import (
+	"fmt"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/grid"
+	"cliz/internal/predict"
+)
+
+// PipeSpec is a JSON-serializable description of a core.Pipeline. The zero
+// value (Default=true implied when Perm is empty) selects the dataset's
+// default pipeline.
+type PipeSpec struct {
+	// Default selects core.Default for the dataset, ignoring other fields.
+	Default bool `json:"default,omitempty"`
+	// Perm is the dimension permutation (length = rank).
+	Perm []int `json:"perm,omitempty"`
+	// Fusion holds the fusion group sizes (must sum to rank; empty = none).
+	Fusion []int `json:"fusion,omitempty"`
+	// Fitting is "linear" or "cubic" (default cubic).
+	Fitting string `json:"fitting,omitempty"`
+	// Classify enables bin classification with multi-Huffman encoding.
+	Classify bool `json:"classify,omitempty"`
+	// UseMask enables mask-aware prediction.
+	UseMask bool `json:"useMask,omitempty"`
+	// Period enables periodic component extraction.
+	Period int `json:"period,omitempty"`
+	// LevelAlpha tightens coarse interpolation levels (0/1 = flat).
+	LevelAlpha float64 `json:"levelAlpha,omitempty"`
+}
+
+// BoundSpec is the error-bound request: exactly one of Rel/Abs positive.
+type BoundSpec struct {
+	Rel float64 `json:"rel,omitempty"`
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// OptSpec selects the implementation knobs a case runs under.
+type OptSpec struct {
+	// Workers bounds intra-blob parallelism (0/1 = serial).
+	Workers int `json:"workers,omitempty"`
+	// Chunks > 0 compresses through the chunked container path with that
+	// many chunks.
+	Chunks int `json:"chunks,omitempty"`
+	// ChunkWorkers bounds chunk-level concurrency (0 = GOMAXPROCS).
+	ChunkWorkers int `json:"chunkWorkers,omitempty"`
+	// BoundCheck > 0 decodes with decode-time bound self-verification every
+	// n-th point.
+	BoundCheck int `json:"boundCheck,omitempty"`
+	// Entropy is "huffman" (default) or "rans".
+	Entropy string `json:"entropy,omitempty"`
+}
+
+// Case is one fully-specified conformance case: dataset recipe, pipeline,
+// bound and options. It is self-contained and JSON-round-trippable, which is
+// what makes reproducer artifacts replayable.
+type Case struct {
+	// Label is a short human-readable tag ("r3-mask-period-chunked").
+	Label string `json:"label,omitempty"`
+	// Data is the deterministic dataset recipe.
+	Data  datagen.SyntheticSpec `json:"data"`
+	Pipe  PipeSpec              `json:"pipe"`
+	Bound BoundSpec             `json:"bound"`
+	Opts  OptSpec               `json:"opts"`
+}
+
+// Points returns the case's grid volume.
+func (c *Case) Points() int { return c.Data.Volume() }
+
+// String renders a one-line summary.
+func (c *Case) String() string {
+	return fmt.Sprintf("%s dims=%v pipe=%s bound={rel:%g abs:%g} opts=%+v",
+		c.Label, c.Data.Dims, c.pipeString(), c.Bound.Rel, c.Bound.Abs, c.Opts)
+}
+
+func (c *Case) pipeString() string {
+	if c.Pipe.Default || len(c.Pipe.Perm) == 0 {
+		return "default"
+	}
+	return fmt.Sprintf("perm=%v fuse=%v fit=%s cls=%v mask=%v period=%d alpha=%g",
+		c.Pipe.Perm, c.Pipe.Fusion, c.Pipe.Fitting, c.Pipe.Classify,
+		c.Pipe.UseMask, c.Pipe.Period, c.Pipe.LevelAlpha)
+}
+
+// Materialize generates the dataset and resolves the pipeline.
+func (c *Case) Materialize() (*dataset.Dataset, core.Pipeline, error) {
+	ds, err := datagen.Synthetic(c.Data)
+	if err != nil {
+		return nil, core.Pipeline{}, fmt.Errorf("conform: bad data spec: %w", err)
+	}
+	p, err := c.pipeline(ds)
+	if err != nil {
+		return nil, core.Pipeline{}, err
+	}
+	return ds, p, nil
+}
+
+func (c *Case) pipeline(ds *dataset.Dataset) (core.Pipeline, error) {
+	if c.Pipe.Default || len(c.Pipe.Perm) == 0 {
+		return core.Default(ds), nil
+	}
+	n := len(ds.Dims)
+	p := core.Pipeline{
+		Perm:       append([]int(nil), c.Pipe.Perm...),
+		Fusion:     grid.NoFusion(n),
+		Fitting:    predict.Cubic,
+		Classify:   c.Pipe.Classify,
+		UseMask:    c.Pipe.UseMask,
+		Period:     c.Pipe.Period,
+		LevelAlpha: c.Pipe.LevelAlpha,
+	}
+	if len(c.Pipe.Fusion) > 0 {
+		p.Fusion = grid.Fusion{Groups: append([]int(nil), c.Pipe.Fusion...)}
+	}
+	switch c.Pipe.Fitting {
+	case "", "cubic":
+	case "linear":
+		p.Fitting = predict.Linear
+	default:
+		return core.Pipeline{}, fmt.Errorf("conform: unknown fitting %q", c.Pipe.Fitting)
+	}
+	if err := p.Validate(n); err != nil {
+		return core.Pipeline{}, fmt.Errorf("conform: invalid pipeline: %w", err)
+	}
+	return p, nil
+}
+
+// resolveBound mirrors the public cliz.ErrorBound semantics: Rel scales the
+// valid value range and is cleanly rejected on zero-range or non-finite
+// ranges; Abs passes through.
+func (c *Case) resolveBound(ds *dataset.Dataset) (float64, error) {
+	switch {
+	case c.Bound.Abs > 0 && c.Bound.Rel == 0:
+		return c.Bound.Abs, nil
+	case c.Bound.Rel > 0 && c.Bound.Abs == 0:
+		lo, hi := ds.ValueRange()
+		if hi-lo <= 0 {
+			return 0, fmt.Errorf("relative bound %g on zero value range [%g, %g]", c.Bound.Rel, lo, hi)
+		}
+		abs := ds.AbsErrorBound(c.Bound.Rel)
+		if !finite(abs) {
+			return 0, fmt.Errorf("relative bound %g resolves to non-finite absolute bound", c.Bound.Rel)
+		}
+		return abs, nil
+	}
+	return 0, fmt.Errorf("exactly one of rel/abs must be positive (got %+v)", c.Bound)
+}

@@ -1,0 +1,258 @@
+package conform
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// smokeConfig is the fixed-seed suite wired into `go test ./...`: small
+// volumes keep it well under the ~30s budget while still crossing every
+// pipeline family, option knob and degenerate shape within a few dozen
+// cases.
+func smokeConfig(t *testing.T) Config {
+	cfg := Config{
+		Seed:      7,
+		Cases:     48,
+		MaxPoints: 1 << 12,
+		Baselines: true,
+		Shrink:    true,
+	}
+	if testing.Verbose() {
+		cfg.Logf = t.Logf
+	}
+	return cfg
+}
+
+// TestSmokeSweep is the conformance smoke suite: a fixed-seed sweep with
+// differential oracles must come back clean. Any failure here is a real
+// contract violation; the log carries the minimized reproducer.
+func TestSmokeSweep(t *testing.T) {
+	res, err := Run(smokeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Errorf("case %d %s: %v", f.Index, f.Case.String(), f.Failures)
+			if f.Shrunk != nil {
+				t.Errorf("  shrunk (%d points): %s → %v",
+					f.Shrunk.Points(), f.Shrunk.String(), f.ShrunkFailures)
+			}
+		}
+		t.Fatalf("%s", res.Summary())
+	}
+	if res.Passed == 0 {
+		t.Fatal("smoke sweep passed zero cases — generator is broken")
+	}
+}
+
+// TestSweepDeterminism pins the seed contract: the same seed produces the
+// same cases and the same verdicts, and every case is derivable in
+// isolation from (seed, index).
+func TestSweepDeterminism(t *testing.T) {
+	cfg := smokeConfig(t)
+	cfg.Cases = 16
+	cfg.Shrink = false
+	cfg.Baselines = false // determinism is about CliZ's own path; keep it fast
+	cfg.Logf = nil
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	for i := 0; i < cfg.Cases; i++ {
+		c1 := GenCase(cfg.Seed, i, cfg.MaxPoints)
+		c2 := GenCase(cfg.Seed, i, cfg.MaxPoints)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("case %d not deterministic:\n%+v\n%+v", i, c1, c2)
+		}
+		ds1, _, err := c1.Materialize()
+		if err != nil {
+			continue
+		}
+		ds2, _, _ := c2.Materialize()
+		for j := range ds1.Data {
+			if math.Float32bits(ds1.Data[j]) != math.Float32bits(ds2.Data[j]) {
+				t.Fatalf("case %d dataset not bit-deterministic at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestMutationCaughtAndShrunk is the harness's own mutation check: a
+// deliberately injected bound bug (one point perturbed past the bound on
+// every decode) must be caught by the bound invariant and shrunk to a ≤64
+// point reproducer — the acceptance bar for the shrinker.
+func TestMutationCaughtAndShrunk(t *testing.T) {
+	hook := Hook{
+		CorruptRecon: func(c *Case, recon []float32) {
+			if len(recon) == 0 {
+				return
+			}
+			// Deterministic "decoder bug": the middle point drifts far past
+			// any bound the generator can produce.
+			recon[len(recon)/2] += 1e30
+		},
+	}
+	opt := RunOptions{Hook: hook}
+	caught, shrunkOK := 0, 0
+	for i := 0; i < 40 && caught < 5; i++ {
+		c := GenCase(1234, i, 1<<12)
+		// Keep every point plain data: on a masked or NaN midpoint the
+		// corruption would fire the fill/non-finite invariant instead — also
+		// a catch, but this test pins the bound invariant specifically.
+		c.Data.MaskFrac, c.Pipe.UseMask = 0, false
+		c.Data.NaNs, c.Data.PosInfs, c.Data.NegInfs = 0, 0, 0
+		v := RunCase(c, opt)
+		if v.Outcome == "rejected" {
+			continue
+		}
+		if !v.FailedInvariant(InvBound) {
+			t.Fatalf("case %d: injected bound bug not caught: %+v", i, v)
+		}
+		caught++
+		sh := Shrink(c, InvBound, opt)
+		if len(sh.Failures) == 0 {
+			t.Fatalf("case %d: shrunk case no longer fails", i)
+		}
+		if pts := sh.Case.Points(); pts <= 64 {
+			shrunkOK++
+		} else {
+			t.Errorf("case %d: shrunk to %d points, want ≤ 64 (case %s)",
+				i, pts, sh.Case.String())
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no cases exercised the mutation check")
+	}
+	if shrunkOK != caught {
+		t.Fatalf("only %d/%d mutations shrunk to ≤64 points", shrunkOK, caught)
+	}
+}
+
+// TestMutationWorkersCaught injects a worker-dependent corruption and
+// checks the workers-independence invariant trips.
+func TestMutationWorkersCaught(t *testing.T) {
+	decodes := 0
+	hook := Hook{
+		CorruptRecon: func(c *Case, recon []float32) {
+			decodes++
+			if decodes%3 == 0 && len(recon) > 0 { // only the third decode (the other-workers one)
+				recon[0] += 1e30
+			}
+		},
+	}
+	c := GenCase(7, 0, 1<<10)
+	c.Data.Constant = false
+	c.Data.NaNs, c.Data.PosInfs, c.Data.NegInfs = 0, 0, 0
+	c.Bound = BoundSpec{Abs: 1}
+	v := RunCase(c, RunOptions{Hook: hook})
+	if !v.FailedInvariant(InvWorkers) && !v.FailedInvariant(InvDeterminism) {
+		t.Fatalf("worker-dependent corruption not caught: %+v", v)
+	}
+}
+
+// TestArtifactRoundTrip pins the replay path: write → load → replay
+// reproduces the recorded verdict.
+func TestArtifactRoundTrip(t *testing.T) {
+	hook := Hook{CorruptRecon: func(c *Case, recon []float32) {
+		if len(recon) > 0 {
+			recon[0] += 1e30
+		}
+	}}
+	opt := RunOptions{Hook: hook}
+	var failing Case
+	found := false
+	for i := 0; i < 40; i++ {
+		c := GenCase(99, i, 1<<10)
+		if v := RunCase(c, opt); v.FailedInvariant(InvBound) {
+			failing, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no failing case found for artifact test")
+	}
+	sh := Shrink(failing, InvBound, opt)
+	dir := t.TempDir()
+	path, err := WriteArtifact(dir, &Artifact{
+		Seed: 99, CaseIndex: 0, Case: failing,
+		Failures: []Failure{{Invariant: InvBound, Detail: "injected"}},
+		Shrunk:   &sh.Case, ShrunkFailures: sh.Failures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, ArtifactName(99, 0)); path != want {
+		t.Fatalf("artifact path %s, want %s", path, want)
+	}
+	art, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art.Case, failing) {
+		t.Fatalf("case did not survive the JSON round trip:\n%+v\n%+v", art.Case, failing)
+	}
+	// With the hook active the artifact still fails; without it (the bug
+	// "fixed") the replay comes back clean.
+	if rep := Replay(art, opt); !rep.StillFails() {
+		t.Fatal("replay with the injected bug did not fail")
+	}
+	if rep := Replay(art, RunOptions{}); rep.StillFails() {
+		t.Fatalf("replay without the injected bug failed: %+v / %+v",
+			rep.Original.Failures, rep.Shrunk)
+	}
+}
+
+// TestCaseJSONStable guards the artifact schema: a case survives
+// marshal/unmarshal exactly (the replay contract depends on it).
+func TestCaseJSONStable(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		c := GenCase(5, i, 1<<12)
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Case
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatalf("case %d changed across JSON round trip:\n%+v\n%+v", i, c, back)
+		}
+	}
+}
+
+// TestCleanRejections pins the rejected-case taxonomy: a relative bound on
+// a constant field and a relative bound on an Inf-bearing field are
+// rejected with self-explanatory errors, not failures.
+func TestCleanRejections(t *testing.T) {
+	base := GenCase(7, 0, 1<<10)
+	base.Opts = OptSpec{}
+	base.Pipe = PipeSpec{Default: true}
+
+	constant := cloneCase(base)
+	constant.Data.Constant = true
+	constant.Data.NaNs, constant.Data.PosInfs, constant.Data.NegInfs = 0, 0, 0
+	constant.Bound = BoundSpec{Rel: 1e-2}
+	if v := RunCase(constant, RunOptions{}); v.Outcome != "rejected" {
+		t.Fatalf("constant field + rel bound: outcome %q (%+v), want rejected", v.Outcome, v.Failures)
+	}
+
+	inf := cloneCase(base)
+	inf.Data.Constant = false
+	inf.Data.PosInfs = 1
+	inf.Bound = BoundSpec{Rel: 1e-2}
+	if v := RunCase(inf, RunOptions{}); v.Outcome != "rejected" {
+		t.Fatalf("Inf field + rel bound: outcome %q (%+v), want rejected", v.Outcome, v.Failures)
+	}
+}

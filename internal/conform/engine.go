@@ -1,0 +1,132 @@
+package conform
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config drives one conformance sweep.
+type Config struct {
+	// Seed is the master seed: the entire sweep — cases, datasets,
+	// verdicts — is a pure function of (Seed, Cases, MaxPoints).
+	Seed int64
+	// Cases is the number of cases to generate and run.
+	Cases int
+	// MaxPoints caps each case's grid volume (0 = 1<<15).
+	MaxPoints int
+	// Baselines enables the differential SZ3/QoZ oracles.
+	Baselines bool
+	// Shrink minimizes failing cases before reporting them.
+	Shrink bool
+	// OutDir, when non-empty, receives a replayable artifact per failure.
+	OutDir string
+	// Budget stops the sweep early once exceeded (0 = no budget). Cases
+	// already started still finish, so a sweep is deterministic for a given
+	// budget only up to where the cutoff lands; CI uses this as a wall-time
+	// guard, not a correctness knob.
+	Budget time.Duration
+	// Hook injects faults for self-tests.
+	Hook Hook
+	// Logf, when non-nil, receives one line per case and per failure.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// CaseReport records one failed case in a sweep result.
+type CaseReport struct {
+	Index    int       `json:"index"`
+	Case     Case      `json:"case"`
+	Failures []Failure `json:"failures"`
+	// Shrunk is the minimized reproducer (nil when shrinking is off).
+	Shrunk         *Case     `json:"shrunk,omitempty"`
+	ShrunkFailures []Failure `json:"shrunkFailures,omitempty"`
+	// ArtifactPath is where the replayable artifact landed ("" when OutDir
+	// is unset).
+	ArtifactPath string `json:"artifactPath,omitempty"`
+}
+
+// Result summarizes a sweep.
+type Result struct {
+	Seed     int64 `json:"seed"`
+	Total    int   `json:"total"`
+	Passed   int   `json:"passed"`
+	Rejected int   `json:"rejected"`
+	Failed   int   `json:"failed"`
+	// TruncatedAt is the case count actually run when the budget cut the
+	// sweep short (0 = ran to completion).
+	TruncatedAt int          `json:"truncatedAt,omitempty"`
+	Failures    []CaseReport `json:"failures,omitempty"`
+}
+
+// OK reports whether the sweep found no violations.
+func (r *Result) OK() bool { return r.Failed == 0 }
+
+// Summary renders a one-line outcome.
+func (r *Result) Summary() string {
+	s := fmt.Sprintf("seed %d: %d cases — %d passed, %d rejected cleanly, %d FAILED",
+		r.Seed, r.Total, r.Passed, r.Rejected, r.Failed)
+	if r.TruncatedAt > 0 {
+		s += fmt.Sprintf(" (budget hit after %d cases)", r.TruncatedAt)
+	}
+	return s
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Cases <= 0 {
+		cfg.Cases = 64
+	}
+	res := &Result{Seed: cfg.Seed}
+	opt := RunOptions{Baselines: cfg.Baselines, Hook: cfg.Hook}
+	start := time.Now()
+	for i := 0; i < cfg.Cases; i++ {
+		if cfg.Budget > 0 && time.Since(start) > cfg.Budget && res.Total > 0 {
+			res.TruncatedAt = res.Total
+			break
+		}
+		c := GenCase(cfg.Seed, i, cfg.MaxPoints)
+		v := RunCase(c, opt)
+		res.Total++
+		switch v.Outcome {
+		case "pass":
+			res.Passed++
+			cfg.logf("PASS   %-40s ratio=%.3g", c.Label, v.Ratio)
+		case "rejected":
+			res.Rejected++
+			cfg.logf("REJECT %-40s %s", c.Label, v.RejectReason)
+		default:
+			res.Failed++
+			cfg.logf("FAIL   %-40s %v", c.Label, v.Failures)
+			rep := CaseReport{Index: i, Case: c, Failures: v.Failures}
+			if cfg.Shrink {
+				sh := Shrink(c, v.Failures[0].Invariant, opt)
+				if sh.Steps > 0 {
+					shr := sh.Case
+					rep.Shrunk = &shr
+					rep.ShrunkFailures = sh.Failures
+					cfg.logf("       shrunk to %d points in %d steps (%d runs): %s",
+						shr.Points(), sh.Steps, sh.Runs, shr.String())
+				}
+			}
+			if cfg.OutDir != "" {
+				path, err := WriteArtifact(cfg.OutDir, &Artifact{
+					Seed: cfg.Seed, CaseIndex: i, Case: c,
+					Failures: v.Failures, Shrunk: rep.Shrunk,
+					ShrunkFailures: rep.ShrunkFailures,
+					Note:           fmt.Sprintf("sweep seed %d case %d", cfg.Seed, i),
+				})
+				if err != nil {
+					return res, fmt.Errorf("conform: writing artifact for case %d: %w", i, err)
+				}
+				rep.ArtifactPath = path
+			}
+			res.Failures = append(res.Failures, rep)
+		}
+	}
+	return res, nil
+}

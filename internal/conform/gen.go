@@ -1,0 +1,206 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliz/internal/datagen"
+)
+
+// CaseSeed derives the sub-seed of case i under master seed: cases are
+// independent, so replaying case 17 never requires generating cases 0..16.
+func CaseSeed(seed int64, i int) int64 {
+	// SplitMix64 finalizer over seed⊕index — well-mixed and stable.
+	z := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// GenCase deterministically builds case i of the sweep under master seed.
+// maxPoints caps the synthesized volume (0 selects 1<<15).
+func GenCase(seed int64, i, maxPoints int) Case {
+	sub := CaseSeed(seed, i)
+	rng := rand.New(rand.NewSource(sub))
+	if maxPoints <= 0 {
+		maxPoints = 1 << 15
+	}
+
+	c := Case{}
+	c.Data = genDataSpec(rng, sub, maxPoints)
+	c.Bound = genBound(rng, &c.Data)
+	c.Pipe = genPipe(rng, &c.Data)
+	c.Opts = genOpts(rng, &c.Data)
+	c.Label = label(i, &c)
+	return c
+}
+
+func pick[T any](rng *rand.Rand, vals ...T) T { return vals[rng.Intn(len(vals))] }
+
+func genDataSpec(rng *rand.Rand, sub int64, maxPoints int) datagen.SyntheticSpec {
+	s := datagen.SyntheticSpec{Seed: sub, Name: "conform"}
+
+	// Rank 2..4 dominate; rank 1 is rare but in scope (degenerate shapes).
+	rank := pick(rng, 2, 2, 3, 3, 3, 4, 1)
+	extents := []int{1, 2, 3, 5, 8, 13, 16, 24, 36, 48}
+	s.Dims = make([]int, rank)
+	for i := range s.Dims {
+		s.Dims[i] = pick(rng, extents...)
+	}
+	// Degenerate-shape pushes: occasionally force a 1×N plane or a single
+	// leading plane.
+	if rank >= 2 && rng.Intn(8) == 0 {
+		s.Dims[rank-2] = 1
+	}
+	if rank >= 3 && rng.Intn(8) == 0 {
+		s.Dims[0] = 1
+	}
+	for volume(s.Dims) > maxPoints {
+		// Shrink the largest extent until the volume fits.
+		big := 0
+		for i, d := range s.Dims {
+			if d > s.Dims[big] {
+				big = i
+			}
+		}
+		if s.Dims[big] <= 2 {
+			break
+		}
+		s.Dims[big] = (s.Dims[big] + 1) / 2
+	}
+
+	if rank >= 3 {
+		s.Lead = pick(rng, "", "time", "time", "height")
+	} else if rank == 2 && rng.Intn(4) == 0 {
+		s.Lead = "time"
+	}
+	if s.Lead == "time" && rng.Intn(2) == 0 {
+		s.Periodic = true
+		s.Period = pick(rng, 6, 12)
+		s.PeriodAmp = pick(rng, 5.0, 20.0)
+	}
+
+	// Mask: only where a horizontal plane exists; masked periodic datasets
+	// need rank ≥ 3 (dataset.Validate).
+	if rank >= 2 && (!s.Periodic || rank >= 3) && rng.Intn(5) < 2 {
+		s.MaskFrac = pick(rng, 0.3, 0.5, 0.7, 0.95)
+		s.FillValue = pick(rng, datagen.FillValue, -9999, 1e20)
+	}
+
+	s.Roughness = pick(rng, 0.4, 0.8, 1.2, 1.8)
+	s.Anisotropy = pick(rng, 0.0, 0.0, 2.0, 8.0)
+	s.NoiseAmp = pick(rng, 0.0, 0.05, 0.5, 5.0)
+	s.Offset = pick(rng, 0.0, 0.0, 300.0, -1e6)
+	s.Scale = pick(rng, 1.0, 100.0, 1e-3, 1e6)
+
+	switch rng.Intn(20) {
+	case 0:
+		s.Constant = true
+	case 1:
+		s.NaNs = 1 + rng.Intn(3)
+	case 2:
+		s.PosInfs = 1
+		s.NegInfs = rng.Intn(2)
+	case 3:
+		s.NaNs = 1
+		s.PosInfs = 1
+	}
+	return s
+}
+
+func genBound(rng *rand.Rand, s *datagen.SyntheticSpec) BoundSpec {
+	// Constant fields have no value range: use Abs most of the time but
+	// keep a sliver of Rel cases to pin the clean-rejection path.
+	if s.Constant && rng.Intn(4) != 0 {
+		return BoundSpec{Abs: pick(rng, 1e-3, 1e-1)}
+	}
+	if rng.Intn(3) == 0 {
+		// Absolute bounds scaled to the signal magnitude.
+		mag := s.Scale
+		if mag == 0 {
+			mag = 100
+		}
+		return BoundSpec{Abs: mag * pick(rng, 1e-4, 1e-2, 1e-1)}
+	}
+	return BoundSpec{Rel: pick(rng, 1e-1, 1e-2, 1e-3, 1e-4)}
+}
+
+func genPipe(rng *rand.Rand, s *datagen.SyntheticSpec) PipeSpec {
+	if rng.Intn(4) == 0 {
+		return PipeSpec{Default: true}
+	}
+	n := len(s.Dims)
+	p := PipeSpec{
+		Perm:    rng.Perm(n),
+		Fusion:  randComposition(rng, n),
+		Fitting: pick(rng, "linear", "cubic"),
+	}
+	p.Classify = rng.Intn(2) == 0
+	if s.MaskFrac > 0 {
+		p.UseMask = rng.Intn(4) != 0
+	}
+	if s.Lead == "time" {
+		// Sometimes the true period, sometimes a wrong or absent one — the
+		// contract must hold regardless of how well the pipeline fits.
+		p.Period = pick(rng, 0, 0, s.Period, 12, 7)
+	}
+	p.LevelAlpha = pick(rng, 0.0, 0.0, 1.5, 2.0)
+	return p
+}
+
+func genOpts(rng *rand.Rand, s *datagen.SyntheticSpec) OptSpec {
+	o := OptSpec{
+		Workers: pick(rng, 0, 0, 2, 3),
+		Entropy: pick(rng, "", "", "", "rans"),
+	}
+	if len(s.Dims) >= 2 && rng.Intn(4) == 0 {
+		o.Chunks = pick(rng, 2, 3)
+		o.ChunkWorkers = pick(rng, 0, 2)
+	}
+	if rng.Intn(5) == 0 {
+		o.BoundCheck = pick(rng, 1, 7)
+	}
+	return o
+}
+
+// randComposition returns a random composition of n (fusion group sizes).
+func randComposition(rng *rand.Rand, n int) []int {
+	var groups []int
+	for n > 0 {
+		g := 1 + rng.Intn(n)
+		groups = append(groups, g)
+		n -= g
+	}
+	return groups
+}
+
+func volume(dims []int) int {
+	v := 1
+	for _, d := range dims {
+		v *= d
+	}
+	return v
+}
+
+func label(i int, c *Case) string {
+	tag := fmt.Sprintf("case%d-r%d", i, len(c.Data.Dims))
+	if c.Data.MaskFrac > 0 {
+		tag += "-mask"
+	}
+	if c.Data.Period > 0 {
+		tag += "-periodic"
+	}
+	if c.Data.Constant {
+		tag += "-const"
+	}
+	if c.Data.NaNs+c.Data.PosInfs+c.Data.NegInfs > 0 {
+		tag += "-nonfinite"
+	}
+	if c.Opts.Chunks > 0 {
+		tag += "-chunked"
+	}
+	if c.Opts.Workers > 1 {
+		tag += "-par"
+	}
+	return tag
+}

@@ -1,0 +1,98 @@
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactVersion is bumped when the artifact schema changes incompatibly.
+const ArtifactVersion = 1
+
+// Artifact is the replayable record of one conformance failure:
+// everything needed to re-execute the case (and its minimized form) on
+// another machine, plus the verdict observed when it was written.
+type Artifact struct {
+	Version int `json:"version"`
+	// Seed and CaseIndex locate the case in its sweep (Seed 0 + index −1
+	// for hand-written cases).
+	Seed      int64 `json:"seed"`
+	CaseIndex int   `json:"caseIndex"`
+	// Case is the original failing case.
+	Case Case `json:"case"`
+	// Failures are the original case's invariant violations.
+	Failures []Failure `json:"failures"`
+	// Shrunk is the minimized reproducer (nil when shrinking was disabled
+	// or achieved nothing).
+	Shrunk *Case `json:"shrunk,omitempty"`
+	// ShrunkFailures are the minimized case's violations.
+	ShrunkFailures []Failure `json:"shrunkFailures,omitempty"`
+	// Note carries free-form context ("found by sweep seed 42 case 17").
+	Note string `json:"note,omitempty"`
+}
+
+// ArtifactName returns the canonical file name for a failure artifact.
+func ArtifactName(seed int64, caseIndex int) string {
+	return fmt.Sprintf("conform-repro-%d-%d.json", seed, caseIndex)
+}
+
+// WriteArtifact writes the artifact into dir (created if missing) and
+// returns its path.
+func WriteArtifact(dir string, a *Artifact) (string, error) {
+	if a.Version == 0 {
+		a.Version = ArtifactVersion
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ArtifactName(a.Seed, a.CaseIndex))
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact written by WriteArtifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("conform: malformed artifact %s: %w", path, err)
+	}
+	if a.Version > ArtifactVersion {
+		return nil, fmt.Errorf("conform: artifact %s has version %d, this build understands ≤ %d",
+			path, a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// ReplayReport is the outcome of re-executing an artifact.
+type ReplayReport struct {
+	// Original is the verdict of the artifact's full case.
+	Original *Verdict `json:"original"`
+	// Shrunk is the verdict of the minimized case (nil when absent).
+	Shrunk *Verdict `json:"shrunk,omitempty"`
+}
+
+// StillFails reports whether either form still violates an invariant.
+func (r *ReplayReport) StillFails() bool {
+	if r.Original.Failed() {
+		return true
+	}
+	return r.Shrunk != nil && r.Shrunk.Failed()
+}
+
+// Replay re-executes an artifact's case (and minimized case, if present)
+// through the invariant suite.
+func Replay(a *Artifact, opt RunOptions) *ReplayReport {
+	rep := &ReplayReport{Original: RunCase(a.Case, opt)}
+	if a.Shrunk != nil {
+		rep.Shrunk = RunCase(*a.Shrunk, opt)
+	}
+	return rep
+}

@@ -1,0 +1,202 @@
+package conform
+
+// Shrinking: given a failing case, repeatedly apply simplifying
+// transformations — disable options, drop pipeline stages, simplify the
+// data, halve dimensions, widen the bound — keeping a transformation only
+// when the case still fails the same invariant. The result is a (locally)
+// minimal reproducer, typically a handful of points with a near-default
+// pipeline, which is what gets written into the replay artifact and
+// promoted to a regression test.
+
+// ShrinkResult reports what the shrinker achieved.
+type ShrinkResult struct {
+	// Case is the minimized reproducer.
+	Case Case `json:"case"`
+	// Failures are the minimized case's invariant violations.
+	Failures []Failure `json:"failures"`
+	// Steps counts accepted transformations; Runs counts invariant-suite
+	// executions spent shrinking.
+	Steps int `json:"steps"`
+	Runs  int `json:"runs"`
+}
+
+// maxShrinkRuns caps the invariant-suite executions one shrink may spend.
+const maxShrinkRuns = 250
+
+// Shrink minimizes a failing case. target is the invariant that must keep
+// failing (one of the original failures); opt should match the original run
+// so failures reproduce. If the case does not fail at all, it is returned
+// unchanged.
+func Shrink(c Case, target string, opt RunOptions) ShrinkResult {
+	res := ShrinkResult{Case: c}
+	fails := func(cand Case) bool {
+		if res.Runs >= maxShrinkRuns {
+			return false
+		}
+		res.Runs++
+		v := RunCase(cand, opt)
+		return v.FailedInvariant(target)
+	}
+	if !fails(c) {
+		res.Failures = RunCase(c, opt).Failures
+		return res
+	}
+	cur := c
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			if fails(cand) {
+				cur = cand
+				res.Steps++
+				improved = true
+				break
+			}
+		}
+		if !improved || res.Runs >= maxShrinkRuns {
+			break
+		}
+	}
+	res.Case = cur
+	res.Failures = RunCase(cur, opt).Failures
+	return res
+}
+
+// shrinkCandidates proposes one-step simplifications, cheapest first: knobs
+// and pipeline stages before data shape, data shape before bound widening.
+func shrinkCandidates(c Case) []Case {
+	var out []Case
+	add := func(f func(*Case)) {
+		cand := cloneCase(c)
+		f(&cand)
+		out = append(out, cand)
+	}
+
+	// 1. Drop implementation knobs.
+	if c.Opts.Chunks > 0 {
+		add(func(c *Case) { c.Opts.Chunks, c.Opts.ChunkWorkers = 0, 0 })
+	}
+	if c.Opts.Workers > 1 {
+		add(func(c *Case) { c.Opts.Workers = 0 })
+	}
+	if c.Opts.BoundCheck > 0 {
+		add(func(c *Case) { c.Opts.BoundCheck = 0 })
+	}
+	if c.Opts.Entropy != "" {
+		add(func(c *Case) { c.Opts.Entropy = "" })
+	}
+
+	// 2. Drop pipeline stages.
+	if c.Pipe.Period > 0 {
+		add(func(c *Case) { c.Pipe.Period = 0 })
+	}
+	if c.Pipe.Classify {
+		add(func(c *Case) { c.Pipe.Classify = false })
+	}
+	if c.Pipe.LevelAlpha > 1 {
+		add(func(c *Case) { c.Pipe.LevelAlpha = 0 })
+	}
+	if len(c.Pipe.Fusion) > 0 && len(c.Pipe.Fusion) != len(c.Data.Dims) {
+		add(func(c *Case) { c.Pipe.Fusion = nil })
+	}
+	if !identityPerm(c.Pipe.Perm) {
+		add(func(c *Case) {
+			for i := range c.Pipe.Perm {
+				c.Pipe.Perm[i] = i
+			}
+		})
+	}
+	if c.Pipe.UseMask {
+		add(func(c *Case) { c.Pipe.UseMask = false })
+	}
+	if c.Pipe.Fitting == "cubic" {
+		add(func(c *Case) { c.Pipe.Fitting = "linear" })
+	}
+
+	// 3. Simplify the data.
+	if c.Data.NaNs+c.Data.PosInfs+c.Data.NegInfs > 0 {
+		add(func(c *Case) { c.Data.NaNs, c.Data.PosInfs, c.Data.NegInfs = 0, 0, 0 })
+	}
+	if c.Data.MaskFrac > 0 && !c.Pipe.UseMask {
+		add(func(c *Case) { c.Data.MaskFrac = 0 })
+	}
+	if c.Data.NoiseAmp > 0 {
+		add(func(c *Case) { c.Data.NoiseAmp = 0 })
+	}
+	if c.Data.Period > 0 && c.Pipe.Period == 0 {
+		add(func(c *Case) { c.Data.Period, c.Data.PeriodAmp, c.Data.Periodic = 0, 0, false })
+	}
+	if c.Data.Anisotropy != 0 {
+		add(func(c *Case) { c.Data.Anisotropy = 0 })
+	}
+
+	// 4. Halve dimensions (largest first), preserving rank; fusion groups
+	// stay valid because the rank is unchanged.
+	order := dimOrder(c.Data.Dims)
+	for _, i := range order {
+		if c.Data.Dims[i] <= 1 {
+			continue
+		}
+		i := i
+		add(func(c *Case) {
+			c.Data.Dims[i] = (c.Data.Dims[i] + 1) / 2
+			clampPeriods(c)
+		})
+	}
+
+	// 5. Widen the bound — a violation that survives a 4× looser bound is a
+	// simpler, starker reproducer.
+	if c.Bound.Rel > 0 && c.Bound.Rel < 0.25 {
+		add(func(c *Case) { c.Bound.Rel *= 4 })
+	}
+	if c.Bound.Abs > 0 && c.Bound.Abs < 1e9 {
+		add(func(c *Case) { c.Bound.Abs *= 4 })
+	}
+	return out
+}
+
+// clampPeriods keeps period knobs sensible after a dim shrink (a pipeline
+// period exceeding the lead extent is legal input, but shrinking shouldn't
+// wander into it unless that was the original bug shape).
+func clampPeriods(c *Case) {
+	if len(c.Data.Dims) == 0 {
+		return
+	}
+	lead := c.Data.Dims[0]
+	if c.Data.Period > lead {
+		c.Data.Period = lead
+	}
+	if c.Data.Period == 0 {
+		c.Data.Periodic = false
+	}
+}
+
+func cloneCase(c Case) Case {
+	out := c
+	out.Data.Dims = append([]int(nil), c.Data.Dims...)
+	out.Pipe.Perm = append([]int(nil), c.Pipe.Perm...)
+	out.Pipe.Fusion = append([]int(nil), c.Pipe.Fusion...)
+	return out
+}
+
+func identityPerm(p []int) bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// dimOrder returns dim indices sorted by descending extent.
+func dimOrder(dims []int) []int {
+	order := make([]int, len(dims))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && dims[order[j]] > dims[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

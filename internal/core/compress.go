@@ -292,6 +292,12 @@ func levelEBFactor(alpha float64) func(int) float64 {
 		return nil
 	}
 	return func(level int) float64 {
+		// A single-point dataset has Levels() == 0, so the origin is handled
+		// at level 0; without the clamp α^(level−1) dips below 1 and the
+		// factor LOOSENS the bound by α, violating the contract.
+		if level < 1 {
+			level = 1
+		}
 		return 1 / math.Min(math.Pow(alpha, float64(level-1)), 4)
 	}
 }

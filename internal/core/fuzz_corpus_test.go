@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"cliz/internal/dataset"
+	"cliz/internal/entropy"
+	"cliz/internal/mask"
 )
 
 // The on-disk seed corpus for FuzzDecompress (testdata/fuzz/FuzzDecompress)
@@ -109,7 +111,66 @@ func corpusSeeds(t testing.TB) map[string][]byte {
 	}
 	dirFlip[hpos-6] ^= 0x01 // a directory CRC byte (before the header CRC)
 	seeds["v3-dir-flip"] = dirFlip
+	// Conformance-harness shapes: a chunked container whose chunks carry
+	// sliced rank-2 masks, and a sharded rANS blob whose sub-block shards
+	// encode below one bit per symbol (the old shard-directory check
+	// rejected such blobs as corrupt). Mutations of these probe the mask
+	// slicing and the mode-aware directory validation.
+	seeds["chunked-mask-rank2"] = chunkedMaskedRank2(t)
+	rblob := shardedRANSBlob(t)
+	seeds["rans-sharded"] = rblob
+	rflip := append([]byte(nil), rblob...)
+	rflip[len(rflip)*2/3] ^= 0x42 // inside the shard payloads
+	seeds["rans-sharded-flip"] = rflip
 	return seeds
+}
+
+// chunkedMaskedRank2 builds a chunked container over a masked rank-2 grid:
+// the split axis is part of the (lat, lon) mask plane, so each chunk embeds
+// a sliced mask (the shape the conformance harness caught crashing).
+func chunkedMaskedRank2(t testing.TB) []byte {
+	const nLat, nLon = 6, 5
+	data := make([]float32, nLat*nLon)
+	regions := make([]int32, nLat*nLon)
+	for i := range data {
+		data[i] = float32(i) * 0.5
+		if i%4 == 0 {
+			data[i] = -9999
+			regions[i] = 0
+		} else {
+			regions[i] = 1
+		}
+	}
+	ds := &dataset.Dataset{
+		Name:      "fuzz-chunk-mask",
+		Data:      data,
+		Dims:      []int{nLat, nLon},
+		Mask:      mask.New(nLat, nLon, regions),
+		FillValue: -9999,
+	}
+	p := Default(ds)
+	p.UseMask = true
+	blob, err := CompressChunked(ds, 1e-3, p, Options{}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// shardedRANSBlob builds a unit blob whose bins section is a sharded rANS
+// container with sub-block shards far below one bit per symbol.
+func shardedRANSBlob(t testing.TB) []byte {
+	dims := []int{24, 8, 16}
+	data := make([]float32, dims[0]*dims[1]*dims[2])
+	for i := range data {
+		data[i] = float32(i%16) * 1e-6
+	}
+	ds := &dataset.Dataset{Name: "fuzz-rans-shards", Data: data, Dims: dims}
+	blob, err := Compress(ds, 0.5, Default(ds), Options{Entropy: entropy.RANS, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
 }
 
 // chunkedPlaneMismatch wraps a valid [2,3,5] unit blob in a container that

@@ -8,6 +8,7 @@ import (
 
 	"cliz/internal/dataset"
 	"cliz/internal/grid"
+	"cliz/internal/mask"
 	"cliz/internal/trace"
 )
 
@@ -66,7 +67,7 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 				Dims:      append([]int{hi - lo}, ds.Dims[1:]...),
 				Lead:      ds.Lead,
 				Periodic:  ds.Periodic,
-				Mask:      ds.Mask,
+				Mask:      chunkMask(ds.Mask, len(ds.Dims), lo, hi),
 				FillValue: ds.FillValue,
 			}
 			cp := p
@@ -99,6 +100,22 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 	}
 	total.EndFull(int64(len(ds.Data))*4, int64(len(out)), int64(nChunks), nil)
 	return out, nil
+}
+
+// chunkMask returns the mask a chunk covering lead rows [lo, hi) should
+// carry. For rank ≥ 3 the split axis is outside the horizontal plane, so the
+// full mask broadcasts unchanged; for rank ≤ 2 the leading dimension IS part
+// of the (lat, lon) plane, so the mask must be sliced along with the data —
+// passing it whole fails the sub-dataset's validation (mask h×w != grid).
+func chunkMask(m *mask.Map, rank, lo, hi int) *mask.Map {
+	switch {
+	case m == nil || rank >= 3:
+		return m
+	case rank == 2:
+		return mask.New(hi-lo, m.NLon, m.Regions[lo*m.NLon:hi*m.NLon])
+	default: // rank 1: the plane is 1×n and the split runs along it
+		return mask.New(1, hi-lo, m.Regions[lo:hi])
+	}
 }
 
 // chunkBounds splits n into about k pieces; with a period, boundaries snap

@@ -188,10 +188,20 @@ type shardDir struct {
 	byteOff int
 }
 
+// maxShardSymsPerByte caps a sub-block shard's declared symbol count per
+// payload byte. Unlike Huffman, rANS encodes skewed alphabets well below one
+// bit per symbol (a constant run costs a near-fixed header regardless of
+// length), so only a generous ratio — the same order as the core layer's
+// maxPointsPerByte — separates plausible streams from hostile directories
+// that would force a huge output allocation before any shard decodes.
+const maxShardSymsPerByte = 1 << 16
+
 // parseShardDir reads the shard count and directory at body[*pos:], returning
 // the entries with symbol/byte offsets resolved and validated against the
-// remaining payload length.
-func parseShardDir(body []byte, pos *int) ([]shardDir, error) {
+// remaining payload length. The per-shard symbol/byte plausibility check
+// depends on the container mode: shared-Huffman shards cost at least one bit
+// per symbol, sub-block shards only satisfy the looser allocation cap.
+func parseShardDir(body []byte, pos *int, mode byte) ([]shardDir, error) {
 	nShards, err := readUvarint(body, pos)
 	if err != nil || nShards == 0 || nShards > maxShards || nShards > uint64(len(body)) {
 		return nil, ErrCorrupt
@@ -207,10 +217,22 @@ func parseShardDir(body []byte, pos *int) ([]shardDir, error) {
 		if err != nil {
 			return nil, ErrCorrupt
 		}
-		// The encoder never emits empty shards, and each encoded symbol
-		// costs at least one bit in any coder here, so a symbol count of
-		// zero or beyond 8x the payload bytes cannot be legitimate.
-		if ns == 0 || nb > uint64(len(body)) || ns > 8*nb {
+		// The encoder never emits empty shards, and every shard carries at
+		// least one payload byte (sub-blocks embed their own header; Huffman
+		// streams carry the bits themselves).
+		if ns == 0 || nb == 0 || nb > uint64(len(body)) {
+			return nil, ErrCorrupt
+		}
+		// Shared-Huffman shards cost at least one bit per symbol, so beyond
+		// 8x the payload bytes cannot be legitimate. Sub-block shards (rANS)
+		// can dip far below a bit per symbol on skewed alphabets, so they
+		// only get the allocation cap; a lying directory is still caught
+		// after decode, when the shard's own symbol count disagrees.
+		limit := 8 * nb
+		if mode == modeSubBlocks {
+			limit = maxShardSymsPerByte * nb
+		}
+		if ns > limit {
 			return nil, ErrCorrupt
 		}
 		dir[i] = shardDir{nSyms: int(ns), nBytes: int(nb), symOff: symOff, byteOff: byteOff}
@@ -247,7 +269,7 @@ func decodeSharded(body []byte, workers int) ([]uint32, error) {
 	default:
 		return nil, ErrCorrupt
 	}
-	dir, err := parseShardDir(body, &pos)
+	dir, err := parseShardDir(body, &pos, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +371,7 @@ func BlockStats(blob []byte) (kind Kind, tableBytes, streamBytes int, ok bool) {
 		} else if body[0] != modeSubBlocks {
 			return kind, 0, 0, false
 		}
-		if _, err := parseShardDir(body, &pos); err != nil {
+		if _, err := parseShardDir(body, &pos, body[0]); err != nil {
 			return kind, 0, 0, false
 		}
 		n = pos

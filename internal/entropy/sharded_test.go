@@ -98,6 +98,42 @@ func TestShardedCorruptRejected(t *testing.T) {
 	}
 }
 
+// TestShardedSkewedRANSRoundTrip pins a conformance-harness find: rANS
+// encodes heavily skewed alphabets below one bit per symbol, so a sub-block
+// shard legitimately carries more than 8x its payload bytes in symbols. The
+// old directory check assumed >= 1 bit/symbol for every mode and rejected
+// such blobs at decode as corrupt.
+func TestShardedSkewedRANSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for name, gen := range map[string]func(i int) uint32{
+		"constant": func(int) uint32 { return 7 },
+		"skewed": func(int) uint32 {
+			if rng.Intn(100) == 0 {
+				return uint32(rng.Intn(4))
+			}
+			return 42
+		},
+	} {
+		syms := make([]uint32, 4*minShardSyms)
+		for i := range syms {
+			syms[i] = gen(i)
+		}
+		blob := EncodeBlockSharded(RANS, syms, 4)
+		if Kind(blob[0]) != Sharded || blob[1] != modeSubBlocks {
+			t.Fatalf("%s: expected sharded sub-block container, got %v/%d", name, Kind(blob[0]), blob[1])
+		}
+		for _, workers := range []int{1, 3} {
+			got, err := DecodeBlockParallel(blob, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(got, syms) {
+				t.Fatalf("%s workers=%d: round trip mismatch", name, workers)
+			}
+		}
+	}
+}
+
 func TestShardedBlockStats(t *testing.T) {
 	syms := randomSyms(17, 8000)
 	blob := EncodeBlockSharded(Huffman, syms, 4)

@@ -18,7 +18,13 @@ import (
 
 // Report holds the full assessment.
 type Report struct {
-	Points      int     // valid points scored
+	Points int // valid points scored
+	// NonFinite counts valid points excluded from every statistic because
+	// the original or reconstructed value is NaN/±Inf — a pointwise error
+	// has no meaning there, and one NaN would otherwise poison every
+	// aggregate below. Fidelity at such points (NaN→NaN, ±Inf exact) is the
+	// codec contract's job, not the metric suite's.
+	NonFinite   int
 	MinErr      float64 // most negative pointwise error (recon − orig)
 	MaxErr      float64 // most positive pointwise error
 	MaxAbsErr   float64
@@ -45,6 +51,7 @@ const HistogramBins = 21
 // plane split and the autocorrelation direction.
 func Assess(orig, recon []float32, dims []int, valid []bool) Report {
 	var r Report
+	valid, r.NonFinite = finiteValidity(orig, recon, valid)
 	r.MinErr = math.Inf(1)
 	r.MaxErr = math.Inf(-1)
 	var sumErr, sumSq float64
@@ -81,6 +88,43 @@ func Assess(orig, recon []float32, dims []int, valid []bool) Report {
 	r.ErrAutocorr = errAutocorrLag1(orig, recon, dims, valid)
 	r.Histogram = errorHistogram(orig, recon, valid, r.MaxAbsErr)
 	return r
+}
+
+// finiteValidity narrows valid to the points where both orig and recon are
+// finite, returning the (possibly unchanged) mask plus the number of
+// otherwise-valid points dropped. No allocation happens unless a non-finite
+// value is actually present.
+func finiteValidity(orig, recon []float32, valid []bool) ([]bool, int) {
+	finite := func(v float32) bool {
+		f := float64(v)
+		return !math.IsNaN(f) && !math.IsInf(f, 0)
+	}
+	dropped := 0
+	var eff []bool
+	for i := range orig {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		if finite(orig[i]) && finite(recon[i]) {
+			continue
+		}
+		if eff == nil {
+			if valid != nil {
+				eff = append([]bool(nil), valid...)
+			} else {
+				eff = make([]bool, len(orig))
+				for j := range eff {
+					eff[j] = true
+				}
+			}
+		}
+		eff[i] = false
+		dropped++
+	}
+	if eff == nil {
+		return valid, 0
+	}
+	return eff, dropped
 }
 
 // wasserstein1 computes the 1-Wasserstein (earth mover's) distance between
@@ -166,6 +210,9 @@ func errorHistogram(orig, recon []float32, valid []bool, maxAbs float64) []int {
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "points       %d\n", r.Points)
+	if r.NonFinite > 0 {
+		fmt.Fprintf(&b, "non-finite   %d (excluded)\n", r.NonFinite)
+	}
 	fmt.Fprintf(&b, "max |err|    %.6g  (bias %.3g)\n", r.MaxAbsErr, r.MeanErr)
 	fmt.Fprintf(&b, "RMSE         %.6g  (NRMSE %.3g)\n", r.RMSE, r.NRMSE)
 	fmt.Fprintf(&b, "PSNR         %.2f dB\n", r.PSNR)

@@ -138,6 +138,134 @@ func TestEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
+// TestEdgeCases is the table-driven edge-case suite the conformance work
+// called for: constant fields, fully-masked fields and NaN/Inf-bearing
+// fields must produce well-defined reports — in particular no NaN may leak
+// into any aggregate, whatever the input.
+func TestEdgeCases(t *testing.T) {
+	nan := float32(math.NaN())
+	pinf := float32(math.Inf(1))
+	cases := []struct {
+		name        string
+		orig, recon []float32
+		valid       []bool
+		check       func(t *testing.T, r Report)
+	}{
+		{
+			name:  "constant-perfect",
+			orig:  []float32{3, 3, 3, 3},
+			recon: []float32{3, 3, 3, 3},
+			check: func(t *testing.T, r Report) {
+				// Zero value range: NRMSE stays 0 by definition and a
+				// perfect reconstruction reports infinite PSNR.
+				if r.NRMSE != 0 || !math.IsInf(r.PSNR, 1) {
+					t.Fatalf("NRMSE %v PSNR %v", r.NRMSE, r.PSNR)
+				}
+				if r.RMSE != 0 || r.Points != 4 {
+					t.Fatalf("%+v", r)
+				}
+			},
+		},
+		{
+			name:  "constant-lossy",
+			orig:  []float32{3, 3, 3, 3},
+			recon: []float32{3.01, 2.99, 3.01, 2.99},
+			check: func(t *testing.T, r Report) {
+				// Lossy recon of a zero-range field: RMSE is real, NRMSE
+				// stays 0 (no range to normalize by), PSNR goes to −Inf
+				// rather than NaN.
+				if math.Abs(r.RMSE-0.01) > 1e-6 || r.NRMSE != 0 {
+					t.Fatalf("RMSE %v NRMSE %v", r.RMSE, r.NRMSE)
+				}
+				if !math.IsInf(r.PSNR, -1) {
+					t.Fatalf("PSNR %v, want -Inf", r.PSNR)
+				}
+			},
+		},
+		{
+			name:  "all-masked",
+			orig:  []float32{1, 2, 3},
+			recon: []float32{9, 9, 9},
+			valid: []bool{false, false, false},
+			check: func(t *testing.T, r Report) {
+				if r.Points != 0 || r.MaxAbsErr != 0 || r.RMSE != 0 {
+					t.Fatalf("%+v", r)
+				}
+			},
+		},
+		{
+			name:  "nan-pair-excluded",
+			orig:  []float32{1, nan, 3, 4},
+			recon: []float32{1, nan, 3, 4.5},
+			check: func(t *testing.T, r Report) {
+				if r.NonFinite != 1 || r.Points != 3 {
+					t.Fatalf("NonFinite %d Points %d", r.NonFinite, r.Points)
+				}
+				if math.Abs(r.MaxAbsErr-0.5) > 1e-9 {
+					t.Fatalf("MaxAbsErr %v", r.MaxAbsErr)
+				}
+			},
+		},
+		{
+			name:  "inf-excluded",
+			orig:  []float32{1, pinf, 3, 4},
+			recon: []float32{1, pinf, 3, 4},
+			check: func(t *testing.T, r Report) {
+				if r.NonFinite != 1 || r.Points != 3 {
+					t.Fatalf("NonFinite %d Points %d", r.NonFinite, r.Points)
+				}
+				if r.MaxAbsErr != 0 || !math.IsInf(r.PSNR, 1) {
+					t.Fatalf("%+v", r)
+				}
+			},
+		},
+		{
+			name:  "recon-nan-on-finite-orig",
+			orig:  []float32{1, 2, 3, 4},
+			recon: []float32{1, nan, 3, 4},
+			check: func(t *testing.T, r Report) {
+				// A decoder that manufactures NaN is excluded from the
+				// aggregates but visibly counted — never silently folded in.
+				if r.NonFinite != 1 || r.Points != 3 {
+					t.Fatalf("NonFinite %d Points %d", r.NonFinite, r.Points)
+				}
+			},
+		},
+		{
+			name:  "masked-nan-not-counted",
+			orig:  []float32{1, nan, 3},
+			recon: []float32{1, 7, 3},
+			valid: []bool{true, false, true},
+			check: func(t *testing.T, r Report) {
+				// NaN at an already-masked point is invisible, not NonFinite.
+				if r.NonFinite != 0 || r.Points != 2 {
+					t.Fatalf("NonFinite %d Points %d", r.NonFinite, r.Points)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Assess(tc.orig, tc.recon, []int{len(tc.orig)}, tc.valid)
+			for name, v := range map[string]float64{
+				"MinErr": r.MinErr, "MaxErr": r.MaxErr, "MaxAbsErr": r.MaxAbsErr,
+				"MeanErr": r.MeanErr, "RMSE": r.RMSE, "NRMSE": r.NRMSE,
+				"SSIM": r.SSIM, "Pearson": r.Pearson,
+				"Wasserstein": r.Wasserstein, "ErrAutocorr": r.ErrAutocorr,
+			} {
+				if math.IsNaN(v) {
+					t.Fatalf("%s is NaN: %+v", name, r)
+				}
+			}
+			if math.IsNaN(r.PSNR) {
+				t.Fatalf("PSNR is NaN: %+v", r)
+			}
+			tc.check(t, r)
+			_ = r.String() // must not panic on any edge shape
+		})
+	}
+}
+
 func TestStringRendering(t *testing.T) {
 	a := field(1024, 8)
 	b := make([]float32, len(a))
