@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cliz/internal/conform"
@@ -114,6 +115,10 @@ func runReplay(path string, baselines, jsonOut bool) int {
 			return 2
 		}
 	} else {
+		if art.Lint != nil {
+			fmt.Printf("lint contract at capture: %s (%s)\n",
+				art.Lint.Version, strings.Join(art.Lint.Analyzers, ", "))
+		}
 		printVerdict("original", &art.Case, rep.Original)
 		if rep.Shrunk != nil {
 			printVerdict("shrunk", art.Shrunk, rep.Shrunk)

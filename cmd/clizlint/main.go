@@ -1,0 +1,101 @@
+// Command clizlint runs the CliZ static-analysis suite (internal/analysis)
+// over module packages and reports diagnostics.
+//
+// Usage:
+//
+//	clizlint [flags] [packages]
+//
+// Packages default to ./... (every package in the module). Exit status:
+// 0 when no diagnostics, 1 when diagnostics were reported, 2 on usage or
+// load/type-check errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cliz/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("clizlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	filter := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: clizlint [flags] [packages]\n\nAnalyzers: %s\n\n",
+			strings.Join(analysis.AnalyzerNames(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.Analyzers()
+	if *filter != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*filter, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "clizlint: unknown analyzer %q (have: %s)\n",
+					name, strings.Join(analysis.AnalyzerNames(), ", "))
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "clizlint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "clizlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "clizlint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(loader.Fset, pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "clizlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "clizlint: %d diagnostic(s) (%s, %d package(s))\n",
+			len(diags), analysis.Version, len(pkgs))
+		return 1
+	}
+	return 0
+}

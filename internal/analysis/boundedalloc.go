@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// AnalyzerBoundedAlloc flags make() calls (including make feeding an
+// append) whose size argument is derived from a header or bitstream read
+// without first being dominated by a comparison against a cap. A hostile
+// blob can declare an arbitrarily large count in a few bytes; every
+// allocation sized from such a count must be preceded by a bounds check
+// (against a named cap like maxSections/maxDecodeVolume, a payload
+// length, or a caller-supplied budget) before memory is committed.
+//
+// The analysis is intra-procedural and lexical: a variable becomes
+// tainted when assigned from a varint/bit/binary read (or arithmetic on
+// a tainted value), and is sanitized once it appears in any if/for
+// comparison or is passed to a check/validate/budget-named helper at a
+// position before the allocation. Growth via append inside a loop is
+// work-proportional to the input and is deliberately exempt.
+var AnalyzerBoundedAlloc = &Analyzer{
+	Name: "boundedalloc",
+	Doc:  "allocations sized from header/bitstream reads must be bounds-checked first",
+	Run:  runBoundedAlloc,
+}
+
+// taintSourcePattern matches the callee names that yield
+// attacker-controlled integers: varint readers, bit readers, and
+// binary.* fixed-width loads.
+var taintSourcePattern = regexp.MustCompile(`^(readUvarint|ReadUvarint|Uvarint|Varint|uvarint|varint|ReadBits|ReadBit|ReadByte|Uint16|Uint32|Uint64)$`)
+
+// sanitizerCallPattern matches helper names whose invocation counts as a
+// bounds check for any tainted argument (e.g. checkDecodeBudget).
+var sanitizerCallPattern = regexp.MustCompile(`(?i)(check|valid|budget|bound|cap)`)
+
+var boundedAllocPackages = decodeContractPackages
+
+func runBoundedAlloc(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !boundedAllocPackages[pkg.Name] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkBoundedAlloc(pass, fd)
+			}
+		}
+	}
+}
+
+// checkBoundedAlloc runs the lexical taint walk over one function body.
+// Function literals are included: their statements are visited in source
+// order like any other block.
+func checkBoundedAlloc(pass *Pass, fd *ast.FuncDecl) {
+	tainted := make(map[string]token.Pos)   // var name -> taint position
+	sanitized := make(map[string]token.Pos) // var name -> earliest sanitizing position
+
+	// Pass 1: collect taint assignments and sanitizing positions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if anyTaintedSource(n.Rhs, tainted) {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && id.Name != "err" {
+						if _, seen := tainted[id.Name]; !seen {
+							tainted[id.Name] = id.Pos()
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if n.Cond != nil {
+				markComparisons(n.Cond, sanitized)
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				markComparisons(n.Cond, sanitized)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				markIdents(n.Tag, n.Tag.Pos(), sanitized)
+			}
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						markIdents(e, n.Pos(), sanitized)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); name != "" && sanitizerCallPattern.MatchString(name) {
+				for _, arg := range n.Args {
+					markIdents(arg, n.Pos(), sanitized)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag make() sizes that use a tainted, not-yet-sanitized
+	// variable.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+			return true
+		}
+		for _, arg := range call.Args[1:] { // skip the type argument
+			if name, pos := taintedIdentIn(arg, tainted, sanitized, call.Pos()); name != "" {
+				pass.Reportf(pos,
+					"make() sized by %q, which is read from the bitstream without a preceding bounds check against a cap",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// anyTaintedSource reports whether any RHS expression reads from the
+// bitstream (a taint-source call) or uses an already-tainted variable.
+func anyTaintedSource(rhs []ast.Expr, tainted map[string]token.Pos) bool {
+	for _, e := range rhs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name := calleeName(n); name != "" && taintSourcePattern.MatchString(name) {
+					found = true
+					return false
+				}
+			case *ast.Ident:
+				if _, ok := tainted[n.Name]; ok {
+					found = true
+					return false
+				}
+			case *ast.FuncLit:
+				return false // closures get their own walk
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// markComparisons records every identifier that participates in a
+// relational comparison inside cond.
+func markComparisons(cond ast.Expr, sanitized map[string]token.Pos) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			markIdents(be.X, be.Pos(), sanitized)
+			markIdents(be.Y, be.Pos(), sanitized)
+		}
+		return true
+	})
+}
+
+func markIdents(e ast.Expr, pos token.Pos, sanitized map[string]token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if prev, ok := sanitized[id.Name]; !ok || pos < prev {
+				sanitized[id.Name] = pos
+			}
+		}
+		return true
+	})
+}
+
+// taintedIdentIn returns the first identifier inside e that is tainted
+// and has no sanitizing occurrence before allocPos.
+func taintedIdentIn(e ast.Expr, tainted, sanitized map[string]token.Pos, allocPos token.Pos) (string, token.Pos) {
+	var name string
+	var pos token.Pos
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || name != "" {
+			return name == ""
+		}
+		if _, isTainted := tainted[id.Name]; !isTainted {
+			return true
+		}
+		if sanPos, ok := sanitized[id.Name]; ok && sanPos < allocPos {
+			return true
+		}
+		name, pos = id.Name, id.Pos()
+		return false
+	})
+	return name, pos
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

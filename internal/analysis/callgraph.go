@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// funcNode is the callgraph's view of one declared function or method in
+// the loaded packages. Function literals are attributed to their
+// enclosing declaration, which keeps closure bodies (worker fan-outs via
+// par.Run and friends) reachable from whatever calls the enclosing
+// function.
+type funcNode struct {
+	obj   *types.Func
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls map[*types.Func][]token.Pos // callee -> call sites
+	// panics holds positions of direct panic()/log.Fatal* calls in the
+	// body (including closures).
+	panics []panicSite
+}
+
+type panicSite struct {
+	pos  token.Pos
+	what string // "panic" or e.g. "log.Fatalf"
+}
+
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+}
+
+// buildCallGraph walks every function declaration in pkgs and records,
+// per function, the set of statically resolvable callees and any direct
+// panic/log.Fatal sites. Calls through interface methods resolve to the
+// interface method object, which has no body in the graph and therefore
+// ends the walk there; this is a documented approximation (see DESIGN.md
+// §9).
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{
+					obj:   obj,
+					pkg:   pkg,
+					decl:  fd,
+					calls: make(map[*types.Func][]token.Pos),
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					recordCall(pkg, node, call)
+					return true
+				})
+				g.nodes[obj] = node
+			}
+		}
+	}
+	return g
+}
+
+func recordCall(pkg *Package, node *funcNode, call *ast.CallExpr) {
+	fn := ast.Unparen(call.Fun)
+	// Explicitly instantiated generics: f[T](...) / pkg.F[T](...).
+	switch idx := fn.(type) {
+	case *ast.IndexExpr:
+		fn = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fn = ast.Unparen(idx.X)
+	}
+	switch fun := fn.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[fun]
+		if b, ok := obj.(*types.Builtin); (ok && b.Name() == "panic") || (obj == nil && fun.Name == "panic") {
+			node.panics = append(node.panics, panicSite{pos: call.Pos(), what: "panic"})
+			return
+		}
+		if f, ok := obj.(*types.Func); ok {
+			node.calls[origin(f)] = append(node.calls[origin(f)], call.Pos())
+		}
+	case *ast.SelectorExpr:
+		var callee *types.Func
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			callee, _ = sel.Obj().(*types.Func)
+		} else if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			callee = f // package-qualified call
+		}
+		if callee == nil {
+			return
+		}
+		callee = origin(callee)
+		if p := callee.Pkg(); p != nil && p.Path() == "log" {
+			switch callee.Name() {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				node.panics = append(node.panics, panicSite{pos: call.Pos(), what: "log." + callee.Name()})
+				return
+			}
+		}
+		node.calls[callee] = append(node.calls[callee], call.Pos())
+	}
+}
+
+// origin maps instantiated generic functions/methods back to their
+// generic declaration so the callgraph has one node per source function.
+func origin(f *types.Func) *types.Func {
+	if o := f.Origin(); o != nil {
+		return o
+	}
+	return f
+}
+
+// reachableFrom returns every function node reachable from the entry
+// set, along with one shortest call chain (as a parent map) for
+// reporting.
+func (g *callGraph) reachableFrom(entries []*types.Func) (map[*types.Func]bool, map[*types.Func]*types.Func) {
+	seen := make(map[*types.Func]bool)
+	parent := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(entries))
+	for _, e := range entries {
+		if !seen[e] {
+			seen[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := g.nodes[cur]
+		if node == nil {
+			continue // no body in loaded set (stdlib, interface method)
+		}
+		for callee := range node.calls {
+			if !seen[callee] {
+				seen[callee] = true
+				parent[callee] = cur
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return seen, parent
+}
+
+// chain renders a call chain entry -> ... -> f for diagnostics.
+func chain(parent map[*types.Func]*types.Func, f *types.Func) string {
+	names := []string{f.Name()}
+	for cur := f; ; {
+		p, ok := parent[cur]
+		if !ok {
+			break
+		}
+		names = append(names, p.Name())
+		cur = p
+	}
+	out := ""
+	for i := len(names) - 1; i >= 0; i-- {
+		if out != "" {
+			out += " -> "
+		}
+		out += names[i]
+	}
+	return out
+}
+
+// decodeEntryPattern matches the exported entry points that form the
+// decoder-hardening contract: anything that parses or decodes untrusted
+// bytes, plus the Verify family.
+var decodeEntryPattern = regexp.MustCompile(`^(Decompress|Decode|Parse|Verify|Read|Unpack|Unmarshal|Inspect)`)
+
+// decodeContractPackages are the package names (last import-path
+// element) whose exported decode entry points anchor the nopanic and
+// errwrap analyses. Matching by name rather than full path lets golden
+// testdata fixtures participate in the contract.
+var decodeContractPackages = map[string]bool{
+	"cliz":    true,
+	"core":    true,
+	"codec":   true,
+	"grid":    true,
+	"bitio":   true,
+	"entropy": true,
+	"rans":    true,
+	"huffman": true,
+}
+
+// decodeEntryPoints collects the exported functions and methods in
+// contract packages whose names match the decode/parse/verify pattern.
+func decodeEntryPoints(pkgs []*Package) []*types.Func {
+	var entries []*types.Func
+	for _, pkg := range pkgs {
+		if !decodeContractPackages[pkg.Name] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !fd.Name.IsExported() || !decodeEntryPattern.MatchString(fd.Name.Name) {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					entries = append(entries, obj)
+				}
+			}
+		}
+	}
+	return entries
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrWrap flags fmt.Errorf calls without a %w verb inside
+// functions reachable from the decode entry points. Decode-path errors
+// must wrap a package sentinel (ErrCorrupt or equivalent) so callers can
+// classify hostile input with errors.Is end-to-end; a raw fmt.Errorf
+// breaks the chain.
+//
+// Reachability is computed on the same type-checked callgraph as
+// nopanic, so errors assigned inside helper methods (for example a
+// decoder storing into a struct error field) are covered even when the
+// helper's own name says nothing about decoding.
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "decode-path fmt.Errorf must wrap a sentinel with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	g := buildCallGraph(pass.Pkgs)
+	entries := decodeEntryPoints(pass.Pkgs)
+	reach, parent := g.reachableFrom(entries)
+	for f := range reach {
+		node := g.nodes[f]
+		if node == nil {
+			continue
+		}
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isFmtErrorf(node.pkg, call) {
+				return true
+			}
+			format, ok := formatLiteral(node.pkg, call)
+			if !ok {
+				return true // non-constant format: cannot judge statically
+			}
+			if strings.Contains(format, "%w") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w in decode path (%s); wrap the package corrupt-input sentinel so errors.Is works",
+				chain(parent, f))
+			return true
+		})
+	}
+}
+
+func isFmtErrorf(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Name() != "Errorf" {
+		return false
+	}
+	p := f.Pkg()
+	return p != nil && p.Path() == "fmt"
+}
+
+// formatLiteral returns the constant string value of the first argument,
+// if it is a compile-time string constant.
+func formatLiteral(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s := tv.Value.ExactString()
+	if len(s) >= 2 && s[0] == '"' {
+		return s, true
+	}
+	return s, true
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq flags == and != between float32/float64 operands in
+// the quantization and prediction packages (quant, interp, lorenzo).
+// Almost every float equality there is a bug — reconstructed values
+// differ from originals by rounding, so equality silently misclassifies
+// points. The two legitimate uses (bit-exact self-verification replays,
+// where the decoder recomputes the identical arithmetic) carry a
+// //clizlint:ignore floateq annotation explaining why.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float32/float64 in quant/interp/lorenzo",
+	Run:  runFloatEq,
+}
+
+var floatEqPackages = map[string]bool{
+	"quant":   true,
+	"interp":  true,
+	"lorenzo": true,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !floatEqPackages[pkg.Name] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
+					pass.Reportf(be.OpPos,
+						"%s on floating-point operands; compare with a tolerance, or annotate a bit-exact comparison with //clizlint:ignore floateq <reason>",
+						be.Op)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isFloat(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore is one parsed //clizlint:ignore directive.
+//
+// Format:
+//
+//	//clizlint:ignore <analyzer> <reason>
+//
+// The directive suppresses diagnostics from <analyzer> (or every
+// analyzer, when <analyzer> is "all") reported on the same line or on
+// the line immediately below the directive. A non-empty reason is
+// mandatory; a directive without one is itself reported as a
+// malformed-directive diagnostic so suppressions stay reviewable.
+type Ignore struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+const ignorePrefix = "//clizlint:ignore"
+
+// collectIgnores scans file comments for clizlint directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []Ignore {
+	var out []Ignore
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				ig := Ignore{Pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					ig.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					ig.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, ig)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether ig applies to a diagnostic from the named
+// analyzer at pos: same file, and the diagnostic sits on the directive's
+// own line (trailing comment) or the line immediately below it.
+func (ig Ignore) suppresses(analyzer string, pos token.Position) bool {
+	if ig.Analyzer != analyzer && ig.Analyzer != "all" {
+		return false
+	}
+	if ig.Reason == "" {
+		return false // malformed directives suppress nothing
+	}
+	if ig.Pos.Filename != pos.Filename {
+		return false
+	}
+	return pos.Line == ig.Pos.Line || pos.Line == ig.Pos.Line+1
+}

@@ -1,0 +1,294 @@
+// Package analysis is a stdlib-only static-analysis engine for the CliZ
+// module. It loads and type-checks packages with go/parser + go/types,
+// runs project-specific analyzers over the typed ASTs, and reports
+// diagnostics that can be suppressed with //clizlint:ignore directives.
+//
+// The engine deliberately avoids golang.org/x/tools: the loader resolves
+// imports of module-local packages ("cliz/...") by recursively
+// type-checking the corresponding directories, and delegates standard
+// library imports to the source importer shipped with the toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers see.
+type Package struct {
+	Path    string // import path, e.g. "cliz/internal/grid"
+	Name    string // package name, e.g. "grid"
+	Dir     string // directory on disk
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Ignores []Ignore
+}
+
+// Loader parses and type-checks packages of a single Go module. It is
+// safe to reuse across Load calls; type-checked packages are memoized so
+// that shared dependencies are only checked once.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	modDir  string
+	std     types.ImporterFrom
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir. It
+// locates go.mod by walking upward from dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		modPath: modPath,
+		modDir:  modDir,
+		std:     std,
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module path from go.mod (e.g. "cliz").
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ModuleDir returns the module root directory.
+func (l *Loader) ModuleDir() string { return l.modDir }
+
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: go.mod in %s has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadPatterns resolves package patterns relative to the module root.
+// Supported patterns: "./..." (all module packages), a module-relative
+// directory like "./internal/grid", or an import path like
+// "cliz/internal/grid".
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var pkgs []*Package
+	add := func(p *Package) {
+		if p != nil && !seen[p.Path] {
+			seen[p.Path] = true
+			pkgs = append(pkgs, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				p, err := l.loadDir(d)
+				if err != nil {
+					return nil, err
+				}
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			p, err := l.loadDir(filepath.Join(l.modDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		default:
+			p, err := l.loadImportPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// moduleDirs returns every directory under the module root that contains
+// at least one non-test .go file, skipping testdata, hidden dirs, and
+// vendor.
+func (l *Loader) moduleDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "results") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+func (l *Loader) loadImportPath(path string) (*Package, error) {
+	if path == l.modPath {
+		return l.loadDir(l.modDir)
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return l.loadDir(filepath.Join(l.modDir, filepath.FromSlash(rest)))
+	}
+	return nil, fmt.Errorf("analysis: import path %q is outside module %s", path, l.modPath)
+}
+
+// loadDir parses and type-checks the package in dir (non-test files
+// only), memoized by import path.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	p := &Package{
+		Path:    path,
+		Name:    tpkg.Name(),
+		Dir:     abs,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Ignores: collectIgnores(l.Fset, files),
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+// Directories under testdata get a synthetic path rooted at the module
+// path so golden-test fixture packages can be loaded like real ones.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: directory %s is outside module root %s", dir, l.modDir)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-local
+// import paths are type-checked from source in-process; everything else
+// (the standard library) is delegated to the toolchain source importer.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l := (*Loader)(im)
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.loadImportPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "go/types"
+
+// AnalyzerNoPanic reports panic() and log.Fatal* calls that are
+// reachable, via the type-checked callgraph, from exported
+// decode/parse/Verify entry points in the decode-contract packages.
+// Hostile input must surface as a returned error, never a crash.
+//
+// Encode-only and registration-time panics (programmer-error guards that
+// no untrusted byte stream can trigger) are permitted because they are
+// unreachable from the entry set; the analyzer proves that property
+// rather than trusting it.
+var AnalyzerNoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic/log.Fatal reachable from exported decode/Verify entry points",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	g := buildCallGraph(pass.Pkgs)
+	entries := decodeEntryPoints(pass.Pkgs)
+	reach, parent := g.reachableFrom(entries)
+	reported := make(map[*types.Func]bool)
+	for f := range reach {
+		node := g.nodes[f]
+		if node == nil || len(node.panics) == 0 || reported[f] {
+			continue
+		}
+		reported[f] = true
+		for _, site := range node.panics {
+			pass.Reportf(site.pos,
+				"%s call in %s is reachable from decode entry point (%s); return an error wrapping the package corrupt-input sentinel instead",
+				site.what, f.Name(), chain(parent, f))
+		}
+	}
+}

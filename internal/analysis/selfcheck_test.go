@@ -1,0 +1,43 @@
+package analysis
+
+import "testing"
+
+// TestModuleClean runs the full analyzer suite over every package in the
+// module and requires zero diagnostics — the same gate CI applies via
+// cmd/clizlint. A regression that reintroduces a decode-reachable panic,
+// an unbounded header-sized allocation, an unwrapped decode error, an
+// unpaired trace span, or a float equality fails `go test ./...`, not
+// just the lint job.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check is slow; skipped in -short")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Run(l.Fset, pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoaderResolvesModuleImports pins the loader's import wiring: a
+// deep package whose dependencies span both module-local packages and
+// the standard library must type-check.
+func TestLoaderResolvesModuleImports(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.LoadPatterns([]string{"cliz/internal/core"})
+	if err != nil {
+		t.Fatalf("load cliz/internal/core: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "core" {
+		t.Fatalf("unexpected load result: %+v", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("Decompress") == nil {
+		t.Fatal("core.Decompress not found in type-checked package")
+	}
+}

@@ -1,0 +1,20 @@
+// Package directive is a golden-test fixture for the suppression-
+// directive rules: a directive must name a known analyzer and carry a
+// reason, and a malformed one is itself a diagnostic. The `want +N`
+// form anchors the expectation N lines below the comment.
+package directive
+
+// want +2 `malformed //clizlint:ignore directive`
+
+//clizlint:ignore floateq
+func missingReason() {}
+
+// want +2 `names unknown analyzer "nosuchanalyzer"`
+
+//clizlint:ignore nosuchanalyzer reason text here
+func unknownAnalyzer() {}
+
+//clizlint:ignore all this whole line is exempt for a documented reason
+func wellFormed() {}
+
+var _ = []func(){missingReason, unknownAnalyzer, wellFormed}

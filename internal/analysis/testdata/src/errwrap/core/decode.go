@@ -1,0 +1,37 @@
+// Package core is a golden-test fixture for the errwrap analyzer:
+// fmt.Errorf in decode-reachable functions must wrap a sentinel with %w.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the package corrupt-input sentinel.
+var ErrCorrupt = errors.New("core: corrupt")
+
+// DecodeThing is a decode entry point.
+func DecodeThing(src []byte) error {
+	if len(src) == 0 {
+		return fmt.Errorf("empty input") // want `fmt.Errorf without %w in decode path`
+	}
+	if len(src) > 64 {
+		return fmt.Errorf("implausible length %d: %w", len(src), ErrCorrupt)
+	}
+	return helper(src)
+}
+
+// helper is only reachable through DecodeThing; its raw fmt.Errorf still
+// breaks the errors.Is chain and must be flagged.
+func helper(src []byte) error {
+	if src[0] != 0xC1 {
+		return fmt.Errorf("bad magic byte %#x", src[0]) // want `fmt.Errorf without %w in decode path`
+	}
+	return nil
+}
+
+// Advise is unreachable from any decode entry point, so its bare
+// fmt.Errorf is an ordinary error, not a contract violation.
+func Advise(n int) error {
+	return fmt.Errorf("advice rejected for %d", n)
+}

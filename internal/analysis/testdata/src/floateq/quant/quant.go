@@ -1,0 +1,25 @@
+// Package quant is a golden-test fixture for the floateq analyzer: its
+// name places it in the float-comparison contract, so ==/!= on floats
+// are flagged unless annotated as bit-exact comparisons.
+package quant
+
+// Same compares floats the wrong way (flagged) and the right ways
+// (tolerance, annotated bit-exact, integer).
+func Same(a, b float32, eps float64) bool {
+	if a == b { // want `== on floating-point operands`
+		return true
+	}
+	d := float64(a) - float64(b)
+	if d != 0 { // want `!= on floating-point operands`
+		d = -d
+	}
+	//clizlint:ignore floateq golden-test stand-in for a bit-exact self-verification replay
+	if a != b {
+		_ = d
+	}
+	na, nb := int32(a), int32(b)
+	if na != nb { // integers: not flagged
+		return false
+	}
+	return d < eps
+}

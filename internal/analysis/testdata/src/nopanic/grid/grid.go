@@ -1,0 +1,34 @@
+// Package grid is a golden-test fixture for the nopanic analyzer: its
+// name puts it in the decode contract, so panics reachable from the
+// exported Decode entry point must be flagged while encode-side panics
+// stay exempt.
+package grid
+
+import "log"
+
+// DecodeStuff is a decode entry point (exported, name matches the
+// decode/parse pattern, contract package name).
+func DecodeStuff(src []byte) ([]byte, error) {
+	return expand(src)
+}
+
+func expand(src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		panic("empty input") // want `panic call in expand is reachable from decode entry point`
+	}
+	if len(src) > 1<<20 {
+		log.Fatal("input too large") // want `log.Fatal call in expand is reachable from decode entry point`
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// EncodeStuff panics on programmer error; it is not reachable from any
+// decode entry point, so the analyzer must not flag it.
+func EncodeStuff(dst []byte) []byte {
+	if dst == nil {
+		panic("nil destination")
+	}
+	return dst
+}

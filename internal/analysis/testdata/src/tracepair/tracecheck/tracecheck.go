@@ -1,0 +1,43 @@
+// Package tracecheck is a golden-test fixture for the tracepair
+// analyzer. It exercises the real trace package, so the Begin/End
+// pairing rules are checked against the actual Span API.
+package tracecheck
+
+import "cliz/internal/trace"
+
+// Leaky opens a span and never closes it.
+func Leaky(c trace.Collector) int {
+	sp := trace.Begin(c, "stage") // want `trace span "sp" opened here has no End`
+	_ = sp
+	return 1
+}
+
+// Discarded drops the span on the floor; it can never be ended.
+func Discarded(c trace.Collector) {
+	trace.Begin(c, "stage") // want `trace.Begin result discarded`
+}
+
+// Balanced reuses one span variable across two stages, closing each
+// segment before the next Begin — the idiom used throughout the core
+// pipeline. Early error returns may drop a span (deliberately allowed),
+// but each Begin here has a lexically-following end.
+func Balanced(c trace.Collector, n int) int {
+	sp := trace.Begin(c, "first")
+	n *= 2
+	sp.EndBytes(int64(n), int64(n))
+	sp = trace.Begin(c, "second")
+	defer sp.End()
+	return n
+}
+
+// ClosureBalanced opens and closes a span inside a worker closure, the
+// shape of the sectioned fan-outs in core.
+func ClosureBalanced(c trace.Collector, fns []func()) {
+	for _, fn := range fns {
+		func() {
+			sp := trace.Begin(c, "worker")
+			fn()
+			sp.End()
+		}()
+	}
+}

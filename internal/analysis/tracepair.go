@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerTracePair checks that every trace span opened with
+// trace.Begin-style calls is closed: for each variable assigned from
+// Begin, an End/EndBytes/EndFull call on that variable must appear later
+// in the same function body, before the variable is re-assigned from
+// another Begin (and before the function ends). A Begin whose result is
+// discarded is always flagged — a span that can never be ended is dead
+// instrumentation and skews byte accounting.
+//
+// The check is lexical rather than per-return-path on purpose: the trace
+// contract allows dropping a span on an early error return (stage timing
+// for failed decodes is not recorded), but a span with no closing call
+// anywhere is a bug. Spans that escape the function (passed as a call
+// argument or assigned to a non-local destination) are treated as handed
+// off and exempt.
+var AnalyzerTracePair = &Analyzer{
+	Name: "tracepair",
+	Doc:  "every trace.Begin span has a matching End/EndBytes/EndFull",
+	Run:  runTracePair,
+}
+
+var spanEndMethods = map[string]bool{"End": true, "EndBytes": true, "EndFull": true}
+
+func runTracePair(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkTracePairs(pass, pkg, fd.Body)
+			}
+		}
+	}
+}
+
+type spanOpen struct {
+	name   string
+	pos    token.Pos
+	closed bool
+}
+
+// checkTracePairs scans one body lexically. Function literals are
+// scanned as part of the enclosing body: spans opened inside a closure
+// are visible to the same walk, and a span opened outside but ended
+// inside a closure (or vice versa) still pairs up.
+func checkTracePairs(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	var opens []*spanOpen
+	latest := make(map[string]*spanOpen)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isTraceBegin(pkg, call) {
+					continue
+				}
+				var name string
+				if len(n.Lhs) > i {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+				if name == "" || name == "_" {
+					pass.Reportf(call.Pos(), "trace.Begin result discarded; the span can never be ended")
+					continue
+				}
+				open := &spanOpen{name: name, pos: call.Pos()}
+				opens = append(opens, open)
+				latest[name] = open
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if isTraceBegin(pkg, call) {
+					pass.Reportf(call.Pos(), "trace.Begin result discarded; the span can never be ended")
+					return true
+				}
+				if name, ok := spanEndCall(call); ok {
+					if open := latest[name]; open != nil && call.Pos() > open.pos {
+						open.closed = true
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := spanEndCall(n.Call); ok {
+				if open := latest[name]; open != nil && n.Pos() > open.pos {
+					open.closed = true
+				}
+			}
+		case *ast.CallExpr:
+			// A span passed to another function escapes; treat as handed
+			// off so ownership transfers do not false-positive.
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if open := latest[id.Name]; open != nil && n.Pos() > open.pos {
+						if name, _ := spanEndCall(n); name != id.Name {
+							open.closed = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if open := latest[id.Name]; open != nil {
+						open.closed = true // returned to caller: ownership transfers
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, open := range opens {
+		if !open.closed {
+			pass.Reportf(open.pos,
+				"trace span %q opened here has no End/EndBytes/EndFull before the function returns or the variable is reused",
+				open.name)
+		}
+	}
+}
+
+// isTraceBegin reports whether call invokes a function named Begin from
+// a package named trace (the project trace package or a golden-test
+// stand-in).
+func isTraceBegin(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return false
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	p := f.Pkg()
+	return p != nil && p.Name() == "trace"
+}
+
+// spanEndCall reports whether call is v.End()/v.EndBytes()/v.EndFull()
+// on a plain identifier receiver, returning the receiver name.
+func spanEndCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !spanEndMethods[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}

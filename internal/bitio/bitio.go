@@ -11,6 +11,11 @@ import (
 // ErrOverrun is returned by Reader methods when the stream is exhausted.
 var ErrOverrun = errors.New("bitio: read past end of stream")
 
+// ErrBitCount is returned when a requested bit count is outside the
+// representable range. Bit counts on decode paths can come from the
+// bitstream itself, so this must be a classifiable error, not a panic.
+var ErrBitCount = errors.New("bitio: bit count out of range")
+
 // Writer accumulates bits MSB-first into an internal byte buffer.
 // The zero value is ready to use.
 type Writer struct {
@@ -146,7 +151,7 @@ func (r *Reader) ReadBit() (uint, error) {
 // right-aligned.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
-		return 0, fmt.Errorf("bitio: ReadBits n=%d out of range", n)
+		return 0, fmt.Errorf("bitio: ReadBits n=%d: %w", n, ErrBitCount)
 	}
 	var v uint64
 	for n > 0 {

@@ -1,0 +1,21 @@
+package bitio
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReadBitsRange pins the n>64 guard: a width outside [0,64] is a
+// classifiable ErrBitCount, never a shift-amount panic or silent wrap.
+func TestReadBitsRange(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0xFF})
+	_, err := r.ReadBits(65)
+	if !errors.Is(err, ErrBitCount) {
+		t.Fatalf("ReadBits(65): want ErrBitCount, got %v", err)
+	}
+	// The reader must remain usable after the rejected call.
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0xFF {
+		t.Fatalf("ReadBits(8) after rejection: v=%#x err=%v", v, err)
+	}
+}

@@ -202,6 +202,14 @@ func TestArtifactRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(art.Case, failing) {
 		t.Fatalf("case did not survive the JSON round trip:\n%+v\n%+v", art.Case, failing)
 	}
+	// WriteArtifact stamps the lint contract automatically; the stamp
+	// must survive the round trip and name at least the core analyzers.
+	if art.Lint == nil || art.Lint.Version == "" || len(art.Lint.Analyzers) < 5 {
+		t.Fatalf("artifact missing lint stamp: %+v", art.Lint)
+	}
+	if !reflect.DeepEqual(art.Lint, CurrentLintStamp()) {
+		t.Fatalf("lint stamp changed across round trip: %+v vs %+v", art.Lint, CurrentLintStamp())
+	}
 	// With the hook active the artifact still fails; without it (the bug
 	// "fixed") the replay comes back clean.
 	if rep := Replay(art, opt); !rep.StillFails() {

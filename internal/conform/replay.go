@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"cliz/internal/analysis"
 )
 
 // ArtifactVersion is bumped when the artifact schema changes incompatibly.
@@ -30,6 +32,22 @@ type Artifact struct {
 	ShrunkFailures []Failure `json:"shrunkFailures,omitempty"`
 	// Note carries free-form context ("found by sweep seed 42 case 17").
 	Note string `json:"note,omitempty"`
+	// Lint records the static-analysis contract the writing binary was
+	// built under, so a reproducer can be matched to the lint rules that
+	// were enforced when the failure was captured.
+	Lint *LintStamp `json:"lint,omitempty"`
+}
+
+// LintStamp identifies the clizlint contract a binary was built with.
+type LintStamp struct {
+	Version   string   `json:"version"`
+	Analyzers []string `json:"analyzers"`
+}
+
+// CurrentLintStamp returns the stamp for the analyzers compiled into
+// this binary.
+func CurrentLintStamp() *LintStamp {
+	return &LintStamp{Version: analysis.Version, Analyzers: analysis.AnalyzerNames()}
 }
 
 // ArtifactName returns the canonical file name for a failure artifact.
@@ -42,6 +60,9 @@ func ArtifactName(seed int64, caseIndex int) string {
 func WriteArtifact(dir string, a *Artifact) (string, error) {
 	if a.Version == 0 {
 		a.Version = ArtifactVersion
+	}
+	if a.Lint == nil {
+		a.Lint = CurrentLintStamp()
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err

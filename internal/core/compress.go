@@ -321,10 +321,16 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	W := opt.workers()
 	sp := trace.Begin(opt.Trace, "permute")
 	tdims := grid.PermuteDims(dims, p.Perm)
-	tdata := grid.TransposeWorkers(data, dims, p.Perm, W)
+	tdata, err := grid.TransposeWorkers(data, dims, p.Perm, W)
+	if err != nil {
+		return nil, nil, err
+	}
 	var tvalid []bool
 	if validOrig != nil {
-		tvalid = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
+		tvalid, err = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	sp.EndFull(int64(len(data))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
 	fdims := p.Fusion.Apply(tdims)
@@ -419,7 +425,10 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 
 	// Reconstruction back in the original layout.
 	sp = trace.Begin(opt.Trace, "unpermute")
-	recon := grid.TransposeWorkers(reconT, tdims, grid.InversePerm(p.Perm), W)
+	recon, err := grid.TransposeWorkers(reconT, tdims, grid.InversePerm(p.Perm), W)
+	if err != nil {
+		return nil, nil, err
+	}
 	sp.EndFull(int64(len(reconT))*4, int64(len(recon))*4, int64(len(recon)), nil)
 	return out, recon, nil
 }
@@ -612,9 +621,10 @@ func validityFromUnitBlob(blob []byte, dims []int) ([]bool, error) {
 		}
 		hm, err := mask.Parse(sec)
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
-		return hm.Broadcast(dims)
+		valid, err := hm.Broadcast(dims)
+		return valid, corrupt(err)
 	case h.flags&flagPointMask != 0:
 		sec, err := sr.next(blob, &pos, secMask)
 		if err != nil {
@@ -663,7 +673,7 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		}
 		hm, err := mask.Parse(sec)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, corrupt(err)
 		}
 		nLat, nLon := latLon(dims)
 		if hm.NLat != nLat || hm.NLon != nLon {
@@ -671,7 +681,7 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		}
 		validOrig, err = hm.Broadcast(dims)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, corrupt(err)
 		}
 	case h.flags&flagPointMask != 0:
 		sec, err := sr.next(blob, pos, secMask)
@@ -685,7 +695,11 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		}
 	}
 	if validOrig != nil {
-		tvalid = grid.TransposeWorkers(validOrig, dims, p.Perm, workers)
+		var err2 error
+		tvalid, err2 = grid.TransposeWorkers(validOrig, dims, p.Perm, workers)
+		if err2 != nil {
+			return nil, nil, corrupt(err2)
+		}
 	}
 	sp.EndFull(0, int64(len(validOrig)), int64(len(validOrig)), nil)
 	tdims := grid.PermuteDims(dims, p.Perm)
@@ -710,20 +724,20 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		nLat, nLon := latLon(dims)
 		cls, err := classify.UnpackMeta(metaSec, nLat*nLon)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, corrupt(err)
 		}
-		a, err := decodeSymbolSectionWorkers(aSec, workers)
+		a, err := decodeSymbolSectionWorkers(aSec, workers, vol)
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := decodeSymbolSectionWorkers(bSec, workers)
+		b, err := decodeSymbolSectionWorkers(bSec, workers, vol)
 		if err != nil {
 			return nil, nil, err
 		}
 		colOf := columnIDs(dims, p.Perm)
 		bins, err = classify.Merge(a, b, colOf, tvalid, cls)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, corrupt(err)
 		}
 		classify.UnshiftBins(bins, colOf, tvalid, cls)
 	} else {
@@ -731,7 +745,7 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		if err != nil {
 			return nil, nil, err
 		}
-		syms, err := decodeSymbolSectionWorkers(sec, workers)
+		syms, err := decodeSymbolSectionWorkers(sec, workers, vol)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -762,7 +776,7 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 	}
 	litBytes, err := lossless.Decode(litSec)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, corrupt(err)
 	}
 	lits, err := bytesToFloat32s(litBytes)
 	if err != nil {
@@ -776,14 +790,14 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 	sp = trace.Begin(c, recName)
 	tdata, err := reconstructSections(bins, lits, fdims, tvalid, h, workers, h.psections, c)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, corrupt(err)
 	}
 	sp.EndFull(int64(len(bins))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
 	if opt.BoundCheckEvery > 0 {
 		sp = trace.Begin(c, "verify-bound")
 		n, err := verifySections(bins, lits, fdims, tvalid, h, workers, h.psections, opt.BoundCheckEvery, tdata)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: bound self-verification: %w", err)
+			return nil, nil, fmt.Errorf("core: bound self-verification: %w", corrupt(err))
 		}
 		if opt.stats != nil {
 			opt.stats.boundChecked.Add(int64(n))
@@ -791,21 +805,28 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		sp.EndFull(int64(len(bins))*4, 0, int64(n), nil)
 	}
 	sp = trace.Begin(c, "unpermute")
-	data := grid.TransposeWorkers(tdata, tdims, grid.InversePerm(p.Perm), workers)
+	data, err := grid.TransposeWorkers(tdata, tdims, grid.InversePerm(p.Perm), workers)
+	if err != nil {
+		return nil, nil, corrupt(err)
+	}
 	sp.EndFull(int64(len(tdata))*4, int64(len(data))*4, int64(len(data)), nil)
 	return data, dims, nil
 }
 
-func decodeSymbolSection(sec []byte) ([]uint32, error) {
-	return decodeSymbolSectionWorkers(sec, 1)
-}
-
-func decodeSymbolSectionWorkers(sec []byte, workers int) ([]uint32, error) {
+// decodeSymbolSectionWorkers lossless-decodes and entropy-decodes one
+// symbol section. maxSyms is the largest symbol count the caller can use
+// (the unit volume); the entropy layer rejects declared counts beyond it
+// before allocating. Sub-package errors are classified as corruption.
+func decodeSymbolSectionWorkers(sec []byte, workers, maxSyms int) ([]uint32, error) {
 	raw, err := lossless.Decode(sec)
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
-	return entropy.DecodeBlockParallel(raw, workers)
+	syms, err := entropy.DecodeBlockBounded(raw, workers, maxSyms)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	return syms, nil
 }
 
 // packBitmap bit-packs and flate-compresses a validity bitmap.
@@ -822,7 +843,7 @@ func packBitmap(v []bool) []byte {
 func unpackBitmap(blob []byte, n int) ([]bool, error) {
 	bits, err := lossless.Decode(blob)
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if len(bits) < (n+7)/8 {
 		return nil, ErrCorrupt

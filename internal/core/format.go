@@ -123,6 +123,19 @@ func (e *SectionError) Error() string {
 
 func (e *SectionError) Unwrap() error { return e.Err }
 
+// corrupt classifies a decode-path failure from a sub-package (entropy,
+// interp, lorenzo, mask, lossless, grid, ...) as blob corruption: the
+// returned error wraps both the original error and ErrCorrupt, so callers
+// can match either the specific sub-package sentinel or the umbrella
+// errors.Is(err, ErrCorrupt) contract. nil and already-classified errors
+// pass through unchanged.
+func corrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
+
 // dirEntry is one v3 section-directory record.
 type dirEntry struct {
 	id  byte

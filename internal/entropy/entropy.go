@@ -87,20 +87,39 @@ func DecodeBlock(blob []byte) ([]uint32, error) {
 // disjoint windows of one output slice. Plain blocks (and workers <= 1)
 // decode serially; the result is identical either way.
 func DecodeBlockParallel(blob []byte, workers int) ([]uint32, error) {
+	return DecodeBlockBounded(blob, workers, -1)
+}
+
+// DecodeBlockBounded is DecodeBlockParallel with a caller-supplied upper
+// bound on the decoded symbol count (-1 for no caller bound). Decoders
+// that know their output volume — the core layer always does — should
+// pass it so a hostile declared count is rejected before any allocation
+// instead of being discovered after a huge make().
+func DecodeBlockBounded(blob []byte, workers, maxSyms int) ([]uint32, error) {
 	if len(blob) == 0 {
 		return nil, ErrCorrupt
 	}
 	switch Kind(blob[0]) {
 	case Huffman:
-		syms, _, err := huffman.DecodeBlock(blob[1:])
+		syms, _, err := huffman.DecodeBlockMax(blob[1:], maxSyms)
 		return syms, err
 	case RANS:
-		syms, _, err := rans.DecodeBlock(blob[1:])
+		syms, _, err := rans.DecodeBlockMax(blob[1:], ransBudget(maxSyms))
 		return syms, err
 	case Sharded:
-		return decodeSharded(blob[1:], workers)
+		return decodeSharded(blob[1:], workers, maxSyms)
 	}
 	return nil, ErrCorrupt
+}
+
+// ransBudget maps the caller bound onto rans.DecodeBlockMax's contract,
+// which has no "unbounded" mode: absent a caller bound, fall back to the
+// package-wide absolute cap.
+func ransBudget(maxSyms int) int {
+	if maxSyms < 0 {
+		return rans.MaxBlockSyms
+	}
+	return maxSyms
 }
 
 // writerPool recycles the bitstream writers of parallel shard encoders; the
@@ -201,7 +220,7 @@ const maxShardSymsPerByte = 1 << 16
 // remaining payload length. The per-shard symbol/byte plausibility check
 // depends on the container mode: shared-Huffman shards cost at least one bit
 // per symbol, sub-block shards only satisfy the looser allocation cap.
-func parseShardDir(body []byte, pos *int, mode byte) ([]shardDir, error) {
+func parseShardDir(body []byte, pos *int, mode byte, maxSyms int) ([]shardDir, error) {
 	nShards, err := readUvarint(body, pos)
 	if err != nil || nShards == 0 || nShards > maxShards || nShards > uint64(len(body)) {
 		return nil, ErrCorrupt
@@ -245,12 +264,15 @@ func parseShardDir(body []byte, pos *int, mode byte) ([]shardDir, error) {
 	if byteOff > len(body)-*pos {
 		return nil, ErrCorrupt
 	}
+	if maxSyms >= 0 && symOff > maxSyms {
+		return nil, ErrCorrupt
+	}
 	return dir, nil
 }
 
 // decodeSharded decodes a Sharded container body (everything after the kind
 // byte) with up to `workers` concurrent shard decoders.
-func decodeSharded(body []byte, workers int) ([]uint32, error) {
+func decodeSharded(body []byte, workers, maxSyms int) ([]uint32, error) {
 	if len(body) < 2 {
 		return nil, ErrCorrupt
 	}
@@ -269,7 +291,7 @@ func decodeSharded(body []byte, workers int) ([]uint32, error) {
 	default:
 		return nil, ErrCorrupt
 	}
-	dir, err := parseShardDir(body, &pos, mode)
+	dir, err := parseShardDir(body, &pos, mode, maxSyms)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +307,7 @@ func decodeSharded(body []byte, workers int) ([]uint32, error) {
 			errs[i] = codec.DecodeInto(dst, bitio.NewReader(raw))
 			return
 		}
-		syms, err := DecodeBlock(raw)
+		syms, err := DecodeBlockBounded(raw, 1, d.nSyms)
 		if err != nil {
 			errs[i] = err
 			return
@@ -371,7 +393,7 @@ func BlockStats(blob []byte) (kind Kind, tableBytes, streamBytes int, ok bool) {
 		} else if body[0] != modeSubBlocks {
 			return kind, 0, 0, false
 		}
-		if _, err := parseShardDir(body, &pos, body[0]); err != nil {
+		if _, err := parseShardDir(body, &pos, body[0], -1); err != nil {
 			return kind, 0, 0, false
 		}
 		n = pos

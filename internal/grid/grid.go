@@ -5,11 +5,18 @@
 package grid
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"cliz/internal/par"
 )
+
+// ErrShape is the sentinel wrapped by every shape/permutation mismatch
+// reported by this package. Decode paths hand Transpose dimensions that
+// ultimately come from a blob header, so mismatches must surface as
+// errors (never panics) and be classifiable with errors.Is.
+var ErrShape = errors.New("grid: shape mismatch")
 
 // Volume returns the number of points spanned by dims. Empty dims or any
 // non-positive extent yields 0.
@@ -94,26 +101,27 @@ func PermuteDims(dims, perm []int) []int {
 // Transpose physically reorders src (row-major over dims) into a new slice
 // that is row-major over PermuteDims(dims, perm). Axis perm[i] of the source
 // becomes axis i of the destination.
-func Transpose[T any](src []T, dims, perm []int) []T {
+func Transpose[T any](src []T, dims, perm []int) ([]T, error) {
 	return TransposeWorkers(src, dims, perm, 1)
 }
 
 // TransposeWorkers is Transpose with the destination range split across up
 // to `workers` goroutines. The destination is written sequentially within
 // each range, so ranges are disjoint and the result is identical for any
-// worker count.
-func TransposeWorkers[T any](src []T, dims, perm []int, workers int) []T {
+// worker count. A permutation that is not a bijection of the axes, or a
+// src length that disagrees with dims, yields an error wrapping ErrShape.
+func TransposeWorkers[T any](src []T, dims, perm []int, workers int) ([]T, error) {
 	n := len(dims)
 	if !ValidPerm(perm, n) {
-		panic(fmt.Sprintf("grid: invalid permutation %v for %d dims", perm, n))
+		return nil, fmt.Errorf("grid: invalid permutation %v for %d dims: %w", perm, n, ErrShape)
 	}
 	vol := Volume(dims)
 	if len(src) != vol {
-		panic(fmt.Sprintf("grid: data length %d does not match dims %v", len(src), dims))
+		return nil, fmt.Errorf("grid: data length %d does not match dims %v: %w", len(src), dims, ErrShape)
 	}
 	dst := make([]T, vol)
 	if n == 0 || vol == 0 {
-		return dst
+		return dst, nil
 	}
 	outDims := PermuteDims(dims, perm)
 	srcStr := Strides(dims)
@@ -131,13 +139,13 @@ func TransposeWorkers[T any](src []T, dims, perm []int, workers int) []T {
 	}
 	if workers <= 1 {
 		transposeRange(dst, src, outDims, step, 0, vol)
-		return dst
+		return dst, nil
 	}
 	par.Run(workers, workers, func(w int) {
 		lo, hi := vol*w/workers, vol*(w+1)/workers
 		transposeRange(dst, src, outDims, step, lo, hi)
 	})
-	return dst
+	return dst, nil
 }
 
 // transposeRange fills dst[lo:hi] of a transposition: destination indices are

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -34,10 +35,19 @@ func TestIndexCoordInverse(t *testing.T) {
 	}
 }
 
+func mustTranspose[T any](t *testing.T, src []T, dims, perm []int) []T {
+	t.Helper()
+	dst, err := Transpose(src, dims, perm)
+	if err != nil {
+		t.Fatalf("Transpose(%v, %v): %v", dims, perm, err)
+	}
+	return dst
+}
+
 func TestTransposeIdentity(t *testing.T) {
 	dims := []int{2, 3, 4}
 	src := seq(Volume(dims))
-	dst := Transpose(src, dims, []int{0, 1, 2})
+	dst := mustTranspose(t, src, dims, []int{0, 1, 2})
 	if !reflect.DeepEqual(src, dst) {
 		t.Fatal("identity transpose changed data")
 	}
@@ -46,7 +56,7 @@ func TestTransposeIdentity(t *testing.T) {
 func TestTranspose2D(t *testing.T) {
 	// 2x3 matrix [[0,1,2],[3,4,5]] transposed -> 3x2 [[0,3],[1,4],[2,5]]
 	src := []int{0, 1, 2, 3, 4, 5}
-	dst := Transpose(src, []int{2, 3}, []int{1, 0})
+	dst := mustTranspose(t, src, []int{2, 3}, []int{1, 0})
 	want := []int{0, 3, 1, 4, 2, 5}
 	if !reflect.DeepEqual(dst, want) {
 		t.Fatalf("got %v want %v", dst, want)
@@ -67,8 +77,14 @@ func TestTransposeInverseProperty(t *testing.T) {
 		for i := range src {
 			src[i] = rng.Float32()
 		}
-		tr := Transpose(src, dims, perm)
-		back := Transpose(tr, PermuteDims(dims, perm), InversePerm(perm))
+		tr, err := Transpose(src, dims, perm)
+		if err != nil {
+			return false
+		}
+		back, err := Transpose(tr, PermuteDims(dims, perm), InversePerm(perm))
+		if err != nil {
+			return false
+		}
 		return reflect.DeepEqual(src, back)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -80,7 +96,7 @@ func TestTransposeSemantics(t *testing.T) {
 	dims := []int{2, 3, 4}
 	src := seq(Volume(dims))
 	perm := []int{2, 0, 1} // dst axis 0 = src axis 2, etc.
-	dst := Transpose(src, dims, perm)
+	dst := mustTranspose(t, src, dims, perm)
 	outDims := PermuteDims(dims, perm)
 	if !reflect.DeepEqual(outDims, []int{4, 2, 3}) {
 		t.Fatalf("outDims = %v", outDims)
@@ -96,6 +112,40 @@ func TestTransposeSemantics(t *testing.T) {
 		if dst[di] != src[Index(sc, dims)] {
 			t.Fatalf("mismatch at %v", co)
 		}
+	}
+}
+
+// TestTransposeHostileShapes feeds the inputs that used to panic — an
+// invalid permutation and a src length that disagrees with dims, both of
+// which a hostile blob header can produce on the decode path — and
+// checks they now come back as ErrShape-wrapping errors.
+func TestTransposeHostileShapes(t *testing.T) {
+	src := seq(6)
+	cases := []struct {
+		name string
+		dims []int
+		perm []int
+	}{
+		{"dup-perm", []int{2, 3}, []int{0, 0}},
+		{"short-perm", []int{2, 3}, []int{0}},
+		{"out-of-range-perm", []int{2, 3}, []int{0, 2}},
+		{"length-mismatch", []int{2, 4}, []int{0, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				dst, err := TransposeWorkers(src, tc.dims, tc.perm, workers)
+				if err == nil {
+					t.Fatalf("workers=%d: no error", workers)
+				}
+				if !errors.Is(err, ErrShape) {
+					t.Fatalf("workers=%d: err=%v, want errors.Is(err, ErrShape)", workers, err)
+				}
+				if dst != nil {
+					t.Fatalf("workers=%d: non-nil result %v on error", workers, dst)
+				}
+			}
+		})
 	}
 }
 

@@ -322,6 +322,12 @@ func ParseTable(src []byte) (*Codec, int, error) {
 	if sz <= 0 {
 		return nil, 0, ErrCorrupt
 	}
+	// Every table entry costs at least 2 bytes (delta varint + length
+	// byte), so a declared count beyond len(src)/2 cannot be backed by
+	// payload; reject it before sizing the map.
+	if n > uint64(len(src))/2 {
+		return nil, 0, ErrCorrupt
+	}
 	pos := sz
 	lens := make(map[uint32]uint, n)
 	var cur uint32
@@ -389,6 +395,14 @@ func EncodeBlock(symbols []uint32) []byte {
 
 // DecodeBlock reverses EncodeBlock, returning the symbols and bytes consumed.
 func DecodeBlock(src []byte) ([]uint32, int, error) {
+	return DecodeBlockMax(src, -1)
+}
+
+// DecodeBlockMax is DecodeBlock with a caller-supplied upper bound on the
+// declared symbol count (-1 for no extra bound beyond the payload-backed
+// one-bit-per-symbol cap). Decoders that know their output volume should
+// pass it so a hostile count is rejected before allocation.
+func DecodeBlockMax(src []byte, maxSyms int) ([]uint32, int, error) {
 	c, pos, err := ParseTable(src)
 	if err != nil {
 		return nil, 0, err
@@ -412,6 +426,9 @@ func DecodeBlock(src []byte) ([]uint32, int, error) {
 	// Every symbol costs at least one bit, so a count that exceeds the
 	// bitstream's capacity is corrupt — reject before allocating n slots.
 	if n > 8*blen {
+		return nil, 0, ErrCorrupt
+	}
+	if maxSyms >= 0 && n > uint64(maxSyms) {
 		return nil, 0, ErrCorrupt
 	}
 	r := bitio.NewReader(src[pos : pos+int(blen)])

@@ -111,13 +111,13 @@ type engine struct {
 func newEngine(dims []int, cfg Config) (*engine, error) {
 	vol := grid.Volume(dims)
 	if vol == 0 {
-		return nil, fmt.Errorf("interp: empty grid %v", dims)
+		return nil, fmt.Errorf("interp: empty grid %v: %w", dims, ErrCorrupt)
 	}
 	if cfg.EB <= 0 {
-		return nil, fmt.Errorf("interp: error bound must be positive, got %g", cfg.EB)
+		return nil, fmt.Errorf("interp: error bound must be positive, got %g: %w", cfg.EB, ErrCorrupt)
 	}
 	if cfg.Valid != nil && len(cfg.Valid) != vol {
-		return nil, fmt.Errorf("interp: mask length %d != volume %d", len(cfg.Valid), vol)
+		return nil, fmt.Errorf("interp: mask length %d != volume %d: %w", len(cfg.Valid), vol, ErrCorrupt)
 	}
 	if cfg.Radius == 0 {
 		cfg.Radius = quant.DefaultRadius
@@ -202,7 +202,7 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 		return fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
 	if len(out) != e.vol {
-		return fmt.Errorf("interp: out length %d != volume %d", len(out), e.vol)
+		return fmt.Errorf("interp: out length %d != volume %d: %w", len(out), e.vol, ErrCorrupt)
 	}
 	e.decode = true
 	e.work = out
@@ -237,7 +237,7 @@ func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, rec
 		return 0, fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
 	if len(recon) != e.vol {
-		return 0, fmt.Errorf("interp: recon length %d != volume %d", len(recon), e.vol)
+		return 0, fmt.Errorf("interp: recon length %d != volume %d: %w", len(recon), e.vol, ErrCorrupt)
 	}
 	if every < 1 {
 		every = 1
@@ -435,6 +435,7 @@ func (e *engine) checkPoint(idx int, pred float64, bin int32, lit float64) {
 	}
 	want := float32(e.q.Recover(pred, bin, lit))
 	got := e.work[idx]
+	//clizlint:ignore floateq bit-exact self-verification replay: the decoder recomputes the identical arithmetic, so any difference is corruption
 	if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
 		e.err = fmt.Errorf("interp: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g: %w",
 			idx, got, want, ErrCorrupt)

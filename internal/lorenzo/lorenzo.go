@@ -14,12 +14,19 @@
 package lorenzo
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"cliz/internal/grid"
 	"cliz/internal/quant"
 )
+
+// ErrCorrupt is the sentinel wrapped by every decode-path failure in this
+// package: malformed stream geometry, literal underrun, out-of-range bins,
+// and self-verification mismatches. Callers classify hostile input with
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("lorenzo: corrupt compressed stream")
 
 // Config parameterizes a Lorenzo run (mirrors interp.Config).
 type Config struct {
@@ -72,13 +79,13 @@ type engine struct {
 func newEngine(dims []int, cfg Config) (*engine, error) {
 	vol := grid.Volume(dims)
 	if vol == 0 {
-		return nil, fmt.Errorf("lorenzo: empty grid %v", dims)
+		return nil, fmt.Errorf("lorenzo: empty grid %v: %w", dims, ErrCorrupt)
 	}
 	if cfg.EB <= 0 {
-		return nil, fmt.Errorf("lorenzo: error bound must be positive, got %g", cfg.EB)
+		return nil, fmt.Errorf("lorenzo: error bound must be positive, got %g: %w", cfg.EB, ErrCorrupt)
 	}
 	if cfg.Valid != nil && len(cfg.Valid) != vol {
-		return nil, fmt.Errorf("lorenzo: mask length %d != volume %d", len(cfg.Valid), vol)
+		return nil, fmt.Errorf("lorenzo: mask length %d != volume %d: %w", len(cfg.Valid), vol, ErrCorrupt)
 	}
 	if cfg.Radius == 0 {
 		cfg.Radius = quant.DefaultRadius
@@ -178,10 +185,10 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 		return err
 	}
 	if len(bins) != e.vol {
-		return fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+		return fmt.Errorf("lorenzo: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
 	if len(out) != e.vol {
-		return fmt.Errorf("lorenzo: out length %d != volume %d", len(out), e.vol)
+		return fmt.Errorf("lorenzo: out length %d != volume %d: %w", len(out), e.vol, ErrCorrupt)
 	}
 	e.decode = true
 	e.work = out
@@ -212,10 +219,10 @@ func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, rec
 		return 0, err
 	}
 	if len(bins) != e.vol {
-		return 0, fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
+		return 0, fmt.Errorf("lorenzo: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
 	if len(recon) != e.vol {
-		return 0, fmt.Errorf("lorenzo: recon length %d != volume %d", len(recon), e.vol)
+		return 0, fmt.Errorf("lorenzo: recon length %d != volume %d: %w", len(recon), e.vol, ErrCorrupt)
 	}
 	if every < 1 {
 		every = 1
@@ -280,7 +287,7 @@ func (e *engine) handle(idx int, pred float64) {
 		var lit float64
 		if bin == 0 {
 			if e.litPos >= len(e.lits) {
-				e.err = fmt.Errorf("lorenzo: literal stream underrun at point %d", idx)
+				e.err = fmt.Errorf("lorenzo: literal stream underrun at point %d: %w", idx, ErrCorrupt)
 				return
 			}
 			lit = float64(e.lits[e.litPos])
@@ -288,7 +295,7 @@ func (e *engine) handle(idx int, pred float64) {
 		}
 		if e.verify {
 			if bin < 0 || bin >= 2*e.q.Radius() {
-				e.err = fmt.Errorf("lorenzo: bin %d out of range at point %d", bin, idx)
+				e.err = fmt.Errorf("lorenzo: bin %d out of range at point %d: %w", bin, idx, ErrCorrupt)
 				return
 			}
 			e.vSeen++
@@ -297,9 +304,10 @@ func (e *engine) handle(idx int, pred float64) {
 			}
 			want := float32(e.q.Recover(pred, bin, lit))
 			got := e.work[idx]
+			//clizlint:ignore floateq bit-exact self-verification replay: the decoder recomputes the identical arithmetic, so any difference is corruption
 			if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
-				e.err = fmt.Errorf("lorenzo: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g",
-					idx, got, want)
+				e.err = fmt.Errorf("lorenzo: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g: %w",
+					idx, got, want, ErrCorrupt)
 				return
 			}
 			e.vChecked++

@@ -1,0 +1,16 @@
+package lossless
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestByIDUnknown pins the decode-path contract on backend dispatch: an
+// unknown backend id in a blob is corrupt input and must classify via
+// errors.Is, so core can fold it into its own ErrCorrupt chain.
+func TestByIDUnknown(t *testing.T) {
+	_, err := ByID(0xEE)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown backend id: want ErrCorrupt, got %v", err)
+	}
+}

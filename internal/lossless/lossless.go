@@ -42,7 +42,7 @@ func ByID(id byte) (Codec, error) {
 	case IDLZSS:
 		return LZSS{}, nil
 	}
-	return nil, fmt.Errorf("lossless: unknown backend id %d", id)
+	return nil, fmt.Errorf("lossless: unknown backend id %d: %w", id, ErrCorrupt)
 }
 
 // Encode compresses src with c and prepends the backend id.

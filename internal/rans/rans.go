@@ -236,9 +236,27 @@ func EncodeBlock(symbols []uint32) ([]byte, bool) {
 	return out, true
 }
 
+// MaxBlockSyms is the default cap on the declared symbol count of a
+// block when the caller supplies no tighter budget. A rANS stream with a
+// single-symbol alphabet legitimately decodes arbitrarily many symbols
+// from a 4-byte stream (the state never changes), so the count cannot be
+// bounded by payload length; it must be bounded by how many symbols the
+// caller can possibly want.
+const MaxBlockSyms = 1 << 31
+
 // DecodeBlock reverses EncodeBlock, returning the symbols and the number of
-// bytes consumed.
+// bytes consumed. The declared symbol count is capped at MaxBlockSyms;
+// decoders that know their output volume should call DecodeBlockMax with
+// the tighter budget.
 func DecodeBlock(src []byte) ([]uint32, int, error) {
+	return DecodeBlockMax(src, MaxBlockSyms)
+}
+
+// DecodeBlockMax is DecodeBlock with a caller-supplied upper bound on the
+// declared symbol count. A block declaring more than maxSyms symbols is
+// rejected as corrupt before any allocation, so a hostile few-byte blob
+// cannot force a huge allocation.
+func DecodeBlockMax(src []byte, maxSyms int) ([]uint32, int, error) {
 	pos := 0
 	nSyms, err := readUvarint(src, &pos)
 	if err != nil {
@@ -270,6 +288,9 @@ func DecodeBlock(src []byte) ([]uint32, int, error) {
 	pos += int(slen)
 	x := binary.LittleEndian.Uint32(stream[:4])
 	sp := 4
+	if maxSyms < 0 || count > uint64(maxSyms) {
+		return nil, 0, ErrCorrupt
+	}
 	out := make([]uint32, count)
 	for i := range out {
 		slot := x & (scaleTotal - 1)
