@@ -31,6 +31,7 @@ import (
 
 	"cliz/internal/core"
 	"cliz/internal/dataset"
+	"cliz/internal/entropy"
 	"cliz/internal/mask"
 	"cliz/internal/trace"
 )
@@ -290,9 +291,11 @@ type Option func(*config)
 type CompressOption = Option
 
 type config struct {
-	trace      *Trace
-	workers    int
-	boundEvery int
+	trace        *Trace
+	workers      int
+	boundEvery   int
+	entropy      EntropyKind
+	materialized bool
 }
 
 // WithTrace attaches a stage collector: the run records per-stage wall
@@ -313,6 +316,36 @@ func WithTrace(t *Trace) Option {
 // two multiply — keep the product near GOMAXPROCS.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
+}
+
+// EntropyKind selects the entropy-coding stage used for new blobs. Blocks
+// are self-describing, so the decode side never needs (and ignores) this.
+type EntropyKind = entropy.Kind
+
+const (
+	// EntropyHuffman is the paper's canonical Huffman coder (the default).
+	EntropyHuffman = entropy.Huffman
+	// EntropyRANS is the single-state static rANS coder.
+	EntropyRANS = entropy.RANS
+	// EntropyRANSInterleaved is N-way interleaved static rANS: the same
+	// size class as EntropyRANS with a faster (multi-state) decode loop.
+	EntropyRANSInterleaved = entropy.RANSInterleaved
+)
+
+// WithEntropy selects the entropy stage for Compress / CompressChunked.
+// The zero value keeps the default (Huffman). Decoding is unaffected:
+// every reader decodes every kind.
+func WithEntropy(k EntropyKind) Option {
+	return func(c *config) { c.entropy = k }
+}
+
+// WithMaterializedPermute forces the legacy copy-based permute/unpermute
+// stages instead of the fused stride traversal, on whichever side the
+// option is passed to. Output is bit-identical either way (the fusion is a
+// pure traversal optimization); the switch exists for differential testing
+// and as an escape hatch.
+func WithMaterializedPermute() Option {
+	return func(c *config) { c.materialized = true }
 }
 
 // WithBoundCheck enables decode-time bound self-verification: after the
@@ -400,8 +433,10 @@ func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...Option) ([]byt
 		return nil, nil, err
 	}
 	blob, err := core.Compress(ids, abs, p, core.Options{
-		Trace:   cfg.trace.collector(),
-		Workers: cfg.workers,
+		Trace:               cfg.trace.collector(),
+		Workers:             cfg.workers,
+		Entropy:             cfg.entropy,
+		MaterializedPermute: cfg.materialized,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -419,9 +454,10 @@ func Decompress(blob []byte, opts ...Option) ([]float32, []int, error) {
 		o(&cfg)
 	}
 	opt := core.DecompressOptions{
-		Workers:         cfg.workers,
-		Trace:           cfg.trace.collector(),
-		BoundCheckEvery: cfg.boundEvery,
+		Workers:             cfg.workers,
+		Trace:               cfg.trace.collector(),
+		BoundCheckEvery:     cfg.boundEvery,
+		MaterializedPermute: cfg.materialized,
 	}
 	if core.IsChunked(blob) {
 		return core.DecompressChunkedOpts(blob, cfg.workers, opt)

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Check mode: compare a freshly generated perf report against the committed
+// baseline and fail when the fused-permutation contract erodes:
+//
+//	clizbench -perf -out /tmp/bench
+//	clizbench -check -out /tmp/bench -baseline BENCH_PR.json
+//
+// The gate has two teeth. First, the permute/unpermute stages must stay
+// (essentially) absent from the compress pipeline — the fused index
+// traversal made them disappear, and any code path that quietly
+// rematerializes transposes shows up here as stage share. Second, the
+// entropy-decode share must not regress materially against the baseline.
+
+// permuteShareLimit is the ceiling on the combined permute+unpermute share
+// of compress stage time. Non-fusable pipelines (physically non-adjacent
+// fused axes) legitimately fall back to materialized transposes, so the
+// limit is a small nonzero fraction rather than zero.
+const permuteShareLimit = 0.02
+
+// entropyDecodeSlack is how many share points the entropy-decode stage may
+// grow over the baseline before -check calls it a regression (absorbs
+// run-to-run scheduler noise on small -scale runs).
+const entropyDecodeSlack = 0.05
+
+// checkField is the per-field verdict in BENCH_CHECK.json.
+type checkField struct {
+	Field                string   `json:"field"`
+	PermuteShare         float64  `json:"compress_permute_share"`
+	EntropyDecodeShare   float64  `json:"entropy_decode_share"`
+	BaselineEntropyShare float64  `json:"baseline_entropy_decode_share,omitempty"`
+	Failures             []string `json:"failures,omitempty"`
+}
+
+// checkReport is the BENCH_CHECK.json document.
+type checkReport struct {
+	Schema   string       `json:"schema"`
+	Baseline string       `json:"baseline"`
+	Fields   []checkField `json:"fields"`
+	Failures []string     `json:"failures,omitempty"`
+}
+
+// stageShare sums the share of the named stages in a stage list.
+func stageShare(stages []perfStage, names ...string) float64 {
+	var total float64
+	for _, s := range stages {
+		for _, n := range names {
+			if s.Name == n {
+				total += s.Share
+			}
+		}
+	}
+	return total
+}
+
+// compareStageShares is the pure core of -check: it grades every field of
+// cur against base (matched by field name; missing baseline fields skip the
+// delta checks) and returns the per-field verdicts plus the flat failure
+// list. It never reads the filesystem, so tests can feed it synthetic
+// reports directly.
+func compareStageShares(cur, base *perfReport) ([]checkField, []string) {
+	baseByName := map[string]*perfField{}
+	if base != nil {
+		for i := range base.Fields {
+			baseByName[base.Fields[i].Field] = &base.Fields[i]
+		}
+	}
+	var fields []checkField
+	var failures []string
+	for i := range cur.Fields {
+		f := &cur.Fields[i]
+		cf := checkField{
+			Field:              f.Field,
+			PermuteShare:       stageShare(f.CompressStages, "permute", "unpermute"),
+			EntropyDecodeShare: stageShare(f.DecodeStages, "entropy-decode"),
+		}
+		if cf.PermuteShare > permuteShareLimit {
+			cf.Failures = append(cf.Failures, fmt.Sprintf(
+				"compress permute+unpermute share %.1f%% exceeds %.1f%% — materialized transposes are back on the hot path",
+				100*cf.PermuteShare, 100*permuteShareLimit))
+		}
+		if bf := baseByName[f.Field]; bf != nil {
+			cf.BaselineEntropyShare = stageShare(bf.DecodeStages, "entropy-decode")
+			if cf.EntropyDecodeShare > cf.BaselineEntropyShare+entropyDecodeSlack {
+				cf.Failures = append(cf.Failures, fmt.Sprintf(
+					"entropy-decode share %.1f%% regressed over baseline %.1f%% (+%.1f pts allowed)",
+					100*cf.EntropyDecodeShare, 100*cf.BaselineEntropyShare, 100*entropyDecodeSlack))
+			}
+		}
+		for _, msg := range cf.Failures {
+			failures = append(failures, f.Field+": "+msg)
+		}
+		fields = append(fields, cf)
+	}
+	return fields, failures
+}
+
+func loadPerfReport(path string) (*perfReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r perfReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "cliz-bench-pr/") {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// runCheck loads the current report (from outDir, as written by -perf) and
+// the committed baseline, writes BENCH_CHECK.json next to the current
+// report, and errors if any gate failed.
+func runCheck(baselinePath, outDir string, log io.Writer) error {
+	curPath := "BENCH_PR.json"
+	if outDir != "" {
+		curPath = filepath.Join(outDir, curPath)
+	}
+	cur, err := loadPerfReport(curPath)
+	if err != nil {
+		return fmt.Errorf("current report: %w", err)
+	}
+	var base *perfReport
+	if baselinePath != "" {
+		base, err = loadPerfReport(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline report: %w", err)
+		}
+	}
+	fields, failures := compareStageShares(cur, base)
+	out := checkReport{
+		Schema:   "cliz-bench-check/1",
+		Baseline: baselinePath,
+		Fields:   fields,
+		Failures: failures,
+	}
+	checkPath := "BENCH_CHECK.json"
+	if outDir != "" {
+		checkPath = filepath.Join(outDir, checkPath)
+	}
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(checkPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if log != nil {
+		for _, f := range fields {
+			fmt.Fprintf(log, "check %-12s permute %5.2f%%  entropy-decode %5.2f%% (baseline %5.2f%%)\n",
+				f.Field, 100*f.PermuteShare, 100*f.EntropyDecodeShare, 100*f.BaselineEntropyShare)
+		}
+		fmt.Fprintf(log, "wrote %s\n", checkPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("stage-share check failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

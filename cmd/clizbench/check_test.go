@@ -1,0 +1,118 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(fields ...perfField) *perfReport {
+	return &perfReport{Schema: "cliz-bench-pr/4", Fields: fields}
+}
+
+func field(name string, compress, decode []perfStage) perfField {
+	return perfField{Field: name, CompressStages: compress, DecodeStages: decode}
+}
+
+func TestCompareStageSharesClean(t *testing.T) {
+	cur := report(field("SSH",
+		[]perfStage{{Name: "predict", Share: 0.6}, {Name: "entropy", Share: 0.3}, {Name: "lossless", Share: 0.1}},
+		[]perfStage{{Name: "reconstruct", Share: 0.7}, {Name: "entropy-decode", Share: 0.3}},
+	))
+	base := report(field("SSH",
+		nil,
+		[]perfStage{{Name: "reconstruct", Share: 0.6}, {Name: "entropy-decode", Share: 0.4}},
+	))
+	fields, failures := compareStageShares(cur, base)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(fields) != 1 || fields[0].PermuteShare != 0 {
+		t.Fatalf("bad field verdicts: %+v", fields)
+	}
+	if fields[0].EntropyDecodeShare != 0.3 || fields[0].BaselineEntropyShare != 0.4 {
+		t.Fatalf("entropy shares not extracted: %+v", fields[0])
+	}
+}
+
+func TestCompareStageSharesPermuteRegression(t *testing.T) {
+	cur := report(field("Hurricane-T",
+		[]perfStage{
+			{Name: "predict", Share: 0.5},
+			{Name: "permute", Share: 0.08},
+			{Name: "unpermute", Share: 0.05},
+			{Name: "entropy", Share: 0.37},
+		},
+		nil,
+	))
+	fields, failures := compareStageShares(cur, nil)
+	if len(failures) != 1 || !strings.Contains(failures[0], "permute+unpermute") {
+		t.Fatalf("expected one permute failure, got %v", failures)
+	}
+	if got := fields[0].PermuteShare; got < 0.129 || got > 0.131 {
+		t.Fatalf("permute share %v, want 0.13", got)
+	}
+}
+
+func TestCompareStageSharesPermuteUnderLimit(t *testing.T) {
+	// The fallback path (non-fusable layouts) may leave a sliver of permute
+	// time; below the limit it must pass.
+	cur := report(field("SSH",
+		[]perfStage{{Name: "predict", Share: 0.99}, {Name: "permute", Share: 0.01}},
+		nil,
+	))
+	if _, failures := compareStageShares(cur, nil); len(failures) != 0 {
+		t.Fatalf("sub-limit permute share flagged: %v", failures)
+	}
+}
+
+func TestCompareStageSharesEntropyDecodeRegression(t *testing.T) {
+	cur := report(field("CESM-T",
+		nil,
+		[]perfStage{{Name: "entropy-decode", Share: 0.50}},
+	))
+	base := report(field("CESM-T",
+		nil,
+		[]perfStage{{Name: "entropy-decode", Share: 0.30}},
+	))
+	_, failures := compareStageShares(cur, base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "entropy-decode") {
+		t.Fatalf("expected entropy-decode regression, got %v", failures)
+	}
+	// Within slack: no failure.
+	cur.Fields[0].DecodeStages[0].Share = 0.33
+	if _, failures := compareStageShares(cur, base); len(failures) != 0 {
+		t.Fatalf("within-slack delta flagged: %v", failures)
+	}
+}
+
+func TestCompareStageSharesUnknownBaselineField(t *testing.T) {
+	// A field with no baseline counterpart only gets the absolute gates.
+	cur := report(field("NewField",
+		[]perfStage{{Name: "predict", Share: 1}},
+		[]perfStage{{Name: "entropy-decode", Share: 0.9}},
+	))
+	base := report(field("SSH", nil, []perfStage{{Name: "entropy-decode", Share: 0.1}}))
+	if _, failures := compareStageShares(cur, base); len(failures) != 0 {
+		t.Fatalf("unmatched field failed delta gates: %v", failures)
+	}
+}
+
+// TestCommittedBaselinePermuteShare grades the committed BENCH_PR.json with
+// the -check gate: the fused-permutation work removed materialized
+// transposes from the compress hot path, and the committed baseline must
+// keep proving it. If this fails after regenerating BENCH_PR.json, the
+// fused path stopped covering the tuned pipelines.
+func TestCommittedBaselinePermuteShare(t *testing.T) {
+	base, err := loadPerfReport(filepath.Join("..", "..", "BENCH_PR.json"))
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if len(base.Fields) == 0 {
+		t.Fatal("committed baseline has no fields")
+	}
+	_, failures := compareStageShares(base, nil)
+	for _, f := range failures {
+		t.Errorf("committed baseline violates the stage gate: %s", f)
+	}
+}

@@ -4,6 +4,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -127,6 +128,13 @@ func NewReader(buf []byte) *Reader {
 
 // fill loads up to 8 more bytes into the accumulator.
 func (r *Reader) fill() {
+	// Bulk path: 4 bytes at a time while they fit both the accumulator and
+	// the remaining input.
+	for r.nbit <= 32 && r.pos+4 <= len(r.buf) {
+		r.cur = r.cur<<32 | uint64(binary.BigEndian.Uint32(r.buf[r.pos:]))
+		r.pos += 4
+		r.nbit += 32
+	}
 	for r.nbit <= 56 && r.pos < len(r.buf) {
 		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
 		r.pos++
@@ -174,6 +182,51 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 		n -= take
 	}
 	return v, nil
+}
+
+// Peek returns the next n bits (n in [1,56]) MSB-first and right-aligned
+// without consuming them, together with the number of bits actually
+// available. Near the end of the stream avail may be less than n; the
+// missing low bits of the returned value are zero. The accumulator keeps
+// stale already-consumed bits above the valid window, so the value is
+// masked here — callers must never read r.cur directly. Requests above 56
+// bits are out of contract: they never corrupt state or leak stale bits,
+// but whether any bits are reported depends on the buffer state.
+func (r *Reader) Peek(n uint) (uint64, uint) {
+	// Fast path — enough bits buffered — kept within the inlining budget so
+	// it disappears into the Huffman LUT decode loop. Safe for any n that
+	// passes the guard: n <= nbit <= 64, and Go shifts by >= 64 yield the
+	// correct all-ones mask for n == 64.
+	if r.nbit >= n {
+		return (r.cur >> (r.nbit - n)) & (1<<n - 1), n
+	}
+	return r.peekSlow(n)
+}
+
+func (r *Reader) peekSlow(n uint) (v uint64, avail uint) {
+	if n == 0 || n > 56 {
+		return 0, 0
+	}
+	r.fill()
+	if r.nbit >= n {
+		return (r.cur >> (r.nbit - n)) & ((1 << n) - 1), n
+	}
+	avail = r.nbit
+	if avail == 0 {
+		return 0, 0
+	}
+	return (r.cur & ((1 << avail) - 1)) << (n - avail), avail
+}
+
+// Consume discards n bits previously observed via Peek. n must not exceed
+// the avail that Peek reported; consuming more than is buffered is an
+// overrun.
+func (r *Reader) Consume(n uint) error {
+	if n > r.nbit {
+		return ErrOverrun
+	}
+	r.nbit -= n
+	return nil
 }
 
 // BitsRemaining reports the number of unread bits (including padding bits).

@@ -1,6 +1,7 @@
 package bitio
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -172,5 +173,140 @@ func TestBitsRemaining(t *testing.T) {
 	_, _ = r.ReadBits(5)
 	if r.BitsRemaining() != 19 {
 		t.Fatalf("got %d", r.BitsRemaining())
+	}
+}
+
+func TestPeekConsume(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b1011001110001111, 16)
+	w.WriteBits(0xDEADBEEFCAFE, 48)
+	buf := w.Bytes()
+
+	r := NewReader(buf)
+	v, avail := r.Peek(16)
+	if avail != 16 || v != 0b1011001110001111 {
+		t.Fatalf("peek 16: got %b avail=%d", v, avail)
+	}
+	// Peek must not consume.
+	v2, avail2 := r.Peek(16)
+	if v2 != v || avail2 != avail {
+		t.Fatalf("second peek differs: %b/%d vs %b/%d", v2, avail2, v, avail)
+	}
+	if err := r.Consume(3); err != nil {
+		t.Fatal(err)
+	}
+	v, avail = r.Peek(13)
+	if avail != 13 || v != 0b1001110001111 {
+		t.Fatalf("peek after consume: got %b avail=%d", v, avail)
+	}
+	if err := r.Consume(13); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBits(48)
+	if err != nil || got != 0xDEADBEEFCAFE {
+		t.Fatalf("ReadBits after peek/consume: got %x err=%v", got, err)
+	}
+}
+
+// TestPeekMasksStaleBits pins the accumulator subtlety: after partial reads
+// the high bits of the accumulator still hold already-consumed data, and
+// Peek must mask them out rather than leak them into the returned window.
+func TestPeekMasksStaleBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 16) // consumed bits are all ones: leaks are visible
+	w.WriteBits(0x0000, 16)
+	buf := w.Bytes()
+	r := NewReader(buf)
+	if _, err := r.ReadBits(16); err != nil {
+		t.Fatal(err)
+	}
+	v, avail := r.Peek(16)
+	if avail != 16 || v != 0 {
+		t.Fatalf("stale bits leaked into peek: got %b avail=%d", v, avail)
+	}
+}
+
+func TestPeekShortStream(t *testing.T) {
+	r := NewReader([]byte{0b10110000})
+	v, avail := r.Peek(12)
+	if avail != 8 {
+		t.Fatalf("avail=%d, want 8", avail)
+	}
+	// The 8 real bits sit in the top of the 12-bit window, zero-padded.
+	if v != 0b101100000000 {
+		t.Fatalf("short peek: got %012b", v)
+	}
+	if err := r.Consume(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, avail := r.Peek(4); avail != 0 {
+		t.Fatalf("peek at EOF: avail=%d, want 0", avail)
+	}
+}
+
+func TestPeekBadCounts(t *testing.T) {
+	r := NewReader([]byte{0xAB, 0xCD})
+	if _, avail := r.Peek(0); avail != 0 {
+		t.Fatal("Peek(0) must report no bits")
+	}
+	if _, avail := r.Peek(57); avail != 0 {
+		t.Fatal("Peek beyond 56 must report no bits")
+	}
+}
+
+func TestConsumeOverrun(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, avail := r.Peek(8); avail != 8 {
+		t.Fatal("expected 8 bits available")
+	}
+	if err := r.Consume(9); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("over-consume: got %v, want ErrOverrun", err)
+	}
+	if err := r.Consume(8); err != nil {
+		t.Fatalf("exact consume failed: %v", err)
+	}
+}
+
+// TestPeekConsumeInterleavedWithReads drives a randomized mixed workload of
+// Peek/Consume/ReadBit/ReadBits against a pure-ReadBits oracle.
+func TestPeekConsumeInterleavedWithReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := make([]byte, 512)
+	rng.Read(data)
+	r := NewReader(data)
+	oracle := NewReader(data)
+	for r.BitsRemaining() > 64 {
+		n := uint(1 + rng.Intn(24))
+		want, err := oracle.ReadBits(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			v, avail := r.Peek(n)
+			if avail != n || v != want {
+				t.Fatalf("peek %d: got %x/%d want %x", n, v, avail, want)
+			}
+			if err := r.Consume(n); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			v, err := r.ReadBits(n)
+			if err != nil || v != want {
+				t.Fatalf("readbits %d: got %x err=%v want %x", n, v, err, want)
+			}
+		case 2:
+			var v uint64
+			for i := uint(0); i < n; i++ {
+				b, err := r.ReadBit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				v = v<<1 | uint64(b)
+			}
+			if v != want {
+				t.Fatalf("readbit %d: got %x want %x", n, v, want)
+			}
+		}
 	}
 }

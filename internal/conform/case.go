@@ -62,7 +62,7 @@ type OptSpec struct {
 	// BoundCheck > 0 decodes with decode-time bound self-verification every
 	// n-th point.
 	BoundCheck int `json:"boundCheck,omitempty"`
-	// Entropy is "huffman" (default) or "rans".
+	// Entropy is "huffman" (default), "rans", or "rans-interleaved".
 	Entropy string `json:"entropy,omitempty"`
 }
 

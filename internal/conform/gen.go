@@ -151,7 +151,7 @@ func genPipe(rng *rand.Rand, s *datagen.SyntheticSpec) PipeSpec {
 func genOpts(rng *rand.Rand, s *datagen.SyntheticSpec) OptSpec {
 	o := OptSpec{
 		Workers: pick(rng, 0, 0, 2, 3),
-		Entropy: pick(rng, "", "", "", "rans"),
+		Entropy: pick(rng, "", "", "", "rans", "rans-interleaved"),
 	}
 	if len(s.Dims) >= 2 && rng.Intn(4) == 0 {
 		o.Chunks = pick(rng, 2, 3)

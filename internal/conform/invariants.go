@@ -1,6 +1,7 @@
 package conform
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strings"
@@ -32,6 +33,7 @@ const (
 	InvBoundCheck  = "bound-check" // decode-time bound self-verification passes on honest blobs
 	InvDiffBound   = "diff-bound"  // SZ3/QoZ honor the same bound on the same input
 	InvDiffRatio   = "diff-ratio"  // CliZ's ratio is within a sane factor of SZ3's
+	InvFusedBlob   = "fused-blob"  // fused and materialized-permute pipelines emit identical blobs (Workers=1)
 )
 
 // Failure is one invariant violation.
@@ -135,6 +137,7 @@ func RunCase(c Case, opt RunOptions) *Verdict {
 	checkRatio(v, c, blob)
 	checkTrace(v, c, blob, stages)
 	checkVerify(v, blob)
+	checkFusedBlob(v, c, ds, eb, pipe)
 	recon := checkDecode(v, c, ds, blob, opt.Hook)
 	if recon != nil {
 		checkPointwise(v, ds, recon, eb, pipe.UseMask)
@@ -150,18 +153,28 @@ func RunCase(c Case, opt RunOptions) *Verdict {
 	return v
 }
 
+// entropyKind maps the case's entropy spec to the core option.
+func entropyKind(spec string) (entropy.Kind, error) {
+	switch spec {
+	case "", "huffman":
+		return entropy.Huffman, nil
+	case "rans":
+		return entropy.RANS, nil
+	case "rans-interleaved":
+		return entropy.RANSInterleaved, nil
+	}
+	return 0, fmt.Errorf("conform: unknown entropy kind %q", spec)
+}
+
 func compressCase(c Case, ds *dataset.Dataset, eb float64, pipe core.Pipeline) ([]byte, []trace.Stage, error) {
 	var rec trace.Recorder
 	opts := core.Options{Workers: c.Opts.Workers, Trace: &rec}
-	switch c.Opts.Entropy {
-	case "", "huffman":
-	case "rans":
-		opts.Entropy = entropy.RANS
-	default:
-		return nil, nil, fmt.Errorf("conform: unknown entropy kind %q", c.Opts.Entropy)
+	kind, err := entropyKind(c.Opts.Entropy)
+	if err != nil {
+		return nil, nil, err
 	}
+	opts.Entropy = kind
 	var blob []byte
-	var err error
 	if c.Opts.Chunks > 0 {
 		blob, err = core.CompressChunked(ds, eb, pipe, opts, c.Opts.Chunks, chunkWorkers(c))
 	} else {
@@ -171,6 +184,51 @@ func compressCase(c Case, ds *dataset.Dataset, eb float64, pipe core.Pipeline) (
 		return nil, nil, err
 	}
 	return blob, rec.Stages(), nil
+}
+
+// checkFusedBlob: with Workers=1 (the deterministic single-goroutine
+// shape) the fused-index pipeline and the forced materialized-permute
+// pipeline must emit byte-identical blobs — the fused traversal is pure
+// index arithmetic and must never change a single output bit. Chunked
+// cases compare the whole CLZP container, which covers every chunk.
+func checkFusedBlob(v *Verdict, c Case, ds *dataset.Dataset, eb float64, pipe core.Pipeline) {
+	kind, err := entropyKind(c.Opts.Entropy)
+	if err != nil {
+		return // compressCase already reported it
+	}
+	fused := core.Options{Entropy: kind, Workers: 1}
+	legacy := fused
+	legacy.MaterializedPermute = true
+	var fb, lb []byte
+	var ferr, lerr error
+	if c.Opts.Chunks > 0 {
+		fb, ferr = core.CompressChunked(ds, eb, pipe, fused, c.Opts.Chunks, 1)
+		lb, lerr = core.CompressChunked(ds, eb, pipe, legacy, c.Opts.Chunks, 1)
+	} else {
+		fb, ferr = core.Compress(ds, eb, pipe, fused)
+		lb, lerr = core.Compress(ds, eb, pipe, legacy)
+	}
+	if (ferr == nil) != (lerr == nil) {
+		v.addf(InvFusedBlob, "fused err=%v, materialized err=%v", ferr, lerr)
+		return
+	}
+	if ferr != nil {
+		return // both rejected identically; the compress invariant owns that
+	}
+	if !bytes.Equal(fb, lb) {
+		n := len(fb)
+		if len(lb) < n {
+			n = len(lb)
+		}
+		at := n
+		for i := 0; i < n; i++ {
+			if fb[i] != lb[i] {
+				at = i
+				break
+			}
+		}
+		v.addf(InvFusedBlob, "blobs differ at byte %d (fused %d bytes, materialized %d)", at, len(fb), len(lb))
+	}
 }
 
 func chunkWorkers(c Case) int {

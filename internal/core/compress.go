@@ -27,8 +27,9 @@ type Options struct {
 	// flate level 6.
 	Backend lossless.Codec
 	// Entropy selects the symbol coder for quantization bins: Huffman
-	// (paper default) or rANS. Decoding is driven by the block itself, so
-	// blobs written with either coder always decode.
+	// (paper default), rANS, or interleaved rANS (same size class as rANS,
+	// faster decode). Decoding is driven by the block itself, so blobs
+	// written with any coder always decode.
 	Entropy entropy.Kind
 	// Trace receives per-stage records (wall time, byte counts, bin
 	// histogram summaries). Nil — the default — disables collection; the
@@ -40,6 +41,12 @@ type Options struct {
 	// fixed Workers value; Workers = 1 reproduces the serial v1 bitstream
 	// except for the version byte and section-count field.
 	Workers int
+	// MaterializedPermute forces the legacy materialized transpose in front
+	// of the predictor even when the permutation and fusion could be folded
+	// into the engines' index arithmetic (the default fused path). Blobs are
+	// bit-identical either way — the flag exists for the fused-vs-legacy
+	// equivalence suites and as an escape hatch.
+	MaterializedPermute bool
 	// sectionLeadFloor overrides minSectionLead so package tests can force
 	// sectioned prediction on small fixtures; 0 (always, outside tests)
 	// selects the default.
@@ -319,21 +326,46 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		return nil, nil, err
 	}
 	W := opt.workers()
-	sp := trace.Begin(opt.Trace, "permute")
-	tdims := grid.PermuteDims(dims, p.Perm)
-	tdata, err := grid.TransposeWorkers(data, dims, p.Perm, W)
-	if err != nil {
-		return nil, nil, err
+	// Fused path (default): the permutation and fusion become a Layout the
+	// engines traverse directly, so the float data is never transposed —
+	// only the compact bool mask is, keeping the bins/mask/classify streams
+	// in logical (post-permutation) order. The legacy path materializes the
+	// transpose; both produce bit-identical blobs.
+	lay, fused := grid.FusedLayout(dims, p.Perm, p.Fusion)
+	if opt.MaterializedPermute {
+		fused = false
 	}
+	var tdims []int
+	var work []float32
 	var tvalid []bool
-	if validOrig != nil {
-		tvalid, err = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
+	if fused {
+		if validOrig != nil {
+			sp := trace.Begin(opt.Trace, "mask")
+			tvalid, err = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp.EndFull(int64(len(validOrig)), int64(len(tvalid)), int64(len(tvalid)), nil)
+		}
+		work = make([]float32, len(data))
+		copy(work, data)
+	} else {
+		sp := trace.Begin(opt.Trace, "permute")
+		tdims = grid.PermuteDims(dims, p.Perm)
+		work, err = grid.TransposeWorkers(data, dims, p.Perm, W)
 		if err != nil {
 			return nil, nil, err
 		}
+		if validOrig != nil {
+			tvalid, err = grid.TransposeWorkers(validOrig, dims, p.Perm, W)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		sp.EndFull(int64(len(data))*4, int64(len(work))*4, int64(len(work)), nil)
+		lay = grid.IdentityLayout(p.Fusion.Apply(tdims))
 	}
-	sp.EndFull(int64(len(data))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
-	fdims := p.Fusion.Apply(tdims)
+	fdims := lay.Dims
 	P := sectionCount(W, fdims, opt.sectionLeadFloor)
 	// The sectioned fan-out gets its own span name so the per-shard spans
 	// (which Aggregate folds into one "predict" row) are not double-counted.
@@ -341,12 +373,12 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	if P > 1 {
 		predName = "predict-fanout"
 	}
-	sp = trace.Begin(opt.Trace, predName)
-	bins, lits, reconT, err := predictSections(tdata, fdims, tvalid, eb, p, fill, opt, P)
+	sp := trace.Begin(opt.Trace, predName)
+	bins, lits, err := predictSections(work, lay, tvalid, eb, p, fill, opt, P)
 	if err != nil {
 		return nil, nil, err
 	}
-	sp.EndFull(int64(len(tdata))*4, 0, int64(len(bins)), binStats(bins, lits, tvalid, opt.Trace))
+	sp.EndFull(int64(len(work))*4, 0, int64(len(bins)), binStats(bins, lits, tvalid, opt.Trace))
 
 	h := header{
 		flags:     maskFlags(v) | fitFlag(p),
@@ -423,13 +455,17 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 	sp.EndFull(int64(len(litRaw)), int64(len(litEnc)), int64(len(lits)), nil)
 	out := w.bytes()
 
-	// Reconstruction back in the original layout.
+	// The engines reconstructed in place: under the fused layout work is
+	// already in the original array layout, otherwise transpose it back.
+	if fused {
+		return out, work, nil
+	}
 	sp = trace.Begin(opt.Trace, "unpermute")
-	recon, err := grid.TransposeWorkers(reconT, tdims, grid.InversePerm(p.Perm), W)
+	recon, err := grid.TransposeWorkers(work, tdims, grid.InversePerm(p.Perm), W)
 	if err != nil {
 		return nil, nil, err
 	}
-	sp.EndFull(int64(len(reconT))*4, int64(len(recon))*4, int64(len(recon)), nil)
+	sp.EndFull(int64(len(work))*4, int64(len(recon))*4, int64(len(recon)), nil)
 	return out, recon, nil
 }
 
@@ -507,6 +543,10 @@ type DecompressOptions struct {
 	// bitstream decoded" into "the decode satisfies the header's error
 	// bound".
 	BoundCheckEvery int
+	// MaterializedPermute forces the legacy materialized unpermute after
+	// reconstruction instead of the fused layout decode (mirrors
+	// Options.MaterializedPermute; output is bit-identical either way).
+	MaterializedPermute bool
 	// stats receives verification counters when non-nil (set by
 	// DecompressVerified / DecompressPartial).
 	stats *verifyCounters
@@ -703,7 +743,16 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 	}
 	sp.EndFull(0, int64(len(validOrig)), int64(len(validOrig)), nil)
 	tdims := grid.PermuteDims(dims, p.Perm)
-	fdims := p.Fusion.Apply(tdims)
+	// Mirror the encoder's layout decision. The choice is local: blobs carry
+	// no trace of which path wrote them, and either path decodes any blob to
+	// the identical output.
+	lay, fused := grid.FusedLayout(dims, p.Perm, p.Fusion)
+	if opt.MaterializedPermute {
+		fused = false
+	}
+	if !fused {
+		lay = grid.IdentityLayout(p.Fusion.Apply(tdims))
+	}
 
 	sp = trace.Begin(c, "entropy-decode")
 	binsStart := *pos
@@ -788,14 +837,14 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		recName = "reconstruct-fanout"
 	}
 	sp = trace.Begin(c, recName)
-	tdata, err := reconstructSections(bins, lits, fdims, tvalid, h, workers, h.psections, c)
-	if err != nil {
+	out := make([]float32, vol)
+	if err := reconstructSections(bins, lits, lay, tvalid, h, workers, h.psections, c, out); err != nil {
 		return nil, nil, corrupt(err)
 	}
-	sp.EndFull(int64(len(bins))*4, int64(len(tdata))*4, int64(len(tdata)), nil)
+	sp.EndFull(int64(len(bins))*4, int64(len(out))*4, int64(len(out)), nil)
 	if opt.BoundCheckEvery > 0 {
 		sp = trace.Begin(c, "verify-bound")
-		n, err := verifySections(bins, lits, fdims, tvalid, h, workers, h.psections, opt.BoundCheckEvery, tdata)
+		n, err := verifySections(bins, lits, lay, tvalid, h, workers, h.psections, opt.BoundCheckEvery, out)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: bound self-verification: %w", corrupt(err))
 		}
@@ -804,12 +853,17 @@ func decompressUnit(blob []byte, pos *int, h header, opt DecompressOptions) ([]f
 		}
 		sp.EndFull(int64(len(bins))*4, 0, int64(n), nil)
 	}
+	// Under the fused layout the reconstruction already sits in the original
+	// array layout; the legacy path transposes back.
+	if fused {
+		return out, dims, nil
+	}
 	sp = trace.Begin(c, "unpermute")
-	data, err := grid.TransposeWorkers(tdata, tdims, grid.InversePerm(p.Perm), workers)
+	data, err := grid.TransposeWorkers(out, tdims, grid.InversePerm(p.Perm), workers)
 	if err != nil {
 		return nil, nil, corrupt(err)
 	}
-	sp.EndFull(int64(len(tdata))*4, int64(len(data))*4, int64(len(data)), nil)
+	sp.EndFull(int64(len(out))*4, int64(len(data))*4, int64(len(data)), nil)
 	return data, dims, nil
 }
 

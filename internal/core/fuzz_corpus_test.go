@@ -122,7 +122,32 @@ func corpusSeeds(t testing.TB) map[string][]byte {
 	rflip := append([]byte(nil), rblob...)
 	rflip[len(rflip)*2/3] ^= 0x42 // inside the shard payloads
 	seeds["rans-sharded-flip"] = rflip
+	// Interleaved-rANS blobs, plain and sharded: mutations of these probe
+	// the multi-state framing — the ways byte, the per-way final states and
+	// the byte-reversed shared stream.
+	iblob := interleavedRANSBlob(t, 0)
+	seeds["rans-interleaved"] = iblob
+	iflip := append([]byte(nil), iblob...)
+	iflip[len(iflip)*2/3] ^= 0x37 // inside the interleaved stream
+	seeds["rans-interleaved-flip"] = iflip
+	seeds["rans-interleaved-sharded"] = interleavedRANSBlob(t, 2)
 	return seeds
+}
+
+// interleavedRANSBlob builds a unit blob whose bins section is coded with
+// N-way interleaved rANS (sharded sub-blocks when workers > 1).
+func interleavedRANSBlob(t testing.TB, workers int) []byte {
+	dims := []int{20, 10, 12}
+	data := make([]float32, dims[0]*dims[1]*dims[2])
+	for i := range data {
+		data[i] = float32((i*7)%23) * 2e-6
+	}
+	ds := &dataset.Dataset{Name: "fuzz-rans-interleaved", Data: data, Dims: dims}
+	blob, err := Compress(ds, 0.5, Default(ds), Options{Entropy: entropy.RANSInterleaved, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
 }
 
 // chunkedMaskedRank2 builds a chunked container over a masked rank-2 grid:

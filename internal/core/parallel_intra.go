@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cliz/internal/grid"
 	"cliz/internal/interp"
 	"cliz/internal/lorenzo"
 	"cliz/internal/par"
@@ -69,15 +70,18 @@ func sectionBounds(n, k int) []int {
 }
 
 // predictSections runs prediction+quantization over P contiguous sections of
-// the fused grid, writing bins and recon into global slices and returning the
-// concatenated literal stream. P==1 degrades to one engine over the whole
-// grid on the calling goroutine.
-func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
-	p Pipeline, fill float32, opt Options, P int) ([]int32, []float32, []float32, error) {
+// the (logically) fused grid, writing bins into a global slice and returning
+// the concatenated literal stream. The engines run in place on work, which
+// holds the original values at lay's physical positions on entry and the
+// reconstruction on exit. Sections cut the leading logical axis, so their
+// physical footprints are disjoint and the engines never race. P==1 degrades
+// to one engine over the whole grid on the calling goroutine.
+func predictSections(work []float32, lay grid.Layout, tvalid []bool, eb float64,
+	p Pipeline, fill float32, opt Options, P int) ([]int32, []float32, error) {
 
-	vol := len(tdata)
+	fdims := lay.Dims
+	vol := grid.Volume(fdims)
 	bins := make([]int32, vol)
-	recon := make([]float32, vol)
 	bounds := sectionBounds(fdims[0], P)
 	nSec := len(bounds) - 1
 	plane := vol / fdims[0]
@@ -85,7 +89,7 @@ func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
 	errs := make([]error, nSec)
 	par.Run(opt.workers(), nSec, func(i int) {
 		lo, hi := bounds[i]*plane, bounds[i+1]*plane
-		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		slay := lay.Section(bounds[i], bounds[i+1])
 		var svalid []bool
 		if tvalid != nil {
 			svalid = tvalid[lo:hi]
@@ -101,18 +105,18 @@ func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
 		var lits []float32
 		var err error
 		if p.Fitting == predict.Lorenzo {
-			lits, err = lorenzo.CompressBuffers(tdata[lo:hi], sdims, lorenzo.Config{
+			lits, err = lorenzo.CompressLayout(work, slay, lorenzo.Config{
 				EB: eb, Radius: opt.radius(), Valid: svalid, FillValue: fill,
-			}, bins[lo:hi], recon[lo:hi])
+			}, bins[lo:hi])
 		} else {
-			lits, err = interp.CompressBuffers(tdata[lo:hi], sdims, interp.Config{
+			lits, err = interp.CompressLayout(work, slay, interp.Config{
 				EB:            eb,
 				Radius:        opt.radius(),
 				Fitting:       p.Fitting,
 				Valid:         svalid,
 				FillValue:     fill,
 				LevelEBFactor: levelEBFactor(p.LevelAlpha),
-			}, bins[lo:hi], recon[lo:hi])
+			}, bins[lo:hi])
 		}
 		if err != nil {
 			errs[i] = err
@@ -123,7 +127,7 @@ func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	}
 	var lits []float32
@@ -139,28 +143,29 @@ func predictSections(tdata []float32, fdims []int, tvalid []bool, eb float64,
 			lits = append(lits, l...)
 		}
 	}
-	return bins, lits, recon, nil
+	return bins, lits, nil
 }
 
 // reconstructSections reverses predictSections: the same partition (P from
 // the blob header) is replayed over the global bins, each section consuming
 // its own prefix of the literal stream, with up to `workers` concurrent
-// engines.
-func reconstructSections(bins []int32, lits []float32, fdims []int, tvalid []bool,
-	h header, workers, P int, tc trace.Collector) ([]float32, error) {
+// engines. The reconstruction lands at lay's physical positions in the
+// caller-provided out buffer — under a fused layout that is already the
+// original array layout, so no unpermute pass follows.
+func reconstructSections(bins []int32, lits []float32, lay grid.Layout, tvalid []bool,
+	h header, workers, P int, tc trace.Collector, out []float32) error {
 
-	vol := len(bins)
+	fdims := lay.Dims
 	bounds, litStart, err := sectionLitStarts(bins, lits, fdims, tvalid, P)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	nSec := len(bounds) - 1
-	plane := vol / fdims[0]
-	out := make([]float32, vol)
+	plane := len(bins) / fdims[0]
 	errs := make([]error, nSec)
 	par.Run(workers, nSec, func(i int) {
 		lo, hi := bounds[i]*plane, bounds[i+1]*plane
-		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		slay := lay.Section(bounds[i], bounds[i+1])
 		var svalid []bool
 		if tvalid != nil {
 			svalid = tvalid[lo:hi]
@@ -171,27 +176,27 @@ func reconstructSections(bins []int32, lits []float32, fdims []int, tvalid []boo
 		}
 		sp := trace.Begin(stc, "reconstruct")
 		if h.pipe.Fitting == predict.Lorenzo {
-			errs[i] = lorenzo.DecompressBuffers(bins[lo:hi], lits[litStart[i]:], sdims, lorenzo.Config{
+			errs[i] = lorenzo.DecompressLayout(bins[lo:hi], lits[litStart[i]:], slay, lorenzo.Config{
 				EB: h.eb, Radius: h.radius, Valid: svalid, FillValue: h.fill,
-			}, out[lo:hi])
+			}, out)
 		} else {
-			errs[i] = interp.DecompressBuffers(bins[lo:hi], lits[litStart[i]:], sdims, interp.Config{
+			errs[i] = interp.DecompressLayout(bins[lo:hi], lits[litStart[i]:], slay, interp.Config{
 				EB:            h.eb,
 				Radius:        h.radius,
 				Fitting:       h.pipe.Fitting,
 				Valid:         svalid,
 				FillValue:     h.fill,
 				LevelEBFactor: levelEBFactor(h.pipe.LevelAlpha),
-			}, out[lo:hi])
+			}, out)
 		}
 		sp.EndFull(int64(hi-lo)*4, int64(hi-lo)*4, int64(hi-lo), nil)
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // sectionLitStarts replays the encoder's section partition and computes each
@@ -224,13 +229,14 @@ func sectionLitStarts(bins []int32, lits []float32, fdims []int, tvalid []bool, 
 }
 
 // verifySections mirrors reconstructSections in verify mode: each section
-// replays its prediction traversal read-only over the finished (still
-// transposed) reconstruction and checks that every `every`-th point is
-// exactly regenerated from its recorded bin or literal. Returns the total
-// number of points checked.
-func verifySections(bins []int32, lits []float32, fdims []int, tvalid []bool,
+// replays its prediction traversal read-only over the finished
+// reconstruction (addressed through lay) and checks that every `every`-th
+// point is exactly regenerated from its recorded bin or literal. Returns the
+// total number of points checked.
+func verifySections(bins []int32, lits []float32, lay grid.Layout, tvalid []bool,
 	h header, workers, P, every int, recon []float32) (int, error) {
 
+	fdims := lay.Dims
 	bounds, litStart, err := sectionLitStarts(bins, lits, fdims, tvalid, P)
 	if err != nil {
 		return 0, err
@@ -241,24 +247,24 @@ func verifySections(bins []int32, lits []float32, fdims []int, tvalid []bool,
 	errs := make([]error, nSec)
 	par.Run(workers, nSec, func(i int) {
 		lo, hi := bounds[i]*plane, bounds[i+1]*plane
-		sdims := append([]int{bounds[i+1] - bounds[i]}, fdims[1:]...)
+		slay := lay.Section(bounds[i], bounds[i+1])
 		var svalid []bool
 		if tvalid != nil {
 			svalid = tvalid[lo:hi]
 		}
 		if h.pipe.Fitting == predict.Lorenzo {
-			counts[i], errs[i] = lorenzo.VerifyBuffers(bins[lo:hi], lits[litStart[i]:], sdims, lorenzo.Config{
+			counts[i], errs[i] = lorenzo.VerifyLayout(bins[lo:hi], lits[litStart[i]:], slay, lorenzo.Config{
 				EB: h.eb, Radius: h.radius, Valid: svalid, FillValue: h.fill,
-			}, recon[lo:hi], every)
+			}, recon, every)
 		} else {
-			counts[i], errs[i] = interp.VerifyBuffers(bins[lo:hi], lits[litStart[i]:], sdims, interp.Config{
+			counts[i], errs[i] = interp.VerifyLayout(bins[lo:hi], lits[litStart[i]:], slay, interp.Config{
 				EB:            h.eb,
 				Radius:        h.radius,
 				Fitting:       h.pipe.Fitting,
 				Valid:         svalid,
 				FillValue:     h.fill,
 				LevelEBFactor: levelEBFactor(h.pipe.LevelAlpha),
-			}, recon[lo:hi], every)
+			}, recon, every)
 		}
 	})
 	total := 0

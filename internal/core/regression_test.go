@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"cliz/internal/datagen"
 	"cliz/internal/dataset"
 	"cliz/internal/entropy"
+	"cliz/internal/grid"
 	"cliz/internal/mask"
 	"cliz/internal/stats"
 )
@@ -146,6 +148,55 @@ func TestRegressionLevelAlphaSinglePoint(t *testing.T) {
 				t.Fatalf("alpha=%g dims=%v: |%g − %g| = %g > eb %g",
 					tc.alpha, dims, got[0], tc.val, d, tc.eb)
 			}
+		}
+	}
+}
+
+// TestRegressionNonContiguousFusionFallback pins the fused-layout fallback
+// boundary surfaced while building the fused-vs-materialized property sweep
+// (fused_equiv_test.go): dims {2,3,4} with perm 102 and fusion 2&1 is the
+// smallest pipeline whose permuted axes are not physically adjacent, so
+// grid.FusedLayout must refuse it and both codec sides must silently take
+// the materialized-transpose path — producing the same bytes the fused
+// pipelines produce for expressible layouts. A regression here would either
+// mis-fuse (wrong strides, wrong values) or diverge between the two paths.
+func TestRegressionNonContiguousFusionFallback(t *testing.T) {
+	dims := []int{2, 3, 4}
+	perm := []int{1, 0, 2}
+	fusion := grid.Fusion{Groups: []int{2, 1}}
+	if _, ok := grid.FusedLayout(dims, perm, fusion); ok {
+		t.Fatal("layout unexpectedly fusable; the fixture no longer covers the fallback")
+	}
+	data := make([]float32, 24)
+	for i := range data {
+		data[i] = float32(i*i%13) * 0.75
+	}
+	ds := &dataset.Dataset{Name: "regress-nonfusable", Data: data, Dims: dims}
+	p := Default(ds)
+	p.Perm = perm
+	p.Fusion = fusion
+	eb := 1e-3
+	blob, recon, err := CompressWithRecon(ds, eb, p, Options{})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	lblob, _, err := CompressWithRecon(ds, eb, p, Options{MaterializedPermute: true})
+	if err != nil {
+		t.Fatalf("legacy compress: %v", err)
+	}
+	if !bytes.Equal(blob, lblob) {
+		t.Fatal("fallback blob differs from forced-materialized blob")
+	}
+	got, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range got {
+		if got[i] != recon[i] {
+			t.Fatalf("point %d: decode %g != compress-side recon %g", i, got[i], recon[i])
+		}
+		if d := math.Abs(float64(got[i]) - float64(data[i])); d > eb*(1+1e-9) {
+			t.Fatalf("point %d: error %g > eb %g", i, d, eb)
 		}
 	}
 }

@@ -32,6 +32,11 @@ const (
 	// Sharded marks a parallel container: a mode byte (shared-table Huffman
 	// or independent sub-blocks), a shard directory, and per-shard streams.
 	Sharded Kind = 2
+	// RANSInterleaved codes with rans.DefaultWays interleaved states sharing
+	// one stream: same model and size class as RANS, faster decode. Blocks
+	// are self-describing, so v1-v3 blobs (which never carry this kind) are
+	// untouched; it is only emitted when a pipeline opts in.
+	RANSInterleaved Kind = 3
 )
 
 // Sharded container modes.
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "rans"
 	case Sharded:
 		return "sharded"
+	case RANSInterleaved:
+		return "rans-interleaved"
 	}
 	return "unknown"
 }
@@ -68,9 +75,14 @@ func (k Kind) String() string {
 // to Huffman when the alphabet exceeds its slot table (the block records
 // what was actually used).
 func EncodeBlock(kind Kind, symbols []uint32) []byte {
-	if kind == RANS {
+	switch kind {
+	case RANS:
 		if body, ok := rans.EncodeBlock(symbols); ok {
 			return append([]byte{byte(RANS)}, body...)
+		}
+	case RANSInterleaved:
+		if body, ok := rans.EncodeInterleavedBlock(symbols, rans.DefaultWays); ok {
+			return append([]byte{byte(RANSInterleaved)}, body...)
 		}
 	}
 	return append([]byte{byte(Huffman)}, huffman.EncodeBlock(symbols)...)
@@ -105,6 +117,9 @@ func DecodeBlockBounded(blob []byte, workers, maxSyms int) ([]uint32, error) {
 		return syms, err
 	case RANS:
 		syms, _, err := rans.DecodeBlockMax(blob[1:], ransBudget(maxSyms))
+		return syms, err
+	case RANSInterleaved:
+		syms, _, err := rans.DecodeInterleavedBlockMax(blob[1:], ransBudget(maxSyms))
 		return syms, err
 	case Sharded:
 		return decodeSharded(blob[1:], workers, maxSyms)
@@ -144,12 +159,12 @@ func EncodeBlockSharded(kind Kind, symbols []uint32, shards int) []byte {
 	}
 	bounds := shardBounds(len(symbols), shards)
 	n := len(bounds) - 1
-	if kind == RANS {
+	if kind == RANS || kind == RANSInterleaved {
 		// Independent sub-blocks: each shard re-derives its own table (and
 		// keeps rANS's own Huffman fallback for oversized alphabets).
 		subs := make([][]byte, n)
 		par.Run(n, n, func(i int) {
-			subs[i] = EncodeBlock(RANS, symbols[bounds[i]:bounds[i+1]])
+			subs[i] = EncodeBlock(kind, symbols[bounds[i]:bounds[i+1]])
 		})
 		out := []byte{byte(Sharded), modeSubBlocks}
 		out = appendUvarint(out, uint64(n))
@@ -370,7 +385,7 @@ func BlockStats(blob []byte) (kind Kind, tableBytes, streamBytes int, ok bool) {
 			return kind, 0, 0, false
 		}
 		n = pos
-	case RANS:
+	case RANS, RANSInterleaved:
 		pos, tok := rans.TableBytes(body)
 		if !tok {
 			return kind, 0, 0, false

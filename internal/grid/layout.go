@@ -1,0 +1,97 @@
+package grid
+
+// Layout describes how a logical row-major traversal space maps onto a
+// physical buffer: logical extents, one physical stride per logical axis,
+// and the physical index of the logical origin. The prediction engines
+// traverse logical space (which fixes the bin/literal order) while reading
+// and writing values through the layout, so a dimension permutation can be
+// applied without materializing a transposed copy.
+type Layout struct {
+	// Dims are the logical extents, all positive.
+	Dims []int
+	// Strides are the physical strides per logical axis, all positive.
+	Strides []int
+	// Base is the physical index of the logical origin.
+	Base int
+}
+
+// IdentityLayout returns the layout under which logical and physical
+// indices coincide: row-major strides over dims with a zero base.
+func IdentityLayout(dims []int) Layout {
+	return Layout{Dims: dims, Strides: Strides(dims), Base: 0}
+}
+
+// Valid reports whether the layout is internally consistent: at least one
+// axis, matching Dims/Strides lengths, positive extents and strides, and a
+// non-negative base. Engines call this before trusting header-derived
+// layouts.
+func (l Layout) Valid() bool {
+	if len(l.Dims) == 0 || len(l.Dims) != len(l.Strides) || l.Base < 0 {
+		return false
+	}
+	for i, d := range l.Dims {
+		if d <= 0 || l.Strides[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxIndex returns the largest physical index the layout touches. The
+// caller's buffer must satisfy len(buf) > MaxIndex().
+func (l Layout) MaxIndex() int {
+	m := l.Base
+	for i, d := range l.Dims {
+		m += (d - 1) * l.Strides[i]
+	}
+	return m
+}
+
+// Section restricts the layout to rows [lo, hi) of its leading logical
+// axis: the same strides over a shorter axis 0, with the base advanced to
+// row lo. Sectioned parallel prediction slices the logical space this way
+// while every section shares one physical buffer.
+func (l Layout) Section(lo, hi int) Layout {
+	dims := append([]int{hi - lo}, l.Dims[1:]...)
+	return Layout{Dims: dims, Strides: l.Strides, Base: l.Base + lo*l.Strides[0]}
+}
+
+// FusedLayout computes the layout that views a row-major array of origDims
+// through permutation perm followed by fusion f, without materializing the
+// transpose: Dims are the fused post-permutation extents and Strides the
+// corresponding physical strides into the ORIGINAL array.
+//
+// A fused axis only has a single physical stride when its merged
+// sub-axes are physically contiguous under the permutation: for each
+// adjacent pair inside a group, stride[j] == stride[j+1]·dims[j+1] must
+// hold in the permuted view. When a group violates that (the permutation
+// separated axes that the fusion then merges), ok is false and the caller
+// must fall back to a materialized transpose.
+func FusedLayout(origDims, perm []int, f Fusion) (Layout, bool) {
+	n := len(origDims)
+	if !ValidPerm(perm, n) || !f.Valid(n) || Volume(origDims) == 0 {
+		return Layout{}, false
+	}
+	tdims := PermuteDims(origDims, perm)
+	ostr := Strides(origDims)
+	pstr := make([]int, n)
+	for i, p := range perm {
+		pstr[i] = ostr[p]
+	}
+	dims := make([]int, 0, len(f.Groups))
+	strides := make([]int, 0, len(f.Groups))
+	i := 0
+	for _, g := range f.Groups {
+		ext := tdims[i]
+		for j := 1; j < g; j++ {
+			if pstr[i+j-1] != pstr[i+j]*tdims[i+j] {
+				return Layout{}, false
+			}
+			ext *= tdims[i+j]
+		}
+		dims = append(dims, ext)
+		strides = append(strides, pstr[i+g-1])
+		i += g
+	}
+	return Layout{Dims: dims, Strides: strides}, true
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityLayout(t *testing.T) {
+	dims := []int{3, 4, 5}
+	l := IdentityLayout(dims)
+	if !l.Valid() {
+		t.Fatalf("identity layout invalid: %+v", l)
+	}
+	if l.Base != 0 || l.MaxIndex() != Volume(dims)-1 {
+		t.Fatalf("identity layout geometry wrong: base=%d max=%d", l.Base, l.MaxIndex())
+	}
+}
+
+func TestLayoutSection(t *testing.T) {
+	l := IdentityLayout([]int{6, 4})
+	s := l.Section(2, 5)
+	if s.Dims[0] != 3 || s.Base != 2*4 || s.MaxIndex() != 4*4+3 {
+		t.Fatalf("section geometry wrong: %+v max=%d", s, s.MaxIndex())
+	}
+}
+
+func TestFusedLayoutNonContiguous(t *testing.T) {
+	// perm 102 separates axes 0 and 1 physically; fusing them afterwards
+	// cannot be expressed with a single stride.
+	_, ok := FusedLayout([]int{2, 3, 4}, []int{1, 0, 2}, Fusion{Groups: []int{2, 1}})
+	if ok {
+		t.Fatal("expected fallback for non-contiguous fusion")
+	}
+}
+
+func TestFusedLayoutRejectsBadInputs(t *testing.T) {
+	if _, ok := FusedLayout([]int{2, 3}, []int{0, 0}, NoFusion(2)); ok {
+		t.Fatal("accepted invalid permutation")
+	}
+	if _, ok := FusedLayout([]int{2, 0}, []int{0, 1}, NoFusion(2)); ok {
+		t.Fatal("accepted empty volume")
+	}
+	if _, ok := FusedLayout([]int{2, 3}, []int{0, 1}, Fusion{Groups: []int{3}}); ok {
+		t.Fatal("accepted fusion that is not a composition")
+	}
+}
+
+// TestFusedLayoutMatchesTranspose checks the defining property: reading the
+// original buffer through a fused layout yields exactly the values of the
+// materialized transpose, in logical row-major order.
+func TestFusedLayoutMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][]int{{7}, {4, 5}, {3, 4, 5}, {2, 3, 4, 3}}
+	for _, dims := range shapes {
+		n := len(dims)
+		src := make([]int, Volume(dims))
+		for i := range src {
+			src[i] = rng.Int()
+		}
+		for _, perm := range Permutations(n) {
+			tdims := PermuteDims(dims, perm)
+			trans, err := Transpose(src, dims, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range Compositions(n) {
+				lay, ok := FusedLayout(dims, perm, f)
+				if !ok {
+					continue
+				}
+				fdims := f.Apply(tdims)
+				if Volume(lay.Dims) != Volume(fdims) {
+					t.Fatalf("dims=%v perm=%v fuse=%v: fused volume mismatch", dims, perm, f)
+				}
+				if lay.MaxIndex() >= len(src) {
+					t.Fatalf("dims=%v perm=%v fuse=%v: max index %d out of range", dims, perm, f, lay.MaxIndex())
+				}
+				coord := make([]int, len(lay.Dims))
+				for li := 0; li < Volume(lay.Dims); li++ {
+					pi := lay.Base
+					for ax, c := range coord {
+						pi += c * lay.Strides[ax]
+					}
+					if src[pi] != trans[li] {
+						t.Fatalf("dims=%v perm=%v fuse=%v: logical %d maps to phys %d: got %d want %d",
+							dims, perm, f, li, pi, src[pi], trans[li])
+					}
+					for ax := len(coord) - 1; ax >= 0; ax-- {
+						coord[ax]++
+						if coord[ax] < lay.Dims[ax] {
+							break
+						}
+						coord[ax] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedLayoutIdentityAlwaysOk pins that the default pipeline (identity
+// permutation, no fusion) always takes the fused path: its layout is the
+// identity layout.
+func TestFusedLayoutIdentityAlwaysOk(t *testing.T) {
+	dims := []int{5, 6, 7}
+	perm := []int{0, 1, 2}
+	lay, ok := FusedLayout(dims, perm, NoFusion(3))
+	if !ok {
+		t.Fatal("identity pipeline must be fusable")
+	}
+	id := IdentityLayout(dims)
+	for i := range lay.Strides {
+		if lay.Strides[i] != id.Strides[i] || lay.Dims[i] != id.Dims[i] {
+			t.Fatalf("identity fused layout differs: %+v vs %+v", lay, id)
+		}
+	}
+}

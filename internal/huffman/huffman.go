@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"cliz/internal/bitio"
 )
@@ -32,6 +33,51 @@ type Codec struct {
 	firstIdx   []int    // index into symsByCode of the first code of each length
 	counts     []int    // number of codes of each length
 	symsByCode []uint32 // symbols sorted by (length, code)
+	// decode-only LUT over the next lutBits of the stream; built lazily on
+	// first DecodeInto, shared safely by concurrent shard decoders.
+	lutOnce sync.Once
+	lut     []lutEntry
+}
+
+// lutBits is the window width of the single-level decode table. Quantizer
+// bin codes are short (the bulk of the mass sits within a few bits of the
+// entropy), so an 11-bit window resolves almost every symbol in one lookup
+// while the 2^11-entry table still fits comfortably in L1.
+const lutBits = 11
+
+// lutEntry resolves one lutBits-wide bit window to the symbol whose code is
+// a prefix of it. n is the code length to consume; n == 0 means no code of
+// length <= lutBits matches and the decoder must take the canonical
+// bit-by-bit path.
+type lutEntry struct {
+	sym uint32
+	n   uint8
+}
+
+// buildLUT fills the fast-path table: every code of length <= lutBits owns
+// the 2^(lutBits-len) windows it prefixes. Codes are prefix-free, so the
+// ranges never overlap; windows left zero fall through to DecodeOne.
+func (c *Codec) buildLUT() {
+	if len(c.symsByCode) == 0 {
+		return
+	}
+	lut := make([]lutEntry, 1<<lutBits)
+	maxL := c.maxLen
+	if maxL > lutBits {
+		maxL = lutBits
+	}
+	for l := uint(1); l <= maxL; l++ {
+		for k := 0; k < c.counts[l]; k++ {
+			codeVal := c.firstCode[l] + uint64(k)
+			sym := c.symsByCode[c.firstIdx[l]+k]
+			span := 1 << (lutBits - l)
+			base := int(codeVal) * span
+			for w := base; w < base+span; w++ {
+				lut[w] = lutEntry{sym: sym, n: uint8(l)}
+			}
+		}
+	}
+	c.lut = lut
 }
 
 type code struct {
@@ -269,16 +315,62 @@ func (c *Codec) Decode(n int, r *bitio.Reader) ([]uint32, error) {
 	return out, nil
 }
 
-// DecodeInto fills dst with len(dst) symbols read from r. It allocates
-// nothing, so parallel shard decoders can decode straight into disjoint
-// windows of one shared output slice.
+// DecodeInto fills dst with len(dst) symbols read from r. Beyond the LUT
+// itself (built once per codec), it allocates nothing, so parallel shard
+// decoders can decode straight into disjoint windows of one shared output
+// slice. Symbols whose code fits the LUT window resolve in one peek; longer
+// codes — and windows truncated by end of stream, where a LUT hit could be
+// an artifact of zero padding — fall back to the canonical walk, which
+// keeps the exact error behavior of DecodeOne.
 func (c *Codec) DecodeInto(dst []uint32, r *bitio.Reader) error {
-	for i := range dst {
+	c.lutOnce.Do(c.buildLUT)
+	lut := c.lut
+	if lut == nil {
+		// Empty alphabet: DecodeOne supplies the canonical error.
+		for i := range dst {
+			s, err := c.DecodeOne(r)
+			if err != nil {
+				return err
+			}
+			dst[i] = s
+		}
+		return nil
+	}
+	// Batched window decode: peek up to 56 bits once, resolve as many
+	// symbols as fit from the local word, consume their total in one call.
+	// This amortizes the reader round-trip over several symbols — the LUT
+	// hit itself is a shift, a mask, and one table load.
+	const window = 56
+	i := 0
+	for i < len(dst) {
+		v, avail := r.Peek(window)
+		used := uint(0)
+		for i < len(dst) && used+lutBits <= window {
+			e := lut[(v>>(window-lutBits-used))&(1<<lutBits-1)]
+			// avail < window near end of stream, where a hit may be an
+			// artifact of zero padding — only lengths covered by real
+			// bits count.
+			if e.n == 0 || used+uint(e.n) > avail {
+				break
+			}
+			dst[i] = e.sym
+			used += uint(e.n)
+			i++
+		}
+		if used > 0 {
+			if err := r.Consume(used); err != nil {
+				return err
+			}
+			continue
+		}
+		// LUT miss (code longer than lutBits) or window too short: the
+		// canonical walk keeps the exact error behavior of DecodeOne.
 		s, err := c.DecodeOne(r)
 		if err != nil {
 			return err
 		}
 		dst[i] = s
+		i++
 	}
 	return nil
 }

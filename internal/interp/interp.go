@@ -17,6 +17,12 @@
 //     skipped entirely — they produce no quantization bin.
 //   - Per-level error bounds (QoZ): Config.LevelEBFactor scales the error
 //     bound per level; factors ≤ 1 keep the global bound intact.
+//
+// The engine traverses a *logical* grid while addressing values through a
+// grid.Layout, so a dimension permutation can be fused into the index
+// arithmetic instead of materializing a transposed copy. The logical
+// traversal order — and with it the bin and literal streams — is identical
+// either way.
 package interp
 
 import (
@@ -42,9 +48,9 @@ type Config struct {
 	Radius int32
 	// Fitting selects linear or cubic prediction.
 	Fitting predict.Fitting
-	// Valid marks usable points; nil means all points are valid. Length
-	// must equal the grid volume. Masked points are neither predicted nor
-	// used as references.
+	// Valid marks usable points in logical (traversal) order; nil means all
+	// points are valid. Length must equal the grid volume. Masked points are
+	// neither predicted nor used as references.
 	Valid []bool
 	// LevelEBFactor, if non-nil, scales the error bound at each level
 	// (level 1 = finest). Factors must be in (0, 1] to preserve the bound.
@@ -83,12 +89,14 @@ func Levels(dims []int) int {
 }
 
 type engine struct {
-	dims    []int
-	strides []int
-	n       int
-	vol     int
-	cfg     Config
-	work    []float32 // reconstructed values, evolves during the run
+	dims     []int
+	strides  []int // logical row-major strides (bins, mask)
+	pstrides []int // physical strides into work (layout)
+	base     int   // physical index of the logical origin
+	n        int
+	vol      int
+	cfg      Config
+	work     []float32 // reconstructed values, evolves during the run
 
 	decode bool
 	bins   []int32
@@ -108,10 +116,13 @@ type engine struct {
 	q quant.Quantizer
 }
 
-func newEngine(dims []int, cfg Config) (*engine, error) {
-	vol := grid.Volume(dims)
+func newEngine(lay grid.Layout, cfg Config) (*engine, error) {
+	vol := grid.Volume(lay.Dims)
 	if vol == 0 {
-		return nil, fmt.Errorf("interp: empty grid %v: %w", dims, ErrCorrupt)
+		return nil, fmt.Errorf("interp: empty grid %v: %w", lay.Dims, ErrCorrupt)
+	}
+	if !lay.Valid() {
+		return nil, fmt.Errorf("interp: invalid layout %v/%v: %w", lay.Dims, lay.Strides, ErrCorrupt)
 	}
 	if cfg.EB <= 0 {
 		return nil, fmt.Errorf("interp: error bound must be positive, got %g: %w", cfg.EB, ErrCorrupt)
@@ -123,12 +134,29 @@ func newEngine(dims []int, cfg Config) (*engine, error) {
 		cfg.Radius = quant.DefaultRadius
 	}
 	return &engine{
-		dims:    dims,
-		strides: grid.Strides(dims),
-		n:       len(dims),
-		vol:     vol,
-		cfg:     cfg,
+		dims:     lay.Dims,
+		strides:  grid.Strides(lay.Dims),
+		pstrides: lay.Strides,
+		base:     lay.Base,
+		n:        len(lay.Dims),
+		vol:      vol,
+		cfg:      cfg,
 	}, nil
+}
+
+// checkWork validates that the physical buffer covers every index the
+// layout can touch. The layout ultimately comes from a blob header on the
+// decode side, so this is a hard bounds check, not an assertion.
+func (e *engine) checkWork(buf []float32, what string) error {
+	max := e.base
+	for i, d := range e.dims {
+		max += (d - 1) * e.pstrides[i]
+	}
+	if max >= len(buf) {
+		return fmt.Errorf("interp: %s length %d does not cover layout (max index %d): %w",
+			what, len(buf), max, ErrCorrupt)
+	}
+	return nil
 }
 
 // Compress runs prediction + quantization over data.
@@ -149,33 +177,44 @@ func Compress(data []float32, dims []int, cfg Config) (Result, error) {
 // run independent engine instances over disjoint windows of one global
 // bins/recon pair without per-section allocation.
 func CompressBuffers(data []float32, dims []int, cfg Config, bins []int32, recon []float32) ([]float32, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(data) != vol {
+		return nil, fmt.Errorf("interp: data length %d != volume %d", len(data), vol)
+	}
+	if len(bins) != vol || len(recon) != vol {
+		return nil, fmt.Errorf("interp: buffer length %d/%d != volume %d", len(bins), len(recon), vol)
+	}
+	copy(recon, data)
+	return CompressLayout(recon, grid.IdentityLayout(dims), cfg, bins)
+}
+
+// CompressLayout runs prediction + quantization in place: on entry work
+// holds the original values at the layout's physical positions, on exit the
+// reconstruction. bins (logical row-major order, one per point) is
+// overwritten; the literal stream is returned. This is the fused-permutation
+// entry point — the layout carries the permuted view so no transposed copy
+// of the data is needed.
+func CompressLayout(work []float32, lay grid.Layout, cfg Config, bins []int32) ([]float32, error) {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != e.vol {
-		return nil, fmt.Errorf("interp: data length %d != volume %d", len(data), e.vol)
+	if len(bins) != e.vol {
+		return nil, fmt.Errorf("interp: bins length %d != volume %d", len(bins), e.vol)
 	}
-	if len(bins) != e.vol || len(recon) != e.vol {
-		return nil, fmt.Errorf("interp: buffer length %d/%d != volume %d", len(bins), len(recon), e.vol)
+	if err := e.checkWork(work, "work"); err != nil {
+		return nil, err
 	}
-	copy(recon, data)
 	for i := range bins {
 		bins[i] = 0
 	}
-	e.work = recon
+	e.work = work
 	e.bins = bins
 	e.run()
 	if e.err != nil {
 		return nil, e.err
 	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
+	e.fillMasked()
 	return e.lits, nil
 }
 
@@ -194,15 +233,27 @@ func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]flo
 // caller-provided slice of length equal to the grid volume. The literal
 // slice may extend past this run's consumption (sections consume a prefix).
 func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config, out []float32) error {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(out) != vol {
+		return fmt.Errorf("interp: out length %d != volume %d: %w", len(out), vol, ErrCorrupt)
+	}
+	return DecompressLayout(bins, literals, grid.IdentityLayout(dims), cfg, out)
+}
+
+// DecompressLayout reconstructs through a layout: bins and literals are in
+// logical order, the reconstruction lands at the layout's physical
+// positions in out. The fused decode path writes straight into the
+// original-layout output buffer, eliminating the unpermute pass.
+func DecompressLayout(bins []int32, literals []float32, lay grid.Layout, cfg Config, out []float32) error {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return err
 	}
 	if len(bins) != e.vol {
 		return fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
-	if len(out) != e.vol {
-		return fmt.Errorf("interp: out length %d != volume %d: %w", len(out), e.vol, ErrCorrupt)
+	if err := e.checkWork(out, "out"); err != nil {
+		return err
 	}
 	e.decode = true
 	e.work = out
@@ -212,13 +263,7 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 	if e.err != nil {
 		return e.err
 	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
+	e.fillMasked()
 	return nil
 }
 
@@ -229,15 +274,24 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 // bound. It returns the number of points checked. The replay is sound
 // because decode predictions only ever reference finalized values.
 func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, recon []float32, every int) (int, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(recon) != vol {
+		return 0, fmt.Errorf("interp: recon length %d != volume %d: %w", len(recon), vol, ErrCorrupt)
+	}
+	return VerifyLayout(bins, literals, grid.IdentityLayout(dims), cfg, recon, every)
+}
+
+// VerifyLayout is VerifyBuffers over a layout-addressed reconstruction.
+func VerifyLayout(bins []int32, literals []float32, lay grid.Layout, cfg Config, recon []float32, every int) (int, error) {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return 0, err
 	}
 	if len(bins) != e.vol {
 		return 0, fmt.Errorf("interp: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
-	if len(recon) != e.vol {
-		return 0, fmt.Errorf("interp: recon length %d != volume %d: %w", len(recon), e.vol, ErrCorrupt)
+	if err := e.checkWork(recon, "recon"); err != nil {
+		return 0, err
 	}
 	if every < 1 {
 		every = 1
@@ -252,6 +306,30 @@ func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, rec
 	return e.vChecked, e.err
 }
 
+// fillMasked writes the fill value to every masked position, addressing the
+// physical buffer through the layout.
+func (e *engine) fillMasked() {
+	if e.cfg.Valid == nil {
+		return
+	}
+	coord := make([]int, e.n)
+	idxP := e.base
+	for idx := 0; idx < e.vol; idx++ {
+		if !e.cfg.Valid[idx] {
+			e.work[idxP] = e.cfg.FillValue
+		}
+		for ax := e.n - 1; ax >= 0; ax-- {
+			coord[ax]++
+			idxP += e.pstrides[ax]
+			if coord[ax] < e.dims[ax] {
+				break
+			}
+			coord[ax] = 0
+			idxP -= e.pstrides[ax] * e.dims[ax]
+		}
+	}
+}
+
 // run executes the full traversal (both directions share it, guaranteeing
 // symmetry).
 func (e *engine) run() {
@@ -259,7 +337,7 @@ func (e *engine) run() {
 	// The origin is handled first, predicted as 0.
 	e.q = e.quantizerFor(levels)
 	if e.valid(0) {
-		e.handle(0, 0)
+		e.handle(0, e.base, 0)
 	}
 	for level := levels; level >= 1; level-- {
 		if e.err != nil {
@@ -290,17 +368,20 @@ func (e *engine) valid(idx int) bool {
 
 // passDim predicts, along dimension d, every point whose d-coordinate is an
 // odd multiple of stride, whose earlier coordinates are multiples of stride,
-// and whose later coordinates are multiples of 2·stride.
+// and whose later coordinates are multiples of 2·stride. The odometer
+// carries the logical and physical line origins in lockstep.
 func (e *engine) passDim(d, stride int) {
 	dimD := e.dims[d]
 	if stride >= dimD {
 		return
 	}
 	stepD := e.strides[d] * stride
+	pstepD := e.pstrides[d] * stride
 
 	// Odometer over the other dimensions.
 	counts := make([]int, 0, e.n-1)
 	steps := make([]int, 0, e.n-1)
+	psteps := make([]int, 0, e.n-1)
 	for k := 0; k < e.n; k++ {
 		if k == d {
 			continue
@@ -312,31 +393,28 @@ func (e *engine) passDim(d, stride int) {
 		cnt := (e.dims[k] + s - 1) / s
 		counts = append(counts, cnt)
 		steps = append(steps, e.strides[k]*s)
+		psteps = append(psteps, e.pstrides[k]*s)
 	}
 	nOther := len(counts)
 	pos := make([]int, nOther)
-	base := 0
+	base, pbase := 0, e.base
 	for {
 		if e.err != nil {
 			return
 		}
-		// Walk the target line along d: x = stride, 3·stride, ...
-		lineLen := dimD
-		idx := base + stepD // coordinate stride along d
-		for x := stride; x < lineLen; x += 2 * stride {
-			e.predictPoint(idx, x, dimD, stepD, stride)
-			idx += 2 * stepD
-		}
+		e.line(base+stepD, pbase+pstepD, dimD, stepD, pstepD, stride)
 		// Odometer increment.
 		carry := nOther - 1
 		for ; carry >= 0; carry-- {
 			pos[carry]++
 			base += steps[carry]
+			pbase += psteps[carry]
 			if pos[carry] < counts[carry] {
 				break
 			}
 			pos[carry] = 0
 			base -= steps[carry] * counts[carry]
+			pbase -= psteps[carry] * counts[carry]
 		}
 		if carry < 0 {
 			return
@@ -344,12 +422,62 @@ func (e *engine) passDim(d, stride int) {
 	}
 }
 
-// predictPoint predicts the point at flat index idx whose coordinate along
-// the active dimension is x (0 ≤ x < dimD), with flat step stepD per stride.
-// References sit at coordinates x ± stride and (for cubic) x ± 3·stride
-// (paper Fig. 6); references that fall outside the grid or on masked points
-// are flagged invalid and the fitting degrades via Formula (2).
-func (e *engine) predictPoint(idx, x, dimD, stepD, stride int) {
+// line walks one target line along the active dimension: x = stride,
+// 3·stride, ... idx/idxP start at the x = stride point. For unmasked grids
+// the interior of the line — where every reference is in bounds — runs a
+// specialized kernel with the full-validity coefficients hardwired,
+// skipping the per-reference bounds and mask tests; the prologue and
+// epilogue fall back to the general point predictor. The specialization
+// preserves the traversal order exactly, so bins and literals are
+// bit-identical to the general path.
+func (e *engine) line(idx, idxP, dimD, stepD, pstepD, stride int) {
+	x := stride
+	if e.cfg.Valid == nil {
+		if e.cfg.Fitting == predict.Cubic {
+			// Prologue: points whose left references underrun the line.
+			for ; x < dimD && x < 3*stride; x += 2 * stride {
+				e.predictPoint(idx, idxP, x, dimD, stepD, pstepD, stride)
+				idx += 2 * stepD
+				idxP += 2 * pstepD
+			}
+			// Interior: x−3s ≥ 0 and x+3s < dimD, all four references valid.
+			for ; x+3*stride < dimD; x += 2 * stride {
+				var d [4]float64
+				d[0] = float64(e.work[idxP-3*pstepD])
+				d[1] = float64(e.work[idxP-pstepD])
+				d[2] = float64(e.work[idxP+pstepD])
+				d[3] = float64(e.work[idxP+3*pstepD])
+				e.handle(idx, idxP, predict.PredictCubic(d, 15))
+				idx += 2 * stepD
+				idxP += 2 * pstepD
+			}
+		} else if e.cfg.Fitting == predict.Linear {
+			// Interior: x−s ≥ 0 always holds (x starts at stride), so only
+			// the right reference bound gates the fast kernel.
+			for ; x+stride < dimD; x += 2 * stride {
+				d1 := float64(e.work[idxP-pstepD])
+				d2 := float64(e.work[idxP+pstepD])
+				e.handle(idx, idxP, predict.PredictLinear(d1, d2, 3))
+				idx += 2 * stepD
+				idxP += 2 * pstepD
+			}
+		}
+	}
+	// Epilogue (and the whole line for masked grids): the general predictor.
+	for ; x < dimD; x += 2 * stride {
+		e.predictPoint(idx, idxP, x, dimD, stepD, pstepD, stride)
+		idx += 2 * stepD
+		idxP += 2 * pstepD
+	}
+}
+
+// predictPoint predicts the point at logical index idx (physical idxP)
+// whose coordinate along the active dimension is x (0 ≤ x < dimD), with
+// logical step stepD and physical step pstepD per stride. References sit at
+// coordinates x ± stride and (for cubic) x ± 3·stride (paper Fig. 6);
+// references that fall outside the grid or on masked points are flagged
+// invalid and the fitting degrades via Formula (2).
+func (e *engine) predictPoint(idx, idxP, x, dimD, stepD, pstepD, stride int) {
 	if !e.valid(idx) {
 		return
 	}
@@ -358,19 +486,19 @@ func (e *engine) predictPoint(idx, x, dimD, stepD, stride int) {
 		var d [4]float64
 		vm := 0
 		if x-3*stride >= 0 && e.valid(idx-3*stepD) {
-			d[0] = float64(e.work[idx-3*stepD])
+			d[0] = float64(e.work[idxP-3*pstepD])
 			vm |= 1 << 0
 		}
 		if x-stride >= 0 && e.valid(idx-stepD) {
-			d[1] = float64(e.work[idx-stepD])
+			d[1] = float64(e.work[idxP-pstepD])
 			vm |= 1 << 1
 		}
 		if x+stride < dimD && e.valid(idx+stepD) {
-			d[2] = float64(e.work[idx+stepD])
+			d[2] = float64(e.work[idxP+pstepD])
 			vm |= 1 << 2
 		}
 		if x+3*stride < dimD && e.valid(idx+3*stepD) {
-			d[3] = float64(e.work[idx+3*stepD])
+			d[3] = float64(e.work[idxP+3*pstepD])
 			vm |= 1 << 3
 		}
 		pred = predict.PredictCubic(d, vm)
@@ -378,20 +506,21 @@ func (e *engine) predictPoint(idx, x, dimD, stepD, stride int) {
 		var d1, d2 float64
 		vm := 0
 		if x-stride >= 0 && e.valid(idx-stepD) {
-			d1 = float64(e.work[idx-stepD])
+			d1 = float64(e.work[idxP-pstepD])
 			vm |= 1
 		}
 		if x+stride < dimD && e.valid(idx+stepD) {
-			d2 = float64(e.work[idx+stepD])
+			d2 = float64(e.work[idxP+pstepD])
 			vm |= 2
 		}
 		pred = predict.PredictLinear(d1, d2, vm)
 	}
-	e.handle(idx, pred)
+	e.handle(idx, idxP, pred)
 }
 
-// handle quantizes (compress) or recovers (decompress) the point at idx.
-func (e *engine) handle(idx int, pred float64) {
+// handle quantizes (compress) or recovers (decompress) the point at logical
+// index idx, reading and writing the value at physical index idxP.
+func (e *engine) handle(idx, idxP int, pred float64) {
 	if e.decode {
 		bin := e.bins[idx]
 		var lit float64
@@ -404,27 +533,27 @@ func (e *engine) handle(idx int, pred float64) {
 			e.litPos++
 		}
 		if e.verify {
-			e.checkPoint(idx, pred, bin, lit)
+			e.checkPoint(idx, idxP, pred, bin, lit)
 			return
 		}
-		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
+		e.work[idxP] = float32(e.q.Recover(pred, bin, lit))
 		return
 	}
-	orig := float64(e.work[idx])
+	orig := float64(e.work[idxP])
 	bin, recon, exact := e.q.Quantize(pred, orig)
 	if exact {
-		e.lits = append(e.lits, e.work[idx])
-		// recon == orig; work[idx] already holds it.
+		e.lits = append(e.lits, e.work[idxP])
+		// recon == orig; work[idxP] already holds it.
 		_ = recon
 	} else {
-		e.work[idx] = float32(recon)
+		e.work[idxP] = float32(recon)
 	}
 	e.bins[idx] = bin
 }
 
-// checkPoint compares the finished reconstruction at idx against the value
+// checkPoint compares the finished reconstruction at idxP against the value
 // its bin (or literal) regenerates, sampling every vEvery-th handled point.
-func (e *engine) checkPoint(idx int, pred float64, bin int32, lit float64) {
+func (e *engine) checkPoint(idx, idxP int, pred float64, bin int32, lit float64) {
 	if bin < 0 || bin >= 2*e.q.Radius() {
 		e.err = fmt.Errorf("interp: bin %d out of range at point %d: %w", bin, idx, ErrCorrupt)
 		return
@@ -434,7 +563,7 @@ func (e *engine) checkPoint(idx int, pred float64, bin int32, lit float64) {
 		return
 	}
 	want := float32(e.q.Recover(pred, bin, lit))
-	got := e.work[idx]
+	got := e.work[idxP]
 	//clizlint:ignore floateq bit-exact self-verification replay: the decoder recomputes the identical arithmetic, so any difference is corruption
 	if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
 		e.err = fmt.Errorf("interp: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g: %w",

@@ -11,6 +11,14 @@
 // handles boundaries. The package shares the bin-grid/literal contract of
 // the interpolation engine, so CliZ's masking and bin classification apply
 // unchanged; the auto-tuner can enable it as an extra fitting arm.
+//
+// Like the interpolation engine, the scan separates logical indices (the
+// row-major traversal order that fixes bins and literals) from physical
+// indices resolved through a grid.Layout, so a dimension permutation fuses
+// into the corner offsets instead of requiring a transposed copy. Unmasked
+// grids run a row kernel: the per-corner bounds tests are hoisted out of the
+// innermost loop by filtering the corner set once per row, preserving the
+// corner summation order so predictions stay bit-identical.
 package lorenzo
 
 import (
@@ -34,7 +42,7 @@ type Config struct {
 	EB float64
 	// Radius is the quantizer radius; 0 selects quant.DefaultRadius.
 	Radius int32
-	// Valid marks usable points; nil = all valid.
+	// Valid marks usable points in logical order; nil = all valid.
 	Valid []bool
 	// FillValue is written to masked positions on decompression.
 	FillValue float32
@@ -48,19 +56,32 @@ type Result struct {
 }
 
 type engine struct {
-	dims    []int
-	strides []int
-	n       int
-	vol     int
-	cfg     Config
-	work    []float32
-	q       quant.Quantizer
+	dims     []int
+	strides  []int // logical row-major strides
+	pstrides []int // physical strides (layout)
+	base     int   // physical index of the logical origin
+	n        int
+	vol      int
+	cfg      Config
+	work     []float32
+	q        quant.Quantizer
 
-	// corner offsets and signs for the inclusion-exclusion sum
-	offs  []int
+	// corner offsets and signs for the inclusion-exclusion sum, in
+	// ascending corner-mask order (the order fixes the float summation)
+	offs  []int // logical offsets (mask validity lookups)
+	poffs []int // physical offsets (value reads)
 	signs []float64
 	// per-corner coordinate deltas for bounds checking
 	deltas [][]int
+
+	// row-kernel corner lists for unmasked grids: the full set (interior
+	// columns, j ≥ 1) and the subset with zero inner delta (column j = 0),
+	// both only valid for rows whose outer coordinates are all ≥ 1.
+	// rowP/rowS and row0P/row0S are scratch for boundary rows.
+	fullP, in0P []int
+	fullS, in0S []float64
+	rowP, row0P []int
+	rowS, row0S []float64
 
 	decode bool
 	bins   []int32
@@ -76,10 +97,13 @@ type engine struct {
 	vChecked int
 }
 
-func newEngine(dims []int, cfg Config) (*engine, error) {
-	vol := grid.Volume(dims)
+func newEngine(lay grid.Layout, cfg Config) (*engine, error) {
+	vol := grid.Volume(lay.Dims)
 	if vol == 0 {
-		return nil, fmt.Errorf("lorenzo: empty grid %v: %w", dims, ErrCorrupt)
+		return nil, fmt.Errorf("lorenzo: empty grid %v: %w", lay.Dims, ErrCorrupt)
+	}
+	if !lay.Valid() {
+		return nil, fmt.Errorf("lorenzo: invalid layout %v/%v: %w", lay.Dims, lay.Strides, ErrCorrupt)
 	}
 	if cfg.EB <= 0 {
 		return nil, fmt.Errorf("lorenzo: error bound must be positive, got %g: %w", cfg.EB, ErrCorrupt)
@@ -91,21 +115,25 @@ func newEngine(dims []int, cfg Config) (*engine, error) {
 		cfg.Radius = quant.DefaultRadius
 	}
 	e := &engine{
-		dims:    dims,
-		strides: grid.Strides(dims),
-		n:       len(dims),
-		vol:     vol,
-		cfg:     cfg,
-		q:       quant.New(cfg.EB, cfg.Radius),
+		dims:     lay.Dims,
+		strides:  grid.Strides(lay.Dims),
+		pstrides: lay.Strides,
+		base:     lay.Base,
+		n:        len(lay.Dims),
+		vol:      vol,
+		cfg:      cfg,
+		q:        quant.New(cfg.EB, cfg.Radius),
 	}
-	// Enumerate the 2^n − 1 non-empty corner subsets.
+	// Enumerate the 2^n − 1 non-empty corner subsets. Ascending mask order
+	// is the summation order on both the slow and row-kernel paths.
 	for mask := 1; mask < 1<<e.n; mask++ {
-		off := 0
+		off, poff := 0, 0
 		delta := make([]int, e.n)
 		bits := 0
 		for d := 0; d < e.n; d++ {
 			if mask&(1<<d) != 0 {
 				off += e.strides[d]
+				poff += e.pstrides[d]
 				delta[d] = 1
 				bits++
 			}
@@ -115,10 +143,42 @@ func newEngine(dims []int, cfg Config) (*engine, error) {
 			sign = -1
 		}
 		e.offs = append(e.offs, off)
+		e.poffs = append(e.poffs, poff)
 		e.signs = append(e.signs, sign)
 		e.deltas = append(e.deltas, delta)
 	}
+	if cfg.Valid == nil {
+		// Interior-row corner lists: every corner is in bounds once all
+		// outer coordinates are ≥ 1; at column j = 0 only the corners that
+		// do not reach along the inner axis apply.
+		for c, delta := range e.deltas {
+			e.fullP = append(e.fullP, e.poffs[c])
+			e.fullS = append(e.fullS, e.signs[c])
+			if delta[e.n-1] == 0 {
+				e.in0P = append(e.in0P, e.poffs[c])
+				e.in0S = append(e.in0S, e.signs[c])
+			}
+		}
+		e.rowP = make([]int, 0, len(e.fullP))
+		e.rowS = make([]float64, 0, len(e.fullS))
+		e.row0P = make([]int, 0, len(e.in0P))
+		e.row0S = make([]float64, 0, len(e.in0S))
+	}
 	return e, nil
+}
+
+// checkWork validates that the physical buffer covers every index the
+// layout can touch (the layout comes from a blob header on decode).
+func (e *engine) checkWork(buf []float32, what string) error {
+	max := e.base
+	for i, d := range e.dims {
+		max += (d - 1) * e.pstrides[i]
+	}
+	if max >= len(buf) {
+		return fmt.Errorf("lorenzo: %s length %d does not cover layout (max index %d): %w",
+			what, len(buf), max, ErrCorrupt)
+	}
+	return nil
 }
 
 // Compress runs Lorenzo prediction + quantization over data.
@@ -137,33 +197,41 @@ func Compress(data []float32, dims []int, cfg Config) (Result, error) {
 // caller-provided slices (mirrors interp.CompressBuffers for the sectioned
 // parallel path).
 func CompressBuffers(data []float32, dims []int, cfg Config, bins []int32, recon []float32) ([]float32, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(data) != vol {
+		return nil, fmt.Errorf("lorenzo: data length %d != volume %d", len(data), vol)
+	}
+	if len(bins) != vol || len(recon) != vol {
+		return nil, fmt.Errorf("lorenzo: buffer length %d/%d != volume %d", len(bins), len(recon), vol)
+	}
+	copy(recon, data)
+	return CompressLayout(recon, grid.IdentityLayout(dims), cfg, bins)
+}
+
+// CompressLayout runs prediction + quantization in place through a layout:
+// on entry work holds the original values at the layout's physical
+// positions, on exit the reconstruction (mirrors interp.CompressLayout).
+func CompressLayout(work []float32, lay grid.Layout, cfg Config, bins []int32) ([]float32, error) {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != e.vol {
-		return nil, fmt.Errorf("lorenzo: data length %d != volume %d", len(data), e.vol)
+	if len(bins) != e.vol {
+		return nil, fmt.Errorf("lorenzo: bins length %d != volume %d", len(bins), e.vol)
 	}
-	if len(bins) != e.vol || len(recon) != e.vol {
-		return nil, fmt.Errorf("lorenzo: buffer length %d/%d != volume %d", len(bins), len(recon), e.vol)
+	if err := e.checkWork(work, "work"); err != nil {
+		return nil, err
 	}
-	copy(recon, data)
 	for i := range bins {
 		bins[i] = 0
 	}
-	e.work = recon
+	e.work = work
 	e.bins = bins
 	e.run()
 	if e.err != nil {
 		return nil, e.err
 	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
+	e.fillMasked()
 	return e.lits, nil
 }
 
@@ -180,15 +248,26 @@ func Decompress(bins []int32, literals []float32, dims []int, cfg Config) ([]flo
 // DecompressBuffers is Decompress writing into a caller-provided slice; the
 // literal slice may extend past this run's consumption.
 func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config, out []float32) error {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(out) != vol {
+		return fmt.Errorf("lorenzo: out length %d != volume %d: %w", len(out), vol, ErrCorrupt)
+	}
+	return DecompressLayout(bins, literals, grid.IdentityLayout(dims), cfg, out)
+}
+
+// DecompressLayout reconstructs through a layout: bins and literals are in
+// logical order, the reconstruction lands at the layout's physical
+// positions in out (mirrors interp.DecompressLayout).
+func DecompressLayout(bins []int32, literals []float32, lay grid.Layout, cfg Config, out []float32) error {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return err
 	}
 	if len(bins) != e.vol {
 		return fmt.Errorf("lorenzo: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
-	if len(out) != e.vol {
-		return fmt.Errorf("lorenzo: out length %d != volume %d: %w", len(out), e.vol, ErrCorrupt)
+	if err := e.checkWork(out, "out"); err != nil {
+		return err
 	}
 	e.decode = true
 	e.work = out
@@ -198,13 +277,7 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 	if e.err != nil {
 		return e.err
 	}
-	if e.cfg.Valid != nil {
-		for i, ok := range e.cfg.Valid {
-			if !ok {
-				e.work[i] = e.cfg.FillValue
-			}
-		}
-	}
+	e.fillMasked()
 	return nil
 }
 
@@ -214,15 +287,24 @@ func DecompressBuffers(bins []int32, literals []float32, dims []int, cfg Config,
 // Lorenzo references are always lower-corner neighbours, finalized before
 // the target point on both sides.
 func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, recon []float32, every int) (int, error) {
-	e, err := newEngine(dims, cfg)
+	vol := grid.Volume(dims)
+	if len(recon) != vol {
+		return 0, fmt.Errorf("lorenzo: recon length %d != volume %d: %w", len(recon), vol, ErrCorrupt)
+	}
+	return VerifyLayout(bins, literals, grid.IdentityLayout(dims), cfg, recon, every)
+}
+
+// VerifyLayout is VerifyBuffers over a layout-addressed reconstruction.
+func VerifyLayout(bins []int32, literals []float32, lay grid.Layout, cfg Config, recon []float32, every int) (int, error) {
+	e, err := newEngine(lay, cfg)
 	if err != nil {
 		return 0, err
 	}
 	if len(bins) != e.vol {
 		return 0, fmt.Errorf("lorenzo: bins length %d != volume %d: %w", len(bins), e.vol, ErrCorrupt)
 	}
-	if len(recon) != e.vol {
-		return 0, fmt.Errorf("lorenzo: recon length %d != volume %d: %w", len(recon), e.vol, ErrCorrupt)
+	if err := e.checkWork(recon, "recon"); err != nil {
+		return 0, err
 	}
 	if every < 1 {
 		every = 1
@@ -237,29 +319,148 @@ func VerifyBuffers(bins []int32, literals []float32, dims []int, cfg Config, rec
 	return e.vChecked, e.err
 }
 
-// run scans the grid in row-major order (identical on both sides).
-func (e *engine) run() {
+// fillMasked writes the fill value to every masked position through the
+// layout.
+func (e *engine) fillMasked() {
+	if e.cfg.Valid == nil {
+		return
+	}
 	coord := make([]int, e.n)
+	idxP := e.base
 	for idx := 0; idx < e.vol; idx++ {
-		if e.cfg.Valid == nil || e.cfg.Valid[idx] {
-			e.handle(idx, e.predict(idx, coord))
+		if !e.cfg.Valid[idx] {
+			e.work[idxP] = e.cfg.FillValue
+		}
+		for ax := e.n - 1; ax >= 0; ax-- {
+			coord[ax]++
+			idxP += e.pstrides[ax]
+			if coord[ax] < e.dims[ax] {
+				break
+			}
+			coord[ax] = 0
+			idxP -= e.pstrides[ax] * e.dims[ax]
+		}
+	}
+}
+
+// run scans the grid in row-major order (identical on both sides). Masked
+// grids take the general per-point path; unmasked grids run the row kernel.
+func (e *engine) run() {
+	if e.cfg.Valid != nil {
+		e.runMasked()
+		return
+	}
+	nInner := e.dims[e.n-1]
+	rows := e.vol / nInner
+	outer := make([]int, e.n-1)
+	idx, idxP := 0, e.base
+	pInner := e.pstrides[e.n-1]
+	for r := 0; r < rows; r++ {
+		e.runRow(idx, idxP, outer, nInner, pInner)
+		if e.err != nil {
+			return
+		}
+		idx += nInner
+		for ax := e.n - 2; ax >= 0; ax-- {
+			outer[ax]++
+			idxP += e.pstrides[ax]
+			if outer[ax] < e.dims[ax] {
+				break
+			}
+			outer[ax] = 0
+			idxP -= e.pstrides[ax] * e.dims[ax]
+		}
+	}
+}
+
+// runRow handles one inner row. For rows whose outer coordinates are all
+// ≥ 1 the precomputed interior corner lists apply directly; boundary rows
+// filter the corner set once (in ascending corner order, preserving the
+// summation order) instead of re-testing bounds at every point.
+func (e *engine) runRow(idx, idxP int, outer []int, nInner, pInner int) {
+	p0, s0 := e.in0P, e.in0S
+	pF, sF := e.fullP, e.fullS
+	interior := true
+	for _, c := range outer {
+		if c < 1 {
+			interior = false
+			break
+		}
+	}
+	if !interior {
+		e.rowP, e.rowS = e.rowP[:0], e.rowS[:0]
+		e.row0P, e.row0S = e.row0P[:0], e.row0S[:0]
+		for c, delta := range e.deltas {
+			ok := true
+			for d := 0; d < e.n-1; d++ {
+				if outer[d] < delta[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			e.rowP = append(e.rowP, e.poffs[c])
+			e.rowS = append(e.rowS, e.signs[c])
+			if delta[e.n-1] == 0 {
+				e.row0P = append(e.row0P, e.poffs[c])
+				e.row0S = append(e.row0S, e.signs[c])
+			}
+		}
+		p0, s0 = e.row0P, e.row0S
+		pF, sF = e.rowP, e.rowS
+	}
+	// Column 0: corners must not reach along the inner axis.
+	pred := 0.0
+	for k, off := range p0 {
+		pred += s0[k] * float64(e.work[idxP-off])
+	}
+	e.handle(idx, idxP, pred)
+	if e.err != nil {
+		return
+	}
+	// Columns 1..nInner-1: the full (filtered) corner set.
+	for j := 1; j < nInner; j++ {
+		idx++
+		idxP += pInner
+		pred = 0.0
+		for k, off := range pF {
+			pred += sF[k] * float64(e.work[idxP-off])
+		}
+		e.handle(idx, idxP, pred)
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// runMasked is the general per-point scan for masked grids.
+func (e *engine) runMasked() {
+	coord := make([]int, e.n)
+	idxP := e.base
+	for idx := 0; idx < e.vol; idx++ {
+		if e.cfg.Valid[idx] {
+			e.handle(idx, idxP, e.predict(idx, idxP, coord))
 			if e.err != nil {
 				return
 			}
 		}
 		for ax := e.n - 1; ax >= 0; ax-- {
 			coord[ax]++
+			idxP += e.pstrides[ax]
 			if coord[ax] < e.dims[ax] {
 				break
 			}
 			coord[ax] = 0
+			idxP -= e.pstrides[ax] * e.dims[ax]
 		}
 	}
 }
 
 // predict evaluates the inclusion-exclusion sum; neighbours outside the grid
 // or masked contribute 0.
-func (e *engine) predict(idx int, coord []int) float64 {
+func (e *engine) predict(idx, idxP int, coord []int) float64 {
 	p := 0.0
 	for c, off := range e.offs {
 		in := true
@@ -276,12 +477,12 @@ func (e *engine) predict(idx int, coord []int) float64 {
 		if e.cfg.Valid != nil && !e.cfg.Valid[nb] {
 			continue
 		}
-		p += e.signs[c] * float64(e.work[nb])
+		p += e.signs[c] * float64(e.work[idxP-e.poffs[c]])
 	}
 	return p
 }
 
-func (e *engine) handle(idx int, pred float64) {
+func (e *engine) handle(idx, idxP int, pred float64) {
 	if e.decode {
 		bin := e.bins[idx]
 		var lit float64
@@ -303,7 +504,7 @@ func (e *engine) handle(idx int, pred float64) {
 				return
 			}
 			want := float32(e.q.Recover(pred, bin, lit))
-			got := e.work[idx]
+			got := e.work[idxP]
 			//clizlint:ignore floateq bit-exact self-verification replay: the decoder recomputes the identical arithmetic, so any difference is corruption
 			if want != got && !(math.IsNaN(float64(want)) && math.IsNaN(float64(got))) {
 				e.err = fmt.Errorf("lorenzo: self-verification mismatch at point %d: reconstruction %g, bins regenerate %g: %w",
@@ -313,15 +514,15 @@ func (e *engine) handle(idx int, pred float64) {
 			e.vChecked++
 			return
 		}
-		e.work[idx] = float32(e.q.Recover(pred, bin, lit))
+		e.work[idxP] = float32(e.q.Recover(pred, bin, lit))
 		return
 	}
-	orig := float64(e.work[idx])
+	orig := float64(e.work[idxP])
 	bin, recon, exact := e.q.Quantize(pred, orig)
 	if exact {
-		e.lits = append(e.lits, e.work[idx])
+		e.lits = append(e.lits, e.work[idxP])
 	} else {
-		e.work[idx] = float32(recon)
+		e.work[idxP] = float32(recon)
 	}
 	e.bins[idx] = bin
 }
