@@ -24,6 +24,7 @@
 package cliz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -175,6 +176,11 @@ type TuneOptions struct {
 	// Trace, when non-nil, records the tuner's coarse stages (period
 	// detection, sampling, search, refinement) into the collector.
 	Trace *Trace
+	// Context, when non-nil, is polled at candidate boundaries: a canceled
+	// or expired context aborts the tune with an error wrapping ctx.Err().
+	// The tuner runs hundreds of candidate compressions, so this is the
+	// knob that bounds a server-side tune's tail latency.
+	Context context.Context
 }
 
 // TuneReport summarizes an AutoTune run.
@@ -210,6 +216,9 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 			FixedPeriod:     opt.FixedPeriod,
 		}
 		copt.Trace = opt.Trace.collector()
+		if opt.Context != nil {
+			copt.Interrupt = opt.Context.Err
+		}
 	}
 	best, rep, err := core.AutoTune(ids, abs, tc, copt)
 	if err != nil {
@@ -296,6 +305,26 @@ type config struct {
 	boundEvery   int
 	entropy      EntropyKind
 	materialized bool
+	ctx          context.Context
+}
+
+// interrupt maps the config's context (if any) onto the core's polling
+// hook: ctx.Err is nil until the context is canceled or its deadline fires.
+func (c *config) interrupt() func() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err
+}
+
+// WithContext threads a context through the call: compression, decompression
+// and tuning poll ctx at stage, chunk and tuner-candidate boundaries and
+// abort with an error wrapping ctx.Err() once it is canceled or past its
+// deadline. The polling granularity is a pipeline stage, not a point, so
+// cancellation latency is one stage of work. This is the per-request
+// cancellation clizd relies on; without the option nothing is ever polled.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // WithTrace attaches a stage collector: the run records per-stage wall
@@ -437,6 +466,7 @@ func Compress(ds *Dataset, eb ErrorBound, pipe *Pipeline, opts ...Option) ([]byt
 		Workers:             cfg.workers,
 		Entropy:             cfg.entropy,
 		MaterializedPermute: cfg.materialized,
+		Interrupt:           cfg.interrupt(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -458,6 +488,7 @@ func Decompress(blob []byte, opts ...Option) ([]float32, []int, error) {
 		Trace:               cfg.trace.collector(),
 		BoundCheckEvery:     cfg.boundEvery,
 		MaterializedPermute: cfg.materialized,
+		Interrupt:           cfg.interrupt(),
 	}
 	if core.IsChunked(blob) {
 		return core.DecompressChunkedOpts(blob, cfg.workers, opt)
@@ -584,6 +615,7 @@ func DecompressVerified(blob []byte, opts ...Option) ([]float32, []int, *VerifyR
 		Workers:         cfg.workers,
 		Trace:           cfg.trace.collector(),
 		BoundCheckEvery: cfg.boundEvery,
+		Interrupt:       cfg.interrupt(),
 	})
 	return data, dims, publicReport(rep), err
 }
@@ -602,6 +634,7 @@ func DecompressPartial(blob []byte, opts ...Option) ([]float32, []int, *VerifyRe
 		Workers:         cfg.workers,
 		Trace:           cfg.trace.collector(),
 		BoundCheckEvery: cfg.boundEvery,
+		Interrupt:       cfg.interrupt(),
 	})
 	return data, dims, publicReport(rep), err
 }

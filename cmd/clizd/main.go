@@ -1,0 +1,84 @@
+// Command clizd serves the CliZ compressor over HTTP: a bounded worker
+// pool running the library's goroutine-safe pipeline, with per-request
+// deadlines, admission control (429 + Retry-After under saturation), an
+// LRU cache of auto-tuned pipelines, and Prometheus-style /metrics.
+//
+// Start it and compress a raw float32 field:
+//
+//	clizd -addr :8080 &
+//	curl -sf --data-binary @field.f32 \
+//	    'localhost:8080/v1/compress?dims=26x180x360&rel=1e-3&lead=time' \
+//	    -o field.clz
+//	curl -sf --data-binary @field.clz localhost:8080/v1/decompress -o recon.f32
+//
+// Endpoints: POST /v1/compress, /v1/decompress, /v1/verify, /v1/tune,
+// /v1/plan; GET /metrics, /healthz. See internal/service for the wire
+// protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cliz/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent codec requests (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "max queued requests beyond the workers (0 = 2×workers)")
+		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
+		cache    = flag.Int("cache", 0, "tuned-pipeline LRU capacity (0 = 64)")
+		timeout  = flag.Duration("timeout", 0, "per-request codec deadline (0 = 2m)")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv, err := service.NewServer(service.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		MaxBodyBytes:   *maxBody,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Slow-loris guard: a client must deliver its headers promptly;
+		// body time is governed by the per-request codec deadline.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("clizd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("clizd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("clizd draining (up to %s)", *drainFor)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("clizd shutdown: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package cliz_test
+
+// Concurrency regression tests for the server-shaped usage patterns clizd
+// introduces: one long-lived *Trace shared across concurrent requests, and
+// AutoTune running on several datasets at once. Run under -race these
+// pin the library's "safe for concurrent use" claims to executable proof.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cliz"
+)
+
+// concDS builds a small periodic field, seeded so distinct names yield
+// distinct (but deterministic) data.
+func concDS(seed int64) *cliz.Dataset {
+	const (
+		nt, ny, nx = 48, 24, 24
+		period     = 12
+	)
+	data := make([]float32, nt*ny*nx)
+	s := float64(seed)
+	for t := 0; t < nt; t++ {
+		seasonal := math.Sin(2 * math.Pi * float64(t%period) / period)
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := 10*seasonal +
+					3*math.Sin(s+float64(y)/3) +
+					2*math.Cos(s*2+float64(x)/4) +
+					0.1*math.Sin(float64(t*ny*nx+y*nx+x)+s)
+				data[t*ny*nx+y*nx+x] = float32(v)
+			}
+		}
+	}
+	return &cliz.Dataset{
+		Name: fmt.Sprintf("conc-%d", seed), Data: data,
+		Dims: []int{nt, ny, nx}, Lead: cliz.LeadTime, Periodic: true,
+	}
+}
+
+// TestSharedTraceConcurrentRequests shares one *Trace across concurrent
+// Compress, chunked Compress and Decompress calls — the pattern of a
+// daemon aggregating per-stage metrics across its worker pool — while a
+// reader drains Stages/Aggregate/String the whole time. The test's only
+// assertion beyond -race cleanliness is that every recorded stage stays
+// internally consistent.
+func TestSharedTraceConcurrentRequests(t *testing.T) {
+	var tr cliz.Trace
+	const workers = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent reader: snapshots must be safe while writers record.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Stages()
+			_ = tr.Aggregate()
+			_ = tr.String()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ds := concDS(int64(w))
+			var blob []byte
+			var err error
+			if w%2 == 0 {
+				blob, _, err = cliz.Compress(ds, cliz.Rel(1e-3), nil, cliz.WithTrace(&tr))
+			} else {
+				blob, _, err = cliz.CompressChunked(ds, cliz.Rel(1e-3), nil, 4, 2, cliz.WithTrace(&tr))
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := cliz.Decompress(blob, cliz.WithTrace(&tr)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	stages := tr.Stages()
+	if len(stages) == 0 {
+		t.Fatal("shared trace recorded nothing")
+	}
+	for _, s := range stages {
+		if s.Name == "" || s.Duration < 0 {
+			t.Fatalf("inconsistent stage record: %+v", s)
+		}
+	}
+}
+
+// TestConcurrentAutoTuneDeterministic runs AutoTune on distinct datasets
+// concurrently and asserts each result is identical to its serial
+// reference — same winning pipeline, same report — for every interleaving
+// the race detector can provoke. Shared scratch or a shared RNG between
+// tuner instances would break this (or trip -race).
+func TestConcurrentAutoTuneDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuner search in -short")
+	}
+	opt := func() *cliz.TuneOptions { return &cliz.TuneOptions{MaxPipelines: 24} }
+	const nds = 3
+	type ref struct {
+		pipe   string
+		report cliz.TuneReport
+	}
+	refs := make([]ref, nds)
+	for i := 0; i < nds; i++ {
+		pipe, rep, err := cliz.AutoTune(concDS(int64(i)), cliz.Rel(1e-3), opt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref{pipe: pipe.String(), report: *rep}
+	}
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < nds; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pipe, rep, err := cliz.AutoTune(concDS(int64(i)), cliz.Rel(1e-3), opt())
+				if err != nil {
+					t.Errorf("ds %d: %v", i, err)
+					return
+				}
+				if pipe.String() != refs[i].pipe {
+					t.Errorf("ds %d round %d: pipeline %q != serial %q",
+						i, round, pipe.String(), refs[i].pipe)
+				}
+				if !reflect.DeepEqual(*rep, refs[i].report) {
+					t.Errorf("ds %d round %d: report %+v != serial %+v",
+						i, round, *rep, refs[i].report)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// TestConcurrentCompressDeterministic asserts the blob a dataset
+// compresses to is independent of what other goroutines are doing — the
+// bit-equality contract the service e2e test relies on.
+func TestConcurrentCompressDeterministic(t *testing.T) {
+	refs := make([][]byte, 4)
+	for i := range refs {
+		blob, _, err := cliz.Compress(concDS(int64(i)), cliz.Rel(1e-3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = blob
+	}
+	var wg sync.WaitGroup
+	for i := range refs {
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				blob, _, err := cliz.Compress(concDS(int64(i)), cliz.Rel(1e-3), nil)
+				if err != nil {
+					t.Errorf("ds %d: %v", i, err)
+					return
+				}
+				if string(blob) != string(refs[i]) {
+					t.Errorf("ds %d: concurrent blob differs from serial blob", i)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+}

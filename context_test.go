@@ -1,0 +1,89 @@
+package cliz
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func ctxTestDataset() *Dataset {
+	ds := &Dataset{
+		Name:     "ctx",
+		Data:     make([]float32, 96*48*48),
+		Dims:     []int{96, 48, 48},
+		Lead:     LeadTime,
+		Periodic: true,
+	}
+	for i := range ds.Data {
+		ds.Data[i] = float32(i%113)*0.5 + float32((i/7)%11)
+	}
+	return ds
+}
+
+func TestWithContextCanceledCompress(t *testing.T) {
+	ds := ctxTestDataset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Compress(ds, Abs(1e-3), nil, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Without the option nothing is polled and the run completes.
+	if _, _, err := Compress(ds, Abs(1e-3), nil); err != nil {
+		t.Fatalf("uncanceled compress failed: %v", err)
+	}
+}
+
+func TestWithContextCanceledDecompress(t *testing.T) {
+	ds := ctxTestDataset()
+	blob, _, err := Compress(ds, Abs(1e-3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Decompress(blob, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, _, _, err := DecompressVerified(blob, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("verified: want context.Canceled, got %v", err)
+	}
+	// Partial decode must abort too, not report NaN-filled "damage".
+	cblob, _, err := CompressChunked(ds, Abs(1e-3), nil, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecompressPartial(cblob, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("partial: want context.Canceled, got %v", err)
+	}
+}
+
+func TestWithContextCanceledChunked(t *testing.T) {
+	ds := ctxTestDataset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CompressChunked(ds, Abs(1e-3), nil, 4, 2, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTuneContextCanceled(t *testing.T) {
+	ds := ctxTestDataset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := AutoTune(ds, Rel(1e-2), &TuneOptions{MaxPipelines: 16, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTuneContextDeadline(t *testing.T) {
+	ds := ctxTestDataset()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	_, _, err := AutoTune(ds, Rel(1e-2), &TuneOptions{Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

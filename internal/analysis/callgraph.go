@@ -191,6 +191,10 @@ var decodeContractPackages = map[string]bool{
 	"entropy": true,
 	"rans":    true,
 	"huffman": true,
+	// The HTTP service parses hostile request bodies and metadata; its
+	// exported Parse*/Read* helpers are decode entry points like any
+	// blob reader.
+	"service": true,
 }
 
 // decodeEntryPoints collects the exported functions and methods in

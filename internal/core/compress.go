@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -47,6 +48,12 @@ type Options struct {
 	// bit-identical either way — the flag exists for the fused-vs-legacy
 	// equivalence suites and as an escape hatch.
 	MaterializedPermute bool
+	// Interrupt, when non-nil, is polled at stage, chunk and tuner-candidate
+	// boundaries; a non-nil return aborts the run with that error wrapped.
+	// This is how per-request deadlines and cancellation reach a long
+	// compression from a server context without adding locks to the kernels
+	// (the polling granularity is a pipeline stage, not a point).
+	Interrupt func() error
 	// sectionLeadFloor overrides minSectionLead so package tests can force
 	// sectioned prediction on small fixtures; 0 (always, outside tests)
 	// selects the default.
@@ -122,9 +129,28 @@ func CompressWithRecon(ds *dataset.Dataset, eb float64, p Pipeline, opt Options)
 	return blob, recon, err
 }
 
+// ErrInterrupted marks an abort requested through Options.Interrupt /
+// DecompressOptions.Interrupt. The hook's own error (context.Canceled,
+// context.DeadlineExceeded, ...) stays reachable through errors.Is too.
+var ErrInterrupted = errors.New("core: interrupted")
+
+// interrupted polls an Interrupt hook.
+func interrupted(poll func() error) error {
+	if poll == nil {
+		return nil
+	}
+	if err := poll(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
+	}
+	return nil
+}
+
 func compressGeneral(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
+	if err := interrupted(opt.Interrupt); err != nil {
+		return nil, nil, err
+	}
 	if eb <= 0 {
 		return nil, nil, fmt.Errorf("core: error bound must be positive, got %g", eb)
 	}
@@ -321,6 +347,9 @@ func identityPerm(n int) []int {
 func compressUnit(data []float32, dims []int, v validity, eb float64,
 	p Pipeline, fill float32, opt Options) ([]byte, []float32, error) {
 
+	if err := interrupted(opt.Interrupt); err != nil {
+		return nil, nil, err
+	}
 	validOrig, err := v.bitmap(dims)
 	if err != nil {
 		return nil, nil, err
@@ -379,6 +408,9 @@ func compressUnit(data []float32, dims []int, v validity, eb float64,
 		return nil, nil, err
 	}
 	sp.EndFull(int64(len(work))*4, 0, int64(len(bins)), binStats(bins, lits, tvalid, opt.Trace))
+	if err := interrupted(opt.Interrupt); err != nil {
+		return nil, nil, err
+	}
 
 	h := header{
 		flags:     maskFlags(v) | fitFlag(p),
@@ -547,6 +579,9 @@ type DecompressOptions struct {
 	// reconstruction instead of the fused layout decode (mirrors
 	// Options.MaterializedPermute; output is bit-identical either way).
 	MaterializedPermute bool
+	// Interrupt mirrors Options.Interrupt for the decode side: polled at
+	// blob and chunk boundaries, a non-nil return aborts the decode.
+	Interrupt func() error
 	// stats receives verification counters when non-nil (set by
 	// DecompressVerified / DecompressPartial).
 	stats *verifyCounters
@@ -589,6 +624,9 @@ func DecompressWithOptions(blob []byte, opt DecompressOptions) ([]float32, []int
 }
 
 func decompressAt(blob []byte, pos *int, opt DecompressOptions) ([]float32, []int, error) {
+	if err := interrupted(opt.Interrupt); err != nil {
+		return nil, nil, err
+	}
 	c := opt.Trace
 	h, err := parseHeader(blob, pos)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -74,6 +75,10 @@ func CompressChunked(ds *dataset.Dataset, eb float64, p Pipeline, opt Options,
 			if cp.Period > 0 && (hi-lo) < 2*cp.Period {
 				cp.Period = 0
 				cp.Template = nil
+			}
+			if err := interrupted(opt.Interrupt); err != nil {
+				errs[c] = err
+				return
 			}
 			copt := opt
 			copt.Trace = trace.Prefixed(opt.Trace, fmt.Sprintf("chunk[%d]", c))
@@ -294,7 +299,9 @@ func decompressChunked(blob []byte, workers int, opt DecompressOptions, partial 
 		if err == nil {
 			continue
 		}
-		if !partial {
+		// A requested abort is not chunk damage: even a partial decode must
+		// not NaN-fill a region just because the caller's deadline fired.
+		if !partial || errors.Is(err, ErrInterrupted) {
 			return nil, nil, nil, err
 		}
 		damage = append(damage, ChunkDamage{

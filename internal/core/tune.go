@@ -327,6 +327,12 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 	report := &TuneReport{Period: period, SamplePoints: samplePoints}
 	bestIdx := -1
 	for _, p := range cands {
+		// Poll per candidate, not per stage: compressGeneral swallows
+		// nothing here, but candidate errors are skipped below, so an
+		// interrupt inside a candidate run must be re-raised explicitly.
+		if err := interrupted(opt.Interrupt); err != nil {
+			return Pipeline{}, nil, err
+		}
 		t0 := time.Now()
 		var v validity
 		if p.UseMask {
@@ -397,6 +403,9 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 		leaders := topCandidates(report.Candidates, 8)
 		refBest := -1.0
 		for _, cand := range leaders {
+			if err := interrupted(opt.Interrupt); err != nil {
+				return Pipeline{}, nil, err
+			}
 			var v validity
 			if cand.Pipe.UseMask {
 				v.pts = refSmp.valid
@@ -435,6 +444,9 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 	bestAlpha, alphaRatio := 1.0, -1.0
 	refPoints := grid.Volume(refSmp.dims)
 	for _, alpha := range []float64{1, 1.25, 1.5, 1.75, 2} {
+		if err := interrupted(opt.Interrupt); err != nil {
+			return Pipeline{}, nil, err
+		}
 		p := best
 		p.LevelAlpha = alpha
 		var v validity
@@ -452,6 +464,11 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 		}
 	}
 	sp.End()
+	// tuneTemplate aborts best-effort (it has no error path), so re-check
+	// here: a canceled AutoTune must not hand back a half-tuned pipeline.
+	if err := interrupted(opt.Interrupt); err != nil {
+		return Pipeline{}, nil, err
+	}
 	best.LevelAlpha = bestAlpha
 	report.Best = best
 	report.BestRatio = bestRatio
@@ -526,6 +543,9 @@ func tuneTemplate(smp sample, eb float64, outer Pipeline, opt Options) *Pipeline
 	var best *Pipeline
 	bestBytes := 0
 	for _, perm := range grid.Permutations(rank) {
+		if interrupted(opt.Interrupt) != nil {
+			return nil
+		}
 		for _, fus := range grid.Compositions(rank) {
 			for _, fit := range []predict.Fitting{predict.Linear, predict.Cubic} {
 				p := Pipeline{Perm: perm, Fusion: fus, Fitting: fit, UseMask: tmplValid != nil}

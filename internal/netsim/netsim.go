@@ -5,12 +5,25 @@
 // compressed sizes (transfer ≈ bytes/bandwidth) driven by *measured*
 // compression times and *actual* compressed sizes — only the link constants
 // are synthetic, and they default to an ANL→Purdue-like 10 Gbit/s path.
+//
+// Every entry point validates its inputs strictly: a NaN or infinite link
+// constant, a zero-core or zero-byte job, or a negative duration returns a
+// clean error instead of silently propagating NaN/Inf arithmetic into a
+// transfer plan — the /v1/plan service endpoint builds directly on these
+// numbers and must never emit a garbage plan.
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 )
+
+// ErrBadInput is the sentinel wrapped by every validation failure, so
+// callers (the /v1/plan handler above all) can classify a degenerate
+// configuration with errors.Is instead of string matching.
+var ErrBadInput = errors.New("netsim: invalid input")
 
 // WAN describes the wide-area path between the two endpoints.
 type WAN struct {
@@ -36,16 +49,28 @@ func DefaultWAN() WAN {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Non-finite values are rejected
+// explicitly: NaN fails every ordered comparison, so `<= 0` alone would
+// wave a NaN bandwidth through and every downstream division would emit
+// NaN results instead of an error.
 func (w WAN) Validate() error {
+	if math.IsNaN(w.BandwidthBytesPerSec) || math.IsInf(w.BandwidthBytesPerSec, 0) {
+		return fmt.Errorf("netsim: non-finite bandwidth %g: %w", w.BandwidthBytesPerSec, ErrBadInput)
+	}
 	if w.BandwidthBytesPerSec <= 0 {
-		return fmt.Errorf("netsim: bandwidth must be positive")
+		return fmt.Errorf("netsim: bandwidth must be positive, got %g: %w", w.BandwidthBytesPerSec, ErrBadInput)
 	}
 	if w.ParallelStreams <= 0 {
-		return fmt.Errorf("netsim: need at least one stream")
+		return fmt.Errorf("netsim: need at least one stream, got %d: %w", w.ParallelStreams, ErrBadInput)
+	}
+	if math.IsNaN(w.SetupSec) || math.IsInf(w.SetupSec, 0) {
+		return fmt.Errorf("netsim: non-finite setup overhead %g: %w", w.SetupSec, ErrBadInput)
+	}
+	if math.IsNaN(w.PerFileSec) || math.IsInf(w.PerFileSec, 0) {
+		return fmt.Errorf("netsim: non-finite per-file overhead %g: %w", w.PerFileSec, ErrBadInput)
 	}
 	if w.SetupSec < 0 || w.PerFileSec < 0 {
-		return fmt.Errorf("netsim: negative overhead")
+		return fmt.Errorf("netsim: negative overhead (setup %g, per-file %g): %w", w.SetupSec, w.PerFileSec, ErrBadInput)
 	}
 	return nil
 }
@@ -56,6 +81,26 @@ type Job struct {
 	Cores       int
 	FileBytes   int
 	CompressSec float64
+}
+
+// Validate checks the job: at least one core, a positive per-file size (a
+// zero-byte job has nothing to transfer and always simulates to the setup
+// constant — a degenerate "plan" the caller should never rank), and a
+// finite non-negative compression time.
+func (j Job) Validate() error {
+	if j.Cores <= 0 {
+		return fmt.Errorf("netsim: job needs at least one core, got %d: %w", j.Cores, ErrBadInput)
+	}
+	if j.FileBytes <= 0 {
+		return fmt.Errorf("netsim: job needs a positive file size, got %d bytes: %w", j.FileBytes, ErrBadInput)
+	}
+	if math.IsNaN(j.CompressSec) || math.IsInf(j.CompressSec, 0) {
+		return fmt.Errorf("netsim: non-finite compression time %g: %w", j.CompressSec, ErrBadInput)
+	}
+	if j.CompressSec < 0 {
+		return fmt.Errorf("netsim: negative compression time %g: %w", j.CompressSec, ErrBadInput)
+	}
+	return nil
 }
 
 // Result reports the simulated end-to-end cost.
@@ -73,8 +118,8 @@ func Simulate(w WAN, j Job) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err
 	}
-	if j.Cores <= 0 || j.FileBytes < 0 || j.CompressSec < 0 {
-		return Result{}, fmt.Errorf("netsim: invalid job %+v", j)
+	if err := j.Validate(); err != nil {
+		return Result{}, err
 	}
 	totalBytes := int64(j.Cores) * int64(j.FileBytes)
 	wire := float64(totalBytes) / w.BandwidthBytesPerSec
@@ -91,6 +136,43 @@ func Simulate(w WAN, j Job) (Result, error) {
 // Uncompressed models the baseline of shipping raw data (no compression).
 func Uncompressed(w WAN, cores int, rawBytes int) (Result, error) {
 	return Simulate(w, Job{Cores: cores, FileBytes: rawBytes})
+}
+
+// Candidate is one configuration a planner weighs: a label (e.g. the error
+// bound it encodes under), the per-core compressed file size it would
+// produce, and the per-core compression wall time.
+type Candidate struct {
+	Label       string
+	FileBytes   int
+	CompressSec float64
+}
+
+// Plan simulates every candidate on the WAN with the given core count and
+// returns the index of the one minimizing end-to-end time (compression +
+// transfer) plus each candidate's Result, index-aligned with cands. Ties
+// break to the earlier candidate, so callers listing candidates from
+// tightest to loosest bound deterministically keep the tightest plan that
+// is not strictly beaten.
+func Plan(w WAN, cores int, cands []Candidate) (int, []Result, error) {
+	if err := w.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if len(cands) == 0 {
+		return 0, nil, fmt.Errorf("netsim: no candidates to plan over: %w", ErrBadInput)
+	}
+	results := make([]Result, len(cands))
+	best := -1
+	for i, c := range cands {
+		r, err := Simulate(w, Job{Cores: cores, FileBytes: c.FileBytes, CompressSec: c.CompressSec})
+		if err != nil {
+			return 0, nil, fmt.Errorf("netsim: candidate %d (%s): %w", i, c.Label, err)
+		}
+		results[i] = r
+		if best < 0 || r.Total < results[best].Total {
+			best = i
+		}
+	}
+	return best, results, nil
 }
 
 func durSec(s float64) time.Duration {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -74,5 +75,140 @@ func TestValidation(t *testing.T) {
 	bad.ParallelStreams = 0
 	if err := bad.Validate(); err == nil {
 		t.Fatal("zero streams accepted")
+	}
+}
+
+// TestWANValidateFields covers every field of WAN.Validate with its full
+// degenerate range: zero, negative, NaN and ±Inf. The NaN rows are the
+// regression for the original bug — NaN fails every ordered comparison, so
+// the old `<= 0` / `< 0` checks let non-finite constants through and
+// Simulate returned NaN-valued Results instead of an error.
+func TestWANValidateFields(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	mod := func(f func(*WAN)) WAN {
+		w := DefaultWAN()
+		f(&w)
+		return w
+	}
+	cases := []struct {
+		name string
+		w    WAN
+		ok   bool
+	}{
+		{"default", DefaultWAN(), true},
+		{"bandwidth zero", mod(func(w *WAN) { w.BandwidthBytesPerSec = 0 }), false},
+		{"bandwidth negative", mod(func(w *WAN) { w.BandwidthBytesPerSec = -1 }), false},
+		{"bandwidth NaN", mod(func(w *WAN) { w.BandwidthBytesPerSec = nan }), false},
+		{"bandwidth +Inf", mod(func(w *WAN) { w.BandwidthBytesPerSec = inf }), false},
+		{"bandwidth -Inf", mod(func(w *WAN) { w.BandwidthBytesPerSec = -inf }), false},
+		{"setup negative", mod(func(w *WAN) { w.SetupSec = -0.1 }), false},
+		{"setup NaN", mod(func(w *WAN) { w.SetupSec = nan }), false},
+		{"setup Inf", mod(func(w *WAN) { w.SetupSec = inf }), false},
+		{"setup zero ok", mod(func(w *WAN) { w.SetupSec = 0 }), true},
+		{"perfile negative", mod(func(w *WAN) { w.PerFileSec = -0.1 }), false},
+		{"perfile NaN", mod(func(w *WAN) { w.PerFileSec = nan }), false},
+		{"perfile Inf", mod(func(w *WAN) { w.PerFileSec = inf }), false},
+		{"perfile zero ok", mod(func(w *WAN) { w.PerFileSec = 0 }), true},
+		{"streams zero", mod(func(w *WAN) { w.ParallelStreams = 0 }), false},
+		{"streams negative", mod(func(w *WAN) { w.ParallelStreams = -4 }), false},
+	}
+	for _, tc := range cases {
+		err := tc.w.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: degenerate WAN accepted", tc.name)
+		}
+	}
+}
+
+func TestJobValidateDegenerate(t *testing.T) {
+	w := DefaultWAN()
+	cases := []struct {
+		name string
+		j    Job
+	}{
+		{"zero cores", Job{Cores: 0, FileBytes: 1 << 20, CompressSec: 1}},
+		{"negative cores", Job{Cores: -2, FileBytes: 1 << 20, CompressSec: 1}},
+		{"zero-byte job", Job{Cores: 4, FileBytes: 0, CompressSec: 1}},
+		{"negative bytes", Job{Cores: 4, FileBytes: -1, CompressSec: 1}},
+		{"negative time", Job{Cores: 4, FileBytes: 1 << 20, CompressSec: -1}},
+		{"NaN time", Job{Cores: 4, FileBytes: 1 << 20, CompressSec: math.NaN()}},
+		{"Inf time", Job{Cores: 4, FileBytes: 1 << 20, CompressSec: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(w, tc.j); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := Uncompressed(w, 4, 0); err == nil {
+		t.Error("zero-byte uncompressed baseline accepted")
+	}
+}
+
+// TestSimulateResultsFinite is the end-to-end guard the plan endpoint needs:
+// no accepted input may yield a non-finite or negative duration.
+func TestSimulateResultsFinite(t *testing.T) {
+	w := DefaultWAN()
+	for _, j := range []Job{
+		{Cores: 1, FileBytes: 1, CompressSec: 0},
+		{Cores: 1024, FileBytes: 1 << 30, CompressSec: 3600},
+	} {
+		res, err := Simulate(w, j)
+		if err != nil {
+			t.Fatalf("%+v: %v", j, err)
+		}
+		for _, d := range []time.Duration{res.CompressTime, res.TransferTime, res.Total} {
+			if d < 0 || d > 1e6*time.Hour {
+				t.Fatalf("%+v: implausible duration %v", j, d)
+			}
+		}
+	}
+}
+
+func TestPlanPicksMinTotal(t *testing.T) {
+	w := DefaultWAN()
+	cands := []Candidate{
+		{Label: "rel=1e-4", FileBytes: 40 << 20, CompressSec: 7},
+		{Label: "rel=1e-2", FileBytes: 4 << 20, CompressSec: 6},
+		{Label: "rel=1e-1", FileBytes: 2 << 20, CompressSec: 50}, // fast transfer, slow codec
+	}
+	best, results, err := Plan(w, 512, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cands) {
+		t.Fatalf("results %d != candidates %d", len(results), len(cands))
+	}
+	if best != 1 {
+		t.Fatalf("picked %d (%s), want 1", best, cands[best].Label)
+	}
+	for i, r := range results {
+		if r.Total <= 0 {
+			t.Fatalf("candidate %d: bad total %v", i, r.Total)
+		}
+	}
+}
+
+func TestPlanDegenerate(t *testing.T) {
+	if _, _, err := Plan(DefaultWAN(), 4, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	if _, _, err := Plan(WAN{BandwidthBytesPerSec: math.NaN(), ParallelStreams: 4}, 4,
+		[]Candidate{{FileBytes: 1, CompressSec: 1}}); err == nil {
+		t.Fatal("NaN WAN accepted")
+	}
+	if _, _, err := Plan(DefaultWAN(), 4,
+		[]Candidate{{Label: "zero", FileBytes: 0, CompressSec: 1}}); err == nil {
+		t.Fatal("zero-byte candidate accepted")
+	}
+	// Tie-break: equal candidates resolve to the first.
+	best, _, err := Plan(DefaultWAN(), 4, []Candidate{
+		{Label: "a", FileBytes: 1 << 20, CompressSec: 1},
+		{Label: "b", FileBytes: 1 << 20, CompressSec: 1},
+	})
+	if err != nil || best != 0 {
+		t.Fatalf("tie-break: best=%d err=%v", best, err)
 	}
 }

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"cliz"
+)
+
+// Signature keys the tuned-pipeline cache by dataset family: the paper's
+// offline/online split says one AutoTune per climate model serves every
+// field of that model, so the key is what defines a family — the grid
+// shape, the semantic axes, the error budget, and a coarse statistical
+// fingerprint of the values. The fingerprint is quantized to two
+// significant digits: fields of one model differ in exact values but not
+// in scale, and over-precise stats would shatter the families the cache
+// exists to merge.
+func Signature(meta FieldMeta, data []float32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dims=%s|lead=%d|per=%t|rel=%.2e|abs=%.2e",
+		dimsString(meta.Dims), meta.Lead, meta.Periodic, meta.Bound.Rel, meta.Bound.Abs)
+	// Deterministic strided sample of up to 4096 points.
+	stride := len(data) / 4096
+	if stride < 1 {
+		stride = 1
+	}
+	var lo, hi float32
+	var sum, sum2 float64
+	n := 0
+	first := true
+	for i := 0; i < len(data); i += stride {
+		v := data[i]
+		if v != v { // NaN never equals itself
+			continue
+		}
+		if first {
+			lo, hi, first = v, v, false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += float64(v)
+		sum2 += float64(v) * float64(v)
+		n++
+	}
+	if n == 0 {
+		b.WriteString("|stats=empty")
+		return b.String()
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	// Range-relative fingerprint: the scale is the value range (2 sig
+	// digits) and the shape is where the mean sits in it plus the spread,
+	// both as coarse fractions. Absolute quantization would split families
+	// whose values hover near zero (0 vs 1e-4 differ in every digit).
+	rng := float64(hi) - float64(lo)
+	if rng <= 0 {
+		fmt.Fprintf(&b, "|stats=const,%.1e", lo)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "|stats=rng%.1e,m%.2f,s%.2f",
+		rng, (mean-float64(lo))/rng, math.Sqrt(variance)/rng)
+	return b.String()
+}
+
+// tuneResult is one cached AutoTune outcome.
+type tuneResult struct {
+	pipe   cliz.Pipeline
+	report cliz.TuneReport
+}
+
+// flight is one in-progress tune shared by concurrent requests for the
+// same signature (singleflight): followers wait on done instead of
+// burning a worker slot on a duplicate search.
+type flight struct {
+	done chan struct{}
+	res  tuneResult
+	err  error
+}
+
+// pipelineCache is a bounded LRU of tuned pipelines keyed by Signature,
+// with singleflight semantics on misses. Safe for concurrent use.
+type pipelineCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recent
+	entries map[string]*list.Element // value: *cacheEntry
+	inFly   map[string]*flight
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	res tuneResult
+}
+
+func newPipelineCache(capacity int) *pipelineCache {
+	return &pipelineCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+		inFly:   make(map[string]*flight),
+	}
+}
+
+// Get returns the tuned pipeline for key, running tune exactly once per
+// key across concurrent callers. hit reports whether the result came from
+// the cache. A failed tune is not cached: the next request retries.
+func (c *pipelineCache) Get(ctx context.Context, key string,
+	tune func() (cliz.Pipeline, *cliz.TuneReport, error)) (tuneResult, bool, error) {
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.inFly[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			// A follower of a successful flight is a cache hit in every
+			// sense that matters: it did not run AutoTune.
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+			}
+			return f.res, f.err == nil, f.err
+		case <-ctx.Done():
+			return tuneResult{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inFly[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	pipe, rep, err := tune()
+	if err == nil {
+		f.res = tuneResult{pipe: pipe, report: *rep}
+	}
+	f.err = err
+
+	c.mu.Lock()
+	delete(c.inFly, key)
+	if err == nil {
+		c.insert(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, err
+}
+
+// insert adds key (caller holds mu), evicting the LRU entry past capacity.
+func (c *pipelineCache) insert(key string, res tuneResult) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.order.Remove(last)
+	}
+}
+
+// Stats reports cumulative hits, misses and current size.
+func (c *pipelineCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cliz"
+	"cliz/internal/datagen"
+)
+
+// tuneStub returns a tune func that counts invocations and yields a real
+// (default) pipeline so the cache stores something valid.
+func tuneStub(t *testing.T, calls *atomic.Int64) func() (cliz.Pipeline, *cliz.TuneReport, error) {
+	t.Helper()
+	ids, err := datagen.ByName("SSH", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &cliz.Dataset{Name: "x", Data: ids.Data, Dims: ids.Dims,
+		Lead: cliz.LeadKind(ids.Lead), Periodic: ids.Periodic}
+	pipe, err := cliz.DefaultPipeline(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (cliz.Pipeline, *cliz.TuneReport, error) {
+		calls.Add(1)
+		return pipe, &cliz.TuneReport{Period: 12}, nil
+	}
+}
+
+// TestCacheSingleflight proves concurrent misses of one key collapse to a
+// single tune invocation, with every caller getting the result.
+func TestCacheSingleflight(t *testing.T) {
+	c := newPipelineCache(8)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	ids, _ := datagen.ByName("SSH", 0.03)
+	ds := &cliz.Dataset{Name: "x", Data: ids.Data, Dims: ids.Dims,
+		Lead: cliz.LeadKind(ids.Lead), Periodic: ids.Periodic}
+	pipe, err := cliz.DefaultPipeline(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune := func() (cliz.Pipeline, *cliz.TuneReport, error) {
+		calls.Add(1)
+		<-gate // hold the flight open until every follower has joined
+		return pipe, &cliz.TuneReport{Period: 7}, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]tuneResult, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			res, _, err := c.Get(context.Background(), "family-A", tune)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("tune ran %d times for one key, want 1", got)
+	}
+	for i, r := range results {
+		if r.report.Period != 7 {
+			t.Fatalf("caller %d got %+v", i, r.report)
+		}
+	}
+	hits, misses, size := c.Stats()
+	if misses != 1 || size != 1 {
+		t.Fatalf("stats: hits=%d misses=%d size=%d", hits, misses, size)
+	}
+}
+
+// TestCacheLRUEviction fills past capacity and checks the oldest family
+// falls out while a freshly-touched one survives.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPipelineCache(2)
+	var calls atomic.Int64
+	tune := tuneStub(t, &calls)
+	ctx := context.Background()
+
+	for _, key := range []string{"a", "b"} {
+		if _, hit, err := c.Get(ctx, key, tune); err != nil || hit {
+			t.Fatalf("%s: hit=%v err=%v", key, hit, err)
+		}
+	}
+	// Touch "a" so "b" is the LRU, then insert "c" to evict it.
+	if _, hit, _ := c.Get(ctx, "a", tune); !hit {
+		t.Fatal("a should hit")
+	}
+	if _, hit, _ := c.Get(ctx, "c", tune); hit {
+		t.Fatal("c should miss")
+	}
+	if _, hit, _ := c.Get(ctx, "a", tune); !hit {
+		t.Fatal("a should survive eviction")
+	}
+	if _, hit, _ := c.Get(ctx, "b", tune); hit {
+		t.Fatal("b should have been evicted")
+	}
+	if got := calls.Load(); got != 4 { // a, b, c, b-again
+		t.Fatalf("tune ran %d times, want 4", got)
+	}
+}
+
+// TestCacheErrorNotCached proves a failed tune is retried, not pinned.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newPipelineCache(4)
+	var calls atomic.Int64
+	boom := fmt.Errorf("transient")
+	fail := func() (cliz.Pipeline, *cliz.TuneReport, error) {
+		calls.Add(1)
+		return cliz.Pipeline{}, nil, boom
+	}
+	ctx := context.Background()
+	if _, _, err := c.Get(ctx, "k", fail); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	ok := tuneStub(t, &calls)
+	if _, hit, err := c.Get(ctx, "k", ok); err != nil || hit {
+		t.Fatalf("retry after failure: hit=%v err=%v", hit, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+}
+
+// TestSignatureFamilies checks the cache key merges what it should merge
+// and splits what it must split.
+func TestSignatureFamilies(t *testing.T) {
+	meta := FieldMeta{Dims: []int{12, 8, 8}, Bound: cliz.Rel(1e-3),
+		Lead: cliz.LeadTime, Periodic: true, Volume: 768}
+	data := make([]float32, 768)
+	for i := range data {
+		data[i] = float32(i % 97)
+	}
+	base := Signature(meta, data)
+
+	// Tiny perturbations (same field family, different snapshot) keep the key.
+	perturbed := append([]float32(nil), data...)
+	for i := range perturbed {
+		perturbed[i] += 1e-4
+	}
+	if got := Signature(meta, perturbed); got != base {
+		t.Errorf("perturbed data changed the key:\n%s\n%s", base, got)
+	}
+
+	// Different dims, bound, lead or scale must split.
+	m2 := meta
+	m2.Dims = []int{8, 12, 8}
+	if Signature(m2, data) == base {
+		t.Error("different dims share a key")
+	}
+	m3 := meta
+	m3.Bound = cliz.Rel(1e-2)
+	if Signature(m3, data) == base {
+		t.Error("different bound shares a key")
+	}
+	m4 := meta
+	m4.Periodic = false
+	if Signature(m4, data) == base {
+		t.Error("different periodicity shares a key")
+	}
+	scaled := append([]float32(nil), data...)
+	for i := range scaled {
+		scaled[i] *= 1000
+	}
+	if Signature(meta, scaled) == base {
+		t.Error("1000x-scaled data shares a key")
+	}
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cliz"
+)
+
+// codecErrorStatus maps a codec failure to its HTTP class: cancellations
+// and deadlines are the client's doing, everything else from the codec is
+// an unprocessable payload (the request parsed fine; the data or blob did
+// not survive the codec's own validation), never a 500.
+func codecErrorStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusFromErr(err)
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// tunedPipeline resolves the pipeline for a request: nil (codec default)
+// unless tune=1, in which case the LRU cache answers — running AutoTune at
+// most once per dataset family — and reports whether it hit.
+func (s *Server) tunedPipeline(ctx context.Context, meta FieldMeta, data []float32) (*cliz.Pipeline, bool, error) {
+	if !meta.Tune {
+		return nil, false, nil
+	}
+	key := Signature(meta, data)
+	res, hit, err := s.cache.Get(ctx, key, func() (cliz.Pipeline, *cliz.TuneReport, error) {
+		return cliz.AutoTune(dataset(meta, data), meta.Bound, &cliz.TuneOptions{Context: ctx})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	pipe := res.pipe
+	return &pipe, hit, nil
+}
+
+// dataset assembles the cliz.Dataset a request describes.
+func dataset(meta FieldMeta, data []float32) *cliz.Dataset {
+	return &cliz.Dataset{
+		Name:     "request",
+		Data:     data,
+		Dims:     meta.Dims,
+		Lead:     meta.Lead,
+		Periodic: meta.Periodic,
+	}
+}
+
+// handleCompress implements POST /v1/compress: raw little-endian float32
+// body in, self-contained CliZ blob out. tune=1 routes through the
+// pipeline cache; chunks=N emits a parallel chunked container.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	meta, err := ParseFieldQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := ReadFloatBody(r, meta.Volume, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pipe, cacheHit, err := s.tunedPipeline(r.Context(), meta, data)
+	if err != nil {
+		writeError(w, codecErrorStatus(err), err)
+		return
+	}
+	var t cliz.Trace
+	opts := []cliz.Option{
+		cliz.WithContext(r.Context()),
+		cliz.WithTrace(&t),
+		cliz.WithEntropy(meta.Entropy),
+		cliz.WithWorkers(meta.Workers),
+	}
+	ds := dataset(meta, data)
+	var blob []byte
+	var info *cliz.CompressInfo
+	if meta.Chunks > 1 {
+		blob, info, err = cliz.CompressChunked(ds, meta.Bound, pipe, meta.Chunks, meta.Workers, opts...)
+	} else {
+		blob, info, err = cliz.Compress(ds, meta.Bound, pipe, opts...)
+	}
+	s.metrics.drainTrace("compress", &t)
+	if err != nil {
+		writeError(w, codecErrorStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Header().Set("X-Cliz-Ratio", fmt.Sprintf("%.3f", info.Ratio))
+	w.Header().Set("X-Cliz-Bit-Rate", fmt.Sprintf("%.4f", info.BitRate))
+	w.Header().Set("X-Cliz-Pipeline", info.Pipeline)
+	w.Header().Set("X-Cliz-Cache", cacheLabel(meta.Tune, cacheHit))
+	_, _ = w.Write(blob)
+}
+
+func cacheLabel(tuned, hit bool) string {
+	switch {
+	case !tuned:
+		return "off"
+	case hit:
+		return "hit"
+	default:
+		return "miss"
+	}
+}
+
+// handleDecompress implements POST /v1/decompress: blob in, raw
+// little-endian float32 body out, dims in the X-Cliz-Dims header. The
+// decoder's own resource caps bound the volume a hostile blob can declare;
+// the service only has to bound the blob itself.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	blob, err := ReadBlobBody(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers, err := parseCount(r.URL.Query().Get("workers"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("workers: %w", err))
+		return
+	}
+	var t cliz.Trace
+	data, dims, err := cliz.Decompress(blob,
+		cliz.WithContext(r.Context()), cliz.WithTrace(&t), cliz.WithWorkers(workers))
+	s.metrics.drainTrace("decompress", &t)
+	if err != nil {
+		writeError(w, codecErrorStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)*4))
+	w.Header().Set("X-Cliz-Dims", dimsString(dims))
+	_, _ = w.Write(AppendFloatsLE(make([]byte, 0, len(data)*4), data))
+}
+
+// verifyResponse is the JSON envelope of /v1/verify.
+type verifyResponse struct {
+	OK      bool               `json:"ok"`
+	Damaged []string           `json:"damaged,omitempty"`
+	Report  *cliz.VerifyReport `json:"report"`
+}
+
+// handleVerify implements POST /v1/verify: blob in, integrity report out.
+// Verification never decodes payloads, so it is cheap enough to run on
+// every archived blob.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	blob, err := ReadBlobBody(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep := cliz.Verify(blob)
+	writeJSON(w, verifyResponse{OK: rep.OK(), Damaged: rep.Damaged(), Report: rep})
+}
+
+// tuneResponse is the JSON envelope of /v1/tune.
+type tuneResponse struct {
+	Pipeline        string  `json:"pipeline"`
+	Cache           string  `json:"cache"`
+	Period          int     `json:"period"`
+	PipelinesTested int     `json:"pipelinesTested"`
+	EstimatedRatio  float64 `json:"estimatedRatio"`
+}
+
+// handleTune implements POST /v1/tune: raw floats in, the tuned pipeline
+// (and its cache disposition) out. Concurrent tunes of the same family
+// collapse to one AutoTune via the cache's singleflight.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	meta, err := ParseFieldQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := ReadFloatBody(r, meta.Volume, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	meta.Tune = true
+	key := Signature(meta, data)
+	res, hit, err := s.cache.Get(r.Context(), key, func() (cliz.Pipeline, *cliz.TuneReport, error) {
+		return cliz.AutoTune(dataset(meta, data), meta.Bound, &cliz.TuneOptions{Context: r.Context()})
+	})
+	if err != nil {
+		writeError(w, codecErrorStatus(err), err)
+		return
+	}
+	writeJSON(w, tuneResponse{
+		Pipeline:        res.pipe.String(),
+		Cache:           cacheLabel(true, hit),
+		Period:          res.report.Period,
+		PipelinesTested: res.report.PipelinesTested,
+		EstimatedRatio:  res.report.EstimatedRatio,
+	})
+}

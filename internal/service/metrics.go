@@ -1,0 +1,214 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cliz"
+	"cliz/internal/trace"
+)
+
+// The metrics registry keeps everything a long-lived daemon needs to stay
+// observable without unbounded growth: fixed-bucket latency histograms and
+// counters per endpoint, plus one trace.Aggregator per endpoint folding the
+// codec's per-stage records into O(distinct stages) memory forever. The
+// exposition is the Prometheus text format, hand-rendered — the repo is
+// stdlib-only by design.
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+
+// endpointStats is one endpoint's mutable counters (guarded by registry.mu).
+type endpointStats struct {
+	byCode   map[int]int64
+	buckets  []int64 // len(latencyBuckets)+1, last = +Inf
+	sumSec   float64
+	count    int64
+	rejected int64
+	bytesIn  int64
+	bytesOut int64
+	stages   trace.Aggregator
+}
+
+type registry struct {
+	mu    sync.Mutex
+	start time.Time
+	byEP  map[string]*endpointStats
+}
+
+func newRegistry() *registry {
+	return &registry{start: time.Now(), byEP: make(map[string]*endpointStats)}
+}
+
+func (r *registry) endpoint(name string) *endpointStats {
+	ep, ok := r.byEP[name]
+	if !ok {
+		ep = &endpointStats{byCode: make(map[int]int64), buckets: make([]int64, len(latencyBuckets)+1)}
+		r.byEP[name] = ep
+	}
+	return ep
+}
+
+// observe records one finished request.
+func (r *registry) observe(endpoint string, code int, d time.Duration, in, out int64) {
+	sec := d.Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.endpoint(endpoint)
+	ep.byCode[code]++
+	ep.count++
+	ep.sumSec += sec
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	ep.buckets[i]++
+	if in > 0 {
+		ep.bytesIn += in
+	}
+	if out > 0 {
+		ep.bytesOut += out
+	}
+}
+
+// rejected counts one admission-control 429.
+func (r *registry) rejected(endpoint string) {
+	r.mu.Lock()
+	r.endpoint(endpoint).rejected++
+	r.mu.Unlock()
+}
+
+// stageCollector returns the Aggregator receiving endpoint's codec stages.
+func (r *registry) stageCollector(endpoint string) *trace.Aggregator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &r.endpoint(endpoint).stages
+}
+
+// drainTrace folds one request's trace into the endpoint's aggregator.
+// The per-request cliz.Trace dies with the request; only the merged
+// per-stage totals survive, which is what keeps a month-long daemon's
+// metrics memory flat.
+func (r *registry) drainTrace(endpoint string, t *cliz.Trace) {
+	agg := r.stageCollector(endpoint)
+	for _, st := range t.Aggregate() {
+		agg.Record(trace.Stage{
+			Name:     st.Name,
+			Duration: st.Duration,
+			InBytes:  st.InBytes,
+			OutBytes: st.OutBytes,
+			Items:    st.Items,
+		})
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r := s.metrics
+	hits, misses, size := s.cache.Stats()
+
+	r.mu.Lock()
+	names := make([]string, 0, len(r.byEP))
+	for name := range r.byEP {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP cliz_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE cliz_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "cliz_uptime_seconds %.3f\n", time.Since(r.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP cliz_requests_total Finished requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE cliz_requests_total counter\n")
+	for _, name := range names {
+		ep := r.byEP[name]
+		codes := make([]int, 0, len(ep.byCode))
+		for c := range ep.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "cliz_requests_total{endpoint=%q,code=%q} %d\n", name, strconv.Itoa(c), ep.byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_rejected_total Requests refused by admission control (429).\n")
+	fmt.Fprintf(w, "# TYPE cliz_rejected_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "cliz_rejected_total{endpoint=%q} %d\n", name, r.byEP[name].rejected)
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_request_seconds Request latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE cliz_request_seconds histogram\n")
+	for _, name := range names {
+		ep := r.byEP[name]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += ep.buckets[i]
+			fmt.Fprintf(w, "cliz_request_seconds_bucket{endpoint=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		}
+		cum += ep.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "cliz_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "cliz_request_seconds_sum{endpoint=%q} %.6f\n", name, ep.sumSec)
+		fmt.Fprintf(w, "cliz_request_seconds_count{endpoint=%q} %d\n", name, ep.count)
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_body_bytes_total Request and response payload bytes.\n")
+	fmt.Fprintf(w, "# TYPE cliz_body_bytes_total counter\n")
+	for _, name := range names {
+		ep := r.byEP[name]
+		fmt.Fprintf(w, "cliz_body_bytes_total{endpoint=%q,direction=\"in\"} %d\n", name, ep.bytesIn)
+		fmt.Fprintf(w, "cliz_body_bytes_total{endpoint=%q,direction=\"out\"} %d\n", name, ep.bytesOut)
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_stage_seconds_total Codec wall time by pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE cliz_stage_seconds_total counter\n")
+	type stageRow struct {
+		ep string
+		st trace.Stage
+	}
+	var rows []stageRow
+	for _, name := range names {
+		for _, st := range r.byEP[name].stages.Snapshot() {
+			rows = append(rows, stageRow{ep: name, st: st})
+		}
+	}
+	r.mu.Unlock()
+	for _, row := range rows {
+		fmt.Fprintf(w, "cliz_stage_seconds_total{endpoint=%q,stage=%q} %.6f\n",
+			row.ep, row.st.Name, row.st.Duration.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP cliz_stage_records_total Codec stage records folded in.\n")
+	fmt.Fprintf(w, "# TYPE cliz_stage_records_total counter\n")
+	for _, row := range rows {
+		var records float64
+		for _, kv := range row.st.Extra {
+			if kv.Key == "records" {
+				records = kv.Value
+			}
+		}
+		fmt.Fprintf(w, "cliz_stage_records_total{endpoint=%q,stage=%q} %.0f\n",
+			row.ep, row.st.Name, records)
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_tune_cache_hits_total Tuned-pipeline cache hits (AutoTune skipped).\n")
+	fmt.Fprintf(w, "# TYPE cliz_tune_cache_hits_total counter\n")
+	fmt.Fprintf(w, "cliz_tune_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP cliz_tune_cache_misses_total Tuned-pipeline cache misses (AutoTune ran).\n")
+	fmt.Fprintf(w, "# TYPE cliz_tune_cache_misses_total counter\n")
+	fmt.Fprintf(w, "cliz_tune_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP cliz_tune_cache_entries Tuned-pipeline cache current size.\n")
+	fmt.Fprintf(w, "# TYPE cliz_tune_cache_entries gauge\n")
+	fmt.Fprintf(w, "cliz_tune_cache_entries %d\n", size)
+
+	fmt.Fprintf(w, "# HELP cliz_queue_depth Admitted requests (running + waiting).\n")
+	fmt.Fprintf(w, "# TYPE cliz_queue_depth gauge\n")
+	fmt.Fprintf(w, "cliz_queue_depth %d\n", s.QueueDepth())
+}
+
+// trimFloat renders a bucket bound the Prometheus way ("0.005", "1").
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cliz"
+	"cliz/internal/netsim"
+)
+
+// /v1/plan is the service's answer to the paper's scaled-performance
+// question (§VII-C4, Fig. 13): given a representative per-core file and a
+// WAN description, which error bound minimizes end-to-end transfer time?
+// The handler compresses the posted sample once per candidate bound,
+// measures actual compressed sizes and wall times, feeds them through
+// netsim.Plan, and always includes the uncompressed baseline so "don't
+// compress" is a possible (and checkable) answer.
+
+// maxPlanCandidates bounds the per-request compression work.
+const maxPlanCandidates = 8
+
+// PlanQuery is the parsed /v1/plan request.
+type PlanQuery struct {
+	Meta   FieldMeta
+	WAN    netsim.WAN
+	Cores  int
+	Bounds []float64 // candidate relative bounds, tightest first
+}
+
+// ParsePlanQuery parses the plan parameters: the shared field metadata
+// (the bound parameter doubles as the default candidate list), the WAN
+// constants, and the core count.
+func ParsePlanQuery(r *http.Request) (PlanQuery, error) {
+	var p PlanQuery
+	q := r.URL.Query()
+	var err error
+	if p.Meta.Dims, p.Meta.Volume, err = ParseDims(q.Get("dims")); err != nil {
+		return p, err
+	}
+	bounds := q.Get("bounds")
+	if bounds == "" {
+		bounds = "1e-4,1e-3,1e-2"
+	}
+	for _, part := range strings.Split(bounds, ",") {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return p, fmt.Errorf("bounds=%q: bad relative bound %q (want 0 < rel < 1): %w", bounds, part, ErrBadRequest)
+		}
+		p.Bounds = append(p.Bounds, v)
+	}
+	if len(p.Bounds) > maxPlanCandidates {
+		return p, fmt.Errorf("bounds=%q: at most %d candidates: %w", bounds, maxPlanCandidates, ErrBadRequest)
+	}
+	p.WAN = netsim.DefaultWAN()
+	if bw := q.Get("bandwidth"); bw != "" {
+		v, err := strconv.ParseFloat(bw, 64)
+		if err != nil {
+			return p, fmt.Errorf("bandwidth=%q: %w", bw, err)
+		}
+		p.WAN.BandwidthBytesPerSec = v
+	}
+	if st := q.Get("streams"); st != "" {
+		n, err := strconv.Atoi(st)
+		if err != nil {
+			return p, fmt.Errorf("streams=%q: %w", st, err)
+		}
+		p.WAN.ParallelStreams = n
+	}
+	if err := p.WAN.Validate(); err != nil {
+		return p, err
+	}
+	if p.Cores, err = parseCount(q.Get("cores"), 1<<20); err != nil {
+		return p, fmt.Errorf("cores: %w", err)
+	}
+	if p.Cores == 0 {
+		p.Cores = 1
+	}
+	return p, nil
+}
+
+// planCandidate is one row of the plan response.
+type planCandidate struct {
+	Label       string  `json:"label"`
+	FileBytes   int     `json:"fileBytes"`
+	Ratio       float64 `json:"ratio"`
+	CompressSec float64 `json:"compressSec"`
+	TransferSec float64 `json:"transferSec"`
+	TotalSec    float64 `json:"totalSec"`
+}
+
+// planResponse is the JSON envelope of /v1/plan.
+type planResponse struct {
+	Best       string          `json:"best"`
+	Cores      int             `json:"cores"`
+	Candidates []planCandidate `json:"candidates"`
+}
+
+// handlePlan implements POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	pq, err := ParsePlanQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := ReadFloatBody(r, pq.Meta.Volume, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds := dataset(pq.Meta, data)
+	var t cliz.Trace
+	cands := make([]netsim.Candidate, 0, len(pq.Bounds)+1)
+	for _, rel := range pq.Bounds {
+		start := time.Now()
+		blob, _, err := cliz.Compress(ds, cliz.Rel(rel), nil,
+			cliz.WithContext(r.Context()), cliz.WithTrace(&t))
+		if err != nil {
+			s.metrics.drainTrace("plan", &t)
+			writeError(w, codecErrorStatus(err), fmt.Errorf("rel=%g: %w", rel, err))
+			return
+		}
+		cands = append(cands, netsim.Candidate{
+			Label:       fmt.Sprintf("rel=%g", rel),
+			FileBytes:   len(blob),
+			CompressSec: time.Since(start).Seconds(),
+		})
+	}
+	s.metrics.drainTrace("plan", &t)
+	cands = append(cands, netsim.Candidate{Label: "uncompressed", FileBytes: pq.Meta.Volume * 4})
+	best, results, err := netsim.Plan(pq.WAN, pq.Cores, cands)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := planResponse{Best: cands[best].Label, Cores: pq.Cores}
+	rawBytes := float64(pq.Meta.Volume * 4)
+	for i, c := range cands {
+		resp.Candidates = append(resp.Candidates, planCandidate{
+			Label:       c.Label,
+			FileBytes:   c.FileBytes,
+			Ratio:       rawBytes / float64(c.FileBytes),
+			CompressSec: results[i].CompressTime.Seconds(),
+			TransferSec: results[i].TransferTime.Seconds(),
+			TotalSec:    results[i].Total.Seconds(),
+		})
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cliz"
+)
+
+// ErrBadRequest is the sentinel every request-parse failure wraps — the
+// service's analogue of the codec's corrupt-input errors. errors.Is on it
+// separates "the request was malformed" (400) from "the payload did not
+// survive the codec" (422).
+var ErrBadRequest = errors.New("service: bad request")
+
+// Request wire protocol: field metadata travels in query parameters so the
+// body stays a pure byte stream (raw little-endian float32 data for
+// compress/tune/plan, a CliZ blob for decompress/verify). That keeps the
+// handlers streaming-friendly and lets every size check happen against the
+// declared dims and Content-Length before a single volume-proportional
+// byte is allocated.
+
+// maxServiceDims bounds the declared rank; the codec itself tops out at 8.
+const maxServiceDims = 8
+
+// maxServiceVolume bounds the declared point count (8 Gi points = 32 GiB of
+// float32), mirroring the decoder's own volume budget. The effective cap is
+// min(this, MaxBodyBytes/4); this constant only stops overflow games before
+// the multiplication happens.
+const maxServiceVolume = 1 << 33
+
+// FieldMeta is the parsed description of the field a request operates on.
+type FieldMeta struct {
+	Dims     []int
+	Bound    cliz.ErrorBound
+	Lead     cliz.LeadKind
+	Periodic bool
+	Entropy  cliz.EntropyKind
+	Workers  int
+	Chunks   int
+	Tune     bool
+	Volume   int
+}
+
+// ParseDims parses a dimension list like "26x180x360" (or comma-separated)
+// and validates rank and volume before anything is sized from it.
+func ParseDims(s string) ([]int, int, error) {
+	if s == "" {
+		return nil, 0, fmt.Errorf("missing dims parameter (e.g. dims=26x180x360): %w", ErrBadRequest)
+	}
+	parts := strings.Split(strings.ReplaceAll(s, ",", "x"), "x")
+	if len(parts) > maxServiceDims {
+		return nil, 0, fmt.Errorf("dims %q: need 1..%d extents: %w", s, maxServiceDims, ErrBadRequest)
+	}
+	dims := make([]int, len(parts))
+	vol := 1
+	for i, p := range parts {
+		d, err := strconv.Atoi(p)
+		if err != nil || d < 1 {
+			return nil, 0, fmt.Errorf("dims %q: bad extent %q: %w", s, p, ErrBadRequest)
+		}
+		if d > maxServiceVolume/vol {
+			return nil, 0, fmt.Errorf("dims %q: volume exceeds %d points: %w", s, maxServiceVolume, ErrBadRequest)
+		}
+		dims[i] = d
+		vol *= d
+	}
+	return dims, vol, nil
+}
+
+// ParseBound parses the rel= / abs= pair into an ErrorBound, requiring
+// exactly one finite positive value.
+func ParseBound(rel, abs string) (cliz.ErrorBound, error) {
+	parse := func(s, name string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, fmt.Errorf("%s=%q: need a finite positive value: %w", name, s, ErrBadRequest)
+		}
+		return v, nil
+	}
+	switch {
+	case rel != "" && abs != "":
+		return cliz.ErrorBound{}, fmt.Errorf("pass exactly one of rel= and abs=: %w", ErrBadRequest)
+	case rel != "":
+		v, err := parse(rel, "rel")
+		if err != nil {
+			return cliz.ErrorBound{}, err
+		}
+		return cliz.Rel(v), nil
+	case abs != "":
+		v, err := parse(abs, "abs")
+		if err != nil {
+			return cliz.ErrorBound{}, err
+		}
+		return cliz.Abs(v), nil
+	}
+	return cliz.ErrorBound{}, fmt.Errorf("missing error bound: pass rel= or abs=: %w", ErrBadRequest)
+}
+
+// ParseFieldQuery parses the shared metadata parameters of the float-body
+// endpoints (compress, tune, plan).
+func ParseFieldQuery(r *http.Request) (FieldMeta, error) {
+	q := r.URL.Query()
+	var m FieldMeta
+	var err error
+	if m.Dims, m.Volume, err = ParseDims(q.Get("dims")); err != nil {
+		return m, err
+	}
+	if m.Bound, err = ParseBound(q.Get("rel"), q.Get("abs")); err != nil {
+		return m, err
+	}
+	switch lead := q.Get("lead"); lead {
+	case "", "none":
+		m.Lead = cliz.LeadNone
+	case "time":
+		m.Lead = cliz.LeadTime
+	case "height":
+		m.Lead = cliz.LeadHeight
+	default:
+		return m, fmt.Errorf("lead=%q: want time, height or none: %w", lead, ErrBadRequest)
+	}
+	switch p := q.Get("periodic"); p {
+	case "", "0", "false":
+	case "1", "true":
+		m.Periodic = true
+	default:
+		return m, fmt.Errorf("periodic=%q: want 0 or 1: %w", p, ErrBadRequest)
+	}
+	switch e := q.Get("entropy"); e {
+	case "", "huffman":
+		m.Entropy = cliz.EntropyHuffman
+	case "rans":
+		m.Entropy = cliz.EntropyRANS
+	case "ransi", "rans-interleaved":
+		m.Entropy = cliz.EntropyRANSInterleaved
+	default:
+		return m, fmt.Errorf("entropy=%q: want huffman, rans or ransi: %w", e, ErrBadRequest)
+	}
+	if m.Workers, err = parseCount(q.Get("workers"), 64); err != nil {
+		return m, fmt.Errorf("workers: %w", err)
+	}
+	if m.Chunks, err = parseCount(q.Get("chunks"), 1<<16); err != nil {
+		return m, fmt.Errorf("chunks: %w", err)
+	}
+	switch t := q.Get("tune"); t {
+	case "", "0", "false":
+	case "1", "true":
+		m.Tune = true
+	default:
+		return m, fmt.Errorf("tune=%q: want 0 or 1: %w", t, ErrBadRequest)
+	}
+	return m, nil
+}
+
+func parseCount(s string, max int) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > max {
+		return 0, fmt.Errorf("%q: want 0..%d: %w", s, max, ErrBadRequest)
+	}
+	return n, nil
+}
+
+// ReadFloatBody reads exactly the declared volume of little-endian float32
+// data from the request body. The 4×volume commitment is checked against
+// maxBody and the declared Content-Length before the buffer exists, so a
+// hostile dims parameter cannot size an allocation past the budget, and a
+// short or oversized body is a clean 400-class error, not a hang or an
+// overrun.
+func ReadFloatBody(r *http.Request, vol int, maxBody int64) ([]float32, error) {
+	want := int64(vol) * 4
+	if want > maxBody {
+		return nil, fmt.Errorf("declared volume needs %d body bytes, over the %d budget: %w", want, maxBody, ErrBadRequest)
+	}
+	if r.ContentLength >= 0 && r.ContentLength != want {
+		return nil, fmt.Errorf("Content-Length %d != 4×volume = %d: %w", r.ContentLength, want, ErrBadRequest)
+	}
+	raw := make([]byte, want)
+	if _, err := io.ReadFull(r.Body, raw); err != nil {
+		return nil, fmt.Errorf("short body: want %d bytes: %w", want, err)
+	}
+	var probe [1]byte
+	if n, _ := r.Body.Read(probe[:]); n != 0 {
+		return nil, fmt.Errorf("body longer than 4×volume = %d bytes: %w", want, ErrBadRequest)
+	}
+	data := make([]float32, vol)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return data, nil
+}
+
+// ReadBlobBody reads a CliZ blob request body of unknown length, failing
+// once it exceeds maxBody. Growth is append-based and proportional to the
+// bytes actually received, never to a declared size.
+func ReadBlobBody(r *http.Request, maxBody int64) ([]byte, error) {
+	if r.ContentLength > maxBody {
+		return nil, fmt.Errorf("Content-Length %d over the %d budget: %w", r.ContentLength, maxBody, ErrBadRequest)
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if int64(len(blob)) > maxBody {
+		return nil, fmt.Errorf("body over the %d-byte budget: %w", maxBody, ErrBadRequest)
+	}
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("empty body: %w", ErrBadRequest)
+	}
+	return blob, nil
+}
+
+// AppendFloatsLE encodes data as little-endian float32 bytes, the inverse
+// of ReadFloatBody's layout.
+func AppendFloatsLE(dst []byte, data []float32) []byte {
+	var b [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// dimsString renders dims in the wire format ("26x180x360").
+func dimsString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		dims []int
+		vol  int
+		ok   bool
+	}{
+		{"26x180x360", []int{26, 180, 360}, 26 * 180 * 360, true},
+		{"26,180,360", []int{26, 180, 360}, 26 * 180 * 360, true},
+		{"7", []int{7}, 7, true},
+		{"", nil, 0, false},
+		{"0x4", nil, 0, false},
+		{"-1x4", nil, 0, false},
+		{"4x", nil, 0, false},
+		{"axb", nil, 0, false},
+		{"1x2x3x4x5x6x7x8x9", nil, 0, false},                // rank > 8
+		{"999999999x999999999x999999999", nil, 0, false},    // volume overflow
+		{"2147483647x2147483647x2147483647", nil, 0, false}, // int overflow bait
+	}
+	for _, tc := range cases {
+		dims, vol, err := ParseDims(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("%q: err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if vol != tc.vol || len(dims) != len(tc.dims) {
+			t.Errorf("%q: dims=%v vol=%d", tc.in, dims, vol)
+		}
+	}
+}
+
+func TestParseBound(t *testing.T) {
+	if _, err := ParseBound("", ""); err == nil {
+		t.Error("missing bound accepted")
+	}
+	if _, err := ParseBound("1e-3", "0.5"); err == nil {
+		t.Error("double bound accepted")
+	}
+	for _, bad := range []string{"0", "-1", "NaN", "+Inf", "x"} {
+		if _, err := ParseBound(bad, ""); err == nil {
+			t.Errorf("rel=%q accepted", bad)
+		}
+		if _, err := ParseBound("", bad); err == nil {
+			t.Errorf("abs=%q accepted", bad)
+		}
+	}
+	b, err := ParseBound("1e-3", "")
+	if err != nil || b.Rel != 1e-3 || b.Abs != 0 {
+		t.Errorf("rel parse: %+v err=%v", b, err)
+	}
+	b, err = ParseBound("", "0.25")
+	if err != nil || b.Abs != 0.25 || b.Rel != 0 {
+		t.Errorf("abs parse: %+v err=%v", b, err)
+	}
+}
+
+// TestReadFloatBodyCaps proves the allocation gate: a declared volume
+// whose byte size exceeds the budget fails before any volume-sized buffer
+// exists, and Content-Length lies are rejected up front.
+func TestReadFloatBodyCaps(t *testing.T) {
+	// Volume over budget.
+	r := httptest.NewRequest("POST", "/", bytes.NewReader(make([]byte, 64)))
+	if _, err := ReadFloatBody(r, 1<<20, 1024); err == nil {
+		t.Error("over-budget volume accepted")
+	}
+	// Content-Length mismatch.
+	r = httptest.NewRequest("POST", "/", bytes.NewReader(make([]byte, 64)))
+	r.ContentLength = 64
+	if _, err := ReadFloatBody(r, 4, 1024); err == nil {
+		t.Error("Content-Length 64 accepted for volume 4")
+	}
+	// Short body.
+	r = httptest.NewRequest("POST", "/", bytes.NewReader(make([]byte, 8)))
+	r.ContentLength = -1
+	if _, err := ReadFloatBody(r, 4, 1024); err == nil {
+		t.Error("short body accepted")
+	}
+	// Long body.
+	r = httptest.NewRequest("POST", "/", bytes.NewReader(make([]byte, 64)))
+	r.ContentLength = -1
+	if _, err := ReadFloatBody(r, 4, 1024); err == nil {
+		t.Error("oversized body accepted")
+	}
+	// Exact body round-trips bit-for-bit, NaN payloads included.
+	want := []float32{1.5, -0.25, float32(math.NaN()), 0}
+	r = httptest.NewRequest("POST", "/", bytes.NewReader(AppendFloatsLE(nil, want)))
+	got, err := ReadFloatBody(r, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Errorf("point %d: %x != %x", i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+func TestReadBlobBodyCaps(t *testing.T) {
+	r := httptest.NewRequest("POST", "/", strings.NewReader("0123456789"))
+	r.ContentLength = 10
+	if _, err := ReadBlobBody(r, 4); err == nil {
+		t.Error("declared over-budget blob accepted")
+	}
+	r = httptest.NewRequest("POST", "/", strings.NewReader("0123456789"))
+	r.ContentLength = -1 // undeclared: the streaming cap must still hold
+	if _, err := ReadBlobBody(r, 4); err == nil {
+		t.Error("streamed over-budget blob accepted")
+	}
+	r = httptest.NewRequest("POST", "/", strings.NewReader(""))
+	if _, err := ReadBlobBody(r, 4); err == nil {
+		t.Error("empty blob accepted")
+	}
+	r = httptest.NewRequest("POST", "/", strings.NewReader("ok"))
+	blob, err := ReadBlobBody(r, 4)
+	if err != nil || string(blob) != "ok" {
+		t.Errorf("blob=%q err=%v", blob, err)
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers < 1 || c.Queue != 2*c.Workers || c.MaxBodyBytes != 1<<30 ||
+		c.CacheSize != 64 || c.RequestTimeout == 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	bad := Config{Workers: -1}
+	if err := bad.Normalize(); err == nil {
+		t.Error("negative workers accepted")
+	}
+}

@@ -1,0 +1,252 @@
+// Package service implements clizd, the concurrent compression daemon over
+// the CliZ v3 container. It exposes the library's compress / decompress /
+// verify / tune entry points plus a netsim-backed transfer planner as a
+// small HTTP API, and exists to make the library's concurrency story load
+// bearing: every request runs the same goroutine-safe pipeline the CLI
+// uses, under a bounded worker pool with explicit admission control,
+// per-request deadlines threaded into the codec via cliz.WithContext, and
+// an LRU cache so AutoTune's offline cost is paid once per dataset family.
+//
+// The handlers are decode entry points in the clizlint sense: request
+// bodies are hostile input, so every resource commitment (float buffers,
+// blob buffers) is capped against the configured budget *before* the
+// allocation happens, and no panic is reachable from the parsing paths.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config sizes the daemon. The zero value is usable: Normalize fills every
+// field with a production-shaped default.
+type Config struct {
+	// Workers bounds the number of requests doing codec work at once.
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Queue bounds how many admitted requests may wait for a worker slot
+	// beyond the Workers already running; past that the server answers
+	// 429 with Retry-After instead of buffering unbounded work.
+	// 0 selects 2×Workers.
+	Queue int
+	// MaxBodyBytes caps any request body (raw floats or blob) before
+	// allocation. 0 selects 1 GiB.
+	MaxBodyBytes int64
+	// CacheSize bounds the tuned-pipeline LRU (entries). 0 selects 64.
+	CacheSize int
+	// RequestTimeout is the per-request codec deadline. 0 selects 2m.
+	RequestTimeout time.Duration
+}
+
+// Normalize fills zero fields with defaults and rejects negatives.
+func (c *Config) Normalize() error {
+	if c.Workers < 0 || c.Queue < 0 || c.MaxBodyBytes < 0 || c.CacheSize < 0 || c.RequestTimeout < 0 {
+		return fmt.Errorf("service: negative config %+v", *c)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	return nil
+}
+
+// Server is the clizd request handler: a worker pool, a tuned-pipeline
+// cache and a metrics registry behind an http.Handler.
+type Server struct {
+	cfg     Config
+	slots   chan struct{}
+	mu      sync.Mutex // guards queued
+	queued  int        // requests admitted: running + waiting
+	cache   *pipelineCache
+	metrics *registry
+	mux     *http.ServeMux
+}
+
+// NewServer builds a Server from cfg (normalized in place).
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		cache:   newPipelineCache(cfg.CacheSize),
+		metrics: newRegistry(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compress", s.heavy("compress", s.handleCompress))
+	s.mux.HandleFunc("POST /v1/decompress", s.heavy("decompress", s.handleDecompress))
+	s.mux.HandleFunc("POST /v1/verify", s.heavy("verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/tune", s.heavy("tune", s.handleTune))
+	s.mux.HandleFunc("POST /v1/plan", s.heavy("plan", s.handlePlan))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errBusy is returned by acquire when the queue is full.
+var errBusy = errors.New("service: worker queue full")
+
+// acquire admits the request into the worker pool: it either claims a slot
+// (possibly after waiting in the bounded queue) or fails fast with errBusy
+// when the queue is already full, or with ctx.Err() when the caller gave up
+// while waiting. The returned release must be called exactly once.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	s.mu.Lock()
+	if s.queued >= s.cfg.Workers+s.cfg.Queue {
+		s.mu.Unlock()
+		return nil, errBusy
+	}
+	s.queued++
+	s.mu.Unlock()
+	undo := func() {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() {
+			<-s.slots
+			undo()
+		}, nil
+	case <-ctx.Done():
+		undo()
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth reports the number of admitted requests (running + waiting).
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// heavy wraps a codec endpoint with admission control, the per-request
+// deadline, and metrics accounting. Rejections are observable: a full
+// queue answers 429 with a Retry-After hint and bumps the rejected
+// counter, so saturation shows up in both the client and /metrics.
+func (s *Server) heavy(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		release, err := s.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errBusy) {
+				s.metrics.rejected(endpoint)
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RequestTimeout)))
+				writeError(w, http.StatusTooManyRequests, errBusy)
+			} else {
+				writeError(w, statusFromErr(err), err)
+			}
+			s.metrics.observe(endpoint, http.StatusTooManyRequests, time.Since(start), 0, 0)
+			return
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.metrics.observe(endpoint, sw.code, time.Since(start), r.ContentLength, sw.bytes)
+	}
+}
+
+// retryAfterSeconds turns the request budget into a coarse client backoff
+// hint: a queue full of t-long requests drains one slot in about t.
+func retryAfterSeconds(t time.Duration) int {
+	secs := int(t / time.Second / 4)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// statusFromErr maps an error to the HTTP status of its class: client
+// cancellations and deadline hits are not server faults.
+func statusFromErr(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"workers":    s.cfg.Workers,
+		"queue":      s.cfg.Queue,
+		"queueDepth": s.QueueDepth(),
+	})
+}

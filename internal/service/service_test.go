@@ -1,0 +1,508 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cliz"
+	"cliz/internal/datagen"
+)
+
+// testServer builds a Server with small, test-friendly limits behind an
+// httptest listener.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// testField is a deterministic datagen field small enough for fast tests.
+func testField(t *testing.T) (*cliz.Dataset, []byte, string) {
+	t.Helper()
+	ids, err := datagen.ByName("SSH", 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service wire protocol has no mask channel, so the reference
+	// dataset must match what the handler reconstructs from the request:
+	// dims + lead + periodic only, name "request".
+	ds := &cliz.Dataset{
+		Name:     "request",
+		Data:     ids.Data,
+		Dims:     ids.Dims,
+		Lead:     cliz.LeadKind(ids.Lead),
+		Periodic: ids.Periodic,
+	}
+	body := AppendFloatsLE(make([]byte, 0, len(ds.Data)*4), ds.Data)
+	return ds, body, dimsString(ds.Dims)
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCompressDecompressRoundTrip drives raw floats through a live server
+// and back, asserting blob bit-equality with the direct library call in
+// both directions — the service must be a transport, never a second codec.
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ds, body, dims := testField(t)
+
+	resp := post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-3&lead=time&periodic=1", body)
+	blob := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, blob)
+	}
+	want, info, err := cliz.Compress(ds, cliz.Rel(1e-3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("served blob (%d bytes) != direct blob (%d bytes)", len(blob), len(want))
+	}
+	if got := resp.Header.Get("X-Cliz-Pipeline"); got != info.Pipeline {
+		t.Errorf("X-Cliz-Pipeline = %q, want %q", got, info.Pipeline)
+	}
+	if resp.Header.Get("X-Cliz-Cache") != "off" {
+		t.Errorf("X-Cliz-Cache = %q, want off", resp.Header.Get("X-Cliz-Cache"))
+	}
+
+	resp = post(t, ts.URL+"/v1/decompress", blob)
+	raw := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Cliz-Dims"); got != dims {
+		t.Errorf("X-Cliz-Dims = %q, want %q", got, dims)
+	}
+	direct, _, err := cliz.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, AppendFloatsLE(nil, direct)) {
+		t.Fatal("served reconstruction differs from direct decode")
+	}
+	// And the reconstruction honors the bound against the original.
+	recon := make([]float32, len(direct))
+	for i := range recon {
+		recon[i] = math.Float32frombits(uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 |
+			uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24)
+	}
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, v := range ds.Data {
+		lo, hi = math.Min(lo, float64(v)), math.Max(hi, float64(v))
+	}
+	bound := 1e-3 * (hi - lo) * (1 + 1e-9)
+	for i := range recon {
+		if diff := math.Abs(float64(recon[i]) - float64(ds.Data[i])); diff > bound {
+			t.Fatalf("point %d: |%g - %g| = %g > %g", i, recon[i], ds.Data[i], diff, bound)
+		}
+	}
+}
+
+// TestChunkedCompressViaService round-trips a chunked container.
+func TestChunkedCompressViaService(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ds, body, dims := testField(t)
+
+	resp := post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-3&lead=time&periodic=1&chunks=3&workers=2", body)
+	blob := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, blob)
+	}
+	want, _, err := cliz.CompressChunked(ds, cliz.Rel(1e-3), nil, 3, 2, cliz.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("served chunked blob differs from direct CompressChunked")
+	}
+	resp = post(t, ts.URL+"/v1/decompress?workers=2", blob)
+	raw := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, raw)
+	}
+	if len(raw) != len(ds.Data)*4 {
+		t.Fatalf("decompress returned %d bytes, want %d", len(raw), len(ds.Data)*4)
+	}
+}
+
+// TestVerifyEndpoint checks both the intact and the damaged paths.
+func TestVerifyEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ds, _, _ := testField(t)
+	blob, _, err := cliz.Compress(ds, cliz.Rel(1e-3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := post(t, ts.URL+"/v1/verify", blob)
+	var rep verifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !rep.OK {
+		t.Fatalf("intact blob: code %d ok=%v damaged=%v", resp.StatusCode, rep.OK, rep.Damaged)
+	}
+
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xff
+	resp = post(t, ts.URL+"/v1/verify", bad)
+	rep = verifyResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.OK || len(rep.Damaged) == 0 {
+		t.Fatalf("flipped byte not detected: %+v", rep)
+	}
+}
+
+// TestTuneCacheHit proves the LRU path: the first tune runs AutoTune, the
+// second request of the same family answers from the cache, and a tuned
+// compress afterwards also hits.
+func TestTuneCacheHit(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	_, body, dims := testField(t)
+	q := "?dims=" + dims + "&rel=1e-2&lead=time&periodic=1"
+
+	var first tuneResponse
+	resp := post(t, ts.URL+"/v1/tune"+q, body)
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || first.Cache != "miss" {
+		t.Fatalf("first tune: code %d cache %q", resp.StatusCode, first.Cache)
+	}
+	if first.Pipeline == "" || first.PipelinesTested == 0 {
+		t.Fatalf("empty tune report: %+v", first)
+	}
+
+	var second tuneResponse
+	resp = post(t, ts.URL+"/v1/tune"+q, body)
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if second.Cache != "hit" || second.Pipeline != first.Pipeline {
+		t.Fatalf("second tune: cache %q pipeline %q (want hit, %q)", second.Cache, second.Pipeline, first.Pipeline)
+	}
+
+	resp = post(t, ts.URL+"/v1/compress"+q+"&tune=1", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cliz-Cache"); got != "hit" {
+		t.Fatalf("tuned compress after tune: X-Cliz-Cache = %q, want hit", got)
+	}
+	hits, misses, _ := s.cache.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("cache stats: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+// TestPlanEndpoint exercises /v1/plan over a live server.
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, body, dims := testField(t)
+
+	resp := post(t, ts.URL+"/v1/plan?dims="+dims+"&cores=256&bounds=1e-4,1e-2", body)
+	out := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %s", resp.StatusCode, out)
+	}
+	var plan planResponse
+	if err := json.Unmarshal(out, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Candidates) != 3 { // two bounds + uncompressed baseline
+		t.Fatalf("got %d candidates, want 3: %s", len(plan.Candidates), out)
+	}
+	if plan.Candidates[2].Label != "uncompressed" {
+		t.Fatalf("last candidate %q, want uncompressed", plan.Candidates[2].Label)
+	}
+	if plan.Best == "" {
+		t.Fatal("no best candidate")
+	}
+	for _, c := range plan.Candidates {
+		if c.TotalSec <= 0 || math.IsNaN(c.TotalSec) {
+			t.Fatalf("candidate %q: bad total %g", c.Label, c.TotalSec)
+		}
+	}
+}
+
+// TestMalformedRequests asserts every parse failure is a 400 with a JSON
+// error body — hostile input must never surface as a 500 or a panic.
+func TestMalformedRequests(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBodyBytes: 1 << 20})
+	cases := []struct {
+		name, path string
+		body       []byte
+	}{
+		{"missing dims", "/v1/compress?rel=1e-3", []byte("xxxx")},
+		{"bad dims", "/v1/compress?dims=0x4&rel=1e-3", []byte("xxxx")},
+		{"dims overflow", "/v1/compress?dims=999999999x999999999x999999999&rel=1e-3", []byte("xxxx")},
+		{"missing bound", "/v1/compress?dims=2x2", []byte("xxxx")},
+		{"both bounds", "/v1/compress?dims=2x2&rel=1e-3&abs=1", []byte("xxxx")},
+		{"NaN bound", "/v1/compress?dims=2x2&rel=NaN", []byte("xxxx")},
+		{"bad lead", "/v1/compress?dims=2x2&rel=1e-3&lead=sideways", []byte("xxxx")},
+		{"bad entropy", "/v1/compress?dims=2x2&rel=1e-3&entropy=magic", []byte("xxxx")},
+		{"short body", "/v1/compress?dims=4x4&rel=1e-3", []byte("xx")},
+		{"long body", "/v1/compress?dims=2x2&rel=1e-3", make([]byte, 64)},
+		{"volume over budget", "/v1/compress?dims=1024x1024&rel=1e-3", []byte("xx")},
+		{"empty blob", "/v1/decompress", nil},
+		{"empty verify", "/v1/verify", nil},
+		{"bad plan bounds", "/v1/plan?dims=2x2&bounds=2.0", []byte("xxxx")},
+		{"bad plan bandwidth", "/v1/plan?dims=2x2&bandwidth=NaN", []byte("xxxx")},
+	}
+	for _, tc := range cases {
+		resp := post(t, ts.URL+tc.path, tc.body)
+		body := readAll(t, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		var e apiError
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: not a JSON error envelope: %s", tc.name, body)
+		}
+	}
+}
+
+// TestGarbageBlobIs422 separates parse-stage 400s from codec-stage 422s:
+// a well-formed request whose blob is garbage is the codec's verdict.
+func TestGarbageBlobIs422(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp := post(t, ts.URL+"/v1/decompress", []byte("this is not a cliz blob at all"))
+	body := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("code %d, want 422 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestAdmissionControl429 saturates a Workers=1/Queue=1 server with
+// requests whose bodies are held open, then proves the next request is
+// rejected with 429 + Retry-After while the stalled ones still finish.
+func TestAdmissionControl429(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, Queue: 1, RequestTimeout: time.Minute})
+	_, body, dims := testField(t)
+	url := ts.URL + "/v1/compress?dims=" + dims + "&rel=1e-3"
+
+	// Two requests enter: one takes the worker slot, one waits in the
+	// queue. Their bodies are pipes we have not finished writing, so both
+	// park inside the handler until released.
+	type stalled struct {
+		w    *io.PipeWriter
+		done chan *http.Response
+	}
+	var held []stalled
+	for i := 0; i < 2; i++ {
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest("POST", url, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.ContentLength = int64(len(body))
+		done := make(chan *http.Response, 1)
+		go func() {
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				close(done)
+				return
+			}
+			done <- resp
+		}()
+		// Feed a prefix so the request is surely admitted and reading.
+		if _, err := pw.Write(body[:16]); err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, stalled{w: pw, done: done})
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == 2 })
+
+	resp := post(t, url, body)
+	msg := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429 (%s)", resp.StatusCode, msg)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Release the stalled requests; both must complete successfully.
+	for _, h := range held {
+		if _, err := h.w.Write(body[16:]); err != nil {
+			t.Fatal(err)
+		}
+		h.w.Close()
+	}
+	for i, h := range held {
+		select {
+		case resp, ok := <-h.done:
+			if !ok {
+				t.Fatalf("request %d failed", i)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("held request %d: %d", i, resp.StatusCode)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("held request %d never completed", i)
+		}
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == 0 })
+
+	// The rejection is visible in /metrics.
+	mresp := post(t, ts.URL+"/metrics", nil)
+	mresp.Body.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, resp.Body))
+	resp.Body.Close()
+	if !strings.Contains(metrics, `cliz_rejected_total{endpoint="compress"} 1`) {
+		t.Errorf("rejection not counted:\n%s", grepLines(metrics, "rejected"))
+	}
+}
+
+// TestConcurrentRequests hammers a small pool from many goroutines; run
+// under -race this is the regression for handler-shared state.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4, Queue: 64})
+	ds, body, dims := testField(t)
+	blob, _, err := cliz.Compress(ds, cliz.Rel(1e-3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp *http.Response
+			if i%2 == 0 {
+				resp = post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-3&lead=time&periodic=1", body)
+			} else {
+				resp = post(t, ts.URL+"/v1/decompress", blob)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d: %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMetricsEndpoint checks the exposition contains every metric family
+// the smoke script scrapes.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, body, dims := testField(t)
+	resp := post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-3", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mr.Body))
+	mr.Body.Close()
+	for _, want := range []string{
+		`cliz_requests_total{endpoint="compress",code="200"} 1`,
+		`cliz_request_seconds_bucket{endpoint="compress",le="+Inf"} 1`,
+		`cliz_request_seconds_count{endpoint="compress"} 1`,
+		`cliz_stage_seconds_total{endpoint="compress"`,
+		`cliz_tune_cache_hits_total 0`,
+		`cliz_queue_depth 0`,
+		`cliz_uptime_seconds`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestHealthz checks the liveness endpoint shape.
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 3})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h["status"] != "ok" || h["workers"] != float64(3) {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -53,8 +53,16 @@ type Recorder struct {
 	stages []Stage
 }
 
-// Record implements Collector.
+// Record implements Collector. The Extra annotations are copied, not
+// retained: a recorded Stage must stay readable by concurrent Stages()
+// snapshots even after the producer reuses its scratch KV buffer — the
+// pattern a long-lived per-worker trace in a server falls into. Retaining
+// the caller's slice here is a data race the moment the caller recycles it
+// (caught by TestRecorderScratchReuseRace under -race).
 func (r *Recorder) Record(s Stage) {
+	if len(s.Extra) > 0 {
+		s.Extra = append([]KV(nil), s.Extra...)
+	}
 	r.mu.Lock()
 	r.stages = append(r.stages, s)
 	r.mu.Unlock()
@@ -192,6 +200,98 @@ func fmtExtra(kvs []KV) string {
 	return strings.Join(parts, " ")
 }
 
+// maxAggStages bounds an Aggregator's distinct-stage table. Real pipelines
+// produce a few dozen base names; anything past the cap (a runaway caller
+// generating unique names) folds into a single "other" row so a long-lived
+// process cannot leak memory through its metrics.
+const maxAggStages = 256
+
+// aggOverflow is the fold-in row for names past the maxAggStages cap.
+const aggOverflow = "other"
+
+// Aggregator is the Collector for long-lived processes: instead of the
+// Recorder's append-only record list (which grows with every request, fine
+// for a CLI run, fatal for a daemon), it merges records by base stage name
+// as they arrive — O(distinct stages) memory forever. It is safe for
+// concurrent use from any number of recording and reading goroutines; the
+// zero value is ready to use.
+type Aggregator struct {
+	mu    sync.Mutex
+	idx   map[string]int
+	rows  []Stage
+	hits  []int64
+	count int64
+}
+
+// Record implements Collector: the stage folds into its base-name row.
+// Extra annotations are dropped — per-record notes do not aggregate
+// meaningfully across requests.
+func (a *Aggregator) Record(s Stage) {
+	base := s.Name
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.count++
+	if a.idx == nil {
+		a.idx = make(map[string]int)
+	}
+	j, ok := a.idx[base]
+	if !ok {
+		if len(a.rows) >= maxAggStages {
+			if j, ok = a.idx[aggOverflow]; !ok {
+				j = len(a.rows)
+				a.idx[aggOverflow] = j
+				a.rows = append(a.rows, Stage{Name: aggOverflow})
+				a.hits = append(a.hits, 0)
+			}
+		} else {
+			j = len(a.rows)
+			a.idx[base] = j
+			a.rows = append(a.rows, Stage{Name: base})
+			a.hits = append(a.hits, 0)
+		}
+	}
+	a.rows[j].Duration += s.Duration
+	a.rows[j].InBytes += s.InBytes
+	a.rows[j].OutBytes += s.OutBytes
+	a.rows[j].Items += s.Items
+	a.hits[j]++
+}
+
+// Count returns the total number of records folded in since the last Reset.
+func (a *Aggregator) Count() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}
+
+// Snapshot returns the merged rows ordered by descending duration. Each
+// row's Extra carries a single "records" annotation: how many raw records
+// folded into it.
+func (a *Aggregator) Snapshot() []Stage {
+	a.mu.Lock()
+	out := make([]Stage, len(a.rows))
+	for i, r := range a.rows {
+		out[i] = r
+		out[i].Extra = []KV{{Key: "records", Value: float64(a.hits[i])}}
+	}
+	a.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Reset clears the merged rows so the aggregator can be reused.
+func (a *Aggregator) Reset() {
+	a.mu.Lock()
+	a.idx = nil
+	a.rows = nil
+	a.hits = nil
+	a.count = 0
+	a.mu.Unlock()
+}
+
 // prefixed qualifies every record's name with a path prefix.
 type prefixed struct {
 	inner  Collector
@@ -237,8 +337,8 @@ func (sp Span) End() { sp.EndFull(0, 0, 0, nil) }
 // EndBytes records the span with input/output byte counts.
 func (sp Span) EndBytes(in, out int64) { sp.EndFull(in, out, 0, nil) }
 
-// EndFull records the span with full accounting. Extra is retained, not
-// copied; callers hand over ownership.
+// EndFull records the span with full accounting. Collectors copy what they
+// keep, so the caller may reuse extra as scratch after EndFull returns.
 func (sp Span) EndFull(in, out, items int64, extra []KV) {
 	if sp.c == nil {
 		return

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -104,5 +105,111 @@ func TestRecorderConcurrent(t *testing.T) {
 	wg.Wait()
 	if len(r.Stages()) != 800 {
 		t.Fatalf("lost records: %d", len(r.Stages()))
+	}
+}
+
+// TestRecorderScratchReuseRace is the regression for the Extra-aliasing data
+// race: a producer that recycles its KV scratch buffer across records (the
+// per-worker trace of a long-lived server) while another goroutine reads
+// Stages() snapshots. Before Record copied Extra, the snapshot aliased the
+// producer's live scratch and -race flagged the write/read pair; with the
+// copy the two sides never share memory.
+func TestRecorderScratchReuseRace(t *testing.T) {
+	var r Recorder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		scratch := make([]KV, 1)
+		for i := 0; i < 500; i++ {
+			scratch[0] = KV{Key: "v", Value: float64(i)}
+			r.Record(Stage{Name: "s", Extra: scratch})
+		}
+	}()
+	sum := 0.0
+	for i := 0; i < 200; i++ {
+		for _, s := range r.Stages() {
+			for _, kv := range s.Extra {
+				sum += kv.Value
+			}
+		}
+	}
+	<-done
+	// Every snapshot must see the value recorded, not a later scratch write.
+	for i, s := range r.Stages() {
+		if len(s.Extra) != 1 || s.Extra[0].Value != float64(i) {
+			t.Fatalf("record %d carries %+v, want value %d", i, s.Extra, i)
+		}
+	}
+	_ = sum
+}
+
+func TestAggregatorMerges(t *testing.T) {
+	var a Aggregator
+	a.Record(Stage{Name: "chunk[0]/predict", Duration: 3 * time.Millisecond, InBytes: 10, Items: 4})
+	a.Record(Stage{Name: "chunk[1]/predict", Duration: 5 * time.Millisecond, InBytes: 20, Items: 8})
+	a.Record(Stage{Name: "entropy", Duration: 2 * time.Millisecond, OutBytes: 7})
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 rows, got %d: %+v", len(snap), snap)
+	}
+	if snap[0].Name != "predict" || snap[0].Duration != 8*time.Millisecond ||
+		snap[0].InBytes != 30 || snap[0].Items != 12 {
+		t.Fatalf("bad merged row %+v", snap[0])
+	}
+	if snap[0].Extra[0].Key != "records" || snap[0].Extra[0].Value != 2 {
+		t.Fatalf("bad records annotation %+v", snap[0].Extra)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count = %d, want 3", a.Count())
+	}
+	a.Reset()
+	if len(a.Snapshot()) != 0 || a.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestAggregatorBounded(t *testing.T) {
+	var a Aggregator
+	for i := 0; i < 3*maxAggStages; i++ {
+		a.Record(Stage{Name: fmt.Sprintf("stage-%d", i), Duration: time.Microsecond})
+	}
+	snap := a.Snapshot()
+	if len(snap) > maxAggStages+1 {
+		t.Fatalf("aggregator grew past cap: %d rows", len(snap))
+	}
+	var overflow int64
+	for _, s := range snap {
+		if s.Name == aggOverflow {
+			overflow = int64(s.Extra[0].Value)
+		}
+	}
+	if overflow != 2*maxAggStages {
+		t.Fatalf("overflow row folded %d records, want %d", overflow, 2*maxAggStages)
+	}
+	if a.Count() != 3*maxAggStages {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestAggregatorConcurrent(t *testing.T) {
+	var a Aggregator
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Begin(&a, "chunk[1]/s").EndFull(1, 2, 3, nil)
+				_ = a.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Count() != 1600 {
+		t.Fatalf("lost records: %d", a.Count())
+	}
+	snap := a.Snapshot()
+	if len(snap) != 1 || snap[0].InBytes != 1600 || snap[0].Items != 4800 {
+		t.Fatalf("bad concurrent merge %+v", snap)
 	}
 }

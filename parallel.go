@@ -25,6 +25,7 @@ func CompressChunked(ds *Dataset, eb ErrorBound, pipe *Pipeline, nChunks, worker
 		Workers:             cfg.workers,
 		Entropy:             cfg.entropy,
 		MaterializedPermute: cfg.materialized,
+		Interrupt:           cfg.interrupt(),
 	}, nChunks, workers)
 	if err != nil {
 		return nil, nil, err

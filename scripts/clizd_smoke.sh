@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# clizd end-to-end smoke: build the daemon, generate a synthetic field,
+# exercise every endpoint through a live server, and assert that the
+# tuned-pipeline cache actually skips AutoTune on the second hit (visible
+# in the /metrics counters). CI runs this on every push.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+port="${CLIZD_PORT:-18080}"
+base="http://127.0.0.1:${port}"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work/clizd" ./cmd/clizd
+go build -o "$work/datagen" ./cmd/datagen
+
+echo "== payload"
+"$work/datagen" -out "$work" -name SSH -scale 0.1 -format raw
+# meta line: "dims: [108 38 32]" -> wire format "108x38x32"
+dims=$(sed -n 's/^dims: \[\(.*\)\]$/\1/p' "$work/SSH.meta" | tr ' ' 'x')
+echo "   dims=$dims"
+
+echo "== start clizd"
+"$work/clizd" -addr "127.0.0.1:${port}" -workers 2 -queue 4 &
+pid=$!
+for _ in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$base/healthz"
+echo
+
+echo "== compress (tuned, cache miss expected)"
+curl -sf --data-binary @"$work/SSH.f32" -D "$work/h1" \
+    "$base/v1/compress?dims=$dims&rel=1e-3&lead=time&periodic=1&tune=1" \
+    -o "$work/SSH.clz"
+grep -i '^x-cliz-cache: miss' "$work/h1"
+grep -i '^x-cliz-ratio:' "$work/h1"
+
+echo "== compress again (same family, cache hit expected)"
+curl -sf --data-binary @"$work/SSH.f32" -D "$work/h2" \
+    "$base/v1/compress?dims=$dims&rel=1e-3&lead=time&periodic=1&tune=1" \
+    -o /dev/null
+grep -i '^x-cliz-cache: hit' "$work/h2"
+
+echo "== decompress"
+curl -sf --data-binary @"$work/SSH.clz" -D "$work/h3" \
+    "$base/v1/decompress" -o "$work/recon.f32"
+grep -i "^x-cliz-dims: $dims" "$work/h3"
+in_bytes=$(wc -c <"$work/SSH.f32")
+out_bytes=$(wc -c <"$work/recon.f32")
+[ "$in_bytes" = "$out_bytes" ] || { echo "size mismatch $in_bytes != $out_bytes"; exit 1; }
+
+echo "== verify"
+curl -sf --data-binary @"$work/SSH.clz" "$base/v1/verify" | tee "$work/verify.json" | head -3
+grep -q '"ok": true' "$work/verify.json"
+
+echo "== tune endpoint (cached family)"
+curl -sf --data-binary @"$work/SSH.f32" \
+    "$base/v1/tune?dims=$dims&rel=1e-3&lead=time&periodic=1" | tee "$work/tune.json"
+grep -q '"cache": "hit"' "$work/tune.json"
+
+echo "== plan"
+curl -sf --data-binary @"$work/SSH.f32" \
+    "$base/v1/plan?dims=$dims&cores=128&bounds=1e-4,1e-2" | tee "$work/plan.json" | head -5
+grep -q '"best"' "$work/plan.json"
+
+echo "== malformed request must 400, not 500"
+code=$(curl -s -o /dev/null -w '%{http_code}' --data-binary 'xx' \
+    "$base/v1/compress?dims=oops&rel=1e-3")
+[ "$code" = "400" ] || { echo "want 400, got $code"; exit 1; }
+
+echo "== metrics"
+curl -sf "$base/metrics" >"$work/metrics.txt"
+grep '^cliz_requests_total{endpoint="compress",code="200"} 2' "$work/metrics.txt"
+grep '^cliz_tune_cache_misses_total 1' "$work/metrics.txt"
+hits=$(sed -n 's/^cliz_tune_cache_hits_total \([0-9]*\)$/\1/p' "$work/metrics.txt")
+[ "$hits" -ge 2 ] || { echo "want >=2 cache hits, got $hits"; exit 1; }
+grep -q 'cliz_stage_seconds_total{endpoint="compress"' "$work/metrics.txt"
+grep -q 'cliz_request_seconds_bucket{endpoint="decompress"' "$work/metrics.txt"
+
+echo "== graceful shutdown"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "clizd smoke: OK"
