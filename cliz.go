@@ -33,6 +33,7 @@ import (
 	"cliz/internal/core"
 	"cliz/internal/dataset"
 	"cliz/internal/entropy"
+	"cliz/internal/estimate"
 	"cliz/internal/mask"
 	"cliz/internal/trace"
 )
@@ -173,6 +174,14 @@ type TuneOptions struct {
 	DisableClassify bool
 	// FixedPeriod overrides FFT-based period detection.
 	FixedPeriod int
+	// EstimateFirst runs the fast feature-based estimator before the
+	// candidate search: when its confidence reaches MinConfidence the
+	// estimated pipeline is returned directly (TuneReport.Mode "estimate")
+	// and the search is skipped; otherwise the full search runs as usual.
+	EstimateFirst bool
+	// MinConfidence is the EstimateFirst acceptance threshold;
+	// 0 selects MinEstimateConfidence.
+	MinConfidence float64
 	// Trace, when non-nil, records the tuner's coarse stages (period
 	// detection, sampling, search, refinement) into the collector.
 	Trace *Trace
@@ -187,10 +196,18 @@ type TuneOptions struct {
 type TuneReport struct {
 	// Period is the detected period along the time axis (0 = none).
 	Period int
-	// PipelinesTested is the number of candidates evaluated.
+	// PipelinesTested is the number of candidates evaluated (0 when the
+	// estimator answered).
 	PipelinesTested int
-	// EstimatedRatio is the winner's compression ratio on the sample.
+	// EstimatedRatio is the winner's compression ratio on the sample (or
+	// the estimator's full-data prediction in estimate mode).
 	EstimatedRatio float64
+	// Mode says how the pipeline was decided: "search" for the full
+	// candidate search, "estimate" when EstimateFirst accepted the fast
+	// estimate and the search was skipped.
+	Mode string
+	// Confidence is the estimator's confidence (estimate mode only).
+	Confidence float64
 }
 
 // AutoTune runs the offline stage on a representative field and returns the
@@ -220,6 +237,22 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 			copt.Interrupt = opt.Context.Err
 		}
 	}
+	if opt != nil && opt.EstimateFirst {
+		minConf := opt.MinConfidence
+		if minConf == 0 {
+			minConf = MinEstimateConfidence
+		}
+		res, err := estimate.Estimate(ids, abs, estimate.Config{Tune: tc})
+		// A failed estimate is not a failed tune — the search below answers.
+		if err == nil && res.Confidence >= minConf {
+			return Pipeline{p: res.Pipeline}, &TuneReport{
+				Period:         res.Pipeline.Period,
+				EstimatedRatio: res.Ratio,
+				Mode:           "estimate",
+				Confidence:     res.Confidence,
+			}, nil
+		}
+	}
 	best, rep, err := core.AutoTune(ids, abs, tc, copt)
 	if err != nil {
 		return Pipeline{}, nil, err
@@ -228,6 +261,7 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 		Period:          rep.Period,
 		PipelinesTested: len(rep.Candidates),
 		EstimatedRatio:  rep.BestRatio,
+		Mode:            "search",
 	}, nil
 }
 

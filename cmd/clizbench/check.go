@@ -46,7 +46,10 @@ type checkReport struct {
 	Schema   string       `json:"schema"`
 	Baseline string       `json:"baseline"`
 	Fields   []checkField `json:"fields"`
-	Failures []string     `json:"failures,omitempty"`
+	// Estimate echoes the graded estimator section (when present) so the
+	// check artifact is self-contained.
+	Estimate *estimateReport `json:"estimate,omitempty"`
+	Failures []string        `json:"failures,omitempty"`
 }
 
 // stageShare sums the share of the named stages in a stage list.
@@ -139,10 +142,19 @@ func runCheck(baselinePath, outDir string, log io.Writer) error {
 		}
 	}
 	fields, failures := compareStageShares(cur, base)
+	// The estimator-accuracy gates apply whenever the current report carries
+	// an estimate section (clizbench -estimate [-check]); a perf-only report
+	// is not required to have one.
+	var estFailures []string
+	if cur.Estimate != nil {
+		estFailures = checkEstimate(cur.Estimate)
+		failures = append(failures, estFailures...)
+	}
 	out := checkReport{
 		Schema:   "cliz-bench-check/1",
 		Baseline: baselinePath,
 		Fields:   fields,
+		Estimate: cur.Estimate,
 		Failures: failures,
 	}
 	checkPath := "BENCH_CHECK.json"

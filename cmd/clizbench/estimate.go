@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/estimate"
+)
+
+// Estimate-accuracy mode: run the fast estimator and the full tuner over the
+// datagen scenario suite, compress the full field with the tuned pipeline,
+// and grade the estimator on ratio error, pipeline agreement, and latency:
+//
+//	clizbench -estimate -out results/          # adds an "estimate" section to BENCH_PR.json
+//	clizbench -estimate -check -out results/   # ...and enforce the accuracy gates
+//
+// The section merges into an existing BENCH_PR.json (as written by -perf) so
+// one artifact carries both the perf and the estimator baselines.
+
+// Estimate gates (ISSUE 8 acceptance criteria).
+const (
+	// estimateMaxAvgErrPct is the ceiling on the average
+	// |estimated − tuned| / tuned ratio error across the scenario suite.
+	estimateMaxAvgErrPct = 15.0
+	// estimateMaxLatencyMillis is the ceiling on per-field estimator wall
+	// time at bench scale.
+	estimateMaxLatencyMillis = 50.0
+	// estimateMinAgreement is the floor on the structural pipeline
+	// agreement rate (period/classify/fitting/perm/fusion all match).
+	estimateMinAgreement = 0.5
+)
+
+// estimateField is the per-scenario record in the estimate section.
+type estimateField struct {
+	Field  string `json:"field"`
+	Dims   []int  `json:"dims"`
+	Points int    `json:"points"`
+
+	TunedPipeline string  `json:"tuned_pipeline"`
+	TunedRatio    float64 `json:"tuned_ratio"` // measured on the full field
+
+	EstimatedPipeline string  `json:"estimated_pipeline"`
+	EstimatedRatio    float64 `json:"estimated_ratio"`
+	Confidence        float64 `json:"confidence"`
+	Fallback          bool    `json:"fallback"` // confidence below DefaultMinConfidence
+
+	RatioErrorPct float64 `json:"ratio_error_pct"`
+	// Agreement: the structural knobs (period, classify, fitting, perm,
+	// fusion) all match the tuned pipeline. KnobsMatched counts how many of
+	// the 6 decided knobs (those five plus level-alpha) agreed.
+	Agreement    bool `json:"agreement"`
+	KnobsMatched int  `json:"knobs_matched"`
+
+	EstimateMillis float64 `json:"estimate_ms"`
+	TuneMillis     float64 `json:"tune_ms"`
+
+	// Notes is the estimator's decision trail (one line per heuristic call
+	// and confidence penalty) — the transparency artifact reviewers read
+	// when the estimate disagrees with the tuner.
+	Notes []string `json:"notes"`
+}
+
+// estimateReport is the "estimate" section of BENCH_PR.json.
+type estimateReport struct {
+	RelErrorBound     float64         `json:"rel_error_bound"`
+	AvgRatioErrorPct  float64         `json:"avg_ratio_error_pct"`
+	AgreementRate     float64         `json:"agreement_rate"`
+	MaxEstimateMillis float64         `json:"max_estimate_ms"`
+	FallbackCount     int             `json:"fallback_count"`
+	Fields            []estimateField `json:"fields"`
+}
+
+// knobsMatched counts agreeing decided knobs between the estimated and tuned
+// pipelines; the bool is the structural agreement (everything but the
+// level-alpha ladder position).
+func knobsMatched(est, tuned core.Pipeline) (int, bool) {
+	n := 0
+	permEq := len(est.Perm) == len(tuned.Perm)
+	if permEq {
+		for i := range est.Perm {
+			if est.Perm[i] != tuned.Perm[i] {
+				permEq = false
+				break
+			}
+		}
+	}
+	if permEq {
+		n++
+	}
+	fuseEq := est.Fusion.String() == tuned.Fusion.String()
+	if fuseEq {
+		n++
+	}
+	fitEq := est.Fitting == tuned.Fitting
+	if fitEq {
+		n++
+	}
+	clsEq := est.Classify == tuned.Classify
+	if clsEq {
+		n++
+	}
+	perEq := est.Period == tuned.Period
+	if perEq {
+		n++
+	}
+	alphaEq := est.LevelAlpha == tuned.LevelAlpha
+	if alphaEq {
+		n++
+	}
+	return n, permEq && fuseEq && fitEq && clsEq && perEq
+}
+
+// runEstimate grades the estimator over every datagen scenario and merges
+// the section into BENCH_PR.json (creating a minimal report if -perf has not
+// run in this outDir).
+func runEstimate(scale float64, outDir string, log io.Writer) error {
+	if scale <= 0 {
+		scale = 0.25
+	}
+	const rel = 1e-2
+	sec := estimateReport{RelErrorBound: rel}
+	var errSum float64
+	agreed := 0
+	for _, name := range datagen.Names() {
+		ds, err := datagen.ByName(name, scale)
+		if err != nil {
+			return err
+		}
+		eb := ds.AbsErrorBound(rel)
+
+		// Latency is the best of two runs: the estimator's probe plan is
+		// deterministic, so both runs do identical work, and the minimum
+		// rejects scheduler and GC spikes that would otherwise flake the
+		// latency gate on a loaded single-core runner.
+		t0 := time.Now()
+		res, err := estimate.Estimate(ds, eb, estimate.Config{})
+		if err != nil {
+			return fmt.Errorf("%s: estimate: %w", name, err)
+		}
+		estMillis := float64(time.Since(t0)) / float64(time.Millisecond)
+		t0 = time.Now()
+		if _, err := estimate.Estimate(ds, eb, estimate.Config{}); err != nil {
+			return fmt.Errorf("%s: estimate: %w", name, err)
+		}
+		if again := float64(time.Since(t0)) / float64(time.Millisecond); again < estMillis {
+			estMillis = again
+		}
+
+		t0 = time.Now()
+		tuned, _, err := core.AutoTune(ds, eb, core.TuneConfig{}, core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: tune: %w", name, err)
+		}
+		tuneMillis := float64(time.Since(t0)) / float64(time.Millisecond)
+		blob, err := core.Compress(ds, eb, tuned, core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: compress: %w", name, err)
+		}
+		tunedRatio := float64(ds.Points()*4) / float64(len(blob))
+
+		matched, agree := knobsMatched(res.Pipeline, tuned)
+		f := estimateField{
+			Field:             name,
+			Dims:              ds.Dims,
+			Points:            ds.Points(),
+			TunedPipeline:     tuned.String(),
+			TunedRatio:        tunedRatio,
+			EstimatedPipeline: res.Pipeline.String(),
+			EstimatedRatio:    res.Ratio,
+			Confidence:        res.Confidence,
+			Fallback:          res.Confidence < estimate.DefaultMinConfidence,
+			RatioErrorPct:     100 * absf(res.Ratio-tunedRatio) / tunedRatio,
+			Agreement:         agree,
+			KnobsMatched:      matched,
+			EstimateMillis:    estMillis,
+			TuneMillis:        tuneMillis,
+			Notes:             res.Notes,
+		}
+		sec.Fields = append(sec.Fields, f)
+		errSum += f.RatioErrorPct
+		if agree {
+			agreed++
+		}
+		if f.Fallback {
+			sec.FallbackCount++
+		}
+		if f.EstimateMillis > sec.MaxEstimateMillis {
+			sec.MaxEstimateMillis = f.EstimateMillis
+		}
+		if log != nil {
+			fmt.Fprintf(log, "estimate %-12s ratio %8.2f (tuned %8.2f, err %5.1f%%)  conf %.2f  agree %v (%d/6)  %6.1fms (tune %7.1fms)\n",
+				name, f.EstimatedRatio, f.TunedRatio, f.RatioErrorPct, f.Confidence, f.Agreement, f.KnobsMatched, f.EstimateMillis, f.TuneMillis)
+			if !f.Agreement {
+				fmt.Fprintf(log, "estimate %-12s   est:   %s\n", name, f.EstimatedPipeline)
+				fmt.Fprintf(log, "estimate %-12s   tuned: %s\n", name, f.TunedPipeline)
+			}
+			if os.Getenv("CLIZBENCH_ESTIMATE_NOTES") != "" {
+				for _, n := range res.Notes {
+					fmt.Fprintf(log, "estimate %-12s   note: %s\n", name, n)
+				}
+			}
+		}
+	}
+	if n := len(sec.Fields); n > 0 {
+		sec.AvgRatioErrorPct = errSum / float64(n)
+		sec.AgreementRate = float64(agreed) / float64(n)
+	}
+
+	path := "BENCH_PR.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	report, err := loadPerfReport(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		report = &perfReport{
+			Schema:     "cliz-bench-pr/5",
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			Scale:      scale,
+			UnixMillis: time.Now().UnixMilli(),
+		}
+	}
+	report.Estimate = &sec
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if log != nil {
+		fmt.Fprintf(log, "estimate suite: avg ratio error %.1f%%  agreement %.0f%%  max latency %.1fms  fallbacks %d\n",
+			sec.AvgRatioErrorPct, 100*sec.AgreementRate, sec.MaxEstimateMillis, sec.FallbackCount)
+		fmt.Fprintf(log, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// checkEstimate grades an estimate section against the acceptance gates; it
+// is pure so tests can feed synthetic sections.
+func checkEstimate(sec *estimateReport) []string {
+	var failures []string
+	if sec == nil {
+		return []string{"estimate: BENCH_PR.json has no estimate section — run clizbench -estimate first"}
+	}
+	if len(sec.Fields) == 0 {
+		return []string{"estimate: section has no fields"}
+	}
+	if sec.AvgRatioErrorPct > estimateMaxAvgErrPct {
+		failures = append(failures, fmt.Sprintf(
+			"estimate: avg ratio error %.1f%% exceeds %.0f%%", sec.AvgRatioErrorPct, estimateMaxAvgErrPct))
+	}
+	if sec.MaxEstimateMillis > estimateMaxLatencyMillis {
+		failures = append(failures, fmt.Sprintf(
+			"estimate: max estimator latency %.1fms exceeds %.0fms", sec.MaxEstimateMillis, estimateMaxLatencyMillis))
+	}
+	if sec.AgreementRate < estimateMinAgreement {
+		failures = append(failures, fmt.Sprintf(
+			"estimate: pipeline agreement rate %.0f%% below %.0f%%", 100*sec.AgreementRate, 100*estimateMinAgreement))
+	}
+	return failures
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -38,11 +38,12 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "intra-blob workers for the -perf parallel pass (0 = NumCPU)")
 		check    = fs.Bool("check", false, "grade the -out BENCH_PR.json against -baseline and write BENCH_CHECK.json")
 		baseline = fs.String("baseline", "BENCH_PR.json", "committed baseline report for -check (\"\" skips the delta gates)")
+		est      = fs.Bool("estimate", false, "run the estimator-accuracy suite and merge an estimate section into BENCH_PR.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *perf || *check {
+	if *perf || *check || *est {
 		var log io.Writer
 		if !*quiet {
 			log = os.Stderr
@@ -54,6 +55,11 @@ func run(args []string) error {
 		}
 		if *perf {
 			if err := runPerf(*scale, *reps, *workers, *out, log); err != nil {
+				return err
+			}
+		}
+		if *est {
+			if err := runEstimate(*scale, *out, log); err != nil {
 				return err
 			}
 		}

@@ -80,6 +80,11 @@ type perfReport struct {
 	Reps       int         `json:"reps"`
 	UnixMillis int64       `json:"unix_millis"`
 	Fields     []perfField `json:"fields"`
+	// Estimate is the estimator-accuracy section written by -estimate mode
+	// (see estimate.go). -perf rewrites the document without it, so run
+	// -estimate after (or together with) -perf; -check grades the section
+	// when present.
+	Estimate *estimateReport `json:"estimate,omitempty"`
 }
 
 // perfFields is the standard corpus: an ocean field with a region mask and
@@ -98,7 +103,7 @@ func runPerf(scale float64, reps, workers int, outDir string, log io.Writer) err
 	}
 	const rel = 1e-2
 	report := perfReport{
-		Schema:     "cliz-bench-pr/4",
+		Schema:     "cliz-bench-pr/5",
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Scale:      scale,

@@ -13,12 +13,21 @@ import (
 // Fig. 8). It returns 0 when the data shows no usable periodicity. The
 // sampling and FFT are deterministic for a given dataset.
 func DetectPeriod(ds *dataset.Dataset, sampleRows int) int {
+	return DetectPeriodFull(ds, sampleRows).Period
+}
+
+// DetectPeriodFull is DetectPeriod with the full spectral evidence: the
+// adopted peak's strength and the averaged spectrum ride along for callers
+// that grade confidence (the fast estimator). The returned Period is already
+// gated exactly as DetectPeriod gates it — estimator and tuner share one
+// periodicity breakpoint by construction.
+func DetectPeriodFull(ds *dataset.Dataset, sampleRows int) fft.PeriodResult {
 	if ds.Lead != dataset.LeadTime || len(ds.Dims) < 2 {
-		return 0
+		return fft.PeriodResult{}
 	}
 	nT := ds.Dims[0]
 	if nT < 8 {
-		return 0
+		return fft.PeriodResult{}
 	}
 	plane := 1
 	for _, d := range ds.Dims[1:] {
@@ -46,10 +55,13 @@ func DetectPeriod(ds *dataset.Dataset, sampleRows int) int {
 		rows = append(rows, row)
 	}
 	res := fft.DetectPeriod(rows, 0.7, 5)
-	if res.Period >= 2 && nT >= 2*res.Period {
-		return res.Period
+	if res.Period >= 2 && nT < 2*res.Period {
+		// Fewer than two full cycles: periodic extraction is untestable, so
+		// the tuner never considers this period. Zero it here so every
+		// caller sees the gated value.
+		res.Period = 0
 	}
-	return 0
+	return res
 }
 
 // PeriodicResidual exposes the periodic component extraction for analysis

@@ -36,6 +36,13 @@ type TuneConfig struct {
 	SampleRows int
 }
 
+// LevelAlphas is the level-wise error-bound ladder AutoTune searches after
+// the pipeline search. It is exported so the fast estimator draws its
+// LevelAlpha from the same set — a pipeline knob the estimator can emit but
+// the tuner would never select is a contract violation (see
+// internal/estimate's breakpoint contract test).
+var LevelAlphas = []float64{1, 1.25, 1.5, 1.75, 2}
+
 // Candidate is one tested pipeline with its sample results.
 type Candidate struct {
 	Pipe        Pipeline
@@ -432,7 +439,11 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 	sp.EndFull(0, 0, int64(grid.Volume(refSmp.dims)), nil)
 	if best.Period > 0 {
 		sp = trace.Begin(tcol, "tune/template")
-		best.Template = tuneTemplate(smp, eb, best, opt)
+		// The template is tuned on the refinement sample, not the initial
+		// one: the template section often dominates a periodic blob, and a
+		// sub-pipeline picked on a tiny sample template generalizes badly to
+		// the full field's template (the choice can double the final blob).
+		best.Template = tuneTemplate(refSmp, eb, best, opt)
 		sp.End()
 	}
 	// Level-wise error-bound tuning: coarse interpolation levels anchor all
@@ -443,7 +454,7 @@ func AutoTune(ds *dataset.Dataset, eb float64, tc TuneConfig, opt Options) (Pipe
 	sp = trace.Begin(tcol, "tune/alpha")
 	bestAlpha, alphaRatio := 1.0, -1.0
 	refPoints := grid.Volume(refSmp.dims)
-	for _, alpha := range []float64{1, 1.25, 1.5, 1.75, 2} {
+	for _, alpha := range LevelAlphas {
 		if err := interrupted(opt.Interrupt); err != nil {
 			return Pipeline{}, nil, err
 		}

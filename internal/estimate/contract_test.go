@@ -1,0 +1,196 @@
+package estimate
+
+import (
+	"reflect"
+	"testing"
+
+	"cliz/internal/core"
+	"cliz/internal/grid"
+)
+
+// The breakpoint contract: every pipeline the estimator can emit must be one
+// the full AutoTune search could also select. These tests pin the contract in
+// both directions — the estimator must know every tuner knob (reflection over
+// core.Pipeline), and every slate candidate must live inside
+// core.EnumeratePipelines' space with knob values drawn from the tuner's own
+// ladders. Adding a dimension to the tuner without teaching the estimator
+// fails `go test ./...` here.
+
+// TestDecidedKnobsCoverPipeline reflects over core.Pipeline and fails on any
+// field DecidedKnobs does not list (a tuner knob the estimator never learned)
+// or any listed knob the struct no longer has (a stale entry).
+func TestDecidedKnobsCoverPipeline(t *testing.T) {
+	decided := map[string]bool{}
+	for _, k := range DecidedKnobs() {
+		decided[k] = true
+	}
+	pt := reflect.TypeOf(core.Pipeline{})
+	structFields := map[string]bool{}
+	for i := 0; i < pt.NumField(); i++ {
+		name := pt.Field(i).Name
+		structFields[name] = true
+		if !decided[name] {
+			t.Errorf("core.Pipeline field %q is not in DecidedKnobs() — the tuner gained a dimension the estimator does not decide; teach internal/estimate about it, then add it to the list", name)
+		}
+	}
+	for k := range decided {
+		if !structFields[k] {
+			t.Errorf("DecidedKnobs() lists %q but core.Pipeline has no such field — stale entry", k)
+		}
+	}
+}
+
+// TestProbeAlphasFromTunerLadder pins the probe tournament's level-alpha
+// rungs to the tuner's own ladder: a rung AutoTune would never test must not
+// be probeable.
+func TestProbeAlphasFromTunerLadder(t *testing.T) {
+	ladder := map[float64]bool{}
+	for _, a := range core.LevelAlphas {
+		ladder[a] = true
+	}
+	for _, a := range probeAlphas {
+		if !ladder[a] {
+			t.Errorf("probeAlphas contains %g, which is not in core.LevelAlphas %v", a, core.LevelAlphas)
+		}
+	}
+}
+
+// contractFeatures builds a Features value by hand so the slate test can
+// sweep decision branches without manufacturing datasets that trigger them.
+func contractFeatures(rank int, lin, cub []float64, cv float64, period int, strength, seasonal float64) *Features {
+	f := &Features{
+		Rank:    rank,
+		Points:  1 << 20,
+		Sampled: 1 << 16,
+		Lo:      -1, Hi: 1, Mean: 0, Std: 0.5,
+		MaskDensity: 1,
+		LinBits:     lin,
+		CubBits:     cub,
+		RoughnessCV: cv,
+		Period:      period,
+	}
+	if period > 0 {
+		f.PeriodStrength = strength
+		f.SeasonalLinBits = seasonal
+		f.SeasonalCubBits = seasonal + 0.1
+	}
+	return f
+}
+
+// structurallyIn reports whether pipe's searchable knobs (everything but the
+// post-search LevelAlpha and Template) match some enumerated candidate.
+func structurallyIn(pipe core.Pipeline, space []core.Pipeline) bool {
+	for _, c := range space {
+		if reflect.DeepEqual(pipe.Perm, c.Perm) &&
+			reflect.DeepEqual(pipe.Fusion, c.Fusion) &&
+			pipe.Fitting == c.Fitting &&
+			pipe.Classify == c.Classify &&
+			pipe.UseMask == c.UseMask &&
+			pipe.Period == c.Period {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSlateInsideEnumeration runs the heuristic model across the decision
+// branches (rough/smooth, periodic, masked, rank 3/4, config restrictions)
+// and asserts every nominated candidate is structurally inside
+// core.EnumeratePipelines for the same rank/period/mask, with LevelAlpha from
+// the tuner's ladder and the template left to the full search.
+func TestSlateInsideEnumeration(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       *Features
+		hasMask bool
+		tc      core.TuneConfig
+	}{
+		{"rough 3d", contractFeatures(3, []float64{8, 6, 4}, []float64{9, 7, 5}, 2.0, 0, 0, 0), false, core.TuneConfig{}},
+		{"smooth periodic 3d", contractFeatures(3, []float64{0.9, 0.5, 0.4}, []float64{1.0, 0.6, 0.5}, 0.3, 12, 20, 0.2), false, core.TuneConfig{}},
+		{"weak periodic 3d", contractFeatures(3, []float64{3, 2, 2.5}, []float64{3.1, 2.2, 2.4}, 1.05, 12, 4, 2.5), false, core.TuneConfig{}},
+		{"masked rough 2d", contractFeatures(2, []float64{5, 3}, []float64{6, 4}, 1.5, 0, 0, 0), true, core.TuneConfig{}},
+		{"periodic rank 4", contractFeatures(4, []float64{1.2, 2.0, 1.5, 1.1}, []float64{1.3, 2.1, 1.6, 1.2}, 0.5, 8, 15, 0.4), false, core.TuneConfig{}},
+		{"period disabled", contractFeatures(3, []float64{0.9, 0.5, 0.4}, []float64{1.0, 0.6, 0.5}, 0.3, 12, 20, 0.2), false, core.TuneConfig{DisablePeriod: true}},
+		{"classify disabled", contractFeatures(3, []float64{8, 6, 4}, []float64{9, 7, 5}, 2.0, 0, 0, 0), false, core.TuneConfig{DisableClassify: true}},
+		{"period forced", contractFeatures(3, []float64{4, 3, 2}, []float64{4.5, 3.5, 2.5}, 0.8, 0, 0, 0), false, core.TuneConfig{FixedPeriod: 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := decide(tc.f, tc.hasMask, tc.tc)
+			if len(d.cands) == 0 {
+				t.Fatal("empty slate")
+			}
+			alphas := map[float64]bool{}
+			for _, a := range core.LevelAlphas {
+				alphas[a] = true
+			}
+			for _, c := range d.cands {
+				// The enumeration space depends on the period the slate
+				// actually adopted; pass it through so a candidate with
+				// Period=0 is checked against the period-off rows too.
+				space := core.EnumeratePipelines(tc.f.Rank, c.pipe.Period, tc.hasMask, tc.tc)
+				if !structurallyIn(c.pipe, space) {
+					t.Errorf("candidate %q (%s) is outside EnumeratePipelines(rank=%d, period=%d, mask=%v)",
+						c.pipe.String(), c.why, tc.f.Rank, c.pipe.Period, tc.hasMask)
+				}
+				if !alphas[c.pipe.LevelAlpha] {
+					t.Errorf("candidate %q: LevelAlpha %g not in the tuner ladder %v",
+						c.pipe.String(), c.pipe.LevelAlpha, core.LevelAlphas)
+				}
+				if c.pipe.Template != nil {
+					t.Errorf("candidate %q carries a template sub-pipeline; that knob belongs to the full search", c.pipe.String())
+				}
+				if len(c.pipe.Perm) != tc.f.Rank {
+					t.Errorf("candidate %q: perm rank %d != %d", c.pipe.String(), len(c.pipe.Perm), tc.f.Rank)
+				}
+				if tc.tc.DisablePeriod && c.pipe.Period != 0 {
+					t.Errorf("candidate %q uses a period with DisablePeriod set", c.pipe.String())
+				}
+				if tc.tc.DisableClassify && c.pipe.Classify {
+					t.Errorf("candidate %q classifies with DisableClassify set", c.pipe.String())
+				}
+				if c.pipe.UseMask != tc.hasMask {
+					t.Errorf("candidate %q: UseMask %v, dataset mask %v", c.pipe.String(), c.pipe.UseMask, tc.hasMask)
+				}
+			}
+			// No duplicate probes: the tournament budget is real money.
+			seen := map[string]bool{}
+			for _, c := range d.cands {
+				if seen[c.pipe.String()] {
+					t.Errorf("duplicate slate entry %q", c.pipe.String())
+				}
+				seen[c.pipe.String()] = true
+			}
+		})
+	}
+}
+
+// TestSlatePermsAreValid checks every slate perm is a true permutation and
+// every fusion is a valid composition of the rank (grid would panic later
+// otherwise; failing here names the candidate).
+func TestSlatePermsAreValid(t *testing.T) {
+	f := contractFeatures(3, []float64{0.9, 0.5, 0.4}, []float64{1.0, 0.6, 0.5}, 0.3, 12, 20, 0.2)
+	d := decide(f, false, core.TuneConfig{})
+	for _, c := range d.cands {
+		used := make([]bool, f.Rank)
+		for _, ax := range c.pipe.Perm {
+			if ax < 0 || ax >= f.Rank || used[ax] {
+				t.Fatalf("candidate %q: invalid perm %v", c.pipe.String(), c.pipe.Perm)
+			}
+			used[ax] = true
+		}
+		sum := 0
+		for _, g := range c.pipe.Fusion.Groups {
+			if g < 1 {
+				t.Fatalf("candidate %q: invalid fusion %v", c.pipe.String(), c.pipe.Fusion)
+			}
+			sum += g
+		}
+		if sum != f.Rank {
+			t.Fatalf("candidate %q: fusion %v does not cover rank %d", c.pipe.String(), c.pipe.Fusion, f.Rank)
+		}
+		if grid.PermString(c.pipe.Perm) == "" {
+			t.Fatalf("candidate %q: unprintable perm", c.pipe.String())
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package estimate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+)
+
+// estBound resolves the suite's relative bound against a dataset's value
+// range, mirroring how the public API hands the estimator an absolute bound.
+func estBound(t *testing.T, ds *dataset.Dataset, rel float64) float64 {
+	t.Helper()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ds.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, f), math.Max(hi, f)
+	}
+	if !(hi > lo) {
+		t.Fatal("degenerate value range")
+	}
+	return rel * (hi - lo)
+}
+
+func genField(t *testing.T, name string, scale float64) *dataset.Dataset {
+	t.Helper()
+	ds, err := datagen.ByName(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestEstimateShape checks the basic Result contract on a real field: a
+// well-formed pipeline, a sane ratio, clamped confidence, and non-empty
+// notes (the transparency contract — every decision must be explainable).
+func TestEstimateShape(t *testing.T) {
+	ds := genField(t, "SSH", 0.1)
+	res, err := Estimate(ds, estBound(t, ds, 1e-2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio <= 1 {
+		t.Errorf("predicted ratio %.2f, want > 1 for a compressible field", res.Ratio)
+	}
+	if res.Confidence < 0 || res.Confidence > 1 {
+		t.Errorf("confidence %.2f outside [0, 1]", res.Confidence)
+	}
+	if len(res.Notes) == 0 {
+		t.Error("no notes: the estimate is not explainable")
+	}
+	if len(res.Pipeline.Perm) != len(ds.Dims) {
+		t.Errorf("pipeline perm rank %d != dataset rank %d", len(res.Pipeline.Perm), len(ds.Dims))
+	}
+	if res.Elapsed <= 0 {
+		t.Error("zero elapsed time")
+	}
+	if res.Features.Points != len(ds.Data) {
+		t.Errorf("features saw %d points, dataset has %d", res.Features.Points, len(ds.Data))
+	}
+}
+
+// TestEstimateDeterministic runs the estimator twice on identical input and
+// requires bit-identical output — the probes are sized by fixed budgets, not
+// wall-clock, precisely so two runs cannot disagree.
+func TestEstimateDeterministic(t *testing.T) {
+	for _, name := range []string{"SSH", "CESM-T"} {
+		ds := genField(t, name, 0.1)
+		eb := estBound(t, ds, 1e-2)
+		a, err := Estimate(ds, eb, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Estimate(ds, eb, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Pipeline.String() != b.Pipeline.String() {
+			t.Errorf("%s: pipeline flipped between runs: %q vs %q", name, a.Pipeline.String(), b.Pipeline.String())
+		}
+		if a.Ratio != b.Ratio {
+			t.Errorf("%s: ratio flipped between runs: %g vs %g", name, a.Ratio, b.Ratio)
+		}
+		if a.Confidence != b.Confidence {
+			t.Errorf("%s: confidence flipped between runs: %g vs %g", name, a.Confidence, b.Confidence)
+		}
+	}
+}
+
+// TestEstimateHonorsTuneConfig: the search-space restrictions AutoTune
+// honors must restrict the estimate identically.
+func TestEstimateHonorsTuneConfig(t *testing.T) {
+	ds := genField(t, "CESM-T", 0.1) // strongly periodic
+	eb := estBound(t, ds, 1e-2)
+
+	res, err := Estimate(ds, eb, Config{Tune: core.TuneConfig{DisablePeriod: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Period != 0 {
+		t.Errorf("DisablePeriod: pipeline still periodic (period %d)", res.Pipeline.Period)
+	}
+
+	res, err = Estimate(ds, eb, Config{Tune: core.TuneConfig{DisableClassify: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Classify {
+		t.Error("DisableClassify: pipeline still classifies")
+	}
+}
+
+// TestEstimateMaskPropagates: a masked dataset must estimate a masked
+// pipeline (UseMask is the user's call, never the estimator's to undo).
+func TestEstimateMaskPropagates(t *testing.T) {
+	ds := genField(t, "SSH", 0.1)
+	if ds.Mask == nil {
+		t.Fatal("SSH field lost its land mask")
+	}
+	res, err := Estimate(ds, estBound(t, ds, 1e-2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pipeline.UseMask {
+		t.Error("masked dataset estimated an unmasked pipeline")
+	}
+}
+
+// TestEstimateTinyDataLowConfidence: a dataset under the tinyPoints floor
+// must pay the penalty, pushing the result toward the full-search fallback.
+func TestEstimateTinyDataLowConfidence(t *testing.T) {
+	dims := []int{8, 16, 16} // 2048 < tinyPoints
+	data := make([]float32, 8*16*16)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	ds := &dataset.Dataset{Name: "tiny", Data: data, Dims: dims}
+	res, err := Estimate(ds, 1e-3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence > 1-penTinyData {
+		t.Errorf("confidence %.2f on %d points; want at least the %.2f tiny-data penalty applied",
+			res.Confidence, len(data), penTinyData)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "points") && strings.Contains(n, "noisy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tiny-data penalty not explained in notes: %v", res.Notes)
+	}
+}
+
+// TestEstimateNonFiniteSurvives: NaN-bearing data must degrade confidence,
+// not crash the feature pass or the probes.
+func TestEstimateNonFiniteSurvives(t *testing.T) {
+	ds := genField(t, "Tsfc", 0.1)
+	data := append([]float32(nil), ds.Data...)
+	for i := 0; i < len(data); i += 37 { // ~2.7% NaN
+		data[i] = float32(math.NaN())
+	}
+	nds := *ds
+	nds.Data = data
+	res, err := Estimate(&nds, estBound(t, ds, 1e-2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Estimate(ds, estBound(t, ds, 1e-2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence >= clean.Confidence {
+		t.Errorf("NaN-ridden confidence %.2f not below clean %.2f", res.Confidence, clean.Confidence)
+	}
+}

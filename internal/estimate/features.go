@@ -1,0 +1,358 @@
+// Package estimate predicts the winning compression pipeline and the
+// expected compression ratio from cheap, measurable data characteristics —
+// without running the full sampling tuner. AutoTune evaluates O(100)
+// candidate compressions per dataset family; this package answers the same
+// question in tens of milliseconds from a strided feature pass plus at most
+// three tiny probe compressions, with a confidence score that routes
+// low-confidence fields back to the full tuner.
+//
+// The critical rule (see DESIGN.md §12): every decision breakpoint here must
+// track the tuner's breakpoints. The estimator draws its period from
+// core.DetectPeriodFull (the tuner's own detector), its LevelAlpha from
+// core.LevelAlphas (the tuner's own ladder), and emits only pipelines the
+// tuner's EnumeratePipelines would itself consider — enforced by
+// contract_test.go, which fails `go test ./...` when a tuner knob is added
+// without teaching the estimator.
+package estimate
+
+import (
+	"math"
+
+	"cliz/internal/dataset"
+	"cliz/internal/grid"
+)
+
+// sampleBudget bounds the points touched by each feature pass, keeping
+// extraction cost independent of dataset size.
+const sampleBudget = 1 << 16
+
+// Features are the cheap measurements the heuristic model consumes. All of
+// them come from strided samples, one FFT-based period probe, and per-axis
+// line walks — no candidate compression is needed to fill this struct.
+type Features struct {
+	// Rank and Points describe the grid.
+	Rank   int
+	Points int
+	// Sampled counts the points the global statistics pass touched.
+	Sampled int
+	// Lo and Hi are the finite value range over sampled valid points.
+	Lo, Hi float64
+	// Mean and Std are the sampled moments over finite valid points.
+	Mean, Std float64
+	// NonFinite counts NaN/±Inf values found at valid points — data the
+	// statistics (and the codec's bound resolution) cannot trust.
+	NonFinite int
+	// MaskDensity is the valid fraction of the horizontal grid (1 when the
+	// dataset has no mask).
+	MaskDensity float64
+	// Smooth is the per-axis mean |first difference| normalized by the
+	// value range — the paper's "diverse smoothness of dimensions" made
+	// measurable (compare Fig. 4's 4.425 along height vs 0.053 along lat).
+	Smooth []float64
+	// LinBits and CubBits are the per-axis level-weighted entropies (bits
+	// per point) of the quantized linear- and cubic-interpolation residuals
+	// — a direct, cheap proxy for what each fitting arm would pay on the
+	// quantization-bin stream if that axis carried the prediction.
+	LinBits []float64
+	CubBits []float64
+	// RoughnessCV is the coefficient of variation of per-line roughness
+	// along the innermost axis: high values mean bin statistics are
+	// spatially locked (the paper's topography correlation, Fig. 5), which
+	// is when classification pays.
+	RoughnessCV float64
+	// Period and PeriodStrength come from the tuner's own detector
+	// (core.DetectPeriodFull): Period is already gated exactly as AutoTune
+	// gates it, Strength is the adopted peak over the mean spectrum.
+	Period         int
+	PeriodStrength float64
+	// SeasonalLinBits / SeasonalCubBits mirror LinBits/CubBits for axis 0
+	// after lag-Period differencing (only filled when Period > 0): the
+	// residual entropy the time axis would carry once the periodic
+	// component is extracted.
+	SeasonalLinBits float64
+	SeasonalCubBits float64
+}
+
+// validAt reports whether flat index idx is a valid point under the
+// dataset's horizontal mask (O(1): the mask broadcasts over leading dims).
+func validAt(ds *dataset.Dataset, plane, idx int) bool {
+	if ds.Mask == nil {
+		return true
+	}
+	return ds.Mask.Regions[idx%plane] != 0
+}
+
+// horizontalPlane returns the broadcast plane size of the mask (lat·lon),
+// or 1 when the dataset is unmasked (the modulo is then never used).
+func horizontalPlane(ds *dataset.Dataset) int {
+	if ds.Mask == nil {
+		return 1
+	}
+	return ds.Mask.NLat * ds.Mask.NLon
+}
+
+// globalStats fills the range/moment/mask features with one strided pass.
+func globalStats(ds *dataset.Dataset, f *Features) {
+	n := len(ds.Data)
+	stride := n / sampleBudget
+	if stride < 1 {
+		stride = 1
+	}
+	plane := horizontalPlane(ds)
+	var lo, hi float64
+	var sum, sum2 float64
+	cnt := 0
+	first := true
+	for i := 0; i < n; i += stride {
+		if !validAt(ds, plane, i) {
+			continue
+		}
+		f.Sampled++
+		v := float64(ds.Data[i])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			f.NonFinite++
+			continue
+		}
+		if first {
+			lo, hi, first = v, v, false
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+		sum2 += v * v
+		cnt++
+	}
+	if cnt == 0 {
+		return
+	}
+	f.Lo, f.Hi = lo, hi
+	f.Mean = sum / float64(cnt)
+	variance := sum2/float64(cnt) - f.Mean*f.Mean
+	if variance > 0 {
+		f.Std = math.Sqrt(variance)
+	}
+	if ds.Mask != nil {
+		f.MaskDensity = float64(ds.Mask.ValidCount()) / float64(plane)
+	} else {
+		f.MaskDensity = 1
+	}
+}
+
+// residualHist is a clamped histogram of quantized residuals. The clamp only
+// coarsens the far tail, which carries almost no probability mass in the
+// entropy sum.
+type residualHist struct {
+	bins [4097]int
+	n    int
+}
+
+func (h *residualHist) add(r, q float64) {
+	k := int(math.Round(r / q))
+	if k > 2048 {
+		k = 2048
+	} else if k < -2048 {
+		k = -2048
+	}
+	h.bins[k+2048]++
+	h.n++
+}
+
+// entropy returns the Shannon entropy of the histogram in bits per symbol.
+func (h *residualHist) entropy() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	inv := 1 / float64(h.n)
+	e := 0.0
+	for _, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) * inv
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// axisStats accumulates the per-axis features over sampled lines. Residual
+// entropies are measured at strides 1, 2 and 4 — the three finest
+// interpolation levels — and folded with the level populations (1/2, 1/4,
+// the rest) into one level-weighted bits-per-point figure per fitting arm.
+type axisStats struct {
+	sumAbsD   float64
+	pairs     int
+	lin, cub  [3]residualHist // stride 1, 2, 4
+	lineMeans []float64       // per-line mean |Δ|, for RoughnessCV
+}
+
+var levelStrides = [3]int{1, 2, 4}
+
+// weightedBits folds the per-stride entropies with the interpolation level
+// populations: half the points are predicted at the finest level, a quarter
+// at the next, and the remaining quarter is approximated by the stride-4
+// figure (coarser levels are few and noisier, and their residuals only
+// grow, so this is a mild underestimate absorbed by the probe calibration).
+func weightedBits(h *[3]residualHist) float64 {
+	return 0.5*h[0].entropy() + 0.25*h[1].entropy() + 0.25*h[2].entropy()
+}
+
+// scanLine folds one line of values (with per-point validity; valid may be
+// nil) into the axis accumulator. q is the quantization step (2·eb).
+func (a *axisStats) scanLine(line []float64, valid []bool, q float64) {
+	ok := func(i int) bool {
+		if i < 0 || i >= len(line) {
+			return false
+		}
+		if valid != nil && !valid[i] {
+			return false
+		}
+		return !math.IsNaN(line[i]) && !math.IsInf(line[i], 0)
+	}
+	var lineSum float64
+	linePairs := 0
+	for i := 1; i < len(line); i++ {
+		if ok(i) && ok(i-1) {
+			d := math.Abs(line[i] - line[i-1])
+			a.sumAbsD += d
+			lineSum += d
+			a.pairs++
+			linePairs++
+		}
+	}
+	if linePairs > 0 {
+		a.lineMeans = append(a.lineMeans, lineSum/float64(linePairs))
+	}
+	for si, s := range levelStrides {
+		for i := s; i+s < len(line); i += 2 * s {
+			if !ok(i) || !ok(i-s) || !ok(i+s) {
+				continue
+			}
+			linPred := (line[i-s] + line[i+s]) / 2
+			a.lin[si].add(line[i]-linPred, q)
+			if ok(i-3*s) && ok(i+3*s) {
+				cubPred := (-line[i-3*s] + 9*line[i-s] + 9*line[i+s] - line[i+3*s]) / 16
+				a.cub[si].add(line[i]-cubPred, q)
+			} else {
+				// Border points fall back to the linear formula in the
+				// kernel too; charge the linear residual so short axes do
+				// not spuriously flatter cubic fitting.
+				a.cub[si].add(line[i]-linPred, q)
+			}
+		}
+	}
+}
+
+// axisFeatures walks sampled lines along every axis, filling Smooth,
+// LinBits, CubBits and RoughnessCV, plus the seasonal variants for axis 0
+// when a period is known.
+func axisFeatures(ds *dataset.Dataset, eb float64, period int, f *Features) {
+	dims := ds.Dims
+	rank := len(dims)
+	plane := horizontalPlane(ds)
+	rng := f.Hi - f.Lo
+	q := 2 * eb
+	if q <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		q = 1
+	}
+	f.Smooth = make([]float64, rank)
+	f.LinBits = make([]float64, rank)
+	f.CubBits = make([]float64, rank)
+	line := make([]float64, 0, 4096)
+	lineValid := make([]bool, 0, 4096)
+	var seasonal axisStats
+	for d := 0; d < rank; d++ {
+		step := 1
+		for i := d + 1; i < rank; i++ {
+			step *= dims[i]
+		}
+		nLines := len(ds.Data) / dims[d]
+		wantLines := sampleBudget / dims[d]
+		if wantLines < 1 {
+			wantLines = 1
+		}
+		lineStride := nLines / wantLines
+		if lineStride < 1 {
+			lineStride = 1
+		}
+		var ax axisStats
+		for l := 0; l < nLines; l += lineStride {
+			// Line l along axis d starts at offset o·(dims[d]·step) + s,
+			// where l = o·step + s.
+			o, s := l/step, l%step
+			base := o*dims[d]*step + s
+			line = line[:0]
+			lineValid = lineValid[:0]
+			for j := 0; j < dims[d]; j++ {
+				idx := base + j*step
+				line = append(line, float64(ds.Data[idx]))
+				lineValid = append(lineValid, validAt(ds, plane, idx))
+			}
+			ax.scanLine(line, lineValid, q)
+			if d == 0 && period > 0 && dims[0] >= 2*period {
+				// Deseasonalized time line: lag-period differences halve the
+				// seasonal swing into the residual the periodic path encodes.
+				sl := make([]float64, 0, len(line)-period)
+				sv := make([]bool, 0, len(line)-period)
+				for j := period; j < len(line); j++ {
+					sl = append(sl, line[j]-line[j-period])
+					sv = append(sv, lineValid[j] && lineValid[j-period])
+				}
+				seasonal.scanLine(sl, sv, q)
+			}
+		}
+		if ax.pairs > 0 && rng > 0 {
+			f.Smooth[d] = ax.sumAbsD / float64(ax.pairs) / rng
+		}
+		f.LinBits[d] = weightedBits(&ax.lin)
+		f.CubBits[d] = weightedBits(&ax.cub)
+		if d == rank-1 {
+			f.RoughnessCV = coefficientOfVariation(ax.lineMeans)
+		}
+	}
+	if seasonal.pairs > 0 {
+		f.SeasonalLinBits = weightedBits(&seasonal.lin)
+		f.SeasonalCubBits = weightedBits(&seasonal.cub)
+	}
+}
+
+// coefficientOfVariation is std/mean over xs (0 for degenerate input).
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return 0
+	}
+	var sq float64
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(sq/float64(len(xs))) / mean
+}
+
+// Extract measures the full feature set for a dataset under an absolute
+// error bound. It is the cheap half of estimation: strided passes bounded by
+// sampleBudget per statistic plus one FFT period probe — no compression runs.
+func Extract(ds *dataset.Dataset, eb float64) (Features, error) {
+	if err := ds.Validate(); err != nil {
+		return Features{}, err
+	}
+	f := Features{Rank: len(ds.Dims), Points: grid.Volume(ds.Dims)}
+	globalStats(ds, &f)
+	if ds.Periodic {
+		res := detectPeriod(ds)
+		f.Period = res.Period
+		f.PeriodStrength = res.Strength
+	}
+	axisFeatures(ds, eb, f.Period, &f)
+	return f, nil
+}

@@ -34,7 +34,10 @@ func Signature(meta FieldMeta, data []float32) string {
 	first := true
 	for i := 0; i < len(data); i += stride {
 		v := data[i]
-		if v != v { // NaN never equals itself
+		// Skip every non-finite value, not just NaN: a single ±Inf sample
+		// poisons lo/hi and the running sums, degenerating the fingerprint
+		// to "rng=+Inf" and merging unrelated families under one key.
+		if v != v || math.IsInf(float64(v), 0) {
 			continue
 		}
 		if first {

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -180,5 +182,63 @@ func TestSignatureFamilies(t *testing.T) {
 	}
 	if Signature(meta, scaled) == base {
 		t.Error("1000x-scaled data shares a key")
+	}
+}
+
+// TestSignatureNonFinite pins the fingerprint against NaN and ±Inf samples.
+// The regression: Signature skipped NaN but admitted Inf, so a single Inf
+// sample degenerated the range to +Inf and merged unrelated families under
+// one key. Non-finite values must be invisible to the fingerprint, and data
+// with nothing finite must key as "empty", never as garbage stats.
+func TestSignatureNonFinite(t *testing.T) {
+	meta := FieldMeta{Dims: []int{16, 8, 8}, Bound: cliz.Rel(1e-3),
+		Lead: cliz.LeadTime, Volume: 1024}
+	mk := func(f func(i int) float32) []float32 {
+		data := make([]float32, 1024)
+		for i := range data {
+			data[i] = f(i)
+		}
+		return data
+	}
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	small := mk(func(i int) float32 { return float32(i % 97) })
+	big := mk(func(i int) float32 { return float32(i%97) * 1e6 })
+
+	poison := func(data []float32, v float32) []float32 {
+		out := append([]float32(nil), data...)
+		out[3], out[700] = v, -v
+		return out
+	}
+
+	cases := []struct {
+		name string
+		a, b []float32
+		same bool
+	}{
+		{"Inf samples do not change the family", small, poison(small, inf), true},
+		{"NaN samples do not change the family", small, poison(small, nan), true},
+		{"Inf-bearing families of different scale stay split", poison(small, inf), poison(big, inf), false},
+		{"all-NaN and all-Inf collapse to the same empty key", mk(func(int) float32 { return nan }), mk(func(int) float32 { return inf }), true},
+		{"all-NaN differs from finite data", mk(func(int) float32 { return nan }), small, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := Signature(meta, tc.a), Signature(meta, tc.b)
+			if (ka == kb) != tc.same {
+				t.Errorf("keys:\n%s\n%s\nsame=%v, want %v", ka, kb, ka == kb, tc.same)
+			}
+		})
+	}
+
+	// No key may ever carry a non-finite statistic.
+	for _, data := range [][]float32{poison(small, inf), poison(small, nan),
+		mk(func(int) float32 { return inf }), mk(func(int) float32 { return nan })} {
+		if key := Signature(meta, data); strings.Contains(key, "Inf") || strings.Contains(key, "NaN") {
+			t.Errorf("non-finite statistic leaked into the key: %s", key)
+		}
+	}
+	if key := Signature(meta, mk(func(int) float32 { return nan })); !strings.Contains(key, "stats=empty") {
+		t.Errorf("all-NaN data should key as empty, got %s", key)
 	}
 }

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cliz"
+)
+
+// TestTuneEstimateMode is the end-to-end check of the estimate=1 path: a
+// cold /v1/tune?estimate=1 must answer from the fast estimator (no candidate
+// search), announce the decision in the X-Cliz-Tune-Mode header and the JSON
+// body, land in the pipeline cache, and show up in the /metrics mode
+// counters.
+func TestTuneEstimateMode(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, body, dims := testField(t)
+	q := "?dims=" + dims + "&rel=1e-2&lead=time&periodic=1&estimate=1"
+
+	var first tuneResponse
+	resp := post(t, ts.URL+"/v1/tune"+q, body)
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold estimate tune: code %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cliz-Tune-Mode"); got != "estimate" {
+		t.Fatalf("X-Cliz-Tune-Mode = %q, want estimate (body %+v)", got, first)
+	}
+	if first.Mode != "estimate" || first.Cache != "miss" {
+		t.Fatalf("cold estimate tune: mode %q cache %q, want estimate/miss", first.Mode, first.Cache)
+	}
+	// The whole point: the full candidate search did not run.
+	if first.PipelinesTested != 0 {
+		t.Errorf("estimate mode tested %d pipelines; the search should have been skipped", first.PipelinesTested)
+	}
+	if first.Confidence < cliz.MinEstimateConfidence {
+		t.Errorf("estimate answered below the confidence floor: %.2f", first.Confidence)
+	}
+	if first.Pipeline == "" || first.EstimatedRatio <= 1 {
+		t.Errorf("empty estimate: %+v", first)
+	}
+
+	// The estimate landed in the cache: the rerun answers as a hit.
+	var second tuneResponse
+	resp = post(t, ts.URL+"/v1/tune"+q, body)
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cliz-Tune-Mode"); got != "cache" {
+		t.Errorf("second tune X-Cliz-Tune-Mode = %q, want cache", got)
+	}
+	if second.Mode != "cache" || second.Pipeline != first.Pipeline {
+		t.Errorf("second tune: mode %q pipeline %q, want cache/%q", second.Mode, second.Pipeline, first.Pipeline)
+	}
+
+	// A plain tune of a different family still runs the search.
+	var searched tuneResponse
+	resp = post(t, ts.URL+"/v1/tune?dims="+dims+"&rel=1e-3&lead=time&periodic=1", body)
+	if err := json.NewDecoder(resp.Body).Decode(&searched); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if searched.Mode != "search" || searched.PipelinesTested == 0 {
+		t.Errorf("plain tune: mode %q tested %d, want search with a real candidate count",
+			searched.Mode, searched.PipelinesTested)
+	}
+
+	// All three decisions are visible in /metrics.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mr.Body))
+	mr.Body.Close()
+	for _, want := range []string{
+		`cliz_tune_estimate_total{mode="estimate"} 1`,
+		`cliz_tune_estimate_total{mode="cache"} 1`,
+		`cliz_tune_estimate_total{mode="search"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in:\n%s", want, grepLines(metrics, "tune_estimate"))
+		}
+	}
+}
+
+// TestCompressEstimateMode checks the tuned-compress path carries the same
+// decision: tune=1&estimate=1 answers from the estimator and says so.
+func TestCompressEstimateMode(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, body, dims := testField(t)
+
+	resp := post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-2&lead=time&periodic=1&tune=1&estimate=1", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cliz-Tune-Mode"); got != "estimate" {
+		t.Errorf("X-Cliz-Tune-Mode = %q, want estimate", got)
+	}
+	if got := resp.Header.Get("X-Cliz-Cache"); got != "miss" {
+		t.Errorf("X-Cliz-Cache = %q, want miss", got)
+	}
+
+	// Untuned compress carries no tune-mode header at all.
+	resp = post(t, ts.URL+"/v1/compress?dims="+dims+"&rel=1e-2&lead=time&periodic=1", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cliz-Tune-Mode"); got != "" {
+		t.Errorf("untuned compress set X-Cliz-Tune-Mode = %q", got)
+	}
+}
+
+// TestAcquireFailureStatus pins the admission-control status accounting:
+// a full queue is a 429 (rejected counter, Retry-After), but a caller that
+// gave up while queued is a 499 — and the metrics must record the status
+// actually written, not 429 for both.
+func TestAcquireFailureStatus(t *testing.T) {
+	s, err := NewServer(Config{Workers: 1, Queue: 1, RequestTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the worker slot and the single queue slot.
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		rel, err := s.acquire(waiterCtx)
+		if rel != nil {
+			rel()
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return s.QueueDepth() == 2 })
+
+	h := s.heavy("compress", func(http.ResponseWriter, *http.Request) {
+		t.Error("handler ran on a saturated server")
+	})
+
+	// Branch 1: queue full -> 429 with Retry-After, counted as rejected.
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/v1/compress", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated: code %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Branch 2: client gave up while queued -> the status written is 499,
+	// not 429, and the rejected counter does not move.
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/v1/compress", nil).WithContext(canceled))
+	if rec.Code != 499 {
+		t.Fatalf("canceled while queued: code %d, want 499", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("499 must not carry Retry-After")
+	}
+	release()
+
+	// The metrics recorded each failure under the status actually written.
+	mrec := httptest.NewRecorder()
+	s.handleMetrics(mrec, httptest.NewRequest("GET", "/metrics", nil))
+	metrics := mrec.Body.String()
+	for _, want := range []string{
+		`cliz_requests_total{endpoint="compress",code="429"} 1`,
+		`cliz_requests_total{endpoint="compress",code="499"} 1`,
+		`cliz_rejected_total{endpoint="compress"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in:\n%s", want, grepLines(metrics, "compress"))
+		}
+	}
+	if strings.Contains(metrics, `cliz_requests_total{endpoint="compress",code="429"} 2`) {
+		t.Error("cancellation was miscounted as a 429 rejection")
+	}
+}

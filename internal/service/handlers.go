@@ -21,22 +21,40 @@ func codecErrorStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
+// tuneMode labels how a pipeline request was answered: "cache" for an LRU
+// hit, otherwise the TuneReport's mode ("estimate" when the fast estimator
+// answered, "search" when the full AutoTune ran). The cache acts as the
+// estimate pre-filter: a hit skips even the estimator's probes.
+func tuneMode(hit bool, rep *cliz.TuneReport) string {
+	if hit {
+		return "cache"
+	}
+	if rep != nil && rep.Mode != "" {
+		return rep.Mode
+	}
+	return "search"
+}
+
 // tunedPipeline resolves the pipeline for a request: nil (codec default)
-// unless tune=1, in which case the LRU cache answers — running AutoTune at
-// most once per dataset family — and reports whether it hit.
-func (s *Server) tunedPipeline(ctx context.Context, meta FieldMeta, data []float32) (*cliz.Pipeline, bool, error) {
+// unless tune=1, in which case the LRU cache answers — running AutoTune (or,
+// with estimate=1, the fast estimator) at most once per dataset family — and
+// reports how the pipeline was decided ("cache", "estimate" or "search").
+func (s *Server) tunedPipeline(ctx context.Context, meta FieldMeta, data []float32) (*cliz.Pipeline, string, error) {
 	if !meta.Tune {
-		return nil, false, nil
+		return nil, "", nil
 	}
 	key := Signature(meta, data)
 	res, hit, err := s.cache.Get(ctx, key, func() (cliz.Pipeline, *cliz.TuneReport, error) {
-		return cliz.AutoTune(dataset(meta, data), meta.Bound, &cliz.TuneOptions{Context: ctx})
+		return cliz.AutoTune(dataset(meta, data), meta.Bound,
+			&cliz.TuneOptions{Context: ctx, EstimateFirst: meta.Estimate})
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, "", err
 	}
+	mode := tuneMode(hit, &res.report)
+	s.metrics.tuneDecided(mode)
 	pipe := res.pipe
-	return &pipe, hit, nil
+	return &pipe, mode, nil
 }
 
 // dataset assembles the cliz.Dataset a request describes.
@@ -64,7 +82,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pipe, cacheHit, err := s.tunedPipeline(r.Context(), meta, data)
+	pipe, mode, err := s.tunedPipeline(r.Context(), meta, data)
 	if err != nil {
 		writeError(w, codecErrorStatus(err), err)
 		return
@@ -94,7 +112,10 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Cliz-Ratio", fmt.Sprintf("%.3f", info.Ratio))
 	w.Header().Set("X-Cliz-Bit-Rate", fmt.Sprintf("%.4f", info.BitRate))
 	w.Header().Set("X-Cliz-Pipeline", info.Pipeline)
-	w.Header().Set("X-Cliz-Cache", cacheLabel(meta.Tune, cacheHit))
+	w.Header().Set("X-Cliz-Cache", cacheLabel(meta.Tune, mode == "cache"))
+	if mode != "" {
+		w.Header().Set("X-Cliz-Tune-Mode", mode)
+	}
 	_, _ = w.Write(blob)
 }
 
@@ -162,14 +183,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 type tuneResponse struct {
 	Pipeline        string  `json:"pipeline"`
 	Cache           string  `json:"cache"`
+	Mode            string  `json:"mode"`
 	Period          int     `json:"period"`
 	PipelinesTested int     `json:"pipelinesTested"`
 	EstimatedRatio  float64 `json:"estimatedRatio"`
+	Confidence      float64 `json:"confidence,omitempty"`
 }
 
 // handleTune implements POST /v1/tune: raw floats in, the tuned pipeline
 // (and its cache disposition) out. Concurrent tunes of the same family
-// collapse to one AutoTune via the cache's singleflight.
+// collapse to one AutoTune via the cache's singleflight. With estimate=1 the
+// fast estimator answers when confident (mode "estimate" in the body and the
+// X-Cliz-Tune-Mode header), skipping the full candidate search; low
+// confidence falls back to the search transparently (mode "search").
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	meta, err := ParseFieldQuery(r)
 	if err != nil {
@@ -184,17 +210,23 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	meta.Tune = true
 	key := Signature(meta, data)
 	res, hit, err := s.cache.Get(r.Context(), key, func() (cliz.Pipeline, *cliz.TuneReport, error) {
-		return cliz.AutoTune(dataset(meta, data), meta.Bound, &cliz.TuneOptions{Context: r.Context()})
+		return cliz.AutoTune(dataset(meta, data), meta.Bound,
+			&cliz.TuneOptions{Context: r.Context(), EstimateFirst: meta.Estimate})
 	})
 	if err != nil {
 		writeError(w, codecErrorStatus(err), err)
 		return
 	}
+	mode := tuneMode(hit, &res.report)
+	s.metrics.tuneDecided(mode)
+	w.Header().Set("X-Cliz-Tune-Mode", mode)
 	writeJSON(w, tuneResponse{
 		Pipeline:        res.pipe.String(),
 		Cache:           cacheLabel(true, hit),
+		Mode:            mode,
 		Period:          res.report.Period,
 		PipelinesTested: res.report.PipelinesTested,
 		EstimatedRatio:  res.report.EstimatedRatio,
+		Confidence:      res.report.Confidence,
 	})
 }

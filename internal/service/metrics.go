@@ -35,13 +35,18 @@ type endpointStats struct {
 }
 
 type registry struct {
-	mu    sync.Mutex
-	start time.Time
-	byEP  map[string]*endpointStats
+	mu        sync.Mutex
+	start     time.Time
+	byEP      map[string]*endpointStats
+	tuneModes map[string]int64 // pipeline decisions by mode: cache / estimate / search
 }
 
 func newRegistry() *registry {
-	return &registry{start: time.Now(), byEP: make(map[string]*endpointStats)}
+	return &registry{
+		start:     time.Now(),
+		byEP:      make(map[string]*endpointStats),
+		tuneModes: make(map[string]int64),
+	}
 }
 
 func (r *registry) endpoint(name string) *endpointStats {
@@ -70,6 +75,16 @@ func (r *registry) observe(endpoint string, code int, d time.Duration, in, out i
 	if out > 0 {
 		ep.bytesOut += out
 	}
+}
+
+// tuneDecided counts one resolved pipeline decision by how it was answered:
+// "cache" (LRU hit), "estimate" (fast estimator was confident) or "search"
+// (full AutoTune ran). Together the three expose how often the estimator
+// actually saves a search.
+func (r *registry) tuneDecided(mode string) {
+	r.mu.Lock()
+	r.tuneModes[mode]++
+	r.mu.Unlock()
 }
 
 // rejected counts one admission-control 429.
@@ -175,6 +190,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			rows = append(rows, stageRow{ep: name, st: st})
 		}
 	}
+	modes := make([]string, 0, len(r.tuneModes))
+	for m := range r.tuneModes {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	modeCounts := make([]int64, len(modes))
+	for i, m := range modes {
+		modeCounts[i] = r.tuneModes[m]
+	}
 	r.mu.Unlock()
 	for _, row := range rows {
 		fmt.Fprintf(w, "cliz_stage_seconds_total{endpoint=%q,stage=%q} %.6f\n",
@@ -191,6 +215,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprintf(w, "cliz_stage_records_total{endpoint=%q,stage=%q} %.0f\n",
 			row.ep, row.st.Name, records)
+	}
+
+	fmt.Fprintf(w, "# HELP cliz_tune_estimate_total Pipeline decisions by mode: cache hit, fast estimate, or full search.\n")
+	fmt.Fprintf(w, "# TYPE cliz_tune_estimate_total counter\n")
+	for i, m := range modes {
+		fmt.Fprintf(w, "cliz_tune_estimate_total{mode=%q} %d\n", m, modeCounts[i])
 	}
 
 	fmt.Fprintf(w, "# HELP cliz_tune_cache_hits_total Tuned-pipeline cache hits (AutoTune skipped).\n")

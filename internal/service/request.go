@@ -45,6 +45,9 @@ type FieldMeta struct {
 	Workers  int
 	Chunks   int
 	Tune     bool
+	// Estimate enables estimate-first tuning: the fast estimator answers
+	// when confident, the full AutoTune search only on low confidence.
+	Estimate bool
 	Volume   int
 }
 
@@ -154,6 +157,13 @@ func ParseFieldQuery(r *http.Request) (FieldMeta, error) {
 		m.Tune = true
 	default:
 		return m, fmt.Errorf("tune=%q: want 0 or 1: %w", t, ErrBadRequest)
+	}
+	switch e := q.Get("estimate"); e {
+	case "", "0", "false":
+	case "1", "true":
+		m.Estimate = true
+	default:
+		return m, fmt.Errorf("estimate=%q: want 0 or 1: %w", e, ErrBadRequest)
 	}
 	return m, nil
 }

@@ -194,14 +194,17 @@ func (s *Server) heavy(endpoint string, h func(http.ResponseWriter, *http.Reques
 		start := time.Now()
 		release, err := s.acquire(r.Context())
 		if err != nil {
+			// Record the status actually written: a caller that gave up
+			// while queued is a 499/504, not a 429 — conflating them hid
+			// client-side cancellations inside the saturation signal.
+			status := statusFromErr(err)
 			if errors.Is(err, errBusy) {
+				status = http.StatusTooManyRequests
 				s.metrics.rejected(endpoint)
 				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RequestTimeout)))
-				writeError(w, http.StatusTooManyRequests, errBusy)
-			} else {
-				writeError(w, statusFromErr(err), err)
 			}
-			s.metrics.observe(endpoint, http.StatusTooManyRequests, time.Since(start), 0, 0)
+			writeError(w, status, err)
+			s.metrics.observe(endpoint, status, time.Since(start), 0, 0)
 			return
 		}
 		defer release()

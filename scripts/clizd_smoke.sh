@@ -67,6 +67,13 @@ curl -sf --data-binary @"$work/SSH.f32" \
     "$base/v1/tune?dims=$dims&rel=1e-3&lead=time&periodic=1" | tee "$work/tune.json"
 grep -q '"cache": "hit"' "$work/tune.json"
 
+echo "== tune with estimate=1 (cold family, fast estimator expected)"
+curl -sf --data-binary @"$work/SSH.f32" -D "$work/h4" \
+    "$base/v1/tune?dims=$dims&rel=1e-2&lead=time&periodic=1&estimate=1" | tee "$work/est.json"
+grep -i '^x-cliz-tune-mode: estimate' "$work/h4"
+grep -q '"mode": "estimate"' "$work/est.json"
+grep -q '"pipelinesTested": 0' "$work/est.json"
+
 echo "== plan"
 curl -sf --data-binary @"$work/SSH.f32" \
     "$base/v1/plan?dims=$dims&cores=128&bounds=1e-4,1e-2" | tee "$work/plan.json" | head -5
@@ -80,11 +87,15 @@ code=$(curl -s -o /dev/null -w '%{http_code}' --data-binary 'xx' \
 echo "== metrics"
 curl -sf "$base/metrics" >"$work/metrics.txt"
 grep '^cliz_requests_total{endpoint="compress",code="200"} 2' "$work/metrics.txt"
-grep '^cliz_tune_cache_misses_total 1' "$work/metrics.txt"
+# Two families were tuned cold: the searched rel=1e-3 one and the
+# estimated rel=1e-2 one.
+grep '^cliz_tune_cache_misses_total 2' "$work/metrics.txt"
 hits=$(sed -n 's/^cliz_tune_cache_hits_total \([0-9]*\)$/\1/p' "$work/metrics.txt")
 [ "$hits" -ge 2 ] || { echo "want >=2 cache hits, got $hits"; exit 1; }
 grep -q 'cliz_stage_seconds_total{endpoint="compress"' "$work/metrics.txt"
 grep -q 'cliz_request_seconds_bucket{endpoint="decompress"' "$work/metrics.txt"
+grep '^cliz_tune_estimate_total{mode="estimate"} 1' "$work/metrics.txt"
+grep -q '^cliz_tune_estimate_total{mode="search"}' "$work/metrics.txt"
 
 echo "== graceful shutdown"
 kill "$pid"
