@@ -339,6 +339,7 @@ type config struct {
 	boundEvery   int
 	entropy      EntropyKind
 	materialized bool
+	keyframe     int
 	ctx          context.Context
 }
 
@@ -400,6 +401,15 @@ const (
 // every reader decodes every kind.
 func WithEntropy(k EntropyKind) Option {
 	return func(c *config) { c.entropy = k }
+}
+
+// WithKeyframeInterval sets the keyframe spacing of a NewStreamWriter:
+// every k-th appended frame is coded independently of its predecessors, so
+// StreamReader.Seek replays at most k-1 delta frames. k = 1 makes every
+// frame a keyframe (maximum seek speed, no temporal compression). Other
+// entry points ignore the option. The default is 16.
+func WithKeyframeInterval(k int) Option {
+	return func(c *config) { c.keyframe = k }
 }
 
 // WithMaterializedPermute forces the legacy copy-based permute/unpermute

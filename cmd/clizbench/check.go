@@ -49,7 +49,9 @@ type checkReport struct {
 	// Estimate echoes the graded estimator section (when present) so the
 	// check artifact is self-contained.
 	Estimate *estimateReport `json:"estimate,omitempty"`
-	Failures []string        `json:"failures,omitempty"`
+	// Stream echoes the graded temporal-streaming section (when present).
+	Stream   *streamReport `json:"stream,omitempty"`
+	Failures []string      `json:"failures,omitempty"`
 }
 
 // stageShare sums the share of the named stages in a stage list.
@@ -150,11 +152,16 @@ func runCheck(baselinePath, outDir string, log io.Writer) error {
 		estFailures = checkEstimate(cur.Estimate)
 		failures = append(failures, estFailures...)
 	}
+	// Same deal for the temporal-streaming gates (clizbench -stream [-check]).
+	if cur.Stream != nil {
+		failures = append(failures, checkStream(cur.Stream)...)
+	}
 	out := checkReport{
 		Schema:   "cliz-bench-check/1",
 		Baseline: baselinePath,
 		Fields:   fields,
 		Estimate: cur.Estimate,
+		Stream:   cur.Stream,
 		Failures: failures,
 	}
 	checkPath := "BENCH_CHECK.json"

@@ -116,3 +116,32 @@ func TestCommittedBaselinePermuteShare(t *testing.T) {
 		t.Errorf("committed baseline violates the stage gate: %s", f)
 	}
 }
+
+func TestCheckStreamGates(t *testing.T) {
+	if fails := checkStream(nil); len(fails) != 1 || !strings.Contains(fails[0], "no stream section") {
+		t.Fatalf("nil section: %v", fails)
+	}
+	if fails := checkStream(&streamReport{}); len(fails) != 1 || !strings.Contains(fails[0], "no fields") {
+		t.Fatalf("empty section: %v", fails)
+	}
+	good := &streamReport{Fields: []streamField{
+		{Field: "ADVECT-SSH", DeltaFrames: 20, DeltaVsIndependent: 1.6},
+		{Field: "DRIFT-T", DeltaFrames: 12, DeltaVsIndependent: 1.1},
+	}}
+	if fails := checkStream(good); len(fails) != 0 {
+		t.Fatalf("good section failed: %v", fails)
+	}
+	weak := &streamReport{Fields: []streamField{
+		{Field: "ADVECT-SSH", DeltaFrames: 20, DeltaVsIndependent: 1.2},
+	}}
+	if fails := checkStream(weak); len(fails) != 1 || !strings.Contains(fails[0], "below 1.3") {
+		t.Fatalf("weak advantage not caught: %v", fails)
+	}
+	dead := &streamReport{Fields: []streamField{
+		{Field: "ADVECT-SSH", DeltaFrames: 0, DeltaVsIndependent: 0},
+	}}
+	fails := checkStream(dead)
+	if len(fails) != 2 || !strings.Contains(fails[0], "zero delta frames") {
+		t.Fatalf("dead delta path not caught: %v", fails)
+	}
+}

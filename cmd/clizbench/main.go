@@ -39,11 +39,12 @@ func run(args []string) error {
 		check    = fs.Bool("check", false, "grade the -out BENCH_PR.json against -baseline and write BENCH_CHECK.json")
 		baseline = fs.String("baseline", "BENCH_PR.json", "committed baseline report for -check (\"\" skips the delta gates)")
 		est      = fs.Bool("estimate", false, "run the estimator-accuracy suite and merge an estimate section into BENCH_PR.json")
+		strm     = fs.Bool("stream", false, "run the temporal-streaming suite and merge a stream section into BENCH_PR.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *perf || *check || *est {
+	if *perf || *check || *est || *strm {
 		var log io.Writer
 		if !*quiet {
 			log = os.Stderr
@@ -60,6 +61,11 @@ func run(args []string) error {
 		}
 		if *est {
 			if err := runEstimate(*scale, *out, log); err != nil {
+				return err
+			}
+		}
+		if *strm {
+			if err := runStream(*scale, *out, log); err != nil {
 				return err
 			}
 		}

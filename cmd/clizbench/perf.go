@@ -85,6 +85,9 @@ type perfReport struct {
 	// -estimate after (or together with) -perf; -check grades the section
 	// when present.
 	Estimate *estimateReport `json:"estimate,omitempty"`
+	// Stream is the temporal-streaming section written by -stream mode (see
+	// stream.go); same merge semantics as Estimate.
+	Stream *streamReport `json:"stream,omitempty"`
 }
 
 // perfFields is the standard corpus: an ocean field with a region mask and

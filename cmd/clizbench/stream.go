@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/dataset"
+	"cliz/internal/stream"
+)
+
+// Stream mode: run the temporal-streaming codec over the datagen temporal
+// scenarios and record how much delta-coding a frame against the previous
+// reconstruction wins over compressing the same frame independently at the
+// same bound:
+//
+//	clizbench -stream -out results/          # adds a "stream" section to BENCH_PR.json
+//	clizbench -stream -check -out results/   # ...and enforce the delta-advantage gate
+//
+// Like -estimate, the section merges into an existing BENCH_PR.json so one
+// artifact carries perf, estimator and streaming baselines.
+
+// streamMinDeltaAdvantage is the acceptance floor (ISSUE 9): on the
+// advecting-field scenario, delta-coded frames must compress at least this
+// factor better than independently compressed frames at the same bound.
+const streamMinDeltaAdvantage = 1.3
+
+// streamField is the per-scenario record in the stream section.
+type streamField struct {
+	Field    string `json:"field"`
+	Dims     []int  `json:"dims"`
+	Frames   int    `json:"frames"`
+	Interval int    `json:"interval"`
+
+	KeyFrames   int `json:"key_frames"`
+	DeltaFrames int `json:"delta_frames"`
+	IntraFrames int `json:"intra_frames"`
+
+	// StreamBytes is the whole container; StreamRatio is raw/stream.
+	StreamBytes int     `json:"stream_bytes"`
+	StreamRatio float64 `json:"stream_ratio"`
+
+	// DeltaBytes sums the delta frames' payloads; IndependentBytes is the
+	// same frames compressed independently (default pipeline, same bound).
+	// DeltaVsIndependent = IndependentBytes / DeltaBytes — the temporal win.
+	DeltaBytes         int     `json:"delta_bytes"`
+	IndependentBytes   int     `json:"independent_bytes"`
+	DeltaVsIndependent float64 `json:"delta_vs_independent"`
+
+	AppendMBps float64 `json:"append_mb_per_s"`
+	DecodeMBps float64 `json:"decode_mb_per_s"`
+}
+
+// streamReport is the "stream" section of BENCH_PR.json.
+type streamReport struct {
+	RelErrorBound float64       `json:"rel_error_bound"`
+	Fields        []streamField `json:"fields"`
+}
+
+// runStream benchmarks the streaming codec over the temporal scenario suite
+// and merges the section into BENCH_PR.json (creating a minimal report if
+// -perf has not run in this outDir). Every decoded frame is verified against
+// the bound — a drift here fails the run, not just the gate.
+func runStream(scale float64, outDir string, log io.Writer) error {
+	if scale <= 0 {
+		scale = 0.25
+	}
+	const rel = 1e-3
+	sec := streamReport{RelErrorBound: rel}
+	for _, spec := range datagen.TemporalScenario(scale) {
+		f, err := benchStream(spec, rel)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		sec.Fields = append(sec.Fields, *f)
+		if log != nil {
+			fmt.Fprintf(log, "stream %-12s %d×%v  key/delta/intra %d/%d/%d  ratio %6.2f  delta-vs-indep %5.2f×  append %6.1f MB/s  decode %6.1f MB/s\n",
+				f.Field, f.Frames, f.Dims, f.KeyFrames, f.DeltaFrames, f.IntraFrames,
+				f.StreamRatio, f.DeltaVsIndependent, f.AppendMBps, f.DecodeMBps)
+		}
+	}
+
+	path := "BENCH_PR.json"
+	if outDir != "" {
+		path = filepath.Join(outDir, path)
+	}
+	report, err := loadPerfReport(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		report = &perfReport{
+			Schema:     "cliz-bench-pr/5",
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			Scale:      scale,
+			UnixMillis: time.Now().UnixMilli(),
+		}
+	}
+	report.Stream = &sec
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if log != nil {
+		fmt.Fprintf(log, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// benchStream runs one temporal scenario through the stream writer and
+// reader, compresses every delta-coded frame independently for comparison,
+// and verifies each decoded frame stays in bound.
+func benchStream(spec datagen.TemporalSpec, rel float64) (*streamField, error) {
+	ts, err := datagen.Temporal(spec)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := temporalAbsBound(ts, rel)
+	if err != nil {
+		return nil, err
+	}
+	cfg := stream.Config{
+		Name: ts.Name,
+		Dims: ts.Dims,
+		Mask: ts.Mask,
+		Fill: ts.Fill,
+		EB:   eb,
+	}
+
+	var buf bytes.Buffer
+	t0 := time.Now()
+	w, err := stream.NewWriter(&buf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]stream.FrameInfo, 0, len(ts.Frames))
+	for _, frame := range ts.Frames {
+		info, err := w.Append(frame)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	appendMillis := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	vol := 1
+	for _, d := range ts.Dims {
+		vol *= d
+	}
+	rawBytes := float64(len(ts.Frames) * vol * 4)
+	f := &streamField{
+		Field:       ts.Name,
+		Dims:        ts.Dims,
+		Frames:      len(ts.Frames),
+		Interval:    stream.DefaultKeyframeInterval,
+		StreamBytes: buf.Len(),
+		StreamRatio: rawBytes / float64(buf.Len()),
+		AppendMBps:  rawBytes / 1e6 / (appendMillis / 1e3),
+	}
+
+	// Independent baseline: compress each delta-coded frame on its own with
+	// the default intra pipeline at the same bound — the cost of not having
+	// the previous reconstruction.
+	for i, info := range infos {
+		switch info.Kind {
+		case stream.KindKey:
+			f.KeyFrames++
+		case stream.KindIntra:
+			f.IntraFrames++
+		case stream.KindDelta:
+			f.DeltaFrames++
+			f.DeltaBytes += info.PayloadBytes
+			ds := &dataset.Dataset{
+				Name:      ts.Name,
+				Data:      ts.Frames[i],
+				Dims:      ts.Dims,
+				Mask:      ts.Mask,
+				FillValue: ts.Fill,
+			}
+			pipe := core.Default(ds)
+			blob, err := core.Compress(ds, eb, pipe, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("independent frame %d: %w", i, err)
+			}
+			f.IndependentBytes += len(blob)
+		}
+	}
+	if f.DeltaBytes > 0 {
+		f.DeltaVsIndependent = float64(f.IndependentBytes) / float64(f.DeltaBytes)
+	}
+
+	// Decode throughput, verifying the no-drift contract on every frame.
+	r, err := stream.Parse(buf.Bytes(), core.DecompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var valid []bool
+	if ts.Mask != nil {
+		if valid, err = ts.Mask.Broadcast(ts.Dims); err != nil {
+			return nil, err
+		}
+	}
+	t0 = time.Now()
+	for t := 0; t < r.Frames(); t++ {
+		recon, err := r.ReadFrame()
+		if err != nil {
+			return nil, fmt.Errorf("decode frame %d: %w", t, err)
+		}
+		if worst := streamFrameErr(ts.Frames[t], recon, valid); worst > eb*(1+1e-9) {
+			return nil, fmt.Errorf("frame %d drifted out of bound: err %g > eb %g", t, worst, eb)
+		}
+	}
+	decodeMillis := float64(time.Since(t0)) / float64(time.Millisecond)
+	f.DecodeMBps = rawBytes / 1e6 / (decodeMillis / 1e3)
+	return f, nil
+}
+
+// temporalAbsBound resolves the benchmark's relative bound against the first
+// frame's valid-point value range (the same resolution rule the public
+// WithRelErrorBound path uses).
+func temporalAbsBound(ts *datagen.TemporalStream, rel float64) (float64, error) {
+	var valid []bool
+	if ts.Mask != nil {
+		var err error
+		if valid, err = ts.Mask.Broadcast(ts.Dims); err != nil {
+			return 0, err
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range ts.Frames[0] {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi <= lo {
+		return 0, fmt.Errorf("first frame has no value range (lo %g, hi %g)", lo, hi)
+	}
+	return rel * (hi - lo), nil
+}
+
+// streamFrameErr returns the worst absolute reconstruction error over the
+// frame's valid points (masked points must carry fill exactly and are
+// checked by the conformance suite, not here).
+func streamFrameErr(orig, recon []float32, valid []bool) float64 {
+	worst := 0.0
+	for i := range orig {
+		if valid != nil && !valid[i] {
+			continue
+		}
+		d := math.Abs(float64(recon[i]) - float64(orig[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// checkStream grades a stream section against the delta-advantage gate; it
+// is pure so tests can feed synthetic sections. The gate applies to the
+// best-case scenario: at least one field must show the temporal win, and
+// every field must actually exercise delta coding.
+func checkStream(sec *streamReport) []string {
+	if sec == nil {
+		return []string{"stream: BENCH_PR.json has no stream section — run clizbench -stream first"}
+	}
+	if len(sec.Fields) == 0 {
+		return []string{"stream: section has no fields"}
+	}
+	var failures []string
+	best := 0.0
+	for _, f := range sec.Fields {
+		if f.DeltaFrames == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"stream: %s coded zero delta frames — temporal prediction never engaged", f.Field))
+		}
+		if f.DeltaVsIndependent > best {
+			best = f.DeltaVsIndependent
+		}
+	}
+	if best < streamMinDeltaAdvantage {
+		failures = append(failures, fmt.Sprintf(
+			"stream: best delta-vs-independent advantage %.2f× below %.1f×", best, streamMinDeltaAdvantage))
+	}
+	return failures
+}

@@ -195,6 +195,9 @@ var decodeContractPackages = map[string]bool{
 	// exported Parse*/Read* helpers are decode entry points like any
 	// blob reader.
 	"service": true,
+	// The streaming codec parses hostile stream headers and frame
+	// records (Parse/ReadFrame).
+	"stream": true,
 }
 
 // decodeEntryPoints collects the exported functions and methods in

@@ -77,6 +77,9 @@ type Case struct {
 	Pipe  PipeSpec              `json:"pipe"`
 	Bound BoundSpec             `json:"bound"`
 	Opts  OptSpec               `json:"opts"`
+	// Stream, when non-nil, additionally runs the streaming-codec invariant
+	// over a temporal frame sequence derived from the case.
+	Stream *StreamSpec `json:"stream,omitempty"`
 }
 
 // Points returns the case's grid volume.

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"cliz/internal/datagen"
 )
 
 // smokeConfig is the fixed-seed suite wired into `go test ./...`: small
@@ -262,5 +264,48 @@ func TestCleanRejections(t *testing.T) {
 	inf.Bound = BoundSpec{Rel: 1e-2}
 	if v := RunCase(inf, RunOptions{}); v.Outcome != "rejected" {
 		t.Fatalf("Inf field + rel bound: outcome %q (%+v), want rejected", v.Outcome, v.Failures)
+	}
+}
+
+// TestStreamCasesGenerated pins the stream coverage of the case space: the
+// generator must attach stream specs to a healthy fraction of cases, and a
+// directly-constructed stream case must run the stream invariant clean
+// (checkStream self-validates its own corruption probes: truncation and a
+// payload flip are injected on every run).
+func TestStreamCasesGenerated(t *testing.T) {
+	streams := 0
+	for i := 0; i < 48; i++ {
+		if GenCase(7, i, 1<<12).Stream != nil {
+			streams++
+		}
+	}
+	if streams < 4 {
+		t.Fatalf("only %d/48 generated cases carry a stream spec", streams)
+	}
+
+	c := Case{
+		Label: "stream-selftest",
+		Data: datagen.SyntheticSpec{
+			Name: "conform", Dims: []int{12, 16}, Seed: 99,
+			MaskFrac: 0.4, FillValue: datagen.FillValue,
+			NoiseAmp: 0.3, Scale: 50,
+		},
+		Bound:  BoundSpec{Abs: 0.05},
+		Pipe:   PipeSpec{Default: true},
+		Stream: &StreamSpec{Frames: 9, Interval: 4, Corr: 0.95},
+	}
+	v := RunCase(c, RunOptions{})
+	if v.FailedInvariant(InvStream) {
+		t.Fatalf("stream self-test case failed: %+v", v.Failures)
+	}
+	if v.Outcome != "pass" {
+		t.Fatalf("stream self-test outcome %q: %+v", v.Outcome, v.Failures)
+	}
+
+	// The relative-bound path resolves against the first frame.
+	rel := cloneCase(c)
+	rel.Bound = BoundSpec{Rel: 1e-3}
+	if v := RunCase(rel, RunOptions{}); v.FailedInvariant(InvStream) {
+		t.Fatalf("rel-bound stream case failed: %+v", v.Failures)
 	}
 }

@@ -31,8 +31,23 @@ func GenCase(seed int64, i, maxPoints int) Case {
 	c.Bound = genBound(rng, &c.Data)
 	c.Pipe = genPipe(rng, &c.Data)
 	c.Opts = genOpts(rng, &c.Data)
+	c.Stream = genStream(rng, &c.Data)
 	c.Label = label(i, &c)
 	return c
+}
+
+// genStream attaches a temporal-stream spec to roughly a quarter of the
+// cases with a horizontal plane. The frame count stays small — the stream
+// multiplies the case's plane volume.
+func genStream(rng *rand.Rand, s *datagen.SyntheticSpec) *StreamSpec {
+	if len(s.Dims) < 2 || rng.Intn(4) != 0 {
+		return nil
+	}
+	return &StreamSpec{
+		Frames:   pick(rng, 5, 8, 12),
+		Interval: pick(rng, 0, 1, 2, 4, 16),
+		Corr:     pick(rng, 0.5, 0.9, 0.98),
+	}
 }
 
 func pick[T any](rng *rand.Rand, vals ...T) T { return vals[rng.Intn(len(vals))] }
@@ -201,6 +216,9 @@ func label(i int, c *Case) string {
 	}
 	if c.Opts.Workers > 1 {
 		tag += "-par"
+	}
+	if c.Stream != nil {
+		tag += "-stream"
 	}
 	return tag
 }

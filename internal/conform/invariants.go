@@ -34,6 +34,7 @@ const (
 	InvDiffBound   = "diff-bound"  // SZ3/QoZ honor the same bound on the same input
 	InvDiffRatio   = "diff-ratio"  // CliZ's ratio is within a sane factor of SZ3's
 	InvFusedBlob   = "fused-blob"  // fused and materialized-permute pipelines emit identical blobs (Workers=1)
+	InvStream      = "stream"      // temporal stream round-trips per-frame in bound, Seek is bit-identical, corruption is clean and attributed
 )
 
 // Failure is one invariant violation.
@@ -145,6 +146,9 @@ func RunCase(c Case, opt RunOptions) *Verdict {
 	}
 	if opt.Baselines {
 		checkDifferential(v, c, ds, eb, blob)
+	}
+	if c.Stream != nil {
+		checkStream(v, &c)
 	}
 
 	if v.Failed() {

@@ -72,6 +72,15 @@ func shrinkCandidates(c Case) []Case {
 	}
 
 	// 1. Drop implementation knobs.
+	if c.Stream != nil {
+		add(func(c *Case) { c.Stream = nil })
+		if c.Stream.Frames > 2 {
+			add(func(c *Case) { c.Stream.Frames = (c.Stream.Frames + 1) / 2 })
+		}
+		if c.Stream.Interval != 1 {
+			add(func(c *Case) { c.Stream.Interval = 1 })
+		}
+	}
 	if c.Opts.Chunks > 0 {
 		add(func(c *Case) { c.Opts.Chunks, c.Opts.ChunkWorkers = 0, 0 })
 	}
@@ -175,6 +184,10 @@ func cloneCase(c Case) Case {
 	out.Data.Dims = append([]int(nil), c.Data.Dims...)
 	out.Pipe.Perm = append([]int(nil), c.Pipe.Perm...)
 	out.Pipe.Fusion = append([]int(nil), c.Pipe.Fusion...)
+	if c.Stream != nil {
+		s := *c.Stream
+		out.Stream = &s
+	}
 	return out
 }
 

@@ -1,0 +1,242 @@
+package conform
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+
+	"cliz/internal/core"
+	"cliz/internal/datagen"
+	"cliz/internal/stream"
+)
+
+// StreamSpec makes a case additionally exercise the streaming codec: a
+// temporal frame sequence over the case's horizontal plane is written
+// through internal/stream and held to the stream invariant (per-frame bound
+// with no drift, seek bit-identity, clean corruption handling).
+type StreamSpec struct {
+	// Frames is the timestep count.
+	Frames int `json:"frames"`
+	// Interval is the keyframe interval (0 = the writer default).
+	Interval int `json:"interval,omitempty"`
+	// Corr is the frame-to-frame correlation of the temporal field.
+	Corr float64 `json:"corr,omitempty"`
+}
+
+// temporalSpec derives the frame-sequence recipe from the case: the stream
+// shares the case's horizontal extents, seed lineage, mask and magnitude
+// knobs, so the stream sweep covers the same data space as the blob sweep.
+func temporalSpec(c *Case) datagen.TemporalSpec {
+	dims := c.Data.Dims
+	ts := datagen.TemporalSpec{
+		Name:        "conform-stream",
+		Frames:      c.Stream.Frames,
+		NLat:        dims[len(dims)-2],
+		NLon:        dims[len(dims)-1],
+		Seed:        c.Data.Seed ^ 0x73747265,
+		Corr:        c.Stream.Corr,
+		AdvectCells: 0.3,
+		Drift:       0.05,
+		NoiseAmp:    c.Data.NoiseAmp,
+		Scale:       c.Data.Scale,
+		Offset:      c.Data.Offset,
+	}
+	if c.Data.MaskFrac > 0 {
+		ts.MaskFrac = c.Data.MaskFrac
+		ts.FillValue = c.Data.FillValue
+	}
+	return ts
+}
+
+// streamBound resolves the case's bound against the stream's first frame,
+// mirroring the public writer's Rel semantics. A zero or non-finite range
+// under a relative bound returns 0: the case cleanly has no stream bound and
+// the stream checks are skipped (the blob side already pins the clean
+// rejection contract for such inputs).
+func streamBound(c *Case, ts *datagen.TemporalStream) float64 {
+	if c.Bound.Abs > 0 {
+		return c.Bound.Abs
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for p, v := range ts.Frames[0] {
+		if ts.Mask != nil && ts.Mask.Regions[p] == 0 {
+			continue
+		}
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, f), math.Max(hi, f)
+	}
+	eb := c.Bound.Rel * (hi - lo)
+	if !finite(eb) || eb <= 0 {
+		return 0
+	}
+	return eb
+}
+
+// checkStream runs the InvStream contract: the temporal stream round-trips
+// with every frame inside the bound and fill bit-exact, Seek decodes
+// bit-identically to sequential replay, a mid-record truncation is rejected
+// with an error wrapping core.ErrCorrupt, and a payload corruption surfaces
+// as a *stream.FrameError naming the damaged frame — never a panic.
+func checkStream(v *Verdict, c *Case) {
+	ts, err := datagen.Temporal(temporalSpec(c))
+	if err != nil {
+		v.addf(InvStream, "temporal datagen: %v", err)
+		return
+	}
+	eb := streamBound(c, ts)
+	if eb == 0 {
+		return
+	}
+	kind, err := entropyKind(c.Opts.Entropy)
+	if err != nil {
+		return // compressCase already reported it
+	}
+
+	var buf bytes.Buffer
+	w, err := stream.NewWriter(&buf, stream.Config{
+		Name: ts.Name, Dims: ts.Dims, Mask: ts.Mask, Fill: ts.Fill,
+		EB: eb, Interval: c.Stream.Interval,
+		Opts: core.Options{Workers: c.Opts.Workers, Entropy: kind},
+	})
+	if err != nil {
+		v.addf(InvStream, "NewWriter: %v", err)
+		return
+	}
+	for i, f := range ts.Frames {
+		if _, err := w.Append(f); err != nil {
+			v.addf(InvStream, "Append frame %d: %v", i, err)
+			return
+		}
+	}
+	if err := w.Close(); err != nil {
+		v.addf(InvStream, "Close: %v", err)
+		return
+	}
+	blob := buf.Bytes()
+
+	seq := streamRoundTrip(v, c, ts, blob, eb)
+	if seq == nil {
+		return
+	}
+	streamSeekCheck(v, c, blob, seq)
+	streamCorruptionCheck(v, c, blob)
+}
+
+// streamRoundTrip decodes the whole stream sequentially and holds every
+// frame to the bound/fill contract; it returns the frames for the seek
+// check (nil after a failure).
+func streamRoundTrip(v *Verdict, c *Case, ts *datagen.TemporalStream, blob []byte, eb float64) [][]float32 {
+	r, err := stream.Parse(blob, core.DecompressOptions{Workers: c.Opts.Workers})
+	if err != nil {
+		v.addf(InvStream, "Parse of fresh stream: %v", err)
+		return nil
+	}
+	if r.Frames() != len(ts.Frames) {
+		v.addf(InvStream, "stream has %d frames, want %d", r.Frames(), len(ts.Frames))
+		return nil
+	}
+	tol := eb * (1 + 1e-9)
+	var seq [][]float32
+	for t := 0; t < r.Frames(); t++ {
+		got, err := r.ReadFrame()
+		if err != nil {
+			v.addf(InvStream, "ReadFrame %d: %v", t, err)
+			return nil
+		}
+		for p, want := range ts.Frames[t] {
+			if ts.Mask != nil && ts.Mask.Regions[p] == 0 {
+				if math.Float32bits(got[p]) != math.Float32bits(ts.Fill) {
+					v.addf(InvStream, "frame %d point %d: masked point %g, want fill %g",
+						t, p, got[p], ts.Fill)
+					return nil
+				}
+				continue
+			}
+			if d := math.Abs(float64(got[p]) - float64(want)); d > tol {
+				v.addf(InvStream, "frame %d point %d: |%g − %g| = %g > eb %g",
+					t, p, got[p], want, d, eb)
+				return nil
+			}
+		}
+		seq = append(seq, got)
+	}
+	return seq
+}
+
+// streamSeekCheck: Seek+ReadFrame at the stream's corners and middle must be
+// bit-identical to the sequential decode.
+func streamSeekCheck(v *Verdict, c *Case, blob []byte, seq [][]float32) {
+	r, err := stream.Parse(blob, core.DecompressOptions{Workers: c.Opts.Workers})
+	if err != nil {
+		v.addf(InvStream, "Parse for seek: %v", err)
+		return
+	}
+	for _, t := range []int{len(seq) - 1, 0, len(seq) / 2} {
+		if err := r.Seek(t); err != nil {
+			v.addf(InvStream, "Seek(%d): %v", t, err)
+			return
+		}
+		got, err := r.ReadFrame()
+		if err != nil {
+			v.addf(InvStream, "ReadFrame after Seek(%d): %v", t, err)
+			return
+		}
+		if i := firstBitDiff(got, seq[t]); i >= 0 {
+			v.addf(InvStream, "Seek(%d) differs from sequential at point %d: %g vs %g",
+				t, i, got[i], seq[t][i])
+			return
+		}
+	}
+}
+
+// streamCorruptionCheck: a mid-record truncation must fail Parse with an
+// error wrapping core.ErrCorrupt, and a flipped payload byte must surface as
+// a *stream.FrameError attributing the damage to the flipped frame.
+func streamCorruptionCheck(v *Verdict, c *Case, blob []byte) {
+	if _, err := stream.Parse(blob[:len(blob)-1], core.DecompressOptions{}); err == nil {
+		v.addf(InvStream, "truncated stream parsed cleanly")
+	} else if !errors.Is(err, core.ErrCorrupt) {
+		v.addf(InvStream, "truncation error %v does not wrap core.ErrCorrupt", err)
+	}
+
+	r, err := stream.Parse(blob, core.DecompressOptions{})
+	if err != nil || r.Frames() == 0 {
+		return
+	}
+	target := r.Frames() / 2
+	rec, err := r.Record(target)
+	if err != nil {
+		v.addf(InvStream, "Record(%d): %v", target, err)
+		return
+	}
+	bad := append([]byte(nil), blob...)
+	bad[rec.PayloadOffset+rec.PayloadLen/2] ^= 0x20
+	rb, err := stream.Parse(bad, core.DecompressOptions{})
+	if err != nil {
+		v.addf(InvStream, "Parse of payload-flipped stream: %v", err)
+		return
+	}
+	for {
+		_, err := rb.ReadFrame()
+		if err == io.EOF {
+			v.addf(InvStream, "payload flip in frame %d decoded cleanly", target)
+			return
+		}
+		if err == nil {
+			continue
+		}
+		var fe *stream.FrameError
+		if !errors.As(err, &fe) {
+			v.addf(InvStream, "flip error %v is not a FrameError", err)
+		} else if fe.Frame != target {
+			v.addf(InvStream, "flip in frame %d attributed to frame %d", target, fe.Frame)
+		} else if !errors.Is(err, core.ErrCorrupt) {
+			v.addf(InvStream, "flip error %v does not wrap core.ErrCorrupt", err)
+		}
+		return
+	}
+}

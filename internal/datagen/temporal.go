@@ -1,0 +1,181 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cliz/internal/mask"
+)
+
+// TemporalSpec parameterizes a deterministic sequence of timesteps of one
+// horizontal field — the workload of the streaming codec. Each frame is an
+// advected smooth pattern plus a slow additive drift plus AR(1) noise whose
+// frame-to-frame correlation is the knob that decides how much a temporal
+// delta can win over independent coding.
+type TemporalSpec struct {
+	// Name labels the stream (defaults to "temporal").
+	Name string `json:"name,omitempty"`
+	// Frames is the number of timesteps.
+	Frames int `json:"frames"`
+	// NLat, NLon are the per-frame grid extents.
+	NLat int `json:"nLat"`
+	NLon int `json:"nLon"`
+	// Seed drives every random choice; equal specs generate equal bits.
+	Seed int64 `json:"seed"`
+	// Corr in [0, 1) is the frame-to-frame correlation of the stochastic
+	// component: n_t = Corr·n_{t−1} + sqrt(1−Corr²)·ε_t, so the per-frame
+	// marginal variance is constant while consecutive frames decorrelate at
+	// rate 1−Corr. 0 makes every frame's noise independent.
+	Corr float64 `json:"corr,omitempty"`
+	// AdvectCells is the per-frame eastward advection of the smooth pattern,
+	// in (fractional) grid cells with longitude wraparound.
+	AdvectCells float64 `json:"advectCells,omitempty"`
+	// Drift is the per-frame additive trend (slow warming/cooling).
+	Drift float64 `json:"drift,omitempty"`
+	// NoiseAmp scales the stochastic component.
+	NoiseAmp float64 `json:"noiseAmp,omitempty"`
+	// Scale multiplies the advected pattern (0 selects 100).
+	Scale float64 `json:"scale,omitempty"`
+	// Offset shifts the whole field.
+	Offset float64 `json:"offset,omitempty"`
+	// MaskFrac in (0, 1] masks roughly that fraction of the plane with a
+	// contiguous terrain-threshold mask; 0 disables the mask.
+	MaskFrac float64 `json:"maskFrac,omitempty"`
+	// FillValue is stored at masked points (0 picks the CESM sentinel).
+	FillValue float32 `json:"fillValue,omitempty"`
+}
+
+// TemporalStream is a generated frame sequence ready to feed a stream
+// writer.
+type TemporalStream struct {
+	Name string
+	// Dims are the per-frame extents {nLat, nLon}.
+	Dims []int
+	Mask *mask.Map
+	Fill float32
+	// Frames holds one grid per timestep.
+	Frames [][]float32
+}
+
+// Temporal generates the frame sequence described by spec. The output is a
+// pure function of the spec: identical specs yield bit-identical streams.
+func Temporal(spec TemporalSpec) (*TemporalStream, error) {
+	if spec.Frames < 1 {
+		return nil, fmt.Errorf("datagen: temporal frame count %d < 1", spec.Frames)
+	}
+	if spec.NLat < 1 || spec.NLon < 1 {
+		return nil, fmt.Errorf("datagen: temporal grid %d×%d has empty extents", spec.NLat, spec.NLon)
+	}
+	if spec.Corr < 0 || spec.Corr >= 1 {
+		return nil, fmt.Errorf("datagen: temporal correlation %g not in [0, 1)", spec.Corr)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "temporal"
+	}
+	fill := spec.FillValue
+	if fill == 0 {
+		fill = FillValue
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 100
+	}
+	plane := spec.NLat * spec.NLon
+
+	var m *mask.Map
+	if spec.MaskFrac > 0 {
+		ter := NewTerrain(spec.NLat, spec.NLon, spec.Seed^0x6d61736b, clamp01(spec.MaskFrac))
+		regions := make([]int32, plane)
+		valid := 0
+		for i, h := range ter.Height {
+			if h >= ter.SeaLevel {
+				regions[i] = 1
+				valid++
+			}
+		}
+		if valid == 0 && spec.MaskFrac < 1 {
+			regions[0] = 1
+		}
+		m = mask.New(spec.NLat, spec.NLon, regions)
+	}
+
+	base := spectral2D(spec.NLat, spec.NLon, spec.Seed^0x61647665, 24, 0.8)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x74656d70))
+	noise := make([]float64, plane)
+	for p := range noise {
+		noise[p] = rng.NormFloat64()
+	}
+	mix := math.Sqrt(1 - spec.Corr*spec.Corr)
+
+	out := &TemporalStream{
+		Name: name,
+		Dims: []int{spec.NLat, spec.NLon},
+		Mask: m,
+		Fill: fill,
+	}
+	out.Frames = make([][]float32, spec.Frames)
+	for t := range out.Frames {
+		if t > 0 && spec.NoiseAmp > 0 {
+			for p := range noise {
+				noise[p] = spec.Corr*noise[p] + mix*rng.NormFloat64()
+			}
+		}
+		shift := spec.AdvectCells * float64(t)
+		drift := spec.Drift * float64(t)
+		frame := make([]float32, plane)
+		for i := 0; i < spec.NLat; i++ {
+			for j := 0; j < spec.NLon; j++ {
+				p := i*spec.NLon + j
+				if m != nil && m.Regions[p] == 0 {
+					frame[p] = fill
+					continue
+				}
+				v := spec.Offset + drift + scale*sampleLon(base, spec.NLon, i, float64(j)-shift)
+				if spec.NoiseAmp > 0 {
+					v += spec.NoiseAmp * noise[p]
+				}
+				frame[p] = float32(v)
+			}
+		}
+		out.Frames[t] = frame
+	}
+	return out, nil
+}
+
+// sampleLon linearly interpolates row i of a (nLat×nLon) plane at fractional
+// longitude x, wrapping around the dateline.
+func sampleLon(plane []float64, nLon, i int, x float64) float64 {
+	x = math.Mod(x, float64(nLon))
+	if x < 0 {
+		x += float64(nLon)
+	}
+	j0 := int(x)
+	f := x - float64(j0)
+	j1 := (j0 + 1) % nLon
+	row := plane[i*nLon:]
+	return row[j0]*(1-f) + row[j1]*f
+}
+
+// TemporalScenario returns the streaming benchmark's frame-sequence specs at
+// the given size scale: a smoothly advecting masked ocean field (the case
+// temporal deltas should win big) and a noisier drifting field with weaker
+// frame-to-frame correlation (the stress case).
+func TemporalScenario(scale float64) []TemporalSpec {
+	nLat := scaled(384, scale, 48)
+	nLon := scaled(320, scale, 48)
+	frames := scaled(128, scale, 24)
+	return []TemporalSpec{
+		{
+			Name: "ADVECT-SSH", Frames: frames, NLat: nLat, NLon: nLon,
+			Seed: 1101, Corr: 0.98, AdvectCells: 0.2, Drift: 0.01,
+			NoiseAmp: 0.5, Scale: 120, MaskFrac: 0.3,
+		},
+		{
+			Name: "DRIFT-T", Frames: frames, NLat: nLat, NLon: nLon,
+			Seed: 1102, Corr: 0.95, AdvectCells: 0.1, Drift: 0.05,
+			NoiseAmp: 1.5, Scale: 60, Offset: 287,
+		},
+	}
+}

@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTemporalDeterministic(t *testing.T) {
+	spec := TemporalSpec{Frames: 6, NLat: 20, NLon: 24, Seed: 7,
+		Corr: 0.9, AdvectCells: 0.5, Drift: 0.02, NoiseAmp: 0.5, MaskFrac: 0.3}
+	a, err := Temporal(spec)
+	if err != nil {
+		t.Fatalf("Temporal: %v", err)
+	}
+	b, _ := Temporal(spec)
+	for f := range a.Frames {
+		for p := range a.Frames[f] {
+			if math.Float32bits(a.Frames[f][p]) != math.Float32bits(b.Frames[f][p]) {
+				t.Fatalf("frame %d point %d differs between identical specs", f, p)
+			}
+		}
+	}
+	if a.Mask == nil {
+		t.Fatal("MaskFrac 0.3 produced no mask")
+	}
+	masked := 0
+	for p, r := range a.Mask.Regions {
+		if r == 0 {
+			masked++
+			for f := range a.Frames {
+				if a.Frames[f][p] != a.Fill {
+					t.Fatalf("frame %d point %d: masked point holds %g", f, p, a.Frames[f][p])
+				}
+			}
+		}
+	}
+	if frac := float64(masked) / float64(len(a.Mask.Regions)); frac < 0.1 || frac > 0.6 {
+		t.Errorf("masked fraction %g far from requested 0.3", frac)
+	}
+}
+
+// TestTemporalCorrelation: with high Corr and slow advection, consecutive
+// frames must be much closer to each other than distant frames — the
+// property the delta codec exploits.
+func TestTemporalCorrelation(t *testing.T) {
+	ts, err := Temporal(TemporalSpec{Frames: 24, NLat: 32, NLon: 32, Seed: 11,
+		Corr: 0.98, AdvectCells: 0.3, NoiseAmp: 1})
+	if err != nil {
+		t.Fatalf("Temporal: %v", err)
+	}
+	rms := func(a, b []float32) float64 {
+		s := 0.0
+		for i := range a {
+			d := float64(a[i]) - float64(b[i])
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(a)))
+	}
+	adjacent := rms(ts.Frames[10], ts.Frames[11])
+	distant := rms(ts.Frames[0], ts.Frames[23])
+	if adjacent*3 > distant {
+		t.Errorf("adjacent RMS %g not well below distant RMS %g", adjacent, distant)
+	}
+}
+
+func TestTemporalRejectsBadSpecs(t *testing.T) {
+	bad := []TemporalSpec{
+		{Frames: 0, NLat: 4, NLon: 4},
+		{Frames: 2, NLat: 0, NLon: 4},
+		{Frames: 2, NLat: 4, NLon: 4, Corr: 1},
+		{Frames: 2, NLat: 4, NLon: 4, Corr: -0.1},
+	}
+	for i, spec := range bad {
+		if _, err := Temporal(spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestTemporalScenario(t *testing.T) {
+	for _, spec := range TemporalScenario(0.1) {
+		ts, err := Temporal(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(ts.Frames) != spec.Frames {
+			t.Errorf("%s: %d frames, want %d", spec.Name, len(ts.Frames), spec.Frames)
+		}
+	}
+}
