@@ -242,7 +242,7 @@ func AutoTune(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *TuneRepo
 		if minConf == 0 {
 			minConf = MinEstimateConfidence
 		}
-		res, err := estimate.Estimate(ids, abs, estimate.Config{Tune: tc})
+		res, err := estimate.Estimate(ids, abs, estimate.Config{Tune: tc, Interrupt: copt.Interrupt})
 		// A failed estimate is not a failed tune — the search below answers.
 		if err == nil && res.Confidence >= minConf {
 			return Pipeline{p: res.Pipeline}, &TuneReport{

@@ -8,12 +8,20 @@
 // Packages default to ./... (every package in the module). Exit status:
 // 0 when no diagnostics, 1 when diagnostics were reported, 2 on usage or
 // load/type-check errors.
+//
+// With -baseline the suite runs in ratchet mode: findings recorded in the
+// baseline file are tolerated (keyed by file, analyzer and message — not
+// line number, so unrelated edits do not churn it), new findings still
+// fail, and stale entries are reported so the baseline can be tightened.
+// -update-baseline rewrites the file to the current findings (adopt or
+// ratchet down).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,12 +32,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("clizlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	filter := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	baselinePath := fs.String("baseline", "", "baseline file: tolerate recorded findings, fail only on new ones")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file to the current findings and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: clizlint [flags] [packages]\n\nAnalyzers: %s\n\n",
 			strings.Join(analysis.AnalyzerNames(), ", "))
@@ -43,6 +53,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "clizlint: -update-baseline requires -baseline <file>")
+		return 2
 	}
 
 	analyzers := analysis.Analyzers()
@@ -77,6 +91,37 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := analysis.Run(loader.Fset, pkgs, analyzers)
+
+	if *updateBaseline {
+		if err := os.WriteFile(*baselinePath, analysis.FormatBaseline(loader.ModuleDir(), diags), 0o644); err != nil {
+			fmt.Fprintf(stderr, "clizlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "clizlint: baseline %s updated with %d finding(s)\n", *baselinePath, len(diags))
+		return 0
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "clizlint: %v\n", err)
+			return 2
+		}
+		base, err := analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "clizlint: %s: %v\n", *baselinePath, err)
+			return 2
+		}
+		var stale int
+		diags, stale = base.Filter(loader.ModuleDir(), diags)
+		if stale > 0 {
+			phrase := fmt.Sprintf("%d baseline entries no longer fire", stale)
+			if stale == 1 {
+				phrase = "1 baseline entry no longer fires"
+			}
+			fmt.Fprintf(stderr, "clizlint: %s; run -update-baseline to ratchet down\n", phrase)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

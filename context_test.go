@@ -77,6 +77,22 @@ func TestTuneContextCanceled(t *testing.T) {
 	}
 }
 
+func TestEstimateContextCanceled(t *testing.T) {
+	ds := ctxTestDataset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Estimate(ds, Rel(1e-2), &TuneOptions{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// An estimate-first tune under a canceled context must not fall back to
+	// an uncancelable search.
+	_, _, err = AutoTune(ds, Rel(1e-2), &TuneOptions{EstimateFirst: true, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("estimate-first tune: want context.Canceled, got %v", err)
+	}
+}
+
 func TestTuneContextDeadline(t *testing.T) {
 	ds := ctxTestDataset()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)

@@ -48,14 +48,18 @@ func Estimate(ds *Dataset, eb ErrorBound, opt *TuneOptions) (Pipeline, *Estimate
 		return Pipeline{}, nil, err
 	}
 	var tc core.TuneConfig
+	var interrupt func() error
 	if opt != nil {
 		tc = core.TuneConfig{
 			DisablePeriod:   opt.DisablePeriod,
 			DisableClassify: opt.DisableClassify,
 			FixedPeriod:     opt.FixedPeriod,
 		}
+		if opt.Context != nil {
+			interrupt = opt.Context.Err
+		}
 	}
-	res, err := estimate.Estimate(ids, abs, estimate.Config{Tune: tc})
+	res, err := estimate.Estimate(ids, abs, estimate.Config{Tune: tc, Interrupt: interrupt})
 	if err != nil {
 		return Pipeline{}, nil, err
 	}

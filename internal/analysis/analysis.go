@@ -46,8 +46,13 @@ type Analyzer struct {
 // Pass carries the loaded packages and accumulates diagnostics for one
 // analyzer run.
 type Pass struct {
-	Fset     *token.FileSet
-	Pkgs     []*Package
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Prog is the shared interprocedural state (callgraph, function
+	// summaries, decode reachability), built once per Run and reused by
+	// every analyzer. Use the Program() accessor, which builds it lazily
+	// for hand-constructed passes.
+	Prog     *Program
 	analyzer string
 	diags    []Diagnostic
 }
@@ -78,6 +83,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerErrWrap,
 		AnalyzerTracePair,
 		AnalyzerFloatEq,
+		AnalyzerTaintSize,
+		AnalyzerCtxPoll,
+		AnalyzerGoroLeak,
 	}
 }
 
@@ -108,8 +116,9 @@ func ByName(name string) *Analyzer {
 // pseudo-analyzer name "directive".
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	prog := buildProgram(fset, pkgs)
 	for _, a := range analyzers {
-		pass := &Pass{Fset: fset, Pkgs: pkgs, analyzer: a.Name}
+		pass := &Pass{Fset: fset, Pkgs: pkgs, Prog: prog, analyzer: a.Name}
 		a.Run(pass)
 		for _, d := range pass.diags {
 			if suppressed(pkgs, d) {

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a multiset of accepted diagnostics: the debt a codebase has
+// adopted and must not grow. Keys are "file|analyzer|message" with the file
+// made module-relative, and deliberately exclude line numbers — unrelated
+// edits move findings around without changing what was accepted, and a
+// baseline that churns on every edit stops being a ratchet.
+//
+// Counts make it a multiset: adopting two identical findings in one file
+// permits exactly two, so introducing a third identical instance still
+// fails.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey renders the identity of a diagnostic for baseline matching.
+// root (the module root) relativizes the file path so a baseline checked in
+// from one checkout matches on another.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.File
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return file + "|" + d.Analyzer + "|" + d.Message
+}
+
+// ParseBaseline reads a baseline file: one key per line, duplicates counted,
+// blank lines and #-comments skipped.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if strings.Count(s, "|") < 2 {
+			return nil, fmt.Errorf("baseline line %d: want file|analyzer|message, got %q", line, s)
+		}
+		b.counts[s]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// FormatBaseline renders diags as a baseline file: sorted, one key per
+// occurrence, with a header documenting the ratchet contract.
+func FormatBaseline(root string, diags []Diagnostic) []byte {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(root, d))
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# clizlint baseline: adopted findings (file|analyzer|message).\n")
+	buf.WriteString("# New findings not in this file fail the lint; fix a finding and\n")
+	buf.WriteString("# regenerate with clizlint -baseline <file> -update-baseline to ratchet down.\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Filter splits diags into the findings not covered by the baseline (kept,
+// in input order) and reports how many baseline entries went unmatched
+// (stale — findings that were fixed; the ratchet opportunity). Each baseline
+// entry absorbs at most its count of matching diagnostics.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept []Diagnostic, stale int) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, n := range remaining {
+		stale += n
+	}
+	return kept, stale
+}

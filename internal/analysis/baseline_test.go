@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineDiag(file, analyzer, msg string) Diagnostic {
+	return Diagnostic{File: file, Analyzer: analyzer, Message: msg, Severity: SeverityError}
+}
+
+func TestBaselineAdoptThenClean(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("/mod/a.go", "ctxpoll", "loop without poll"),
+		baselineDiag("/mod/b.go", "taintsize", "unchecked make"),
+	}
+	data := FormatBaseline("/mod", diags)
+	if !strings.Contains(string(data), "a.go|ctxpoll|loop without poll") {
+		t.Fatalf("baseline missing module-relative key:\n%s", data)
+	}
+	base, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, stale := base.Filter("/mod", diags)
+	if len(kept) != 0 || stale != 0 {
+		t.Fatalf("adopted findings must be clean: kept=%v stale=%d", kept, stale)
+	}
+}
+
+func TestBaselineNewFindingFails(t *testing.T) {
+	old := []Diagnostic{baselineDiag("/mod/a.go", "ctxpoll", "loop without poll")}
+	base, err := ParseBaseline(FormatBaseline("/mod", old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := append(old, baselineDiag("/mod/c.go", "goroleak", "unjoined goroutine"))
+	kept, stale := base.Filter("/mod", now)
+	if len(kept) != 1 || kept[0].Analyzer != "goroleak" {
+		t.Fatalf("want only the new finding kept, got %v", kept)
+	}
+	if stale != 0 {
+		t.Fatalf("no entries should be stale, got %d", stale)
+	}
+}
+
+func TestBaselineRatchetReportsStale(t *testing.T) {
+	old := []Diagnostic{
+		baselineDiag("/mod/a.go", "ctxpoll", "loop without poll"),
+		baselineDiag("/mod/b.go", "taintsize", "unchecked make"),
+	}
+	base, err := ParseBaseline(FormatBaseline("/mod", old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finding was fixed; its entry is stale (the ratchet opportunity).
+	kept, stale := base.Filter("/mod", old[:1])
+	if len(kept) != 0 {
+		t.Fatalf("remaining finding is baselined, got %v", kept)
+	}
+	if stale != 1 {
+		t.Fatalf("want 1 stale entry, got %d", stale)
+	}
+}
+
+func TestBaselineIsMultiset(t *testing.T) {
+	// Two identical findings adopted; a third identical one must still fail.
+	twice := []Diagnostic{
+		baselineDiag("/mod/a.go", "ctxpoll", "loop without poll"),
+		baselineDiag("/mod/a.go", "ctxpoll", "loop without poll"),
+	}
+	base, err := ParseBaseline(FormatBaseline("/mod", twice))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrice := append(twice, twice[0])
+	kept, _ := base.Filter("/mod", thrice)
+	if len(kept) != 1 {
+		t.Fatalf("multiset must absorb exactly two, got kept=%v", kept)
+	}
+}
+
+func TestBaselineLineNumbersIrrelevant(t *testing.T) {
+	d := baselineDiag("/mod/a.go", "ctxpoll", "loop without poll")
+	d.Line, d.Column = 10, 2
+	base, err := ParseBaseline(FormatBaseline("/mod", []Diagnostic{d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Line, d.Column = 99, 5 // unrelated edit moved the finding
+	kept, stale := base.Filter("/mod", []Diagnostic{d})
+	if len(kept) != 0 || stale != 0 {
+		t.Fatalf("moved finding must still match: kept=%v stale=%d", kept, stale)
+	}
+}
+
+func TestBaselineParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseBaseline([]byte("not a key\n")); err == nil {
+		t.Fatal("want parse error for malformed line")
+	}
+	b, err := ParseBaseline([]byte("# comment\n\na.go|ctxpoll|msg with | pipe\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.counts) != 1 {
+		t.Fatalf("comments and blanks must be skipped, got %v", b.counts)
+	}
+}

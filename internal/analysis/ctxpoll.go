@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerCtxPoll enforces the PR 7 cooperative-cancellation contract on
+// the service-facing subsystems: every data-proportional loop reachable
+// from a service or stream entry point (Compress*/Decompress*/Tune*/
+// Append/ReadFrame/Estimate, plus the HTTP handlers) whose body does
+// per-element work must reach a cancellation poll — an Interrupt/
+// interrupted/poll* call or ctx.Err()/ctx.Done() — inside the loop,
+// either directly or through a callee whose summary polls.
+//
+// Scope is deliberate: the core codec polls at stage and chunk
+// boundaries by design (tight kernels stay branch-free), so only the
+// packages that own request lifetimes — service, stream, estimate — are
+// held to the per-loop rule. "Data-proportional" means the loop bound is
+// not a compile-time constant (or it ranges over a slice/map/channel/
+// string/non-constant int); "per-element work" means the body calls a
+// module-local or statically unresolvable function, or contains another
+// data-proportional loop — pure-arithmetic loops are exempt because
+// their per-element cost is bounded.
+//
+// The check is capability-based: a callee that polls a nil Interrupt
+// hook satisfies it. The wiring of real hooks (WithContext, TuneOptions)
+// is pinned by runtime cancellation tests instead.
+var AnalyzerCtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "service/stream/estimate loops doing per-element work must reach a cancellation poll",
+	Run:  runCtxPoll,
+}
+
+// ctxPollEntryPattern matches the exported entry points that own a
+// request or stream lifetime.
+var ctxPollEntryPattern = regexp.MustCompile(`^(Compress|Decompress|AutoTune|Tune|Append|ReadFrame|Estimate)`)
+
+// ctxPollPackages are the package names held to the per-loop poll rule.
+// Matching by name lets golden testdata fixtures participate.
+var ctxPollPackages = map[string]bool{
+	"service":  true,
+	"stream":   true,
+	"estimate": true,
+}
+
+// ctxPollEntryPoints collects the cancellation-contract entry points:
+// exported lifetime-owning functions in the scoped packages, plus the
+// HTTP handler methods (handle*, ServeHTTP) in the service package.
+func ctxPollEntryPoints(pkgs []*Package) []*types.Func {
+	var entries []*types.Func
+	for _, pkg := range pkgs {
+		if !ctxPollPackages[pkg.Name] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := fd.Name.Name
+				match := fd.Name.IsExported() && ctxPollEntryPattern.MatchString(name)
+				if pkg.Name == "service" && (strings.HasPrefix(name, "handle") || name == "ServeHTTP") {
+					match = true
+				}
+				if !match {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					entries = append(entries, obj)
+				}
+			}
+		}
+	}
+	return entries
+}
+
+func runCtxPoll(pass *Pass) {
+	prog := pass.Program()
+	entries := ctxPollEntryPoints(pass.Pkgs)
+	reach, parent := prog.graph.reachableFrom(entries)
+	for _, f := range prog.funcs {
+		if !reach[f] {
+			continue
+		}
+		node := prog.graph.nodes[f]
+		if !ctxPollPackages[node.pkg.Name] {
+			continue
+		}
+		checkLoops(pass, prog, node, node.decl.Body, parent, f)
+	}
+}
+
+// checkLoops walks stmts for data-proportional loops, reporting the
+// outermost offender in each subtree (a flagged loop's inner loops share
+// the missing poll, so one report covers them).
+func checkLoops(pass *Pass, prog *Program, node *funcNode, root ast.Node, parent map[*types.Func]*types.Func, f *types.Func) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			if !dataProportionalFor(node.pkg, l) {
+				return true
+			}
+			body = l.Body
+		case *ast.RangeStmt:
+			if !dataProportionalRange(node.pkg, l) || literalBacked(node, l.X) {
+				return true
+			}
+			body = l.Body
+		default:
+			return true
+		}
+		if !loopDoesWork(prog, node.pkg, body) || loopReachesPoll(prog, node.pkg, body) {
+			return true // keep descending: an inner loop may still offend
+		}
+		pass.Reportf(n.Pos(),
+			"data-proportional loop in %s does per-element work without reaching a cancellation poll (%s); poll Interrupt/ctx.Err() in the loop or call a polling helper",
+			f.Name(), chain(parent, f))
+		return false // inner loops share this report
+	})
+}
+
+// dataProportionalFor reports whether the for statement's trip count can
+// scale with input data: a comparison condition with no constant
+// operand, or a non-comparison condition. `for` with no condition
+// (select/event loops) and constant-bounded loops are exempt.
+func dataProportionalFor(pkg *Package, n *ast.ForStmt) bool {
+	if n.Cond == nil {
+		return false
+	}
+	be, ok := ast.Unparen(n.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return true
+	}
+	return !isConstExpr(pkg, be.X) && !isConstExpr(pkg, be.Y)
+}
+
+// dataProportionalRange reports whether the range statement iterates a
+// data-sized container: slice, map, channel, string, function iterator,
+// or non-constant integer. Fixed-size arrays are exempt.
+func dataProportionalRange(pkg *Package, n *ast.RangeStmt) bool {
+	t := pkg.Info.TypeOf(n.X)
+	if t == nil {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 || u.Info()&types.IsString != 0 {
+			return !isConstExpr(pkg, n.X)
+		}
+		return false
+	case *types.Array:
+		return false
+	case *types.Pointer:
+		_, arr := u.Elem().Underlying().(*types.Array)
+		return !arr
+	}
+	return true
+}
+
+// literalBacked reports whether x is a local variable whose every
+// assignment in the function is a composite literal — its length is a
+// source-visible constant (e.g. a table of fractions), so ranging over
+// it is not data-proportional.
+func literalBacked(node *funcNode, x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := node.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	assigned, allLits := false, true
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || node.pkg.Info.ObjectOf(lid) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				assigned = true
+				if _, lit := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); !lit {
+					allLits = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if node.pkg.Info.ObjectOf(name) != obj || i >= len(n.Values) {
+					continue
+				}
+				assigned = true
+				if _, lit := ast.Unparen(n.Values[i]).(*ast.CompositeLit); !lit {
+					allLits = false
+				}
+			}
+		}
+		return true
+	})
+	return assigned && allLits
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// loopDoesWork reports whether the loop body does per-element work: a
+// call to a module-local function, a statically unresolvable call
+// (closure variable, function value, interface method), or a nested
+// data-proportional loop. Builtins, conversions, and non-module calls
+// (stdlib arithmetic, fmt) do not count.
+func loopDoesWork(prog *Program, pkg *Package, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if dataProportionalFor(pkg, n) {
+				work = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if dataProportionalRange(pkg, n) {
+				work = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isPollCall(pkg, n) {
+				return true // a poll is not work
+			}
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			callee := resolveCallee(pkg, n)
+			if callee == nil || prog.isModuleFunc(callee) {
+				work = true
+				return false
+			}
+		}
+		return true
+	})
+	return work
+}
+
+// loopReachesPoll reports whether the loop body reaches a cancellation
+// poll: a direct poll call, or a call to a module-local callee whose
+// summary polls (transitively).
+func loopReachesPoll(prog *Program, pkg *Package, body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPollCall(pkg, call) {
+			polls = true
+			return false
+		}
+		if f := resolveCallee(pkg, call); f != nil {
+			if s := prog.sums[f]; s != nil && s.polls {
+				polls = true
+				return false
+			}
+		}
+		return true
+	})
+	return polls
+}

@@ -23,9 +23,9 @@ var AnalyzerErrWrap = &Analyzer{
 }
 
 func runErrWrap(pass *Pass) {
-	g := buildCallGraph(pass.Pkgs)
-	entries := decodeEntryPoints(pass.Pkgs)
-	reach, parent := g.reachableFrom(entries)
+	prog := pass.Program()
+	g := prog.graph
+	reach, parent := prog.decodeReach, prog.decodeParent
 	for f := range reach {
 		node := g.nodes[f]
 		if node == nil {

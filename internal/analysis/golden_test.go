@@ -133,6 +133,28 @@ func TestGoldenTracePair(t *testing.T) {
 	runGolden(t, "tracepair/tracecheck", []*Analyzer{AnalyzerTracePair})
 }
 func TestGoldenFloatEq(t *testing.T) { runGolden(t, "floateq/quant", []*Analyzer{AnalyzerFloatEq}) }
+func TestGoldenTaintSize(t *testing.T) {
+	runGolden(t, "taintsize/codec", []*Analyzer{AnalyzerTaintSize})
+}
+func TestGoldenCtxPoll(t *testing.T) {
+	runGolden(t, "ctxpoll/stream", []*Analyzer{AnalyzerCtxPoll})
+}
+func TestGoldenGoroLeak(t *testing.T) {
+	runGolden(t, "goroleak/service", []*Analyzer{AnalyzerGoroLeak})
+}
+
+// Regression fixtures: minimized real-world shapes from this module's
+// own triage. Each pre-fix hazard must keep firing and each shipped fix
+// (or summary-proved safe shape) must stay clean.
+func TestRegressStreamDelta(t *testing.T) {
+	runGolden(t, "regress/stream", []*Analyzer{AnalyzerCtxPoll})
+}
+func TestRegressZFPPlanes(t *testing.T) {
+	runGolden(t, "regress/zfp", []*Analyzer{AnalyzerTaintSize})
+}
+func TestRegressServiceRefresh(t *testing.T) {
+	runGolden(t, "regress/service", []*Analyzer{AnalyzerGoroLeak})
+}
 
 // TestGoldenDirectives checks the engine's own directive validation
 // (missing reason, unknown analyzer) with the full suite active.
@@ -148,6 +170,9 @@ func TestEachAnalyzerFires(t *testing.T) {
 		"errwrap":      "errwrap/core",
 		"tracepair":    "tracepair/tracecheck",
 		"floateq":      "floateq/quant",
+		"taintsize":    "taintsize/codec",
+		"ctxpoll":      "ctxpoll/stream",
+		"goroleak":     "goroleak/service",
 	}
 	l := sharedLoader(t)
 	for _, a := range Analyzers() {

@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerGoroLeak enforces goroutine hygiene: every `go` statement in
+// non-test code must have a visible join or cancellation path, so a
+// caller that returns early cannot strand the goroutine. Accepted
+// evidence, checked lexically in the goroutine body and its enclosing
+// function:
+//
+//   - WaitGroup: the body calls Done (directly or deferred) and the
+//     enclosing function Waits on the same WaitGroup.
+//   - Channel handoff: the body sends on or closes a channel, and the
+//     enclosing function receives from / selects on / ranges over a
+//     channel, returns one, or the channel arrived as a parameter or
+//     field (the consumer lives elsewhere by construction).
+//   - Context binding: the body references a context.Context or polls an
+//     Interrupt hook, so cancellation reaches it.
+//   - A named `go f(...)` call passing a context, WaitGroup, or channel
+//     argument, or whose callee's summary polls.
+//
+// A sub-check scoped to internal/service flags mutexes held across
+// blocking operations: inside a lexical Lock..Unlock window (a deferred
+// Unlock extends the window to the end of the function), any channel
+// operation, select, Wait/Sleep, or call to a module-local callee whose
+// summary blocks is reported — the PR 7 singleflight design requires
+// the LRU mutex to be released around AutoTune/encode work.
+var AnalyzerGoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines need a join or cancellation path; service mutexes must not be held across blocking calls",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	prog := pass.Program()
+	for _, f := range prog.funcs {
+		node := prog.graph.nodes[f]
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineJoined(prog, node, gs) {
+				pass.Reportf(gs.Pos(),
+					"goroutine launched in %s has no join or cancellation path (no WaitGroup Done/Wait pair, channel handoff, or context binding); a caller that returns early leaks it",
+					f.Name())
+			}
+			return true
+		})
+		if node.pkg.Name == "service" {
+			checkMutexWindows(pass, prog, node)
+		}
+	}
+}
+
+// goroutineJoined decides whether the go statement has join or
+// cancellation evidence.
+func goroutineJoined(prog *Program, node *funcNode, gs *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go f(args...): joined if an argument carries a lifetime (context,
+		// WaitGroup, channel) or the callee polls cancellation itself.
+		for _, arg := range gs.Call.Args {
+			if carriesLifetime(node.pkg.Info.TypeOf(arg)) {
+				return true
+			}
+		}
+		if f := resolveCallee(node.pkg, gs.Call); f != nil {
+			if s := prog.sums[f]; s != nil && s.polls {
+				return true
+			}
+		}
+		return false
+	}
+	body := lit.Body
+	// WaitGroup: Done in the body, Wait on the same group in the encloser.
+	for _, done := range receiverRefs(node.pkg, body, "Done") {
+		for _, wait := range receiverRefs(node.pkg, node.decl.Body, "Wait") {
+			if done == wait {
+				return true
+			}
+		}
+	}
+	// Channel handoff: the body sends/closes; the result is consumed by
+	// the encloser or the channel's owner lives elsewhere.
+	if r, sends := bodySendsOnChannel(node.pkg, body); sends {
+		if enclosingConsumesChannel(node.pkg, node.decl.Body) {
+			return true
+		}
+		if r.obj != nil && !isFunctionLocal(r.obj, node.decl) {
+			return true
+		}
+	}
+	// Context binding: the body can observe cancellation.
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if t := node.pkg.Info.TypeOf(n); t != nil && t.String() == "context.Context" {
+				bound = true
+			}
+		case *ast.CallExpr:
+			if isPollCall(node.pkg, n) {
+				bound = true
+			}
+			if f := resolveCallee(node.pkg, n); f != nil {
+				if s := prog.sums[f]; s != nil && s.polls {
+					bound = true
+				}
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+func carriesLifetime(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.String() == "context.Context" {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if strings.HasSuffix(t.String(), "sync.WaitGroup") {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// receiverRefs collects the value-graph refs of x in x.<method>() calls
+// with the given method name inside root.
+func receiverRefs(pkg *Package, root ast.Node, method string) []ref {
+	var out []ref
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if r, ok := resolveExprRef(pkg, sel.X); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// bodySendsOnChannel reports whether the goroutine body sends on or
+// closes a channel, returning the channel's ref when resolvable.
+func bodySendsOnChannel(pkg *Package, body *ast.BlockStmt) (ref, bool) {
+	var out ref
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			out, _ = resolveExprRef(pkg, n.Chan)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					found = true
+					out, _ = resolveExprRef(pkg, n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return out, found
+}
+
+// enclosingConsumesChannel reports whether the enclosing function
+// contains a receive operation, a select, or a range over a channel —
+// the consumption side of a handoff.
+func enclosingConsumesChannel(pkg *Package, body *ast.BlockStmt) bool {
+	consumes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if consumes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			consumes = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				consumes = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					consumes = true
+				}
+			}
+		}
+		return true
+	})
+	return consumes
+}
+
+// isFunctionLocal reports whether obj is declared inside fd's body (as
+// opposed to a parameter, field owner, or package-level variable, whose
+// consumer can live elsewhere).
+func isFunctionLocal(obj types.Object, fd *ast.FuncDecl) bool {
+	return obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}
+
+// ---------------------------------------------------------------------
+// Mutex-across-blocking sub-check (internal/service).
+// ---------------------------------------------------------------------
+
+type lockWindow struct {
+	recv       ref
+	start, end token.Pos
+}
+
+// checkMutexWindows finds lexical Lock..Unlock windows in node's body
+// and reports blocking operations inside them.
+func checkMutexWindows(pass *Pass, prog *Program, node *funcNode) {
+	windows := collectLockWindows(node)
+	if len(windows) == 0 {
+		return
+	}
+	for _, site := range blockingSites(prog, node) {
+		for _, w := range windows {
+			if site.pos > w.start && site.pos < w.end {
+				pass.Reportf(site.pos,
+					"%s while holding %s locked in %s; release the mutex before blocking work (unlock around the heavy section, singleflight style)",
+					site.what, refName(w.recv), node.decl.Name.Name)
+				break
+			}
+		}
+	}
+}
+
+// collectLockWindows pairs each Lock/RLock with the first later Unlock/
+// RUnlock on the same receiver. A deferred unlock extends the window to
+// the end of the function.
+func collectLockWindows(node *funcNode) []lockWindow {
+	type ev struct {
+		r        ref
+		pos      token.Pos
+		name     string
+		deferred bool
+	}
+	var evs []ev
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		deferred := false
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred = true
+			call = n.Call
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			if !isMutexRecv(node.pkg, sel.X) {
+				return true
+			}
+			if r, ok := resolveExprRef(node.pkg, sel.X); ok {
+				evs = append(evs, ev{r: r, pos: call.Pos(), name: sel.Sel.Name, deferred: deferred})
+			}
+		}
+		return !deferred
+	})
+	var out []lockWindow
+	for _, e := range evs {
+		if e.name != "Lock" && e.name != "RLock" {
+			continue
+		}
+		w := lockWindow{recv: e.r, start: e.pos, end: node.decl.Body.End()}
+		for _, u := range evs {
+			if u.r == e.r && !u.deferred && u.pos > e.pos &&
+				(u.name == "Unlock" || u.name == "RUnlock") && u.pos < w.end {
+				w.end = u.pos
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func isMutexRecv(pkg *Package, x ast.Expr) bool {
+	t := pkg.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return strings.HasSuffix(s, "sync.Mutex") || strings.HasSuffix(s, "sync.RWMutex")
+}
+
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// blockingSites collects operations in node's body (outside go
+// statements and function literals) that can block the calling
+// goroutine: channel operations, select, Wait/Sleep, and calls to
+// module-local callees whose summaries block.
+func blockingSites(prog *Program, node *funcNode) []blockSite {
+	var out []blockSite
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			out = append(out, blockSite{n.Pos(), "channel send"})
+		case *ast.SelectStmt:
+			out = append(out, blockSite{n.Pos(), "select"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, blockSite{n.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := node.pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					out = append(out, blockSite{n.Pos(), "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			switch calleeName(n) {
+			case "Wait", "Sleep":
+				out = append(out, blockSite{n.Pos(), calleeName(n) + " call"})
+				return true
+			}
+			if f := resolveCallee(node.pkg, n); f != nil && prog.isModuleFunc(f) {
+				if s := prog.sums[f]; s != nil && s.blocking {
+					out = append(out, blockSite{n.Pos(), "call to blocking " + f.Name()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -127,6 +127,20 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 				}
 				add(p)
 			}
+		case strings.HasPrefix(pat, "./") && strings.HasSuffix(pat, "/..."):
+			// Recursive subtree pattern, e.g. ./cmd/...
+			root := filepath.Join(l.modDir, filepath.FromSlash(strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")))
+			dirs, err := l.dirsUnder(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				p, err := l.loadDir(d)
+				if err != nil {
+					return nil, err
+				}
+				add(p)
+			}
 		case strings.HasPrefix(pat, "./") || pat == ".":
 			p, err := l.loadDir(filepath.Join(l.modDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
 			if err != nil {
@@ -149,8 +163,14 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 // at least one non-test .go file, skipping testdata, hidden dirs, and
 // vendor.
 func (l *Loader) moduleDirs() ([]string, error) {
+	return l.dirsUnder(l.modDir)
+}
+
+// dirsUnder walks root for package directories with the same skip rules
+// as moduleDirs (testdata, hidden, vendor).
+func (l *Loader) dirsUnder(root string) ([]string, error) {
 	var dirs []string
-	err := filepath.WalkDir(l.modDir, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -158,7 +178,7 @@ func (l *Loader) moduleDirs() ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != l.modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
 			name == "testdata" || name == "vendor" || name == "results") {
 			return filepath.SkipDir
 		}

@@ -18,9 +18,9 @@ var AnalyzerNoPanic = &Analyzer{
 }
 
 func runNoPanic(pass *Pass) {
-	g := buildCallGraph(pass.Pkgs)
-	entries := decodeEntryPoints(pass.Pkgs)
-	reach, parent := g.reachableFrom(entries)
+	prog := pass.Program()
+	g := prog.graph
+	reach, parent := prog.decodeReach, prog.decodeParent
 	reported := make(map[*types.Func]bool)
 	for f := range reach {
 		node := g.nodes[f]

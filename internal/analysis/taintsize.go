@@ -1,0 +1,71 @@
+package analysis
+
+import "fmt"
+
+// AnalyzerTaintSize tracks bitstream-derived integers across function
+// boundaries into allocation sizes and loop bounds. It is the
+// interprocedural superset of boundedalloc: boundedalloc flags a read
+// feeding a make() inside one function; taintsize flags the same flow
+// when the read, the value plumbing, and the sink live in different
+// functions — a length decoded in a helper, returned to a caller, and
+// passed two hops down into a make() with no bounds check anywhere on
+// the path.
+//
+// The split keeps the two analyzers disjoint: taintsize only reports
+// flows that cross at least one call boundary (the taint arrived from a
+// summarized callee result, or it departs into a summarized callee
+// sink), so a finding is never reported twice under two names.
+//
+// Sanitization is positional, inherited from boundedalloc: a relational
+// comparison involving the value, or passing it to a call whose name
+// says check/valid/budget/cap/bound, kills the taint from that point on.
+// For loop-bound sinks the cutoff is the loop statement itself, so a
+// loop's own `i < n` condition does not sanitize its bound.
+var AnalyzerTaintSize = &Analyzer{
+	Name: "taintsize",
+	Doc:  "bitstream-derived sizes must be bounds-checked before crossing calls into make/loop sinks",
+	Run:  runTaintSize,
+}
+
+func runTaintSize(pass *Pass) {
+	prog := pass.Program()
+	for _, f := range prog.funcs {
+		node := prog.graph.nodes[f]
+		fl := newFuncFlow(node.pkg, node.decl, prog)
+		for _, s := range fl.sinks {
+			tv, name := fl.taintOfExpr(s.expr, s.cutoff)
+			if !tv.direct {
+				continue
+			}
+			// An unnamed tainted value (an inline call chain feeding the
+			// sink directly) has no variable to point at; describe it by
+			// its origin alone instead of repeating the origin twice.
+			desc := fmt.Sprintf("%s, a bitstream-derived value from %s,", name, tv.srcDesc)
+			short := fmt.Sprintf("bitstream-derived value %s (from %s)", name, tv.srcDesc)
+			if name == "" || name == tv.srcDesc {
+				desc = fmt.Sprintf("the bitstream-derived result of %s,", tv.srcDesc)
+				short = fmt.Sprintf("the bitstream-derived result of %s", tv.srcDesc)
+			}
+			switch s.kind {
+			case sinkMake:
+				if !tv.viaCall {
+					continue // intra-function flow: boundedalloc's finding
+				}
+				pass.Reportf(s.pos,
+					"make() sized by %s with no bounds check on the path; cap it against a computed budget before allocating",
+					desc)
+			case sinkLoop:
+				if !tv.viaCall {
+					continue
+				}
+				pass.Reportf(s.pos,
+					"loop bounded by %s with no bounds check on the path; validate it against a computed budget before looping",
+					desc)
+			case sinkCall:
+				pass.Reportf(s.pos,
+					"%s flows unchecked into %s; cap it before the call",
+					short, s.desc)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package stream is a golden-test fixture for the ctxpoll analyzer:
+// data-proportional loops reachable from lifetime-owning entry points
+// must reach a cancellation poll, directly or through a callee whose
+// summary polls.
+package stream
+
+// Reader carries the cancellation hook, mirroring core.Options.Interrupt.
+type Reader struct {
+	interrupt func() error
+}
+
+// interrupted polls the hook; its name satisfies the poll pattern and
+// its summary marks every caller's loop as polling.
+func (r *Reader) interrupted() error {
+	if r.interrupt == nil {
+		return nil
+	}
+	return r.interrupt()
+}
+
+// step is the per-element work the contract is about.
+func step(v float32) float32 {
+	return v * 0.5
+}
+
+// ReadFrame does per-element work with no poll in sight (flagged).
+func (r *Reader) ReadFrame(data []float32) float32 {
+	var sum float32
+	for _, v := range data { // want `data-proportional loop in ReadFrame does per-element work without reaching a cancellation poll`
+		sum += step(v)
+	}
+	return sum
+}
+
+// Decompress polls directly inside the loop (clean).
+func (r *Reader) Decompress(data []float32) float32 {
+	var sum float32
+	for _, v := range data {
+		if r.interrupted() != nil {
+			return sum
+		}
+		sum += step(v)
+	}
+	return sum
+}
+
+// Append reaches the poll transitively: chunk's summary polls (clean).
+func (r *Reader) Append(data []float32) float32 {
+	var sum float32
+	for _, v := range data {
+		sum += r.chunk(v)
+	}
+	return sum
+}
+
+func (r *Reader) chunk(v float32) float32 {
+	if r.interrupted() != nil {
+		return 0
+	}
+	return step(v)
+}
+
+// Tune's loop is pure arithmetic: bounded per-element cost, exempt.
+func (r *Reader) Tune(data []float32) float32 {
+	var sum float32
+	for _, v := range data {
+		sum += v * v
+	}
+	return sum
+}
+
+// Estimate iterates a bounded table; the directive records why no poll
+// is needed and must suppress the diagnostic.
+func (r *Reader) Estimate(rows []float32) float32 {
+	var sum float32
+	//clizlint:ignore ctxpoll bounded calibration table, not request data
+	for _, v := range rows {
+		sum += step(v)
+	}
+	return sum
+}

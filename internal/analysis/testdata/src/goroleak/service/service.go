@@ -1,0 +1,99 @@
+// Package service is a golden-test fixture for the goroleak analyzer:
+// every go statement needs a join or cancellation path, and service
+// mutexes must not be held across blocking calls.
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work(i int) int {
+	return i * 2
+}
+
+// Flood launches a goroutine with no join, handoff, or context binding
+// (flagged): a caller that returns early leaks it.
+func Flood(n int) {
+	go func() { // want `goroutine launched in Flood has no join or cancellation path`
+		work(n)
+	}()
+}
+
+// Joined pairs Done in the body with Wait on the same group (clean).
+func Joined(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(n)
+	}()
+	wg.Wait()
+}
+
+// Handoff sends the result on a channel the encloser receives (clean).
+func Handoff(n int) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work(n)
+	}()
+	return <-ch
+}
+
+// Escape sends on a caller-owned channel: the consumer lives elsewhere
+// (clean).
+func Escape(ch chan<- int, n int) {
+	go func() {
+		ch <- work(n)
+	}()
+}
+
+// Bound binds the goroutine to a context it can observe (clean).
+func Bound(ctx context.Context, n int) {
+	go func() {
+		<-ctx.Done()
+		work(n)
+	}()
+}
+
+// cache is the mutex-discipline half of the fixture.
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// slowLoad blocks (Sleep), so its summary marks callers' lock windows.
+func slowLoad(k string) int {
+	time.Sleep(time.Millisecond)
+	return len(k)
+}
+
+// BadGet holds the cache mutex across the blocking load (flagged): every
+// other request serializes behind one slow miss.
+func (c *cache) BadGet(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	if !ok {
+		v = slowLoad(k) // want `call to blocking slowLoad while holding .* locked in BadGet`
+		c.m[k] = v
+	}
+	return v
+}
+
+// GoodGet releases the mutex around the heavy section, singleflight
+// style (clean).
+func (c *cache) GoodGet(k string) int {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = slowLoad(k)
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,58 @@
+// Package service is a regression fixture pinning the two goroutine-
+// hygiene shapes audited in the real internal/service code: a cache
+// refresh goroutine fired without any join path (the pre-fix hazard the
+// analyzer must keep catching), and the shipped singleflight cache.Get
+// whose in-flight channel handoff must stay clean.
+package service
+
+import "sync"
+
+func retune(key string) int {
+	return len(key)
+}
+
+// RefreshStale is the hazard shape: a fire-and-forget retune goroutine
+// with no WaitGroup, channel, or context — a shutdown leaks it mid-run
+// (must keep firing).
+func RefreshStale(keys []string) {
+	for _, k := range keys {
+		k := k
+		go func() { // want `goroutine launched in RefreshStale has no join or cancellation path`
+			retune(k)
+		}()
+	}
+}
+
+// flight is one in-flight tune; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  int
+}
+
+// cache is the singleflight LRU shape shipped in internal/service.
+type cache struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// Get is the shipped shape: the mutex guards only map access, the heavy
+// retune runs unlocked, and the goroutine closes a channel every waiter
+// receives from — a channel handoff, not a leak (must stay clean).
+func (c *cache) Get(key string) int {
+	c.mu.Lock()
+	f, ok := c.m[key]
+	if ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val
+	}
+	f = &flight{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+	go func() {
+		f.val = retune(key)
+		close(f.done)
+	}()
+	<-f.done
+	return f.val
+}

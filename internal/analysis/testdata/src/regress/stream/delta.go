@@ -1,0 +1,48 @@
+// Package stream is a regression fixture minimized from the real
+// internal/stream finding this suite's first run caught: decodeDelta's
+// per-point reconstruction loop ran a keyframe interval's worth of work
+// during a replayed Seek without ever polling the Interrupt hook. The
+// pre-fix shape must keep firing; the shipped fix (a periodic poll) must
+// stay clean.
+package stream
+
+type reader struct {
+	interrupt func() error
+	cur       []float32
+}
+
+func (r *reader) interrupted() error {
+	if r.interrupt == nil {
+		return nil
+	}
+	return r.interrupt()
+}
+
+func (r *reader) recover(prev float32, sym uint32) float32 {
+	return prev + float32(sym)
+}
+
+// DecompressDelta is the pre-fix decodeDelta: volume-proportional work,
+// no poll (must keep firing).
+func (r *reader) DecompressDelta(syms []uint32) []float32 {
+	out := make([]float32, len(syms))
+	for i, sym := range syms { // want `data-proportional loop in DecompressDelta does per-element work without reaching a cancellation poll`
+		out[i] = r.recover(r.cur[i], sym)
+	}
+	return out
+}
+
+// DecompressDeltaFixed is the shipped fix: a periodic mid-frame poll
+// (clean).
+func (r *reader) DecompressDeltaFixed(syms []uint32) ([]float32, error) {
+	out := make([]float32, len(syms))
+	for i, sym := range syms {
+		if i&0xffff == 0 {
+			if err := r.interrupted(); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = r.recover(r.cur[i], sym)
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+// Package zfp is a regression fixture minimized from the internal/zfp
+// triage that shaped taintsize's summary model: a bit-plane count read
+// from the stream flows into decodePlanes' loop bound. The real code is
+// safe because precision() clamps the count in-callee — the analyzer
+// must prove that through the param->result summary mask rather than
+// flag it (the false positive the first implementation produced), while
+// the same flow without the clamp must keep firing.
+package zfp
+
+type bitReader struct {
+	buf []byte
+	pos uint
+}
+
+// ReadBits matches the bitstream-source pattern, like the real bit
+// reader it stands in for.
+func (b *bitReader) ReadBits(n uint) uint64 {
+	var v uint64
+	for i := uint(0); i < n && int((b.pos+i)/8) < len(b.buf); i++ {
+		v |= uint64(b.buf[(b.pos+i)/8]>>((b.pos+i)%8)&1) << i
+	}
+	b.pos += n
+	return v
+}
+
+// readBits wraps the raw read; its summary carries the taint to callers.
+func readBits(b *bitReader, n uint) uint64 {
+	return b.ReadBits(n)
+}
+
+const intprec = 32
+
+// precision clamps the decoded count to the representable range — the
+// real zfp helper whose in-callee sanitization must zero the summary's
+// param->result taint mask.
+func precision(p uint64) uint64 {
+	if p > intprec {
+		return intprec
+	}
+	return p
+}
+
+func decodePlanes(planes []uint64, kmax uint64) uint64 {
+	var acc uint64
+	for k := uint64(0); k < kmax && int(k) < len(planes); k++ {
+		acc ^= planes[k]
+	}
+	return acc
+}
+
+// DecodeBlock is the real shape: clamped in-callee, must stay clean.
+func DecodeBlock(b *bitReader, planes []uint64) uint64 {
+	raw := readBits(b, 7)
+	prec := precision(raw)
+	return decodePlanes(planes, prec)
+}
+
+// DecodeBlockUnclamped drops the clamp: the same two-hop flow must fire.
+func DecodeBlockUnclamped(b *bitReader, planes []uint64) uint64 {
+	raw := readBits(b, 7)
+	prec := raw
+	return decodePlanes(planes, prec) // want `bitstream-derived value prec \(from readBits\(\)\) flows unchecked into a loop bound in decodePlanes`
+}

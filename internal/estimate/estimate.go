@@ -24,6 +24,12 @@ const DefaultMinConfidence = 0.5
 // that the estimator must honor to stay inside the tuner's candidate space.
 type Config struct {
 	Tune core.TuneConfig
+	// Interrupt, when non-nil, is polled between estimation stages, inside
+	// the feature passes, and by the probe compressions (threaded into
+	// core.Options.Interrupt). A non-nil return cancels the estimate with
+	// an error wrapping core.ErrInterrupted. cliz.AutoTune wires
+	// TuneOptions.Context.Err here.
+	Interrupt func() error
 }
 
 // Result is a pipeline estimate: the predicted winner, the expected full-data
@@ -462,12 +468,17 @@ func fmtBits(bits []float64) string {
 // milliseconds against the tuner's full candidate search.
 func Estimate(ds *dataset.Dataset, eb float64, cfg Config) (*Result, error) {
 	start := time.Now()
-	f, err := Extract(ds, eb)
+	f, err := extract(ds, eb, cfg.Interrupt)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Interrupt != nil {
+		if err := cfg.Interrupt(); err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrInterrupted, err)
+		}
+	}
 	d := decide(&f, ds.Mask != nil, cfg.Tune)
-	pr, err := probeRatio(ds, eb, &d)
+	pr, err := probeRatio(ds, eb, &d, cfg.Interrupt)
 	if err != nil {
 		return nil, fmt.Errorf("estimate: probe compression: %w", err)
 	}
@@ -592,6 +603,7 @@ func planTournament(ds *dataset.Dataset, period int, smooth bool) grid.Block {
 	if period > 0 {
 		size[0] = snapLead(size[0], dims[0], period)
 	}
+	//clizlint:ignore ctxpoll converges in O(log extent) geometric axis-shrink iterations
 	for grid.Volume(size) > budget {
 		ax := -1
 		for a := rank - 1; a >= rank-2 && a > 0; a-- {
@@ -610,6 +622,7 @@ func planTournament(ds *dataset.Dataset, period int, smooth bool) grid.Block {
 	// High-rank blocks (or period-snapped leads) can still be over budget with
 	// every trailing axis at the floor; shrink the lead last — the tournament
 	// only ranks candidates, the slope probe restores lead depth afterwards.
+	//clizlint:ignore ctxpoll converges in O(log extent) geometric lead-shrink iterations
 	for grid.Volume(size) > budget && size[0] > 12 {
 		s := size[0] * 3 / 4
 		if s < 12 {
@@ -672,6 +685,7 @@ func planSlope(ds *dataset.Dataset, b1 grid.Block, period, ptsCap int, smooth bo
 	}
 	sort.Slice(trail, func(i, j int) bool { return dims[trail[i]] < dims[trail[j]] })
 	order = append(order, trail...)
+	//clizlint:ignore ctxpoll iterates the axis order, at most rank entries
 	for _, ax := range order {
 		if size[ax] >= dims[ax] {
 			continue
@@ -768,6 +782,7 @@ type maskPrefix struct {
 func newMaskPrefix(m *mask.Map) *maskPrefix {
 	w := m.NLon + 1
 	pre := make([]int64, (m.NLat+1)*w)
+	//clizlint:ignore ctxpoll single prefix-sum pass over one (lat,lon) plane
 	for i := 0; i < m.NLat; i++ {
 		var row int64
 		for j := 0; j < m.NLon; j++ {
@@ -843,6 +858,7 @@ func newBoundaryPrefix(m *mask.Map) *maskPrefix {
 	valid := func(i, j int) bool {
 		return i >= 0 && i < m.NLat && j >= 0 && j < m.NLon && m.Regions[i*m.NLon+j] != 0
 	}
+	//clizlint:ignore ctxpoll single prefix-sum pass over one (lat,lon) plane
 	for i := 0; i < m.NLat; i++ {
 		var row int64
 		for j := 0; j < m.NLon; j++ {
@@ -934,17 +950,17 @@ func subMask(m *mask.Map, dims []int, b grid.Block) *mask.Map {
 // probePipe compresses a probe dataset under a candidate pipeline. A probe
 // can be too short for the periodic path even after snapping; the stage is
 // dropped rather than failing the estimate.
-func probePipe(p *dataset.Dataset, eb float64, pipe core.Pipeline) ([]byte, error) {
+func probePipe(p *dataset.Dataset, eb float64, pipe core.Pipeline, interrupt func() error) ([]byte, error) {
 	if pipe.Period > 0 && p.Dims[0] < 2*pipe.Period {
 		pipe.Period = 0
 		pipe.Template = nil
 	}
-	return core.Compress(p, eb, pipe, core.Options{})
+	return core.Compress(p, eb, pipe, core.Options{Interrupt: interrupt})
 }
 
 // probeRatio runs the probe tournament and the ratio extrapolation, settling
 // the final pipeline and predicted ratio.
-func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, error) {
+func probeRatio(ds *dataset.Dataset, eb float64, d *decision, interrupt func() error) (probeOutcome, error) {
 	var out probeOutcome
 	note := func(format string, args ...any) {
 		out.notes = append(out.notes, fmt.Sprintf(format, args...))
@@ -960,7 +976,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 	var blob1 []byte
 	sizes := make([]int, len(d.cands))
 	for i, c := range d.cands {
-		blob, err := probePipe(p1, eb, c.pipe)
+		blob, err := probePipe(p1, eb, c.pipe, interrupt)
 		if err != nil {
 			return out, err
 		}
@@ -975,6 +991,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 	// order and keeps the first of equals, so a photo-finish between
 	// perm-only variants goes to the lexicographically smallest perm.
 	closeTie := false
+	//clizlint:ignore ctxpoll iterates the fixed candidate slate, a handful of pipelines
 	for i, c := range d.cands {
 		if i == best {
 			continue
@@ -993,7 +1010,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 	if sizes[best] != len(blob1) {
 		// The tie-break moved the winner; its blob was not retained, so
 		// recompress it (cheap: one more b1-sized pass).
-		blob, err := probePipe(p1, eb, d.cands[best].pipe)
+		blob, err := probePipe(p1, eb, d.cands[best].pipe, interrupt)
 		if err != nil {
 			return out, err
 		}
@@ -1018,6 +1035,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 			flip.Fitting = predict.Linear
 		}
 		dup := false
+		//clizlint:ignore ctxpoll iterates the fixed candidate slate, a handful of pipelines
 		for _, c := range d.cands {
 			if c.pipe.String() == flip.String() {
 				dup = true
@@ -1025,7 +1043,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 			}
 		}
 		if !dup {
-			if blob, err := probePipe(p1, eb, flip); err == nil {
+			if blob, err := probePipe(p1, eb, flip, interrupt); err == nil {
 				note("fit flip: %v -> %d bytes (winner %d)", flip.Fitting, len(blob), len(blob1))
 				if len(blob) < len(blob1) {
 					out.pipe = flip
@@ -1051,7 +1069,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 		if challenger != out.pipe.LevelAlpha {
 			p := out.pipe
 			p.LevelAlpha = challenger
-			if blob, err := probePipe(p1, eb, p); err == nil {
+			if blob, err := probePipe(p1, eb, p, interrupt); err == nil {
 				note("alpha: challenger %.2f -> %d bytes (incumbent %.2f -> %d)",
 					challenger, len(blob), out.pipe.LevelAlpha, len(blob1))
 				if float64(len(blob)) < (1-alphaLadderFrac)*float64(len(blob1)) {
@@ -1148,7 +1166,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 		}
 		s1.Origin[partialAx] = b2.Origin[partialAx] + (b2.Size[partialAx]-s1.Size[partialAx])/2
 		ps1 := probeDataset(ds, s1)
-		if blobA, err := probePipe(ps1, eb, out.pipe); err == nil {
+		if blobA, err := probePipe(ps1, eb, out.pipe, interrupt); err == nil {
 			payloadA, _ = payloadConst(blobA)
 			validA = float64(ps1.ValidPoints())
 			anchorName, anchorBlock = "nested stripe", s1
@@ -1165,7 +1183,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 				p := out.pipe
 				p.LevelAlpha = probeAlphas[len(probeAlphas)-1]
 				if p.LevelAlpha != out.pipe.LevelAlpha {
-					if blob, err := probePipe(p1, eb, p); err == nil {
+					if blob, err := probePipe(p1, eb, p, interrupt); err == nil {
 						note("alpha: truncated-lead refinement projected — challenger %.2f -> %d bytes on the tournament block (incumbent %.2f -> %d)",
 							p.LevelAlpha, len(blob), out.pipe.LevelAlpha, len(blob1))
 						if float64(len(blob)) < (1-alphaLadderFrac)*float64(len(blob1)) {
@@ -1250,7 +1268,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 		if wb, okW := coastWindow(ds.Mask, ds.Dims, b1, vp, bp); okW && frac(wb)-f1 > 0.02 {
 			pw := probeDataset(ds, wb)
 			if vw := float64(pw.ValidPoints()); vw > 0 {
-				if blobW, err := probePipe(pw, eb, out.pipe); err == nil {
+				if blobW, err := probePipe(pw, eb, out.pipe, interrupt); err == nil {
 					payloadW, _ := payloadConst(blobW)
 					r1 := payload1 / valid1
 					rc := payloadW / vw
@@ -1292,7 +1310,7 @@ func probeRatio(ds *dataset.Dataset, eb float64, d *decision) (probeOutcome, err
 		}
 	}
 	p2 := probeDataset(ds, b2)
-	blob2, err := probePipe(p2, eb, out.pipe)
+	blob2, err := probePipe(p2, eb, out.pipe, interrupt)
 	if err != nil {
 		return out, err
 	}
@@ -1412,6 +1430,7 @@ func payloadConst(blob []byte) (payload, konst float64) {
 				konst += float64(s.Bytes)
 			}
 		}
+		//clizlint:ignore ctxpoll walks the blob section tree, a handful of nodes
 		for i, c := range bi.Children {
 			if skipTemplate && bi.Kind == "periodic" && i == 0 {
 				continue
@@ -1445,6 +1464,7 @@ func sectionBytes(info *core.BlobInfo, name string) int {
 			n += s.Bytes
 		}
 	}
+	//clizlint:ignore ctxpoll walks the blob section tree, a handful of nodes
 	for _, c := range info.Children {
 		n += sectionBytes(c, name)
 	}

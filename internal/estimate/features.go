@@ -92,7 +92,9 @@ func horizontalPlane(ds *dataset.Dataset) int {
 }
 
 // globalStats fills the range/moment/mask features with one strided pass.
-func globalStats(ds *dataset.Dataset, f *Features) {
+// interrupt (nil allowed) is polled periodically so a canceled request does
+// not pay for the whole pass.
+func globalStats(ds *dataset.Dataset, f *Features, interrupt func() error) error {
 	n := len(ds.Data)
 	stride := n / sampleBudget
 	if stride < 1 {
@@ -103,7 +105,14 @@ func globalStats(ds *dataset.Dataset, f *Features) {
 	var sum, sum2 float64
 	cnt := 0
 	first := true
+	visited := 0
 	for i := 0; i < n; i += stride {
+		if visited&0x1fff == 0 && interrupt != nil {
+			if err := interrupt(); err != nil {
+				return err
+			}
+		}
+		visited++
 		if !validAt(ds, plane, i) {
 			continue
 		}
@@ -127,7 +136,7 @@ func globalStats(ds *dataset.Dataset, f *Features) {
 		cnt++
 	}
 	if cnt == 0 {
-		return
+		return nil
 	}
 	f.Lo, f.Hi = lo, hi
 	f.Mean = sum / float64(cnt)
@@ -140,6 +149,7 @@ func globalStats(ds *dataset.Dataset, f *Features) {
 	} else {
 		f.MaskDensity = 1
 	}
+	return nil
 }
 
 // residualHist is a clamped histogram of quantized residuals. The clamp only
@@ -214,6 +224,7 @@ func (a *axisStats) scanLine(line []float64, valid []bool, q float64) {
 	}
 	var lineSum float64
 	linePairs := 0
+	//clizlint:ignore ctxpoll scanLine folds one sampled line per call; axisFeatures polls between lines
 	for i := 1; i < len(line); i++ {
 		if ok(i) && ok(i-1) {
 			d := math.Abs(line[i] - line[i-1])
@@ -227,6 +238,7 @@ func (a *axisStats) scanLine(line []float64, valid []bool, q float64) {
 		a.lineMeans = append(a.lineMeans, lineSum/float64(linePairs))
 	}
 	for si, s := range levelStrides {
+		//clizlint:ignore ctxpoll scanLine folds one sampled line per call; axisFeatures polls between lines
 		for i := s; i+s < len(line); i += 2 * s {
 			if !ok(i) || !ok(i-s) || !ok(i+s) {
 				continue
@@ -248,8 +260,9 @@ func (a *axisStats) scanLine(line []float64, valid []bool, q float64) {
 
 // axisFeatures walks sampled lines along every axis, filling Smooth,
 // LinBits, CubBits and RoughnessCV, plus the seasonal variants for axis 0
-// when a period is known.
-func axisFeatures(ds *dataset.Dataset, eb float64, period int, f *Features) {
+// when a period is known. interrupt (nil allowed) is polled once per
+// sampled line.
+func axisFeatures(ds *dataset.Dataset, eb float64, period int, f *Features, interrupt func() error) error {
 	dims := ds.Dims
 	rank := len(dims)
 	plane := horizontalPlane(ds)
@@ -280,12 +293,18 @@ func axisFeatures(ds *dataset.Dataset, eb float64, period int, f *Features) {
 		}
 		var ax axisStats
 		for l := 0; l < nLines; l += lineStride {
+			if interrupt != nil {
+				if err := interrupt(); err != nil {
+					return err
+				}
+			}
 			// Line l along axis d starts at offset o·(dims[d]·step) + s,
 			// where l = o·step + s.
 			o, s := l/step, l%step
 			base := o*dims[d]*step + s
 			line = line[:0]
 			lineValid = lineValid[:0]
+			//clizlint:ignore ctxpoll gathers one sampled line; the enclosing loop polls per line
 			for j := 0; j < dims[d]; j++ {
 				idx := base + j*step
 				line = append(line, float64(ds.Data[idx]))
@@ -317,6 +336,7 @@ func axisFeatures(ds *dataset.Dataset, eb float64, period int, f *Features) {
 		f.SeasonalLinBits = weightedBits(&seasonal.lin)
 		f.SeasonalCubBits = weightedBits(&seasonal.cub)
 	}
+	return nil
 }
 
 // coefficientOfVariation is std/mean over xs (0 for degenerate input).
@@ -343,16 +363,26 @@ func coefficientOfVariation(xs []float64) float64 {
 // error bound. It is the cheap half of estimation: strided passes bounded by
 // sampleBudget per statistic plus one FFT period probe — no compression runs.
 func Extract(ds *dataset.Dataset, eb float64) (Features, error) {
+	return extract(ds, eb, nil)
+}
+
+// extract is Extract with a cancellation hook, polled between sampled
+// lines and every few thousand strided points.
+func extract(ds *dataset.Dataset, eb float64, interrupt func() error) (Features, error) {
 	if err := ds.Validate(); err != nil {
 		return Features{}, err
 	}
 	f := Features{Rank: len(ds.Dims), Points: grid.Volume(ds.Dims)}
-	globalStats(ds, &f)
+	if err := globalStats(ds, &f, interrupt); err != nil {
+		return Features{}, err
+	}
 	if ds.Periodic {
 		res := detectPeriod(ds)
 		f.Period = res.Period
 		f.PeriodStrength = res.Strength
 	}
-	axisFeatures(ds, eb, f.Period, &f)
+	if err := axisFeatures(ds, eb, f.Period, &f, interrupt); err != nil {
+		return Features{}, err
+	}
 	return f, nil
 }

@@ -254,6 +254,13 @@ func (r *Reader) decodeDelta(payload []byte) error {
 	si, li := 0, 0
 	maxBin := 2*uint32(r.h.radius) - 1
 	for i := 0; i < vol; i++ {
+		// A replayed Seek can decode a keyframe interval's worth of deltas;
+		// poll mid-frame so cancellation is not gated on frame boundaries.
+		if i&0xffff == 0 {
+			if err := r.interrupted(); err != nil {
+				return err
+			}
+		}
 		if r.valid != nil && !r.valid[i] {
 			out[i] = r.h.fill
 			continue

@@ -321,6 +321,13 @@ func (w *Writer) encodeDelta(frame []float32) ([]byte, []float32, int, error) {
 	syms := make([]uint32, 0, w.validCount)
 	var lits []float32
 	for i, orig := range frame {
+		// Cancellation must reach a delta encode mid-frame: one frame can be
+		// hundreds of MiB, far past the frame-boundary poll in Append.
+		if i&0xffff == 0 {
+			if err := w.interrupted(); err != nil {
+				return nil, nil, 0, err
+			}
+		}
 		if w.valid != nil && !w.valid[i] {
 			recon[i] = w.cfg.Fill
 			continue
